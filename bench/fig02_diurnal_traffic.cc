@@ -1,0 +1,65 @@
+// Reproduces Figure 2: regional traffic demand over the hour of day for six
+// countries (WildChat-style). Prints one row per country with 24 hourly
+// request counts, plus the peak hour and peak-to-trough ratio.
+//
+// Expected shape (paper): clear diurnal cycles; peak hours shifted across
+// countries by timezone; per-country peak volumes ranging from ~1.5k to ~8k.
+
+#include <cstdio>
+
+#include "src/common/rng.h"
+#include "src/common/table.h"
+#include "src/workload/diurnal.h"
+
+namespace skywalker {
+namespace {
+
+void RunFig02() {
+  std::printf("=== Figure 2: regional diurnal traffic (WildChat-style) ===\n");
+  DiurnalModel model = DiurnalModel::WildChatCountries();
+  Rng rng(2026);
+
+  // Peak request volumes mirroring the paper's y-axes.
+  const double peak_requests[] = {8000, 6000, 8000, 2000, 1500, 2500};
+
+  std::vector<std::string> headers = {"country", "peak_hour_utc",
+                                      "peak_req", "trough_req",
+                                      "peak/trough"};
+  for (int h = 0; h < 24; h += 3) {
+    headers.push_back("h" + std::to_string(h));
+  }
+  Table table(headers);
+
+  for (size_t r = 0; r < model.num_regions(); ++r) {
+    BinnedSeries day = model.SampleDay(r, peak_requests[r], rng);
+    size_t peak_hour = 0;
+    for (size_t h = 0; h < 24; ++h) {
+      if (day.bin(h) > day.bin(peak_hour)) {
+        peak_hour = h;
+      }
+    }
+    std::vector<std::string> row = {
+        model.profile(r).name,
+        std::to_string(peak_hour),
+        Table::Num(day.MaxBin(), 0),
+        Table::Num(day.MinBin(), 0),
+        Table::Num(day.PeakToTroughRatio(), 2),
+    };
+    for (int h = 0; h < 24; h += 3) {
+      row.push_back(Table::Num(day.bin(static_cast<size_t>(h)), 0));
+    }
+    table.AddRow(row);
+  }
+  std::printf("%s\n", table.ToAscii().c_str());
+  std::printf(
+      "Check vs paper: every country shows a diurnal cycle; peak UTC hours\n"
+      "differ across timezones (US evening vs China daytime in UTC).\n\n");
+}
+
+}  // namespace
+}  // namespace skywalker
+
+int main() {
+  skywalker::RunFig02();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Reproduces Figure 3: (a) aggregated load across five cloud regions —
+// per-region load variance collapses after aggregation; (b) provisioning
+// cost comparison — region-local reserved vs aggregated reserved vs perfect
+// on-demand autoscaling.
+//
+// Expected shape (paper): per-region peak/trough variance of 2.88-32.64x
+// drops to ~1.29x aggregated; aggregated reservations save ~40.5% over
+// region-local; perfect autoscaling still costs ~2.2x the aggregated
+// reservation because of the on-demand price premium.
+
+#include <cstdio>
+
+#include "src/analysis/cost_model.h"
+#include "src/common/table.h"
+#include "src/workload/diurnal.h"
+
+namespace skywalker {
+namespace {
+
+void RunFig03() {
+  std::printf("=== Figure 3a: regional vs aggregated load (5 regions) ===\n");
+  DiurnalModel model = DiurnalModel::FiveCloudRegions();
+  const double kPeakRequests = 4000;
+
+  Table load_table({"region", "peak_req/h", "trough_req/h", "peak/trough"});
+  std::vector<BinnedSeries> hourly;
+  double worst_ratio = 0;
+  for (size_t r = 0; r < model.num_regions(); ++r) {
+    hourly.push_back(model.HourlySeries(
+        r, kPeakRequests * model.profile(r).scale));
+    const BinnedSeries& series = hourly.back();
+    worst_ratio = std::max(worst_ratio, series.PeakToTroughRatio());
+    load_table.AddRow({model.profile(r).name, Table::Num(series.MaxBin(), 0),
+                       Table::Num(series.MinBin(), 0),
+                       Table::Num(series.PeakToTroughRatio(), 2)});
+  }
+  BinnedSeries aggregate(24);
+  for (size_t h = 0; h < 24; ++h) {
+    double total = 0;
+    for (const auto& series : hourly) {
+      total += series.bin(h);
+    }
+    aggregate.Add(h, total);
+  }
+  load_table.AddRow({"AGGREGATED", Table::Num(aggregate.MaxBin(), 0),
+                     Table::Num(aggregate.MinBin(), 0),
+                     Table::Num(aggregate.PeakToTroughRatio(), 2)});
+  std::printf("%s", load_table.ToAscii().c_str());
+  std::printf(
+      "Check vs paper: worst per-region variance %.2fx collapses to %.2fx "
+      "after aggregation\n(paper: up to 32.64x -> 1.29x).\n\n",
+      worst_ratio, aggregate.PeakToTroughRatio());
+
+  std::printf("=== Figure 3b: provisioning cost comparison ===\n");
+  CostModel cost;
+  const double kRequestsPerReplicaHour = 250;
+  std::vector<RegionDemand> demand;
+  for (const auto& series : hourly) {
+    demand.push_back(
+        CostModel::DemandFromRequests(series, kRequestsPerReplicaHour));
+  }
+  double region_local = cost.RegionLocalReservedCost(demand);
+  double aggregated = cost.AggregatedReservedCost(demand);
+  double autoscaling = cost.PerfectAutoscalingCost(demand);
+
+  Table cost_table({"provisioning", "$/day", "vs aggregated"});
+  cost_table.AddRow({"On-demand autoscaling (perfect)",
+                     Table::Num(autoscaling, 0),
+                     Table::Num(autoscaling / aggregated, 2) + "x"});
+  cost_table.AddRow({"Region-local reserved", Table::Num(region_local, 0),
+                     Table::Num(region_local / aggregated, 2) + "x"});
+  cost_table.AddRow({"Aggregated reserved (SkyWalker)",
+                     Table::Num(aggregated, 0), "1.00x"});
+  std::printf("%s", cost_table.ToAscii().c_str());
+  std::printf(
+      "Aggregated reservation saves %.1f%% vs region-local (paper: 40.5%%); "
+      "perfect\non-demand autoscaling costs %.2fx the aggregated reservation "
+      "(paper: 2.2x).\n",
+      100.0 * (1.0 - aggregated / region_local), autoscaling / aggregated);
+}
+
+}  // namespace
+}  // namespace skywalker
+
+int main() {
+  skywalker::RunFig03();
+  return 0;
+}

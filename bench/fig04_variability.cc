@@ -1,0 +1,135 @@
+// Reproduces Figure 4: (a) the CDF of request input/output lengths;
+// (b) KV-cache memory imbalance between two replicas under round-robin
+// routing.
+//
+// Expected shape (paper): outputs are heavier tailed than inputs (tail into
+// the thousands of tokens); under RR the peak memory utilization difference
+// between two replicas reaches ~2.64x.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/histogram.h"
+#include "src/common/table.h"
+#include "src/lb/policies.h"
+#include "src/net/network.h"
+#include "src/sim/simulator.h"
+#include "src/workload/conversation.h"
+#include "src/workload/length_model.h"
+
+namespace skywalker {
+namespace {
+
+void PrintLengthCdf() {
+  std::printf("=== Figure 4a: CDF of input / output token lengths ===\n");
+  LengthModel model;
+  Rng rng(404);
+  Distribution inputs;
+  Distribution outputs;
+  for (int i = 0; i < 200000; ++i) {
+    inputs.Add(static_cast<double>(model.SampleInputLen(rng)));
+    outputs.Add(static_cast<double>(model.SampleOutputLen(rng)));
+  }
+  Table table({"percentile", "input_len", "output_len"});
+  for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9}) {
+    table.AddRow({Table::Num(p, 1), Table::Num(inputs.Percentile(p), 0),
+                  Table::Num(outputs.Percentile(p), 0)});
+  }
+  std::printf("%s", table.ToAscii().c_str());
+  std::printf(
+      "Check vs paper: output CDF lies right of the input CDF with a tail "
+      "into the\nthousands of tokens (Fig. 4a shows lengths up to 10k).\n\n");
+}
+
+void PrintRoundRobinImbalance() {
+  std::printf("=== Figure 4b: RR memory imbalance across 2 replicas ===\n");
+  Simulator sim;
+  Topology topology;
+  topology.AddRegion("local", Milliseconds(1));
+  Network net(&sim, topology);
+
+  ReplicaConfig rconfig;
+  rconfig.kv_capacity_tokens = 16384;
+  rconfig.memory_sample_every_steps = 2;
+  Replica replica_a(&sim, 0, 0, rconfig);
+  Replica replica_b(&sim, 1, 0, rconfig);
+
+  LbConfig lconfig;
+  lconfig.push_mode = PushMode::kBlind;
+  RoundRobinLb lb(&sim, &net, 0, 0, lconfig);
+  lb.AttachReplica(&replica_a);
+  lb.AttachReplica(&replica_b);
+  lb.Start();
+
+  // Open-loop arrivals with WildChat-like length variance for ~80 s
+  // (matching the figure's time axis). The rate keeps replicas in the
+  // mid-utilization band so imbalance is visible rather than saturating.
+  ConversationWorkloadConfig wconfig = ConversationWorkloadConfig::WildChat();
+  wconfig.lengths.output_mu = 5.8;  // Longer, higher-variance outputs.
+  wconfig.lengths.output_sigma = 1.1;
+  ConversationGenerator gen(wconfig, 1, 404);
+  Rng arrivals(405);
+  int completed = 0;
+  SimTime t = 0;
+  RequestId next_id = 1;
+  while (t < Seconds(80)) {
+    t += static_cast<SimTime>(arrivals.Exponential(1.0 / 0.8) * 1e6);
+    auto user = gen.MakeUser(0);
+    auto conv = gen.MakeConversation(user);
+    const auto& turn = conv.turns[0];
+    Request req;
+    req.id = next_id++;
+    req.user_id = user.user_id;
+    req.client_region = 0;
+    req.prompt = turn.prompt;
+    req.output = turn.output;
+    req.routing_key = user.routing_key;
+    RequestCallbacks callbacks;
+    callbacks.on_complete = [&completed](const RequestOutcome&) {
+      ++completed;
+    };
+    sim.ScheduleAt(t, [&lb, req = std::move(req),
+                       callbacks = std::move(callbacks)]() mutable {
+      req.submit_time = req.submit_time == 0 ? 0 : req.submit_time;
+      lb.HandleRequest(std::move(req), std::move(callbacks));
+    });
+  }
+  sim.RunUntil(Seconds(80));
+
+  auto utilization_at = [](const Replica& replica, SimTime when) {
+    double last = 0;
+    for (const auto& [ts, util] : replica.memory_series()) {
+      if (ts > when) {
+        break;
+      }
+      last = util;
+    }
+    return last;
+  };
+
+  Table table({"time_s", "replica1_mem%", "replica2_mem%", "ratio"});
+  double peak_ratio = 1.0;
+  for (SimTime when = Seconds(10); when <= Seconds(80); when += Seconds(10)) {
+    double a = utilization_at(replica_a, when);
+    double b = utilization_at(replica_b, when);
+    double hi = std::max(a, b);
+    double lo = std::max(0.02, std::min(a, b));
+    peak_ratio = std::max(peak_ratio, hi / lo);
+    table.AddRow({Table::Num(ToSeconds(when), 0), Table::Num(a * 100, 1),
+                  Table::Num(b * 100, 1), Table::Num(hi / lo, 2)});
+  }
+  std::printf("%s", table.ToAscii().c_str());
+  std::printf(
+      "Completed %d requests. Peak memory-usage ratio between replicas: "
+      "%.2fx\n(paper observes up to 2.64x under round robin).\n",
+      completed, peak_ratio);
+}
+
+}  // namespace
+}  // namespace skywalker
+
+int main() {
+  skywalker::PrintLengthCdf();
+  skywalker::PrintRoundRobinImbalance();
+  return 0;
+}

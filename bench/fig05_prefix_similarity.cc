@@ -1,0 +1,102 @@
+// Reproduces Figure 5: (a) average prefix similarity within/across users and
+// regions for ChatBot-Arena-like and WildChat-like traces; (b) a pairwise
+// user similarity heatmap summary.
+//
+// Expected shape (paper): ChatBot Arena 20.5% within-user vs 8.3% across;
+// WildChat 19.0% vs 2.5%; WildChat-Region 10.9% within-region vs 2.5%
+// across; heatmap diagonal dominates.
+
+#include <cstdio>
+
+#include "src/analysis/prefix_similarity.h"
+#include "src/common/table.h"
+#include "src/workload/conversation.h"
+
+namespace skywalker {
+namespace {
+
+std::vector<ConversationGenerator::TraceRecord> MakeTrace(
+    const ConversationWorkloadConfig& config, int users, int convs_per_user,
+    uint64_t seed) {
+  ConversationGenerator gen(config, 3, seed);
+  std::vector<RegionId> population;
+  for (int i = 0; i < users; ++i) {
+    population.push_back(i % 3);
+  }
+  return gen.GenerateTrace(population, convs_per_user);
+}
+
+void RunFig05a() {
+  std::printf("=== Figure 5a: prefix similarity (%%), by dataset ===\n");
+  Table table({"dataset", "within-user", "across-user", "within-region",
+               "across-region"});
+
+  auto arena = MakeTrace(ConversationWorkloadConfig::Arena(), 150, 4, 501);
+  SimilarityStats arena_stats = ComputePrefixSimilarity(arena, 20000, 502);
+  table.AddRow({"ChatBot Arena (synthetic)",
+                Table::Num(arena_stats.within_user * 100, 1),
+                Table::Num(arena_stats.across_user * 100, 1),
+                Table::Num(arena_stats.within_region * 100, 1),
+                Table::Num(arena_stats.across_region * 100, 1)});
+
+  auto wild = MakeTrace(ConversationWorkloadConfig::WildChat(), 150, 4, 503);
+  SimilarityStats wild_stats = ComputePrefixSimilarity(wild, 20000, 504);
+  table.AddRow({"WildChat (synthetic)",
+                Table::Num(wild_stats.within_user * 100, 1),
+                Table::Num(wild_stats.across_user * 100, 1),
+                Table::Num(wild_stats.within_region * 100, 1),
+                Table::Num(wild_stats.across_region * 100, 1)});
+
+  std::printf("%s", table.ToAscii().c_str());
+  std::printf(
+      "Check vs paper (Fig. 5a): within-user >> across-user (2.47-7.60x);\n"
+      "WildChat within-region (10.9%%) >> across-region (2.5%%).\n"
+      "Measured ratios: Arena %.2fx, WildChat %.2fx, region %.2fx.\n\n",
+      arena_stats.within_user / arena_stats.across_user,
+      wild_stats.within_user / wild_stats.across_user,
+      wild_stats.within_region / wild_stats.across_region);
+}
+
+void RunFig05b() {
+  std::printf("=== Figure 5b: pairwise user similarity heatmap ===\n");
+  auto trace = MakeTrace(ConversationWorkloadConfig::WildChat(), 100, 4, 505);
+  auto heat = SimilarityHeatmap(trace, 100, 20, 506);
+
+  double diag = 0;
+  double off = 0;
+  size_t off_n = 0;
+  double off_max = 0;
+  for (size_t i = 0; i < heat.size(); ++i) {
+    diag += heat[i][i];
+    for (size_t j = 0; j < heat.size(); ++j) {
+      if (i != j) {
+        off += heat[i][j];
+        off_max = std::max(off_max, heat[i][j]);
+        ++off_n;
+      }
+    }
+  }
+  diag /= static_cast<double>(heat.size());
+  off /= static_cast<double>(off_n);
+
+  Table table({"statistic", "value"});
+  table.AddRow({"users", std::to_string(heat.size())});
+  table.AddRow({"mean diagonal (within-user)", Table::Num(diag, 3)});
+  table.AddRow({"mean off-diagonal (cross-user)", Table::Num(off, 3)});
+  table.AddRow({"max off-diagonal", Table::Num(off_max, 3)});
+  table.AddRow({"diagonal/off-diagonal", Table::Num(diag / off, 2) + "x"});
+  std::printf("%s", table.ToAscii().c_str());
+  std::printf(
+      "Check vs paper (Fig. 5b): a bright diagonal over a mostly dark\n"
+      "background, with occasional bright off-diagonal cells (users sharing\n"
+      "popular templates).\n");
+}
+
+}  // namespace
+}  // namespace skywalker
+
+int main() {
+  skywalker::RunFig05a();
+  skywalker::RunFig05b();
+  return 0;
+}

@@ -1,0 +1,282 @@
+// Reproduces Figure 6: KV-cache hit rate of consistent hashing vs an optimal
+// router with a global view, under the three adversarial scenarios of §3.2:
+//
+//  * Cross-User Prefix Sharing — users sharing large system templates are
+//    hashed to different replicas, so popular templates are duplicated
+//    (and, under bounded KV capacity, evicted) instead of shared;
+//  * Bursty Request — a user's concurrent burst lands on one hash-owned
+//    replica; skewed user activity overloads some replicas' caches while
+//    others idle;
+//  * Heterogeneous User Program — one user key multiplexes unrelated
+//    programs whose combined working set exceeds a single replica's KV
+//    capacity, which forces thrashing that a content-aware placement avoids.
+//
+// All three effects require bounded capacity and concurrency, so requests
+// are issued in concurrent waves against replicas with small KV budgets.
+//
+// Expected shape (paper): optimal beats CH by ~16.5 / ~7.1 / ~8.8 points.
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/cache/hash_ring.h"
+#include "src/common/hash.h"
+#include "src/common/rng.h"
+#include "src/common/table.h"
+#include "src/replica/replica.h"
+#include "src/sim/simulator.h"
+
+namespace skywalker {
+namespace {
+
+constexpr int kReplicas = 4;
+constexpr int64_t kCapacity = 8192;  // Small KV budget per replica.
+
+struct Item {
+  std::string key;     // Consistent-hashing key.
+  TokenSeq prompt;
+  TokenSeq output;
+  int wave = 0;        // Items in the same wave are issued concurrently.
+};
+
+struct Scenario {
+  std::string name;
+  std::vector<Item> items;
+};
+
+// Appends `n` fresh tokens from a rolling counter.
+void Fresh(TokenSeq* seq, int64_t n, Token* counter) {
+  for (int64_t i = 0; i < n; ++i) {
+    seq->push_back((*counter)++);
+  }
+}
+
+// Cross-user: 48 users over 12 shared 1200-token templates, two turns each.
+Scenario CrossUserSharing() {
+  Scenario s;
+  s.name = "Cross-User Sharing";
+  Token counter = 1;
+  Rng rng(61);
+  std::vector<TokenSeq> templates(12);
+  for (auto& t : templates) {
+    Fresh(&t, 1200, &counter);
+  }
+  struct UserState {
+    std::string key;
+    TokenSeq context;
+  };
+  std::vector<UserState> users;
+  for (int u = 0; u < 48; ++u) {
+    UserState user;
+    user.key = "user-" + std::to_string(u);
+    user.context = templates[static_cast<size_t>(u) % templates.size()];
+    users.push_back(std::move(user));
+  }
+  int wave = 0;
+  for (int turn = 0; turn < 2; ++turn) {
+    for (size_t u = 0; u < users.size(); ++u) {
+      if (u % 12 == 0) {
+        ++wave;  // 12 concurrent users per wave.
+      }
+      Item item;
+      item.key = users[u].key;
+      Fresh(&users[u].context, 80, &counter);
+      item.prompt = users[u].context;
+      Fresh(&item.output, 120, &counter);
+      users[u].context.insert(users[u].context.end(), item.output.begin(),
+                              item.output.end());
+      item.wave = wave;
+      s.items.push_back(std::move(item));
+    }
+  }
+  return s;
+}
+
+// Bursty: skewed user activity; each burst is 12 concurrent same-context
+// requests. Heavy users overload their hash-owned replica's cache.
+Scenario BurstyRequests() {
+  Scenario s;
+  s.name = "Bursty Request";
+  Token counter = 10'000'000;
+  struct UserState {
+    std::string key;
+    TokenSeq context;
+    int bursts;
+  };
+  std::vector<UserState> users;
+  for (int u = 0; u < 12; ++u) {
+    UserState user;
+    user.key = "burst-user-" + std::to_string(u);
+    Fresh(&user.context, 1000, &counter);
+    user.bursts = u < 4 ? 3 : 1;  // 4 heavy users, 8 light.
+    users.push_back(std::move(user));
+  }
+  int wave = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (auto& user : users) {
+      if (round >= user.bursts) {
+        continue;
+      }
+      ++wave;
+      for (int b = 0; b < 12; ++b) {
+        Item item;
+        item.key = user.key;
+        item.prompt = user.context;
+        Fresh(&item.prompt, 50, &counter);
+        Fresh(&item.output, 80, &counter);
+        item.wave = wave;
+        s.items.push_back(std::move(item));
+      }
+      // The burst's first completion extends the shared context.
+      Fresh(&user.context, 130, &counter);
+    }
+  }
+  return s;
+}
+
+// Heterogeneous programs: one key per user, but each user's conversations
+// are unrelated and together exceed one replica's KV capacity.
+Scenario HeterogeneousPrograms() {
+  Scenario s;
+  s.name = "Heterogeneous Program";
+  Token counter = 100'000'000;
+  const int kUsers = 4;
+  const int kConvsPerUser = 8;
+  std::vector<std::vector<TokenSeq>> contexts(kUsers);
+  for (int u = 0; u < kUsers; ++u) {
+    contexts[static_cast<size_t>(u)].resize(kConvsPerUser);
+    for (auto& ctx : contexts[static_cast<size_t>(u)]) {
+      Fresh(&ctx, 800, &counter);
+    }
+  }
+  int wave = 0;
+  for (int turn = 0; turn < 2; ++turn) {
+    for (int c = 0; c < kConvsPerUser; ++c) {
+      ++wave;  // One conversation per user concurrently.
+      for (int u = 0; u < kUsers; ++u) {
+        TokenSeq& ctx = contexts[static_cast<size_t>(u)][static_cast<size_t>(c)];
+        Item item;
+        item.key = "hetero-user-" + std::to_string(u);
+        Fresh(&ctx, 60, &counter);
+        item.prompt = ctx;
+        Fresh(&item.output, 150, &counter);
+        ctx.insert(ctx.end(), item.output.begin(), item.output.end());
+        item.wave = wave;
+        s.items.push_back(std::move(item));
+      }
+    }
+  }
+  return s;
+}
+
+// Runs the scenario wave by wave (items within a wave enqueue concurrently)
+// and returns the aggregate replica-cache hit rate.
+double ServeWith(
+    const Scenario& scenario,
+    const std::function<int(const Item&,
+                            const std::vector<std::unique_ptr<Replica>>&)>&
+        pick) {
+  Simulator sim;
+  ReplicaConfig config;
+  config.kv_capacity_tokens = kCapacity;
+  config.max_running_requests = 32;
+  std::vector<std::unique_ptr<Replica>> replicas;
+  for (int i = 0; i < kReplicas; ++i) {
+    replicas.push_back(std::make_unique<Replica>(&sim, i, 0, config));
+  }
+  RequestId next = 1;
+  int current_wave = -1;
+  for (const auto& item : scenario.items) {
+    if (item.wave != current_wave) {
+      sim.Run();  // Wave barrier: drain the previous wave.
+      current_wave = item.wave;
+    }
+    Request req;
+    req.id = next++;
+    req.client_region = 0;
+    req.routing_key = item.key;
+    req.prompt = item.prompt;
+    req.output = item.output;
+    int target = pick(item, replicas);
+    replicas[static_cast<size_t>(target)]->Enqueue(std::move(req), {});
+  }
+  sim.Run();
+  int64_t hits = 0;
+  int64_t lookups = 0;
+  for (const auto& replica : replicas) {
+    hits += replica->cache().hit_tokens();
+    lookups += replica->cache().lookup_tokens();
+  }
+  return lookups == 0 ? 0.0
+                      : static_cast<double>(hits) /
+                            static_cast<double>(lookups);
+}
+
+void RunFig06() {
+  std::printf(
+      "=== Figure 6: KV-cache hit rate, consistent hashing vs optimal ===\n");
+  std::printf("(%d replicas, %ld-token KV budget each)\n", kReplicas,
+              static_cast<long>(kCapacity));
+  Table table({"scenario", "CH hit%", "optimal hit%", "gap (pts)"});
+
+  for (const Scenario& scenario :
+       {CrossUserSharing(), BurstyRequests(), HeterogeneousPrograms()}) {
+    HashRing ring;
+    for (int i = 0; i < kReplicas; ++i) {
+      ring.AddTarget(i);
+    }
+    double ch = ServeWith(scenario, [&ring](const Item& item, const auto&) {
+      return static_cast<int>(ring.Lookup(HashString(item.key)));
+    });
+    // Optimal: global view — longest prefix across both live caches and
+    // prompts already routed (in flight), like a centralized Preble-style
+    // scheduler; ties go to the least-loaded replica.
+    std::vector<std::unique_ptr<RoutingTrie>> shadows;
+    std::vector<int64_t> assigned_tokens(kReplicas, 0);
+    for (int i = 0; i < kReplicas; ++i) {
+      shadows.push_back(std::make_unique<RoutingTrie>(1 << 26));
+    }
+    double optimal = ServeWith(scenario, [&shadows, &assigned_tokens](
+                                             const Item& item,
+                                             const auto& replicas) {
+      int best = 0;
+      int64_t best_len = -1;
+      int64_t best_load = 0;
+      for (size_t i = 0; i < replicas.size(); ++i) {
+        int64_t len = const_cast<PrefixCache&>(replicas[i]->cache())
+                          .MatchPrefix(item.prompt, 0);
+        auto shadow = shadows[i]->MatchBest(item.prompt, nullptr);
+        len = std::max(len, shadow.match_len);
+        int64_t load = assigned_tokens[i] +
+                       replicas[i]->active_memory_tokens();
+        if (len > best_len || (len == best_len && load < best_load)) {
+          best_len = len;
+          best_load = load;
+          best = static_cast<int>(i);
+        }
+      }
+      shadows[static_cast<size_t>(best)]->Insert(item.prompt, 0);
+      assigned_tokens[static_cast<size_t>(best)] +=
+          static_cast<int64_t>(item.prompt.size()) - best_len;
+      return best;
+    });
+    table.AddRow({scenario.name, Table::Num(ch * 100, 2),
+                  Table::Num(optimal * 100, 2),
+                  Table::Num((optimal - ch) * 100, 2)});
+  }
+  std::printf("%s", table.ToAscii().c_str());
+  std::printf(
+      "Check vs paper (Fig. 6): optimal beats CH in all three scenarios; "
+      "paper gaps\nare 16.49 pts (cross-user), 7.07 pts (bursty), 8.78 pts "
+      "(heterogeneous).\n");
+}
+
+}  // namespace
+}  // namespace skywalker
+
+int main() {
+  skywalker::RunFig06();
+  return 0;
+}

@@ -1,0 +1,214 @@
+// Reproduces Figure 8 (the macrobenchmark): service throughput, TTFT and
+// end-to-end latency for seven systems across four workloads — ChatBot
+// Arena, WildChat, Tree of Thoughts, and Mixed Tree — on the three-continent
+// topology. Also prints the §5.1 prefix-hit-rate and load-imbalance numbers.
+//
+// Expected shape (paper):
+//  * SkyWalker variants beat single-LB baselines by 1.12-1.2x on the chat
+//    workloads and GKE Gateway by 1.43-2.06x overall;
+//  * CH ~matches SkyWalker on uniform ToT but collapses on Mixed Tree;
+//  * SkyWalker (trie) edges out SkyWalker-CH by a few percent;
+//  * SkyWalker holds the lowest P50/P90 TTFT (regional entry + cache hits);
+//  * hit rates: RR lowest, LL modest, SkyWalker highest; ToT hit rates near
+//    90% for prefix-aware systems vs ~59% for RR/LL.
+//
+// Absolute numbers differ from the paper (simulated L4s, not real ones);
+// the orderings and ratios are the reproduction target.
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "src/common/table.h"
+#include "src/harness/experiment.h"
+#include "src/net/topology.h"
+
+namespace skywalker {
+namespace {
+
+struct WorkloadCase {
+  std::string name;
+  WorkloadSpec spec;
+  std::vector<int> replicas_per_region;
+};
+
+ClientConfig ChatClientConfig() {
+  ClientConfig config;
+  config.think_time_mean = Seconds(2);
+  config.program_gap_mean = Seconds(2);
+  return config;
+}
+
+ClientConfig ToTClientConfig() {
+  ClientConfig config;
+  config.think_time_mean = Milliseconds(200);
+  config.program_gap_mean = Seconds(1);
+  return config;
+}
+
+WorkloadCase ArenaCase() {
+  WorkloadCase wc;
+  wc.name = "ChatBot Arena";
+  wc.replicas_per_region = {3, 3, 2};  // §5.1 unbalanced configuration.
+  wc.spec.conversation = ConversationWorkloadConfig::Arena();
+  wc.spec.seed = 81;
+  for (RegionId r = 0; r < 3; ++r) {
+    ClientGroup group;
+    group.kind = ClientGroup::Kind::kConversation;
+    group.region = r;
+    group.count = 80;  // 80 ongoing conversations per region.
+    group.client = ChatClientConfig();
+    wc.spec.groups.push_back(group);
+  }
+  return wc;
+}
+
+WorkloadCase WildChatCase() {
+  WorkloadCase wc;
+  wc.name = "WildChat";
+  wc.replicas_per_region = {3, 3, 2};
+  wc.spec.conversation = ConversationWorkloadConfig::WildChat();
+  wc.spec.seed = 82;
+  const int counts[3] = {40, 30, 30};  // 40 US / 30 EU / 30 Asia clients.
+  for (RegionId r = 0; r < 3; ++r) {
+    ClientGroup group;
+    group.kind = ClientGroup::Kind::kConversation;
+    group.region = r;
+    group.count = counts[r];
+    group.client = ChatClientConfig();
+    wc.spec.groups.push_back(group);
+  }
+  return wc;
+}
+
+WorkloadCase ToTCase() {
+  WorkloadCase wc;
+  wc.name = "ToT";
+  wc.replicas_per_region = {4, 4, 4};  // Balanced, 12 replicas.
+  wc.spec.seed = 83;
+  const int counts[3] = {40, 20, 20};  // 40 US / 20 EU / 20 Asia clients.
+  for (RegionId r = 0; r < 3; ++r) {
+    ClientGroup group;
+    group.kind = ClientGroup::Kind::kToT;
+    group.region = r;
+    group.count = counts[r];
+    group.tot.depth = 4;
+    group.tot.branching = 2;  // 15 requests per tree.
+    group.tot.question_len_mean = 1200;  // Few-shot ToT prompting.
+    group.tot.thought_len_mean = 200;
+    group.client = ToTClientConfig();
+    wc.spec.groups.push_back(group);
+  }
+  return wc;
+}
+
+WorkloadCase MixedTreeCase() {
+  WorkloadCase wc;
+  wc.name = "Mixed Tree";
+  wc.replicas_per_region = {4, 4, 4};
+  wc.spec.seed = 84;
+  // US: two clients issuing 4-branch trees (85 requests per tree).
+  ClientGroup heavy;
+  heavy.kind = ClientGroup::Kind::kToT;
+  heavy.region = 0;
+  heavy.count = 2;
+  heavy.tot.depth = 4;
+  heavy.tot.branching = 4;
+  heavy.tot.question_len_mean = 1200;
+  heavy.tot.thought_len_mean = 200;
+  heavy.client = ToTClientConfig();
+  wc.spec.groups.push_back(heavy);
+  // Other regions: 20 clients each with 2-branch trees.
+  for (RegionId r = 0; r < 3; ++r) {
+    ClientGroup group;
+    group.kind = ClientGroup::Kind::kToT;
+    group.region = r;
+    group.count = 20;
+    group.tot.depth = 4;
+    group.tot.branching = 2;
+    group.tot.question_len_mean = 1200;
+    group.tot.thought_len_mean = 200;
+    group.client = ToTClientConfig();
+    wc.spec.groups.push_back(group);
+  }
+  return wc;
+}
+
+SystemSpec MakeSystemSpec(SystemKind kind,
+                          const std::vector<int>& replicas_per_region) {
+  SystemSpec spec;
+  spec.kind = kind;
+  spec.replicas_per_region = replicas_per_region;
+  spec.central_lb_region = 0;  // Single-LB baselines deploy in the US.
+  spec.baseline_lb.push_mode = PushMode::kBlind;
+  // L4 band (paper: 20-50 concurrent requests per replica).
+  spec.replica_config.max_running_requests = 32;
+  spec.replica_config.kv_capacity_tokens = 40960;
+  return spec;
+}
+
+void RunWorkload(const WorkloadCase& wc, bool quick) {
+  std::printf("\n--- Workload: %s ---\n", wc.name.c_str());
+  Table table({"system", "tput tok/s", "TTFT p50 s", "TTFT p90 s",
+               "TTFT mean s", "E2E p50 s", "E2E p90 s", "hit%", "fwd%",
+               "imbalance", "completed"});
+  ExperimentConfig config;
+  // Durations hold the system at the paper's high-utilization operating
+  // point. Much longer windows let closed-loop conversations accumulate
+  // context until every system collapses into queueing-dominated overload,
+  // which masks the routing effects the figure is about.
+  config.warmup = quick ? Seconds(20) : Seconds(30);
+  config.measure = quick ? Seconds(90) : Seconds(120);
+
+  const SystemKind kinds[] = {
+      SystemKind::kGkeGateway,   SystemKind::kRoundRobin,
+      SystemKind::kLeastLoad,    SystemKind::kConsistentHash,
+      SystemKind::kSglRouter,    SystemKind::kSkyWalkerCh,
+      SystemKind::kSkyWalker,
+  };
+  Topology topology = Topology::ThreeContinents();
+  for (SystemKind kind : kinds) {
+    SystemSpec spec = MakeSystemSpec(kind, wc.replicas_per_region);
+    ExperimentResult result =
+        RunExperiment(topology, spec, wc.spec, config);
+    table.AddRow({std::string(result.system),
+                  Table::Num(result.throughput_tok_s, 0),
+                  Table::Num(result.ttft_p50_s, 3),
+                  Table::Num(result.ttft_p90_s, 3),
+                  Table::Num(result.ttft_mean_s, 3),
+                  Table::Num(result.e2e_p50_s, 2),
+                  Table::Num(result.e2e_p90_s, 2),
+                  Table::Num(result.cache_hit_rate * 100, 1),
+                  Table::Num(result.forwarded_fraction * 100, 1),
+                  Table::Num(result.outstanding_imbalance, 2),
+                  std::to_string(result.completed)});
+  }
+  std::printf("%s", table.ToAscii().c_str());
+}
+
+}  // namespace
+}  // namespace skywalker
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    }
+  }
+  std::printf("=== Figure 8: macrobenchmark (7 systems x 4 workloads) ===\n");
+  std::printf(
+      "Replicas on 3 continents; single-LB baselines centralized in the "
+      "US.%s\n",
+      quick ? " (quick mode)" : "");
+  skywalker::RunWorkload(skywalker::ArenaCase(), quick);
+  skywalker::RunWorkload(skywalker::WildChatCase(), quick);
+  skywalker::RunWorkload(skywalker::ToTCase(), quick);
+  skywalker::RunWorkload(skywalker::MixedTreeCase(), quick);
+  std::printf(
+      "\nCheck vs paper (Fig. 8): SkyWalker best-or-tied throughput with the "
+      "lowest\nTTFT; CH competitive on uniform ToT but degraded on Mixed "
+      "Tree; baselines pay\ncross-region TTFT for remote clients; SkyWalker "
+      "hit rate highest.\n");
+  return 0;
+}

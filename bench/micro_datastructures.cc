@@ -1,0 +1,163 @@
+// google-benchmark microbenchmarks for the routing-critical data structures:
+// radix prefix cache, routing trie, consistent-hash ring, and the event
+// queue. These quantify per-request routing overhead, which the paper's
+// design keeps off the critical path (probing is periodic; routing is a trie
+// walk + ring lookup).
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "src/cache/hash_ring.h"
+#include "src/cache/prefix_cache.h"
+#include "src/cache/routing_trie.h"
+#include "src/common/hash.h"
+#include "src/common/rng.h"
+#include "src/sim/event_queue.h"
+
+namespace skywalker {
+namespace {
+
+// Builds a pool of conversation-like token sequences: shared template
+// prefixes with unique continuations.
+std::vector<TokenSeq> MakeSequences(size_t count, size_t len, Rng& rng) {
+  std::vector<TokenSeq> seqs;
+  std::vector<TokenSeq> templates;
+  for (int t = 0; t < 16; ++t) {
+    TokenSeq tmpl;
+    for (size_t i = 0; i < len / 2; ++i) {
+      tmpl.push_back(static_cast<Token>(t * 100000 + static_cast<Token>(i)));
+    }
+    templates.push_back(std::move(tmpl));
+  }
+  Token fresh = 10'000'000;
+  for (size_t s = 0; s < count; ++s) {
+    TokenSeq seq =
+        templates[static_cast<size_t>(rng.UniformInt(0, 15))];
+    for (size_t i = 0; i < len / 2; ++i) {
+      seq.push_back(fresh++);
+    }
+    seqs.push_back(std::move(seq));
+  }
+  return seqs;
+}
+
+void BM_PrefixCacheInsert(benchmark::State& state) {
+  Rng rng(1);
+  auto seqs = MakeSequences(4096, static_cast<size_t>(state.range(0)), rng);
+  size_t i = 0;
+  PrefixCache cache(1 << 26);
+  for (auto _ : state) {
+    cache.Insert(seqs[i++ % seqs.size()], static_cast<SimTime>(i));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PrefixCacheInsert)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_PrefixCacheMatch(benchmark::State& state) {
+  Rng rng(2);
+  auto seqs = MakeSequences(4096, static_cast<size_t>(state.range(0)), rng);
+  PrefixCache cache(1 << 26);
+  for (size_t s = 0; s < seqs.size(); ++s) {
+    cache.Insert(seqs[s], static_cast<SimTime>(s));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache.MatchPrefix(seqs[i++ % seqs.size()], static_cast<SimTime>(i)));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PrefixCacheMatch)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_PrefixCacheEvictionChurn(benchmark::State& state) {
+  Rng rng(3);
+  auto seqs = MakeSequences(4096, 1024, rng);
+  // Capacity forces eviction on nearly every insert.
+  PrefixCache cache(64 * 1024);
+  size_t i = 0;
+  for (auto _ : state) {
+    cache.Insert(seqs[i++ % seqs.size()], static_cast<SimTime>(i));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PrefixCacheEvictionChurn);
+
+void BM_RoutingTrieInsert(benchmark::State& state) {
+  Rng rng(4);
+  auto seqs = MakeSequences(4096, 1024, rng);
+  RoutingTrie trie(1 << 26);
+  size_t i = 0;
+  for (auto _ : state) {
+    trie.Insert(seqs[i % seqs.size()], static_cast<TargetId>(i % 12));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RoutingTrieInsert);
+
+void BM_RoutingTrieMatchBest(benchmark::State& state) {
+  Rng rng(5);
+  auto seqs = MakeSequences(4096, 1024, rng);
+  RoutingTrie trie(1 << 26);
+  for (size_t s = 0; s < seqs.size(); ++s) {
+    trie.Insert(seqs[s], static_cast<TargetId>(s % 12));
+  }
+  auto pred = [](TargetId id) { return id % 2 == 0; };
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trie.MatchBest(seqs[i++ % seqs.size()], pred));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RoutingTrieMatchBest);
+
+void BM_HashRingLookup(benchmark::State& state) {
+  HashRing ring(128);
+  for (TargetId t = 0; t < static_cast<TargetId>(state.range(0)); ++t) {
+    ring.AddTarget(t);
+  }
+  Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.Lookup(rng.Next()));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HashRingLookup)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_HashRingLookupAvailableHalfDown(benchmark::State& state) {
+  HashRing ring(128);
+  for (TargetId t = 0; t < 16; ++t) {
+    ring.AddTarget(t);
+  }
+  auto pred = [](TargetId id) { return id % 2 == 0; };
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.LookupAvailable(rng.Next(), pred));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HashRingLookupAvailableHalfDown);
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  EventQueue queue;
+  Rng rng(8);
+  // Keep a steady backlog of `range` events.
+  const int64_t backlog = state.range(0);
+  SimTime now = 0;
+  for (int64_t i = 0; i < backlog; ++i) {
+    queue.Push(now + static_cast<SimTime>(rng.UniformInt(0, 1000000)), [] {});
+  }
+  for (auto _ : state) {
+    auto event = queue.Pop();
+    now = event.at;
+    queue.Push(now + static_cast<SimTime>(rng.UniformInt(1, 1000000)), [] {});
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(65536);
+
+}  // namespace
+}  // namespace skywalker
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// google-benchmark microbenchmarks for the replica engine simulator: cost of
+// simulating engine steps and full request lifecycles. These bound how large
+// a fleet/duration the macro benches can simulate per wall-clock second.
+
+#include <benchmark/benchmark.h>
+
+#include "src/replica/replica.h"
+#include "src/sim/simulator.h"
+
+namespace skywalker {
+namespace {
+
+Request MakeRequest(RequestId id, int64_t prompt_len, int64_t output_len,
+                    Token base) {
+  Request req;
+  req.id = id;
+  req.client_region = 0;
+  for (int64_t i = 0; i < prompt_len; ++i) {
+    req.prompt.push_back(base + static_cast<Token>(i));
+  }
+  for (int64_t i = 0; i < output_len; ++i) {
+    req.output.push_back(base + 1'000'000 + static_cast<Token>(i));
+  }
+  return req;
+}
+
+// Simulates one full request lifecycle per iteration (cold cache).
+void BM_ReplicaSingleRequestLifecycle(benchmark::State& state) {
+  const int64_t prompt = state.range(0);
+  RequestId id = 1;
+  Token base = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Simulator sim;
+    Replica replica(&sim, 0, 0, ReplicaConfig{});
+    state.ResumeTiming();
+    replica.Enqueue(MakeRequest(id++, prompt, 64, base), {});
+    base += 2'000'000;
+    sim.Run();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ReplicaSingleRequestLifecycle)->Arg(128)->Arg(512)->Arg(2048);
+
+// Simulated-seconds-per-wallclock-second under a saturated batch.
+void BM_ReplicaSaturatedBatch(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Simulator sim;
+    Replica replica(&sim, 0, 0, ReplicaConfig{});
+    for (int i = 0; i < 64; ++i) {
+      replica.Enqueue(
+          MakeRequest(static_cast<RequestId>(i), 512, 256,
+                      static_cast<Token>(i) * 100000),
+          {});
+    }
+    state.ResumeTiming();
+    sim.Run();
+    benchmark::DoNotOptimize(replica.stats().completed);
+  }
+  state.SetItemsProcessed(64 * static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ReplicaSaturatedBatch);
+
+// Hot-cache lifecycle: same prompt repeatedly (prefix cache fully warm).
+void BM_ReplicaCachedRequestLifecycle(benchmark::State& state) {
+  Simulator sim;
+  Replica replica(&sim, 0, 0, ReplicaConfig{});
+  replica.Enqueue(MakeRequest(0, 1024, 8, 0), {});
+  sim.Run();
+  RequestId id = 1;
+  for (auto _ : state) {
+    replica.Enqueue(MakeRequest(id++, 1024, 8, 0), {});
+    sim.Run();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ReplicaCachedRequestLifecycle);
+
+}  // namespace
+}  // namespace skywalker
+
+BENCHMARK_MAIN();

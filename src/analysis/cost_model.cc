@@ -1,0 +1,51 @@
+#include "src/analysis/cost_model.h"
+
+#include <cmath>
+
+namespace skywalker {
+
+RegionDemand CostModel::DemandFromRequests(const BinnedSeries& requests,
+                                           double requests_per_replica_hour) {
+  RegionDemand demand(requests.num_bins());
+  for (size_t h = 0; h < requests.num_bins(); ++h) {
+    demand.Add(h, std::ceil(requests.bin(h) / requests_per_replica_hour));
+  }
+  return demand;
+}
+
+double CostModel::RegionLocalReservedCost(
+    const std::vector<RegionDemand>& demand) const {
+  double replica_hours = 0;
+  for (const RegionDemand& region : demand) {
+    replica_hours += region.MaxBin() * static_cast<double>(region.num_bins());
+  }
+  return replica_hours * pricing_.reserved_hourly;
+}
+
+double CostModel::AggregatedReservedCost(
+    const std::vector<RegionDemand>& demand) const {
+  if (demand.empty()) {
+    return 0;
+  }
+  size_t bins = demand.front().num_bins();
+  double peak = 0;
+  for (size_t h = 0; h < bins; ++h) {
+    double total = 0;
+    for (const RegionDemand& region : demand) {
+      total += region.bin(h);
+    }
+    peak = std::max(peak, total);
+  }
+  return peak * static_cast<double>(bins) * pricing_.reserved_hourly;
+}
+
+double CostModel::PerfectAutoscalingCost(
+    const std::vector<RegionDemand>& demand) const {
+  double replica_hours = 0;
+  for (const RegionDemand& region : demand) {
+    replica_hours += region.Total();
+  }
+  return replica_hours * pricing_.on_demand_hourly;
+}
+
+}  // namespace skywalker

@@ -1,0 +1,55 @@
+// Provisioning cost model (paper §2.1/§2.2, Fig. 3b and Fig. 10).
+//
+// Prices follow the paper: a 3-year-reserved p5.48xlarge costs $37.56/h vs
+// $98.32/h on demand — a 2.617x premium. Costs are expressed per replica so
+// the model applies to any instance type with the same ratio.
+
+#ifndef SKYWALKER_ANALYSIS_COST_MODEL_H_
+#define SKYWALKER_ANALYSIS_COST_MODEL_H_
+
+#include <vector>
+
+#include "src/common/histogram.h"
+
+namespace skywalker {
+
+struct Pricing {
+  // Per replica-hour. Defaults scale the paper's 8-GPU instance prices to
+  // one GPU.
+  double reserved_hourly = 37.56 / 8.0;
+  double on_demand_hourly = 98.32 / 8.0;
+};
+
+// Demand expressed as replicas required per hour bucket (one day).
+using RegionDemand = BinnedSeries;
+
+class CostModel {
+ public:
+  explicit CostModel(const Pricing& pricing = {}) : pricing_(pricing) {}
+
+  // Converts a per-hour request series into replicas required, given each
+  // replica sustains `requests_per_replica_hour`.
+  static RegionDemand DemandFromRequests(const BinnedSeries& requests,
+                                         double requests_per_replica_hour);
+
+  // Region-local reserved provisioning: every region reserves its own peak
+  // for the whole day. Σ_r peak_r × 24 × reserved price.
+  double RegionLocalReservedCost(const std::vector<RegionDemand>& demand) const;
+
+  // Aggregated reserved provisioning (the paper's proposal): reserve the
+  // peak of the *summed* demand. peak(Σ_r) × 24 × reserved price.
+  double AggregatedReservedCost(const std::vector<RegionDemand>& demand) const;
+
+  // Perfect on-demand autoscaling: pay exactly the instantaneous demand at
+  // on-demand prices (idealized lower bound for autoscaling).
+  double PerfectAutoscalingCost(const std::vector<RegionDemand>& demand) const;
+
+  const Pricing& pricing() const { return pricing_; }
+
+ private:
+  Pricing pricing_;
+};
+
+}  // namespace skywalker
+
+#endif  // SKYWALKER_ANALYSIS_COST_MODEL_H_

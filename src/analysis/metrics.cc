@@ -1,0 +1,122 @@
+#include "src/analysis/metrics.h"
+
+#include <algorithm>
+
+namespace skywalker {
+
+void MetricsCollector::SetMeasurementWindow(SimTime start, SimTime end) {
+  window_start_ = start;
+  window_end_ = end;
+}
+
+void MetricsCollector::RecordOutcome(const RequestOutcome& outcome) {
+  outcomes_.push_back(outcome);
+}
+
+bool MetricsCollector::InWindow(const RequestOutcome& o) const {
+  return o.completion_time >= window_start_ && o.completion_time < window_end_;
+}
+
+double MetricsCollector::WindowSeconds() const {
+  SimTime end = window_end_;
+  if (end == kSimTimeMax) {
+    // Open window: use the last completion as the effective end.
+    end = 0;
+    for (const auto& o : outcomes_) {
+      end = std::max(end, o.completion_time);
+    }
+  }
+  return std::max(1e-9, ToSeconds(end - window_start_));
+}
+
+size_t MetricsCollector::CountInWindow() const {
+  size_t n = 0;
+  for (const auto& o : outcomes_) {
+    if (InWindow(o)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+Distribution MetricsCollector::TtftSeconds() const {
+  Distribution d;
+  for (const auto& o : outcomes_) {
+    if (InWindow(o) && o.first_token_time > 0) {
+      d.Add(ToSeconds(o.first_token_time - o.submit_time));
+    }
+  }
+  return d;
+}
+
+Distribution MetricsCollector::E2eSeconds() const {
+  Distribution d;
+  for (const auto& o : outcomes_) {
+    if (InWindow(o)) {
+      d.Add(ToSeconds(o.completion_time - o.submit_time));
+    }
+  }
+  return d;
+}
+
+double MetricsCollector::ThroughputTokensPerSec() const {
+  double tokens = 0;
+  for (const auto& o : outcomes_) {
+    if (InWindow(o)) {
+      tokens += static_cast<double>(o.prompt_tokens + o.output_tokens);
+    }
+  }
+  return tokens / WindowSeconds();
+}
+
+double MetricsCollector::OutputThroughputTokensPerSec() const {
+  double tokens = 0;
+  for (const auto& o : outcomes_) {
+    if (InWindow(o)) {
+      tokens += static_cast<double>(o.output_tokens);
+    }
+  }
+  return tokens / WindowSeconds();
+}
+
+double MetricsCollector::CacheHitRate() const {
+  double cached = 0;
+  double prompt = 0;
+  for (const auto& o : outcomes_) {
+    if (InWindow(o)) {
+      cached += static_cast<double>(o.cached_prompt_tokens);
+      prompt += static_cast<double>(o.prompt_tokens);
+    }
+  }
+  return prompt <= 0 ? 0.0 : cached / prompt;
+}
+
+double MetricsCollector::ForwardedFraction() const {
+  size_t forwarded = 0;
+  size_t total = 0;
+  for (const auto& o : outcomes_) {
+    if (InWindow(o)) {
+      ++total;
+      if (o.forwarded) {
+        ++forwarded;
+      }
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(forwarded) /
+                          static_cast<double>(total);
+}
+
+std::map<ReplicaId, int64_t> MetricsCollector::PerReplicaCounts() const {
+  std::map<ReplicaId, int64_t> counts;
+  for (const auto& o : outcomes_) {
+    if (InWindow(o)) {
+      ++counts[o.replica];
+    }
+  }
+  return counts;
+}
+
+void MetricsCollector::Clear() { outcomes_.clear(); }
+
+}  // namespace skywalker

@@ -1,0 +1,66 @@
+// Experiment metric collection: per-request outcomes with a configurable
+// steady-state measurement window, producing the quantities every figure of
+// the paper reports — service throughput (token/s), TTFT and end-to-end
+// latency distributions, cache hit rates, and forwarding fractions.
+
+#ifndef SKYWALKER_ANALYSIS_METRICS_H_
+#define SKYWALKER_ANALYSIS_METRICS_H_
+
+#include <map>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/sim_time.h"
+#include "src/workload/client.h"
+#include "src/workload/request.h"
+
+namespace skywalker {
+
+class MetricsCollector : public MetricsSink {
+ public:
+  MetricsCollector() = default;
+
+  // Only outcomes completing inside [start, end) count toward summary
+  // statistics (warm-up / cool-down exclusion). Default: everything.
+  void SetMeasurementWindow(SimTime start, SimTime end);
+
+  void RecordOutcome(const RequestOutcome& outcome) override;
+
+  size_t total_recorded() const { return outcomes_.size(); }
+  size_t CountInWindow() const;
+
+  // TTFT in seconds, measured at the client (includes network).
+  Distribution TtftSeconds() const;
+  // Client-observed end-to-end latency in seconds.
+  Distribution E2eSeconds() const;
+
+  // Service throughput over the window: (prompt + output) tokens of
+  // completed requests divided by window length.
+  double ThroughputTokensPerSec() const;
+  double OutputThroughputTokensPerSec() const;
+
+  // Token-weighted prefix-cache hit rate over completed requests.
+  double CacheHitRate() const;
+
+  // Fraction of requests served outside their first-contact region's LB.
+  double ForwardedFraction() const;
+
+  // Completed requests per replica (imbalance diagnostics).
+  std::map<ReplicaId, int64_t> PerReplicaCounts() const;
+
+  const std::vector<RequestOutcome>& outcomes() const { return outcomes_; }
+
+  void Clear();
+
+ private:
+  bool InWindow(const RequestOutcome& o) const;
+  double WindowSeconds() const;
+
+  std::vector<RequestOutcome> outcomes_;
+  SimTime window_start_ = 0;
+  SimTime window_end_ = kSimTimeMax;
+};
+
+}  // namespace skywalker
+
+#endif  // SKYWALKER_ANALYSIS_METRICS_H_

@@ -1,0 +1,138 @@
+#include "src/analysis/prefix_similarity.h"
+
+#include <algorithm>
+#include <map>
+
+namespace skywalker {
+namespace {
+
+struct Accumulator {
+  double sum = 0;
+  size_t count = 0;
+  void Add(double v) {
+    sum += v;
+    ++count;
+  }
+  double Mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+};
+
+}  // namespace
+
+SimilarityStats ComputePrefixSimilarity(
+    const std::vector<ConversationGenerator::TraceRecord>& trace,
+    size_t max_pairs_per_class, uint64_t seed) {
+  SimilarityStats stats;
+  if (trace.size() < 2) {
+    return stats;
+  }
+  Rng rng(seed);
+  Accumulator within_user;
+  Accumulator across_user;
+  Accumulator within_region;
+  Accumulator across_region;
+
+  // Within-user pairs need targeted sampling (they are rare among random
+  // pairs): group record indices by user first.
+  std::map<UserId, std::vector<size_t>> by_user;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    by_user[trace[i].user_id].push_back(i);
+  }
+  std::vector<const std::vector<size_t>*> users_with_pairs;
+  for (const auto& [user, indices] : by_user) {
+    if (indices.size() >= 2) {
+      users_with_pairs.push_back(&indices);
+    }
+  }
+  for (size_t n = 0; n < max_pairs_per_class && !users_with_pairs.empty();
+       ++n) {
+    const auto& indices = *users_with_pairs[static_cast<size_t>(rng.UniformInt(
+        0, static_cast<int64_t>(users_with_pairs.size()) - 1))];
+    size_t a = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(indices.size()) - 1));
+    size_t b = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(indices.size()) - 1));
+    if (a == b) {
+      continue;
+    }
+    within_user.Add(
+        PrefixSimilarity(trace[indices[a]].prompt, trace[indices[b]].prompt));
+  }
+
+  // Random pairs classify into across-user and within/across-region.
+  size_t budget = max_pairs_per_class * 3;
+  for (size_t n = 0; n < budget; ++n) {
+    size_t a = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(trace.size()) - 1));
+    size_t b = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(trace.size()) - 1));
+    if (a == b) {
+      continue;
+    }
+    double sim = PrefixSimilarity(trace[a].prompt, trace[b].prompt);
+    if (trace[a].user_id != trace[b].user_id) {
+      if (across_user.count < max_pairs_per_class) {
+        across_user.Add(sim);
+      }
+      // Region classes exclude same-user pairs so they measure the
+      // geographic effect, not the user effect.
+      if (trace[a].region == trace[b].region) {
+        if (within_region.count < max_pairs_per_class) {
+          within_region.Add(sim);
+        }
+      } else if (across_region.count < max_pairs_per_class) {
+        across_region.Add(sim);
+      }
+    }
+  }
+
+  stats.within_user = within_user.Mean();
+  stats.across_user = across_user.Mean();
+  stats.within_region = within_region.Mean();
+  stats.across_region = across_region.Mean();
+  stats.within_user_pairs = within_user.count;
+  stats.across_user_pairs = across_user.count;
+  stats.within_region_pairs = within_region.count;
+  stats.across_region_pairs = across_region.count;
+  return stats;
+}
+
+std::vector<std::vector<double>> SimilarityHeatmap(
+    const std::vector<ConversationGenerator::TraceRecord>& trace,
+    size_t num_users, size_t samples_per_cell, uint64_t seed) {
+  Rng rng(seed);
+  // First `num_users` distinct user ids in trace order.
+  std::vector<UserId> users;
+  std::map<UserId, std::vector<size_t>> by_user;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    auto [it, inserted] = by_user.try_emplace(trace[i].user_id);
+    if (inserted && users.size() < num_users) {
+      users.push_back(trace[i].user_id);
+    }
+    it->second.push_back(i);
+  }
+  size_t n = users.size();
+  std::vector<std::vector<double>> heat(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      const auto& rows = by_user[users[i]];
+      const auto& cols = by_user[users[j]];
+      double sum = 0;
+      size_t count = 0;
+      for (size_t s = 0; s < samples_per_cell; ++s) {
+        size_t a = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(rows.size()) - 1));
+        size_t b = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(cols.size()) - 1));
+        if (i == j && rows.size() > 1 && rows[a] == cols[b]) {
+          continue;  // Skip self-pairs on the diagonal.
+        }
+        sum += PrefixSimilarity(trace[rows[a]].prompt, trace[cols[b]].prompt);
+        ++count;
+      }
+      heat[i][j] = count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+  }
+  return heat;
+}
+
+}  // namespace skywalker

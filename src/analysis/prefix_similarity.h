@@ -1,0 +1,43 @@
+// Prefix-similarity measurement (paper §3.2, Fig. 5): quantifies prefix
+// reuse within/across users and regions over a request trace, using the
+// paper's metric len(common_prefix(a,b)) / min(len(a), len(b)).
+
+#ifndef SKYWALKER_ANALYSIS_PREFIX_SIMILARITY_H_
+#define SKYWALKER_ANALYSIS_PREFIX_SIMILARITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/workload/conversation.h"
+
+namespace skywalker {
+
+struct SimilarityStats {
+  double within_user = 0;
+  double across_user = 0;
+  double within_region = 0;
+  double across_region = 0;
+  size_t within_user_pairs = 0;
+  size_t across_user_pairs = 0;
+  size_t within_region_pairs = 0;
+  size_t across_region_pairs = 0;
+};
+
+// Computes mean prefix similarity across request pairs, grouped by whether
+// the pair shares a user and whether it shares a region. For tractability at
+// most `max_pairs_per_class` uniformly sampled pairs contribute per class.
+SimilarityStats ComputePrefixSimilarity(
+    const std::vector<ConversationGenerator::TraceRecord>& trace,
+    size_t max_pairs_per_class, uint64_t seed);
+
+// Mean pairwise similarity between users: cell (i, j) is the average
+// similarity of requests from user i against requests from user j (diagonal:
+// within-user). Users are the first `num_users` distinct ids in the trace.
+std::vector<std::vector<double>> SimilarityHeatmap(
+    const std::vector<ConversationGenerator::TraceRecord>& trace,
+    size_t num_users, size_t samples_per_cell, uint64_t seed);
+
+}  // namespace skywalker
+
+#endif  // SKYWALKER_ANALYSIS_PREFIX_SIMILARITY_H_

@@ -1,0 +1,238 @@
+#include "src/cache/prefix_cache.h"
+
+#include <cassert>
+#include <limits>
+
+#include "src/common/logging.h"
+
+namespace skywalker {
+
+PrefixCache::PrefixCache(int64_t capacity_tokens)
+    : capacity_tokens_(capacity_tokens), root_(std::make_unique<Node>()) {}
+
+PrefixCache::~PrefixCache() = default;
+
+int64_t PrefixCache::WalkAndSplit(const TokenSeq& seq, SimTime now,
+                                  std::vector<Node*>* path) {
+  Node* node = root_.get();
+  size_t pos = 0;
+  while (pos < seq.size()) {
+    auto it = node->children.find(seq[pos]);
+    if (it == node->children.end()) {
+      break;
+    }
+    Node* child = it->second.get();
+    const TokenSeq& edge = child->edge;
+    size_t matched = 0;
+    while (matched < edge.size() && pos + matched < seq.size() &&
+           edge[matched] == seq[pos + matched]) {
+      ++matched;
+    }
+    if (matched == 0) {
+      break;  // Defensive; the map key guarantees >= 1 in practice.
+    }
+    if (matched < edge.size()) {
+      // Partial edge match: split so the boundary is node-aligned.
+      SplitNode(child, matched);
+    }
+    child->last_access = now;
+    pos += matched;
+    if (path != nullptr) {
+      path->push_back(child);
+    }
+    node = child;
+  }
+  return static_cast<int64_t>(pos);
+}
+
+void PrefixCache::SplitNode(Node* node, size_t keep) {
+  assert(keep > 0 && keep < node->edge.size());
+  auto tail = std::make_unique<Node>();
+  tail->edge.assign(node->edge.begin() + static_cast<ptrdiff_t>(keep),
+                    node->edge.end());
+  tail->children = std::move(node->children);
+  for (auto& [token, child] : tail->children) {
+    child->parent = tail.get();
+  }
+  // Both halves are covered by exactly the pins that covered the original
+  // node (pin boundaries are node-aligned, so no pin ends strictly inside).
+  tail->ref_count = node->ref_count;
+  tail->last_access = node->last_access;
+  tail->parent = node;
+
+  node->edge.resize(keep);
+  node->children.clear();
+  Token first = tail->edge.front();
+  node->children.emplace(first, std::move(tail));
+  ++num_nodes_;  // Token count is unchanged; one extra node exists.
+}
+
+PrefixCache::MatchRef PrefixCache::MatchAndRef(const TokenSeq& seq,
+                                               SimTime now) {
+  std::vector<Node*> path;
+  int64_t len = WalkAndSplit(seq, now, &path);
+  for (Node* n : path) {
+    ++n->ref_count;
+  }
+  PinId id = next_pin_++;
+  Pin pin;
+  pin.prefix.assign(seq.begin(), seq.begin() + static_cast<ptrdiff_t>(len));
+  pins_.emplace(id, std::move(pin));
+
+  lookup_tokens_ += static_cast<int64_t>(seq.size());
+  hit_tokens_ += len;
+  return MatchRef{len, id};
+}
+
+int64_t PrefixCache::MatchPrefix(const TokenSeq& seq, SimTime now) {
+  return WalkAndSplit(seq, now, nullptr);
+}
+
+void PrefixCache::Unref(PinId pin) {
+  auto it = pins_.find(pin);
+  SKYWALKER_CHECK(it != pins_.end()) << "double Unref or invalid pin " << pin;
+  const TokenSeq& prefix = it->second.prefix;
+  AdjustRefs(prefix, static_cast<int64_t>(prefix.size()), -1);
+  pins_.erase(it);
+}
+
+void PrefixCache::AdjustRefs(const TokenSeq& seq, int64_t len, int64_t delta) {
+  Node* node = root_.get();
+  int64_t pos = 0;
+  while (pos < len) {
+    auto it = node->children.find(seq[static_cast<size_t>(pos)]);
+    SKYWALKER_CHECK(it != node->children.end())
+        << "pinned path missing at token " << pos;
+    Node* child = it->second.get();
+    int64_t edge_len = static_cast<int64_t>(child->edge.size());
+    SKYWALKER_CHECK(pos + edge_len <= len)
+        << "pin boundary not node-aligned (pos=" << pos
+        << " edge=" << edge_len << " len=" << len << ")";
+    child->ref_count += delta;
+    SKYWALKER_CHECK(child->ref_count >= 0) << "negative refcount";
+    pos += edge_len;
+    node = child;
+  }
+}
+
+int64_t PrefixCache::Insert(const TokenSeq& seq, SimTime now) {
+  std::vector<Node*> path;
+  int64_t matched = WalkAndSplit(seq, now, &path);
+  int64_t added = 0;
+  if (matched < static_cast<int64_t>(seq.size())) {
+    Node* parent = path.empty() ? root_.get() : path.back();
+    auto leaf = std::make_unique<Node>();
+    leaf->edge.assign(seq.begin() + matched, seq.end());
+    leaf->parent = parent;
+    leaf->last_access = now;
+    added = static_cast<int64_t>(leaf->edge.size());
+    Token first = leaf->edge.front();
+    parent->children.emplace(first, std::move(leaf));
+    ++num_nodes_;
+    size_tokens_ += added;
+  }
+  if (size_tokens_ > capacity_tokens_) {
+    Evict(size_tokens_ - capacity_tokens_);
+  }
+  return added;
+}
+
+int64_t PrefixCache::Evict(int64_t tokens) {
+  int64_t freed = 0;
+  while (freed < tokens) {
+    // LRU leaf scan. Trees here hold a few thousand nodes at most; a linear
+    // scan keeps the structure simple (micro-benchmarked in bench/).
+    Node* victim = nullptr;
+    SimTime oldest = std::numeric_limits<SimTime>::max();
+    // Iterative DFS.
+    std::vector<Node*> stack{root_.get()};
+    while (!stack.empty()) {
+      Node* n = stack.back();
+      stack.pop_back();
+      for (auto& [token, child] : n->children) {
+        stack.push_back(child.get());
+      }
+      if (n != root_.get() && n->children.empty() && n->ref_count == 0 &&
+          n->last_access < oldest) {
+        oldest = n->last_access;
+        victim = n;
+      }
+    }
+    if (victim == nullptr) {
+      break;  // Everything evictable is gone (rest is pinned or interior).
+    }
+    freed += static_cast<int64_t>(victim->edge.size());
+    RemoveLeaf(victim);
+  }
+  return freed;
+}
+
+void PrefixCache::RemoveLeaf(Node* leaf) {
+  assert(leaf->children.empty() && leaf->ref_count == 0);
+  Node* parent = leaf->parent;
+  size_tokens_ -= static_cast<int64_t>(leaf->edge.size());
+  --num_nodes_;
+  parent->children.erase(leaf->edge.front());
+}
+
+void PrefixCache::Clear() {
+  // Evict everything evictable; pinned paths survive.
+  Evict(std::numeric_limits<int64_t>::max());
+}
+
+int64_t PrefixCache::pinned_tokens() const {
+  // Sum of edge lengths of nodes with ref_count > 0.
+  int64_t total = 0;
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    for (const auto& [token, child] : n->children) {
+      stack.push_back(child.get());
+    }
+    if (n->ref_count > 0) {
+      total += static_cast<int64_t>(n->edge.size());
+    }
+  }
+  return total;
+}
+
+bool PrefixCache::CheckInvariants() const {
+  int64_t tokens = 0;
+  size_t nodes = 0;
+  bool ok = true;
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    if (n != root_.get()) {
+      tokens += static_cast<int64_t>(n->edge.size());
+      ++nodes;
+      if (n->edge.empty()) {
+        ok = false;  // Non-root nodes must have a non-empty edge.
+      }
+      // Children must be reachable under the right first token, and a
+      // child's refcount never exceeds its parent's chain... (refcounts are
+      // per-pin-coverage, child <= parent holds because pins cover prefixes).
+      if (n->parent != nullptr && n->parent != root_.get() &&
+          n->ref_count > n->parent->ref_count) {
+        ok = false;
+      }
+    }
+    for (const auto& [token, child] : n->children) {
+      if (child->edge.empty() || child->edge.front() != token) {
+        ok = false;
+      }
+      if (child->parent != n) {
+        ok = false;
+      }
+      stack.push_back(child.get());
+    }
+  }
+  if (tokens != size_tokens_ || nodes != num_nodes_) {
+    ok = false;
+  }
+  return ok;
+}
+
+}  // namespace skywalker

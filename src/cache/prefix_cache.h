@@ -1,0 +1,138 @@
+// Replica-side KV prefix cache: a compressed radix tree over token ids,
+// mirroring the RadixAttention cache in SGLang (paper §2.1, §3.2).
+//
+// Running requests pin the cached prefix they reuse so eviction cannot free
+// memory that is still referenced by the continuous batch; completed
+// sequences are inserted and become evictable (LRU) once unpinned.
+//
+// Pin lifecycle:
+//   auto [cached_len, pin] = cache.MatchAndRef(prompt, now);
+//   ... request runs, using `cached_len` tokens of cached KV ...
+//   cache.Insert(full_sequence, now);   // prompt + generated tokens
+//   cache.Unref(pin);
+//
+// Invariant maintained across edge splits: a node's ref_count equals the
+// number of active pins whose pinned length fully covers the node's edge.
+// Ref splits edges at its boundary, splits copy the count to both halves,
+// and nodes are never merged, so the invariant survives concurrent pins.
+
+#ifndef SKYWALKER_CACHE_PREFIX_CACHE_H_
+#define SKYWALKER_CACHE_PREFIX_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cache/tokens.h"
+#include "src/common/sim_time.h"
+
+namespace skywalker {
+
+using PinId = int64_t;
+inline constexpr PinId kInvalidPin = -1;
+
+class PrefixCache {
+ public:
+  explicit PrefixCache(int64_t capacity_tokens);
+  ~PrefixCache();
+
+  PrefixCache(const PrefixCache&) = delete;
+  PrefixCache& operator=(const PrefixCache&) = delete;
+
+  struct MatchRef {
+    int64_t cached_len = 0;  // Longest cached prefix, in tokens.
+    PinId pin = kInvalidPin;
+  };
+
+  // Longest cached prefix of `seq`; pins it against eviction. Also refreshes
+  // LRU timestamps along the path. Always returns a valid pin (possibly of
+  // length zero).
+  MatchRef MatchAndRef(const TokenSeq& seq, SimTime now);
+
+  // Longest cached prefix without pinning (read-only probe; refreshes LRU).
+  int64_t MatchPrefix(const TokenSeq& seq, SimTime now);
+
+  // Releases a pin obtained from MatchAndRef. Pin ids are single-use.
+  void Unref(PinId pin);
+
+  // Inserts `seq`; returns the number of tokens newly stored. Evicts
+  // unpinned LRU entries as needed to respect capacity; if pinned content
+  // prevents full compliance the cache may transiently exceed capacity
+  // (the replica's admission control keeps global residency bounded).
+  int64_t Insert(const TokenSeq& seq, SimTime now);
+
+  // Evicts unpinned entries (LRU leaf-first) until at least `tokens` are
+  // freed or nothing evictable remains. Returns tokens actually freed.
+  int64_t Evict(int64_t tokens);
+
+  // Drops all unpinned content.
+  void Clear();
+
+  int64_t size_tokens() const { return size_tokens_; }
+  int64_t capacity_tokens() const { return capacity_tokens_; }
+  // Tokens currently pinned by at least one active pin (upper bound of
+  // unevictable content).
+  int64_t pinned_tokens() const;
+  size_t num_nodes() const { return num_nodes_; }
+  size_t active_pins() const { return pins_.size(); }
+
+  // Cumulative statistics (for cache-hit-rate reporting).
+  int64_t lookup_tokens() const { return lookup_tokens_; }
+  int64_t hit_tokens() const { return hit_tokens_; }
+  double HitRate() const {
+    return lookup_tokens_ == 0
+               ? 0.0
+               : static_cast<double>(hit_tokens_) /
+                     static_cast<double>(lookup_tokens_);
+  }
+
+  // Validates tree structural invariants (tests / debug builds).
+  bool CheckInvariants() const;
+
+ private:
+  struct Node {
+    TokenSeq edge;  // Label on the edge from parent to this node.
+    std::map<Token, std::unique_ptr<Node>> children;
+    Node* parent = nullptr;
+    int64_t ref_count = 0;
+    SimTime last_access = 0;
+  };
+
+  struct Pin {
+    TokenSeq prefix;  // Copy of the pinned tokens (node-aligned by Ref).
+  };
+
+  // Walks `seq`, splitting any edge that straddles the match end so the
+  // match boundary is node-aligned. Returns matched length and fills `path`
+  // with fully matched nodes (root excluded).
+  int64_t WalkAndSplit(const TokenSeq& seq, SimTime now,
+                       std::vector<Node*>* path);
+
+  // Adjusts ref_count by `delta` on every node fully covered by
+  // `seq[0..len)`. Requires the boundary to be node-aligned.
+  void AdjustRefs(const TokenSeq& seq, int64_t len, int64_t delta);
+
+  // Splits `node` so its edge has length `keep`; the remainder moves into a
+  // new child that inherits children, refcount and access time.
+  void SplitNode(Node* node, size_t keep);
+
+  // Removes an unpinned leaf; asserts invariants.
+  void RemoveLeaf(Node* leaf);
+
+  int64_t capacity_tokens_;
+  std::unique_ptr<Node> root_;
+  int64_t size_tokens_ = 0;
+  size_t num_nodes_ = 0;  // Excludes root.
+
+  std::unordered_map<PinId, Pin> pins_;
+  PinId next_pin_ = 1;
+
+  int64_t lookup_tokens_ = 0;
+  int64_t hit_tokens_ = 0;
+};
+
+}  // namespace skywalker
+
+#endif  // SKYWALKER_CACHE_PREFIX_CACHE_H_

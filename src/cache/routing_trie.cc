@@ -1,0 +1,227 @@
+#include "src/cache/routing_trie.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace skywalker {
+
+RoutingTrie::RoutingTrie(int64_t capacity_tokens)
+    : capacity_tokens_(capacity_tokens), root_(std::make_unique<Node>()) {}
+
+RoutingTrie::~RoutingTrie() = default;
+
+void RoutingTrie::SplitNode(Node* node, size_t keep) {
+  assert(keep > 0 && keep < node->edge.size());
+  auto tail = std::make_unique<Node>();
+  tail->edge.assign(node->edge.begin() + static_cast<ptrdiff_t>(keep),
+                    node->edge.end());
+  tail->children = std::move(node->children);
+  for (auto& [token, child] : tail->children) {
+    child->parent = tail.get();
+  }
+  tail->targets = node->targets;  // Both halves keep the recorded targets.
+  tail->last_insert_gen = node->last_insert_gen;
+  tail->parent = node;
+
+  node->edge.resize(keep);
+  node->children.clear();
+  node->children.emplace(tail->edge.front(), std::move(tail));
+  ++num_nodes_;
+}
+
+void RoutingTrie::Insert(const TokenSeq& seq, TargetId target) {
+  uint64_t gen = next_gen_++;
+  Node* node = root_.get();
+  node->targets[target] = gen;
+  size_t pos = 0;
+  while (pos < seq.size()) {
+    auto it = node->children.find(seq[pos]);
+    if (it == node->children.end()) {
+      auto leaf = std::make_unique<Node>();
+      leaf->edge.assign(seq.begin() + static_cast<ptrdiff_t>(pos), seq.end());
+      leaf->parent = node;
+      leaf->targets[target] = gen;
+      leaf->last_insert_gen = gen;
+      size_tokens_ += static_cast<int64_t>(leaf->edge.size());
+      ++num_nodes_;
+      node->children.emplace(leaf->edge.front(), std::move(leaf));
+      break;
+    }
+    Node* child = it->second.get();
+    size_t matched = 0;
+    while (matched < child->edge.size() && pos + matched < seq.size() &&
+           child->edge[matched] == seq[pos + matched]) {
+      ++matched;
+    }
+    if (matched < child->edge.size()) {
+      SplitNode(child, matched);
+    }
+    child->targets[target] = gen;
+    child->last_insert_gen = gen;
+    pos += matched;
+    node = child;
+  }
+  EvictToCapacity();
+}
+
+void RoutingTrie::FillAvailable(const Node* node, const TargetPredicate& pred,
+                                std::vector<TargetId>* out) const {
+  out->clear();
+  // Most-recently-inserted first, so callers preferring fresh caches can
+  // take the front.
+  std::vector<std::pair<uint64_t, TargetId>> avail;
+  for (const auto& [target, gen] : node->targets) {
+    if (!pred || pred(target)) {
+      avail.emplace_back(gen, target);
+    }
+  }
+  std::sort(avail.begin(), avail.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  out->reserve(avail.size());
+  for (const auto& [gen, target] : avail) {
+    out->push_back(target);
+  }
+}
+
+RoutingTrie::Match RoutingTrie::MatchBest(const TokenSeq& seq,
+                                          const TargetPredicate& pred) const {
+  Match result;
+  const Node* best = root_.get();
+  int64_t best_len = 0;
+
+  const Node* node = root_.get();
+  size_t pos = 0;
+  while (pos < seq.size()) {
+    auto it = node->children.find(seq[pos]);
+    if (it == node->children.end()) {
+      break;
+    }
+    const Node* child = it->second.get();
+    size_t matched = 0;
+    while (matched < child->edge.size() && pos + matched < seq.size() &&
+           child->edge[matched] == seq[pos + matched]) {
+      ++matched;
+    }
+    if (matched == 0) {
+      break;
+    }
+    // Early exit (paper §3.2): child target sets are subsets of the
+    // parent's, so once no available target remains there is nothing
+    // deeper worth visiting.
+    bool any_available = false;
+    for (const auto& [target, gen] : child->targets) {
+      if (!pred || pred(target)) {
+        any_available = true;
+        break;
+      }
+    }
+    if (!any_available) {
+      break;
+    }
+    pos += matched;
+    best = child;
+    best_len = static_cast<int64_t>(pos);
+    if (matched < child->edge.size()) {
+      break;  // Diverged inside this edge; partial tokens still matched.
+    }
+    node = child;
+  }
+
+  result.match_len = best_len;
+  FillAvailable(best, pred, &result.candidates);
+  return result;
+}
+
+void RoutingTrie::RemoveTarget(TargetId target) {
+  // DFS removing the target; prune empty leaves bottom-up.
+  std::vector<Node*> stack{root_.get()};
+  std::vector<Node*> order;
+  while (!stack.empty()) {
+    Node* n = stack.back();
+    stack.pop_back();
+    order.push_back(n);
+    for (auto& [token, child] : n->children) {
+      stack.push_back(child.get());
+    }
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* n = *it;
+    n->targets.erase(target);
+    if (n != root_.get() && n->children.empty() && n->targets.empty()) {
+      RemoveLeaf(n);
+    }
+  }
+}
+
+void RoutingTrie::EvictToCapacity() {
+  while (size_tokens_ > capacity_tokens_) {
+    // Earliest-inserted leaf first (paper: evict starting from the earliest
+    // inserted records).
+    Node* victim = nullptr;
+    uint64_t oldest = std::numeric_limits<uint64_t>::max();
+    std::vector<Node*> stack{root_.get()};
+    while (!stack.empty()) {
+      Node* n = stack.back();
+      stack.pop_back();
+      for (auto& [token, child] : n->children) {
+        stack.push_back(child.get());
+      }
+      if (n != root_.get() && n->children.empty() &&
+          n->last_insert_gen < oldest) {
+        oldest = n->last_insert_gen;
+        victim = n;
+      }
+    }
+    if (victim == nullptr) {
+      break;
+    }
+    RemoveLeaf(victim);
+  }
+}
+
+void RoutingTrie::RemoveLeaf(Node* leaf) {
+  assert(leaf->children.empty());
+  Node* parent = leaf->parent;
+  size_tokens_ -= static_cast<int64_t>(leaf->edge.size());
+  --num_nodes_;
+  parent->children.erase(leaf->edge.front());
+}
+
+bool RoutingTrie::CheckInvariants() const {
+  bool ok = true;
+  int64_t tokens = 0;
+  size_t nodes = 0;
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    if (n != root_.get()) {
+      tokens += static_cast<int64_t>(n->edge.size());
+      ++nodes;
+      if (n->edge.empty()) {
+        ok = false;
+      }
+      // Subset property: every target of a child must appear in the parent.
+      for (const auto& [target, gen] : n->targets) {
+        if (n->parent->targets.find(target) == n->parent->targets.end() &&
+            n->parent != root_.get()) {
+          ok = false;
+        }
+      }
+    }
+    for (const auto& [token, child] : n->children) {
+      if (child->edge.empty() || child->edge.front() != token ||
+          child->parent != n) {
+        ok = false;
+      }
+      stack.push_back(child.get());
+    }
+  }
+  if (tokens != size_tokens_ || nodes != num_nodes_) {
+    ok = false;
+  }
+  return ok;
+}
+
+}  // namespace skywalker

@@ -1,0 +1,47 @@
+// Token vocabulary shared by the replica KV cache, routing tries, and
+// workload generators. The simulator never materializes text; requests carry
+// token-id sequences directly, which is all that prefix matching needs.
+
+#ifndef SKYWALKER_CACHE_TOKENS_H_
+#define SKYWALKER_CACHE_TOKENS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/hash.h"
+
+namespace skywalker {
+
+using Token = int32_t;
+using TokenSeq = std::vector<Token>;
+
+// Length of the longest common prefix of two sequences.
+inline size_t CommonPrefixLen(const TokenSeq& a, const TokenSeq& b) {
+  size_t n = std::min(a.size(), b.size());
+  size_t i = 0;
+  while (i < n && a[i] == b[i]) {
+    ++i;
+  }
+  return i;
+}
+
+// Prefix similarity as defined in §3.2 of the paper:
+// len(common_prefix(a,b)) / min(len(a), len(b)). 1.0 when one sequence is a
+// prefix of the other; 0 when either is empty.
+inline double PrefixSimilarity(const TokenSeq& a, const TokenSeq& b) {
+  size_t n = std::min(a.size(), b.size());
+  if (n == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(CommonPrefixLen(a, b)) / static_cast<double>(n);
+}
+
+// Order-dependent 64-bit fingerprint of a token sequence.
+inline uint64_t HashTokens(const TokenSeq& seq) {
+  return HashBytes(seq.data(), seq.size() * sizeof(Token));
+}
+
+}  // namespace skywalker
+
+#endif  // SKYWALKER_CACHE_TOKENS_H_

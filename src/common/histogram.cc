@@ -1,0 +1,180 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace skywalker {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  double delta = other.mean_ - mean_;
+  size_t total = count_ + other.count_;
+  double na = static_cast<double>(count_);
+  double nb = static_cast<double>(other.count_);
+  mean_ += delta * nb / (na + nb);
+  m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ = total;
+}
+
+double RunningStat::variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void Distribution::Add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void Distribution::Merge(const Distribution& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  sorted_ = false;
+}
+
+void Distribution::Clear() {
+  samples_.clear();
+  sorted_ = true;
+}
+
+double Distribution::mean() const {
+  if (samples_.empty()) {
+    return 0;
+  }
+  return sum() / static_cast<double>(samples_.size());
+}
+
+double Distribution::sum() const {
+  double s = 0;
+  for (double x : samples_) {
+    s += x;
+  }
+  return s;
+}
+
+double Distribution::min() const {
+  if (samples_.empty()) {
+    return 0;
+  }
+  EnsureSorted();
+  return samples_.front();
+}
+
+double Distribution::max() const {
+  if (samples_.empty()) {
+    return 0;
+  }
+  EnsureSorted();
+  return samples_.back();
+}
+
+double Distribution::stddev() const {
+  if (samples_.size() < 2) {
+    return 0;
+  }
+  double m = mean();
+  double acc = 0;
+  for (double x : samples_) {
+    acc += (x - m) * (x - m);
+  }
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double Distribution::Percentile(double p) const {
+  if (samples_.empty()) {
+    return 0;
+  }
+  assert(p >= 0 && p <= 100);
+  EnsureSorted();
+  if (samples_.size() == 1) {
+    return samples_[0];
+  }
+  double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, samples_.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+std::string Distribution::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%zu mean=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f",
+                count(), mean(), Percentile(50), Percentile(90), Percentile(99),
+                max());
+  return buf;
+}
+
+void Distribution::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+void BinnedSeries::Add(size_t bin, double value) {
+  assert(bin < bins_.size());
+  bins_[bin] += value;
+}
+
+double BinnedSeries::Total() const {
+  double t = 0;
+  for (double b : bins_) {
+    t += b;
+  }
+  return t;
+}
+
+double BinnedSeries::MaxBin() const {
+  double m = 0;
+  for (double b : bins_) {
+    m = std::max(m, b);
+  }
+  return m;
+}
+
+double BinnedSeries::MinBin() const {
+  if (bins_.empty()) {
+    return 0;
+  }
+  double m = bins_[0];
+  for (double b : bins_) {
+    m = std::min(m, b);
+  }
+  return m;
+}
+
+double BinnedSeries::PeakToTroughRatio() const {
+  double lo = MinBin();
+  double hi = MaxBin();
+  if (lo <= 0) {
+    // Avoid division by zero: treat empty troughs as 1 request.
+    lo = 1.0;
+  }
+  return hi / lo;
+}
+
+}  // namespace skywalker

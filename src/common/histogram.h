@@ -1,0 +1,94 @@
+// Statistics collection: exact-sample distributions with percentile queries,
+// plus a light running-moments accumulator. These back every latency /
+// throughput number the benchmark harness reports.
+
+#ifndef SKYWALKER_COMMON_HISTOGRAM_H_
+#define SKYWALKER_COMMON_HISTOGRAM_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace skywalker {
+
+// Running mean / variance / extrema without storing samples (Welford).
+class RunningStat {
+ public:
+  void Add(double x);
+  void Merge(const RunningStat& other);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+// Stores every sample; supports exact percentiles. LLM-serving experiments in
+// this repo collect at most a few million samples per run, so exact storage
+// is affordable and avoids sketch error in reported tail latencies.
+class Distribution {
+ public:
+  void Add(double x);
+  void Merge(const Distribution& other);
+  void Clear();
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double mean() const;
+  double sum() const;
+  double min() const;
+  double max() const;
+  double stddev() const;
+
+  // Exact percentile with linear interpolation; `p` in [0, 100].
+  double Percentile(double p) const;
+
+  double Median() const { return Percentile(50); }
+
+  // "count=.. mean=.. p50=.. p90=.. p99=.. max=.." one-liner.
+  std::string Summary() const;
+
+  // Read-only access for CDF exports.
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void EnsureSorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+// Fixed-width binned counter keyed by integer bucket. Used for time-series
+// (e.g. requests per hour-of-day in the diurnal figures).
+class BinnedSeries {
+ public:
+  explicit BinnedSeries(size_t num_bins) : bins_(num_bins, 0.0) {}
+
+  void Add(size_t bin, double value = 1.0);
+
+  size_t num_bins() const { return bins_.size(); }
+  double bin(size_t i) const { return bins_.at(i); }
+  const std::vector<double>& bins() const { return bins_; }
+  double Total() const;
+  double MaxBin() const;
+  double MinBin() const;
+  // max/min over non-zero support; returns 0 if empty.
+  double PeakToTroughRatio() const;
+
+ private:
+  std::vector<double> bins_;
+};
+
+}  // namespace skywalker
+
+#endif  // SKYWALKER_COMMON_HISTOGRAM_H_

@@ -1,0 +1,67 @@
+#include "src/common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace skywalker {
+namespace {
+
+LogLevel g_level = LogLevel::kWarning;
+std::function<SimTime()>* GlobalClock() {
+  static std::function<SimTime()> clock;
+  return &clock;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+void SetLogClock(std::function<SimTime()> clock) {
+  *GlobalClock() = std::move(clock);
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') {
+      base = p + 1;
+    }
+  }
+  stream_ << "[" << LevelName(level) << " ";
+  const auto& clock = *GlobalClock();
+  if (clock) {
+    stream_ << "t=" << FormatDuration(clock()) << " ";
+  }
+  stream_ << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  if (level_ == LogLevel::kFatal) {
+    std::fflush(stderr);
+    std::abort();
+  }
+}
+
+}  // namespace internal
+}  // namespace skywalker

@@ -1,0 +1,93 @@
+// Leveled logging with an optional simulated-time prefix.
+//
+// Usage:
+//   SKYWALKER_LOG(INFO) << "replica " << id << " admitted " << n;
+//
+// The global level defaults to kWarning so benchmark output stays clean;
+// tests and examples raise it as needed.
+
+#ifndef SKYWALKER_COMMON_LOGGING_H_
+#define SKYWALKER_COMMON_LOGGING_H_
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "src/common/sim_time.h"
+
+namespace skywalker {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+// Global minimum level; messages below it are compiled but not emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Installs a clock so log lines carry simulated timestamps. Pass nullptr to
+// revert to wall-clock-free output.
+void SetLogClock(std::function<SimTime()> clock);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows the stream when the level is disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace skywalker
+
+#define SKYWALKER_LOG(severity)                                              \
+  (::skywalker::LogLevel::k##severity < ::skywalker::GetLogLevel())          \
+      ? (void)0                                                              \
+      : ::skywalker::internal::LogVoidify() &                                \
+            ::skywalker::internal::LogMessage(                               \
+                ::skywalker::LogLevel::k##severity, __FILE__, __LINE__)      \
+                .stream()
+
+// Always-on invariant check (independent of NDEBUG); logs and aborts.
+#define SKYWALKER_CHECK(condition)                                           \
+  (condition) ? (void)0                                                      \
+              : ::skywalker::internal::LogVoidify() &                        \
+                    ::skywalker::internal::LogMessage(                       \
+                        ::skywalker::LogLevel::kFatal, __FILE__, __LINE__)   \
+                        .stream()                                            \
+                    << "Check failed: " #condition " "
+
+namespace skywalker {
+namespace internal {
+
+// Makes the macro usable as a statement with a void result.
+struct LogVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace skywalker
+
+#endif  // SKYWALKER_COMMON_LOGGING_H_

@@ -1,0 +1,19 @@
+#include "src/common/sim_time.h"
+
+#include <cstdio>
+
+namespace skywalker {
+
+std::string FormatDuration(SimDuration d) {
+  char buf[64];
+  if (d >= Seconds(1) || d <= -Seconds(1)) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", ToSeconds(d));
+  } else if (d >= Milliseconds(1) || d <= -Milliseconds(1)) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", ToMilliseconds(d));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%ldus", static_cast<long>(d));
+  }
+  return buf;
+}
+
+}  // namespace skywalker

@@ -1,0 +1,131 @@
+// Lightweight error-handling vocabulary used across the SkyWalker codebase.
+//
+// The library does not use exceptions for control flow (per the project style
+// guide); fallible operations return Status or StatusOr<T>.
+
+#ifndef SKYWALKER_COMMON_STATUS_H_
+#define SKYWALKER_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace skywalker {
+
+// Canonical error space, modelled after the widely-used gRPC/absl code set but
+// trimmed to what this project needs.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kFailedPrecondition = 4,
+  kResourceExhausted = 5,
+  kUnavailable = 6,
+  kDeadlineExceeded = 7,
+  kInternal = 8,
+  kUnimplemented = 9,
+};
+
+// Human-readable name for a status code, e.g. "NOT_FOUND".
+std::string_view StatusCodeToString(StatusCode code);
+
+// Value-type result of an operation: a code plus an optional message.
+// Ok statuses carry no message and are cheap to copy.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Renders as "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+// Convenience constructors mirroring the canonical code set.
+Status OkStatus();
+Status InvalidArgumentError(std::string_view message);
+Status NotFoundError(std::string_view message);
+Status AlreadyExistsError(std::string_view message);
+Status FailedPreconditionError(std::string_view message);
+Status ResourceExhaustedError(std::string_view message);
+Status UnavailableError(std::string_view message);
+Status DeadlineExceededError(std::string_view message);
+Status InternalError(std::string_view message);
+Status UnimplementedError(std::string_view message);
+
+// StatusOr<T> holds either an ok value or a non-ok Status. Accessing the value
+// of a non-ok StatusOr is a programming error (asserts in debug builds).
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`.
+  StatusOr(T value) : status_(OkStatus()), value_(std::move(value)) {}
+  StatusOr(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr constructed from an OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok() && "value() called on a non-ok StatusOr");
+    return *value_;
+  }
+  T& value() & {
+    assert(ok() && "value() called on a non-ok StatusOr");
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok() && "value() called on a non-ok StatusOr");
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the contained value or `fallback` when non-ok.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace skywalker
+
+// Propagates a non-ok status from an expression, mirroring RETURN_IF_ERROR.
+#define SKYWALKER_RETURN_IF_ERROR(expr)                   \
+  do {                                                    \
+    ::skywalker::Status status_macro_internal_ = (expr);  \
+    if (!status_macro_internal_.ok()) {                   \
+      return status_macro_internal_;                      \
+    }                                                     \
+  } while (0)
+
+#endif  // SKYWALKER_COMMON_STATUS_H_

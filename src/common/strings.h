@@ -1,0 +1,26 @@
+// Minimal string formatting helpers (GCC 12 lacks std::format).
+
+#ifndef SKYWALKER_COMMON_STRINGS_H_
+#define SKYWALKER_COMMON_STRINGS_H_
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace skywalker {
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts, std::string_view sep);
+
+// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> StrSplit(std::string_view s, char delim);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace skywalker
+
+#endif  // SKYWALKER_COMMON_STRINGS_H_

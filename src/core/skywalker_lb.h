@@ -1,0 +1,254 @@
+// SkyWalker regional load balancer (paper §3, Listing 1).
+//
+// One instance runs per region as the first point of contact for local
+// clients. It implements:
+//
+//  * Two-layer cross-region routing (§3.1): requests are placed on local
+//    replicas whenever any is available; otherwise they are forwarded to an
+//    *available* peer LB, which makes the final placement in its region.
+//    Forwarded requests are terminal — they are never re-forwarded.
+//
+//  * Multi-region prefix-aware routing (§3.2) in two flavours:
+//      - kConsistentHash (SkyWalker-CH): ring hash on the request's routing
+//        key at both layers (replica ring + peer-LB ring), skipping
+//        unavailable virtual nodes;
+//      - kPrefixTree (SkyWalker): a local-replica prefix trie plus a
+//        *regional snapshot* trie recording which prompts this region has
+//        forwarded to which peers. When the best prefix hit ratio is below
+//        `explore_threshold`, the balancer explores under-utilized replicas
+//        instead (§5.1).
+//
+//  * Selective pushing by pending requests (§3.3): replicas report their
+//    pending-queue size via 100 ms heartbeat probes; only replicas with an
+//    empty pending queue receive new work, everything else waits in the
+//    LB's FCFS queue. Peer availability requires >= 1 available replica and
+//    a queue shorter than the τ buffer (Listing 1, line 12).
+//
+//  * Custom routing constraints (§4.1/§7): an optional predicate restricts
+//    which (from-region, to-region) forwarding pairs are allowed (e.g. GDPR
+//    policies).
+
+#ifndef SKYWALKER_CORE_SKYWALKER_LB_H_
+#define SKYWALKER_CORE_SKYWALKER_LB_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/cache/hash_ring.h"
+#include "src/cache/routing_trie.h"
+#include "src/common/histogram.h"
+#include "src/common/sim_time.h"
+#include "src/net/network.h"
+#include "src/replica/replica.h"
+#include "src/sim/simulator.h"
+#include "src/workload/request.h"
+
+namespace skywalker {
+
+enum class RoutingPolicyKind {
+  kConsistentHash,  // SkyWalker-CH
+  kPrefixTree,      // SkyWalker
+};
+
+struct SkyWalkerConfig {
+  RoutingPolicyKind policy = RoutingPolicyKind::kPrefixTree;
+
+  // Heartbeat probe period for replicas and peer LBs (§4.1: 100 ms).
+  SimDuration probe_interval = Milliseconds(100);
+
+  // Optimistic pushes allowed per replica between probes: bounds burst
+  // overshoot from probe staleness while letting an empty continuous batch
+  // fill within one probe window.
+  int push_slack = 32;
+
+  // τ: small queue buffer for newly arriving requests (Listing 1, line 12).
+  size_t queue_tau = 4;
+
+  // A region advertises itself as overloaded (and refuses inbound offloads)
+  // when the EWMA of its available-replica fraction falls below this.
+  // Point-in-time probe snapshots flap at saturation; the EWMA separates
+  // "briefly busy" from "no real headroom".
+  double overload_avail_ewma_threshold = 0.25;
+
+  // Flap damping: forward only after local replicas have been continuously
+  // unavailable for this long. Saturated replicas flap between full and
+  // momentarily-free at probe granularity; offloading on every flap migrates
+  // conversations back and forth, and each migration re-prefills the whole
+  // context in the other region. Persistent overload (the case offloading
+  // is for) easily exceeds this window.
+  SimDuration forward_patience = Milliseconds(250);
+
+  // kPrefixTree: when the regional snapshot shows at least this fraction of
+  // the prompt is cached at an available peer, the request stays with that
+  // peer even if local replicas are free. Without stickiness an offloaded
+  // conversation migrates home on the next availability flap and re-prefills
+  // its entire context in both regions, turn after turn.
+  double remote_affinity_threshold = 0.5;
+
+  // kPrefixTree: below this prompt hit ratio, prefer under-utilized
+  // replicas over prefix affinity (§5.1 "explores other replicas").
+  double explore_threshold = 0.5;
+
+  int64_t replica_trie_capacity = 4'000'000;
+  int64_t snapshot_trie_capacity = 4'000'000;
+  int ring_vnodes = 128;
+
+  // Enables cross-region forwarding. Disabling yields the Region-Local
+  // deployment baseline of Fig. 10.
+  bool enable_forwarding = true;
+
+  // §7 extension ("more advanced policies"): prompts shorter than this skip
+  // prefix matching and go to the least-loaded available replica — short
+  // prompts have little prefill to save, so balancing load is worth more
+  // than cache affinity. 0 disables the heuristic.
+  int64_t short_prompt_threshold = 0;
+
+  // Optional constraint on forwarding pairs (GDPR, §7). Null allows all.
+  std::function<bool(RegionId from, RegionId to)> forward_allowed;
+};
+
+class SkyWalkerLb : public Frontend {
+ public:
+  struct Stats {
+    int64_t received_client = 0;
+    int64_t received_forwarded = 0;
+    int64_t dispatched_local = 0;
+    int64_t forwarded_out = 0;
+    int64_t probes_sent = 0;
+    int64_t errors_reported = 0;
+    int64_t max_queue_len = 0;
+    Distribution queue_wait_sec;  // Time spent in the LB queue.
+  };
+
+  SkyWalkerLb(Simulator* sim, Network* net, LbId id, RegionId region,
+              const SkyWalkerConfig& config);
+  ~SkyWalkerLb() override;
+
+  SkyWalkerLb(const SkyWalkerLb&) = delete;
+  SkyWalkerLb& operator=(const SkyWalkerLb&) = delete;
+
+  // --- topology management (controller API) ---
+  void AttachReplica(Replica* replica);
+  void DetachReplica(ReplicaId replica_id);
+  void AddPeer(SkyWalkerLb* peer);
+  void RemovePeer(LbId peer_id);
+  std::vector<Replica*> ManagedReplicas() const;
+
+  void Start();
+  void Stop();
+
+  // --- Frontend ---
+  RegionId region() const override { return region_; }
+  bool healthy() const override { return healthy_; }
+  void HandleRequest(Request req, RequestCallbacks callbacks) override;
+
+  // Peer entry point: a request another region decided to offload here.
+  // `origin_lb_region` is the forwarding LB's region (response path hop).
+  void HandleForwarded(Request req, RequestCallbacks callbacks,
+                       RegionId origin_lb_region);
+
+  // --- peer-visible probe state (PROBELB in Listing 1) ---
+  int AvailableReplicaCount() const;
+  size_t QueueSize() const { return queue_.size(); }
+  // True when this LB's own local capacity has been exhausted beyond the
+  // patience window, i.e. it is (or is about to start) offloading. Peers
+  // never forward into an overloaded region: that would only displace its
+  // traffic and bounce conversations across regions.
+  bool IsOverloaded() const;
+
+  // --- fault injection (§4.2) ---
+  // Fails the LB: pending queued requests error out (clients re-resolve);
+  // probe loop stops; peers observe unavailability on their next probe.
+  void Fail();
+  void Recover();
+
+  LbId id() const { return id_; }
+  const SkyWalkerConfig& config() const { return config_; }
+  const Stats& stats() const { return stats_; }
+  size_t num_replicas() const { return replica_states_.size(); }
+  size_t num_peers() const { return peers_.size(); }
+
+  // LB-tracked outstanding per local replica (imbalance metrics).
+  std::vector<int> OutstandingSnapshot() const;
+
+ private:
+  struct ReplicaState {
+    Replica* replica = nullptr;
+    int outstanding = 0;
+    int probed_pending = 0;
+    int probed_free_capacity = 1;  // Admission headroom from the last probe.
+    int pushes_since_probe = 0;
+    bool probed_once = false;
+  };
+
+  struct PeerState {
+    SkyWalkerLb* peer = nullptr;
+    int probed_avail_replicas = 0;
+    size_t probed_queue_size = 0;
+    bool probed_overloaded = false;
+    int forwards_since_probe = 0;
+    bool probed_once = false;
+  };
+
+  struct Queued {
+    Request req;
+    RequestCallbacks callbacks;
+    SimTime lb_arrival = 0;
+    bool forwarded_in = false;          // Terminal: place locally only.
+    RegionId origin_lb_region = kInvalidRegion;  // Valid when forwarded_in.
+  };
+
+  bool ReplicaAvailable(const ReplicaState& state) const;
+  bool PeerAvailable(const PeerState& state) const;
+  bool LocalAvailNonEmpty() const;
+
+  // SELECTCANDIDATE over local replicas (Listing 1, lines 17-26).
+  ReplicaId SelectLocalReplica(const Queued& queued);
+  // SELECTCANDIDATE over peer LBs.
+  LbId SelectPeer(const Queued& queued);
+  // Available peer already holding this prompt's context (sticky affinity),
+  // or kInvalidLb.
+  LbId StickyRemotePeer(const Queued& queued);
+
+  void Enqueue(Queued queued);
+  void TryDispatch();
+  void DispatchLocal(Queued queued, ReplicaId replica_id);
+  void Forward(Queued queued, LbId peer_id);
+  void ProbeAll();
+  void FlushQueueWithError();
+
+  ReplicaState* FindReplica(ReplicaId id);
+  PeerState* FindPeer(LbId id);
+  int LeastOutstandingAmong(const std::vector<TargetId>& candidates) const;
+
+  Simulator* sim_;
+  Network* net_;
+  LbId id_;
+  RegionId region_;
+  SkyWalkerConfig config_;
+  bool healthy_ = true;
+
+  std::map<ReplicaId, ReplicaState> replica_states_;
+  std::map<LbId, PeerState> peers_;
+  std::deque<Queued> queue_;
+
+  HashRing replica_ring_;
+  HashRing lb_ring_;
+  RoutingTrie replica_trie_;
+  RoutingTrie snapshot_trie_;
+
+  std::unique_ptr<PeriodicTask> probe_task_;
+  Stats stats_;
+  // Last simulated time at which some local replica was available.
+  SimTime last_local_avail_ = 0;
+  // EWMA of AvailableReplicaCount()/num_replicas, updated per probe cycle.
+  double avail_fraction_ewma_ = 1.0;
+};
+
+}  // namespace skywalker
+
+#endif  // SKYWALKER_CORE_SKYWALKER_LB_H_

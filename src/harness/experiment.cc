@@ -1,0 +1,291 @@
+#include "src/harness/experiment.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/logging.h"
+
+namespace skywalker {
+
+std::string_view SystemKindName(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kGkeGateway:
+      return "GKE-Gateway";
+    case SystemKind::kRoundRobin:
+      return "RR";
+    case SystemKind::kLeastLoad:
+      return "LL";
+    case SystemKind::kConsistentHash:
+      return "CH";
+    case SystemKind::kSglRouter:
+      return "SGL";
+    case SystemKind::kSkyWalkerCh:
+      return "SkyWalker-CH";
+    case SystemKind::kSkyWalker:
+      return "SkyWalker";
+    case SystemKind::kRegionLocal:
+      return "Region-Local";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<ServingSystem> ServingSystem::Build(Simulator* sim,
+                                                    Network* net,
+                                                    const SystemSpec& spec) {
+  const Topology& topology = net->topology();
+  SKYWALKER_CHECK(spec.replicas_per_region.size() == topology.num_regions());
+
+  auto system = std::unique_ptr<ServingSystem>(new ServingSystem());
+  system->spec_ = spec;
+
+  const bool skywalker_kind = spec.kind == SystemKind::kSkyWalker ||
+                              spec.kind == SystemKind::kSkyWalkerCh ||
+                              spec.kind == SystemKind::kRegionLocal;
+
+  if (skywalker_kind) {
+    DeploymentSpec dspec;
+    dspec.replicas_per_region = spec.replicas_per_region;
+    dspec.replica_config = spec.replica_config;
+    dspec.lb_config = spec.skywalker;
+    switch (spec.kind) {
+      case SystemKind::kSkyWalkerCh:
+        dspec.lb_config.policy = RoutingPolicyKind::kConsistentHash;
+        break;
+      case SystemKind::kSkyWalker:
+        dspec.lb_config.policy = RoutingPolicyKind::kPrefixTree;
+        break;
+      case SystemKind::kRegionLocal:
+        dspec.lb_config.enable_forwarding = false;
+        break;
+      default:
+        break;
+    }
+    system->deployment_ = Deployment::Build(sim, net, dspec);
+    for (const auto& replica : system->deployment_->replicas()) {
+      system->replica_ptrs_.push_back(replica.get());
+    }
+    system->resolver_ = system->deployment_->resolver();
+    return system;
+  }
+
+  // Baselines own their replicas directly.
+  ReplicaId next_replica = 0;
+  for (RegionId region = 0;
+       region < static_cast<RegionId>(topology.num_regions()); ++region) {
+    for (int i = 0; i < spec.replicas_per_region[static_cast<size_t>(region)];
+         ++i) {
+      auto replica = std::make_unique<Replica>(sim, next_replica++, region,
+                                               spec.replica_config);
+      system->replica_ptrs_.push_back(replica.get());
+      system->owned_replicas_.push_back(std::move(replica));
+    }
+  }
+
+  if (spec.kind == SystemKind::kGkeGateway) {
+    system->gateway_ = std::make_unique<GatewayLb>(sim, net, spec.gateway);
+    for (Replica* replica : system->replica_ptrs_) {
+      system->gateway_->AttachReplica(replica);
+    }
+    system->nearest_resolver_ =
+        std::make_unique<NearestFrontendResolver>(&net->topology());
+    for (RegionId region = 0;
+         region < static_cast<RegionId>(topology.num_regions()); ++region) {
+      system->nearest_resolver_->AddFrontend(
+          system->gateway_->EndpointFor(region));
+    }
+    system->resolver_ = system->nearest_resolver_.get();
+    return system;
+  }
+
+  // Single centralized LB (Figure 1(b)).
+  const LbId lb_id = 0;
+  switch (spec.kind) {
+    case SystemKind::kRoundRobin:
+      system->baseline_lb_ = std::make_unique<RoundRobinLb>(
+          sim, net, lb_id, spec.central_lb_region, spec.baseline_lb);
+      break;
+    case SystemKind::kLeastLoad:
+      system->baseline_lb_ = std::make_unique<LeastLoadLb>(
+          sim, net, lb_id, spec.central_lb_region, spec.baseline_lb);
+      break;
+    case SystemKind::kConsistentHash: {
+      auto ch = std::make_unique<ConsistentHashLb>(
+          sim, net, lb_id, spec.central_lb_region, spec.baseline_lb);
+      for (Replica* replica : system->replica_ptrs_) {
+        ch->AttachReplicaToRing(replica);
+      }
+      system->baseline_lb_ = std::move(ch);
+      system->single_resolver_ = std::make_unique<SingleFrontendResolver>(
+          system->baseline_lb_.get());
+      system->resolver_ = system->single_resolver_.get();
+      return system;
+    }
+    case SystemKind::kSglRouter:
+      system->baseline_lb_ = std::make_unique<SglRouterLb>(
+          sim, net, lb_id, spec.central_lb_region, spec.baseline_lb);
+      break;
+    default:
+      SKYWALKER_CHECK(false) << "unhandled system kind";
+  }
+  for (Replica* replica : system->replica_ptrs_) {
+    system->baseline_lb_->AttachReplica(replica);
+  }
+  system->single_resolver_ =
+      std::make_unique<SingleFrontendResolver>(system->baseline_lb_.get());
+  system->resolver_ = system->single_resolver_.get();
+  return system;
+}
+
+ServingSystem::~ServingSystem() = default;
+
+void ServingSystem::Start() {
+  if (deployment_ != nullptr) {
+    deployment_->Start();
+  }
+  if (baseline_lb_ != nullptr) {
+    baseline_lb_->Start();
+  }
+}
+
+double ServingSystem::AggregateCacheHitRate() const {
+  int64_t hits = 0;
+  int64_t lookups = 0;
+  for (const Replica* replica : replica_ptrs_) {
+    hits += replica->cache().hit_tokens();
+    lookups += replica->cache().lookup_tokens();
+  }
+  return lookups == 0 ? 0.0
+                      : static_cast<double>(hits) /
+                            static_cast<double>(lookups);
+}
+
+int64_t ServingSystem::TotalForwarded() const {
+  if (deployment_ != nullptr) {
+    return deployment_->TotalForwarded();
+  }
+  if (gateway_ != nullptr) {
+    return gateway_->stats().spilled;
+  }
+  return 0;
+}
+
+WorkloadDriver::WorkloadDriver(Simulator* sim, Network* net,
+                               FrontendResolver* resolver,
+                               MetricsSink* metrics, const WorkloadSpec& spec,
+                               size_t num_regions)
+    : sim_(sim), stagger_rng_(spec.seed ^ 0xdead) {
+  conv_gen_ = std::make_unique<ConversationGenerator>(spec.conversation,
+                                                      num_regions, spec.seed);
+  uint64_t client_seed = spec.seed + 1000;
+  for (const ClientGroup& group : spec.groups) {
+    if (group.kind == ClientGroup::Kind::kConversation) {
+      for (int i = 0; i < group.count; ++i) {
+        conv_clients_.push_back(std::make_unique<ConversationClient>(
+            sim, net, resolver, conv_gen_.get(), metrics, group.region,
+            group.client, client_seed++));
+      }
+    } else {
+      // One generator per ToT group so groups can differ in branching
+      // (Mixed Tree workload).
+      tot_gens_.push_back(
+          std::make_unique<ToTGenerator>(group.tot, client_seed++));
+      ToTGenerator* gen = tot_gens_.back().get();
+      for (int i = 0; i < group.count; ++i) {
+        tot_clients_.push_back(std::make_unique<ToTClient>(
+            sim, net, resolver, gen, metrics, group.region, group.client,
+            client_seed++));
+      }
+    }
+  }
+}
+
+WorkloadDriver::~WorkloadDriver() = default;
+
+void WorkloadDriver::Start() {
+  // Stagger starts uniformly over the first 5 seconds.
+  for (auto& client : conv_clients_) {
+    client->Start(
+        static_cast<SimDuration>(stagger_rng_.Uniform(0, 5e6)));
+  }
+  for (auto& client : tot_clients_) {
+    client->Start(
+        static_cast<SimDuration>(stagger_rng_.Uniform(0, 5e6)));
+  }
+}
+
+size_t WorkloadDriver::TotalCompletedRequests() const {
+  size_t total = 0;
+  for (const auto& client : conv_clients_) {
+    total += client->completed_requests();
+  }
+  for (const auto& client : tot_clients_) {
+    total += client->completed_requests();
+  }
+  return total;
+}
+
+ExperimentResult RunExperiment(const Topology& topology,
+                               const SystemSpec& system_spec,
+                               const WorkloadSpec& workload_spec,
+                               const ExperimentConfig& config) {
+  Simulator sim;
+  Network net(&sim, topology, config.network_jitter, config.seed);
+
+  auto system = ServingSystem::Build(&sim, &net, system_spec);
+  MetricsCollector metrics;
+  metrics.SetMeasurementWindow(config.warmup, config.warmup + config.measure);
+
+  WorkloadDriver driver(&sim, &net, system->resolver(), &metrics,
+                        workload_spec, topology.num_regions());
+
+  system->Start();
+  driver.Start();
+
+  // Periodically sample per-replica outstanding load for the imbalance
+  // metric the paper quotes (§5.1).
+  std::vector<RunningStat> outstanding_stats(system->replicas().size());
+  PeriodicTask sampler(&sim, Seconds(1), [&] {
+    if (sim.now() < config.warmup) {
+      return;
+    }
+    const auto& replicas = system->replicas();
+    for (size_t i = 0; i < replicas.size(); ++i) {
+      outstanding_stats[i].Add(
+          static_cast<double>(replicas[i]->outstanding_count()));
+    }
+  });
+  sampler.Start();
+
+  sim.RunUntil(config.warmup + config.measure);
+  sampler.Stop();
+
+  ExperimentResult result;
+  result.system = SystemKindName(system_spec.kind);
+  result.completed = metrics.CountInWindow();
+  result.throughput_tok_s = metrics.ThroughputTokensPerSec();
+  result.output_throughput_tok_s = metrics.OutputThroughputTokensPerSec();
+  result.ttft = metrics.TtftSeconds();
+  result.e2e = metrics.E2eSeconds();
+  result.ttft_p50_s = result.ttft.Percentile(50);
+  result.ttft_p90_s = result.ttft.Percentile(90);
+  result.ttft_mean_s = result.ttft.mean();
+  result.e2e_p50_s = result.e2e.Percentile(50);
+  result.e2e_p90_s = result.e2e.Percentile(90);
+  result.e2e_mean_s = result.e2e.mean();
+  result.cache_hit_rate = system->AggregateCacheHitRate();
+  result.forwarded_fraction = metrics.ForwardedFraction();
+
+  double min_mean = std::numeric_limits<double>::max();
+  double max_mean = 0;
+  for (const RunningStat& stat : outstanding_stats) {
+    min_mean = std::min(min_mean, stat.mean());
+    max_mean = std::max(max_mean, stat.mean());
+  }
+  result.outstanding_imbalance =
+      (outstanding_stats.empty() || min_mean <= 0.0)
+          ? 0.0
+          : max_mean / min_mean;
+  return result;
+}
+
+}  // namespace skywalker

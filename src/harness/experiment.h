@@ -1,0 +1,166 @@
+// Experiment harness: builds any serving system evaluated in the paper
+// (Fig. 8's seven systems plus the Region-Local baseline of Fig. 10) on a
+// shared simulator/network, drives it with the macro workloads, and reports
+// the paper's metrics.
+//
+// This is what bench/fig08_macro.cc, fig09, fig10 and the integration tests
+// are written against.
+
+#ifndef SKYWALKER_HARNESS_EXPERIMENT_H_
+#define SKYWALKER_HARNESS_EXPERIMENT_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/analysis/metrics.h"
+#include "src/core/deployment.h"
+#include "src/lb/gateway.h"
+#include "src/lb/load_balancer.h"
+#include "src/lb/policies.h"
+#include "src/net/network.h"
+#include "src/sim/simulator.h"
+#include "src/workload/client.h"
+
+namespace skywalker {
+
+enum class SystemKind {
+  kGkeGateway,      // Regional gateways, capacity spill, no LLM awareness.
+  kRoundRobin,      // Single central LB.
+  kLeastLoad,       // Single central LB.
+  kConsistentHash,  // Single central LB.
+  kSglRouter,       // Single central LB, cache-aware.
+  kSkyWalkerCh,     // Regional LBs, two-layer consistent hashing.
+  kSkyWalker,       // Regional LBs, prefix trees + regional snapshots.
+  kRegionLocal,     // Regional SkyWalker LBs with forwarding disabled.
+};
+
+std::string_view SystemKindName(SystemKind kind);
+
+struct SystemSpec {
+  SystemKind kind = SystemKind::kSkyWalker;
+  std::vector<int> replicas_per_region;
+  ReplicaConfig replica_config;
+  SkyWalkerConfig skywalker;   // SkyWalker variants and Region-Local.
+  LbConfig baseline_lb;        // RR / LL / CH / SGL.
+  GatewayConfig gateway;
+  // Single-LB baselines are deployed in this region (the paper puts them in
+  // the US).
+  RegionId central_lb_region = 0;
+};
+
+// Owns every serving-side object for one experiment run.
+class ServingSystem {
+ public:
+  static std::unique_ptr<ServingSystem> Build(Simulator* sim, Network* net,
+                                              const SystemSpec& spec);
+  ~ServingSystem();
+
+  void Start();
+
+  FrontendResolver* resolver() { return resolver_; }
+  const std::vector<Replica*>& replicas() const { return replica_ptrs_; }
+
+  // Token-weighted prefix-cache hit rate across all replicas.
+  double AggregateCacheHitRate() const;
+  // Requests served in a different region than the client's nearest LB
+  // (only meaningful for multi-LB systems; 0 otherwise).
+  int64_t TotalForwarded() const;
+
+  // Non-null only for the matching system kind.
+  Deployment* deployment() { return deployment_.get(); }
+  LoadBalancer* baseline_lb() { return baseline_lb_.get(); }
+  GatewayLb* gateway() { return gateway_.get(); }
+
+  const SystemSpec& spec() const { return spec_; }
+
+ private:
+  ServingSystem() = default;
+
+  SystemSpec spec_;
+  std::vector<std::unique_ptr<Replica>> owned_replicas_;
+  std::vector<Replica*> replica_ptrs_;
+
+  std::unique_ptr<Deployment> deployment_;           // SkyWalker variants.
+  std::unique_ptr<LoadBalancer> baseline_lb_;        // RR/LL/CH/SGL.
+  std::unique_ptr<GatewayLb> gateway_;               // GKE Gateway.
+  std::unique_ptr<SingleFrontendResolver> single_resolver_;
+  std::unique_ptr<NearestFrontendResolver> nearest_resolver_;
+  FrontendResolver* resolver_ = nullptr;
+};
+
+// One group of identical closed-loop clients in one region.
+struct ClientGroup {
+  enum class Kind { kConversation, kToT };
+  Kind kind = Kind::kConversation;
+  RegionId region = 0;
+  int count = 0;
+  ToTConfig tot;  // Used when kind == kToT.
+  ClientConfig client;
+};
+
+struct WorkloadSpec {
+  // Conversation groups share one generator (shared template pools drive
+  // cross-user prefix similarity); configure it here.
+  ConversationWorkloadConfig conversation;
+  std::vector<ClientGroup> groups;
+  uint64_t seed = 42;
+};
+
+// Owns generators and clients; starts them staggered to avoid thundering
+// herds at t=0.
+class WorkloadDriver {
+ public:
+  WorkloadDriver(Simulator* sim, Network* net, FrontendResolver* resolver,
+                 MetricsSink* metrics, const WorkloadSpec& spec,
+                 size_t num_regions);
+  ~WorkloadDriver();
+
+  void Start();
+
+  size_t TotalCompletedRequests() const;
+
+ private:
+  Simulator* sim_;
+  std::unique_ptr<ConversationGenerator> conv_gen_;
+  std::vector<std::unique_ptr<ToTGenerator>> tot_gens_;  // One per group.
+  std::vector<std::unique_ptr<ConversationClient>> conv_clients_;
+  std::vector<std::unique_ptr<ToTClient>> tot_clients_;
+  Rng stagger_rng_;
+};
+
+struct ExperimentResult {
+  std::string_view system;
+  size_t completed = 0;
+  double throughput_tok_s = 0;         // (prompt + output) tokens / s.
+  double output_throughput_tok_s = 0;
+  double ttft_p50_s = 0;
+  double ttft_p90_s = 0;
+  double ttft_mean_s = 0;
+  double e2e_p50_s = 0;
+  double e2e_p90_s = 0;
+  double e2e_mean_s = 0;
+  double cache_hit_rate = 0;           // Replica-level, token weighted.
+  double forwarded_fraction = 0;
+  double outstanding_imbalance = 0;    // max/min mean outstanding per replica.
+  Distribution ttft;
+  Distribution e2e;
+};
+
+struct ExperimentConfig {
+  SimDuration warmup = Seconds(60);
+  SimDuration measure = Seconds(240);
+  double network_jitter = 0.0;
+  uint64_t seed = 7;
+};
+
+// End-to-end run: build system + workload on a fresh simulator, warm up,
+// measure, summarize.
+ExperimentResult RunExperiment(const Topology& topology,
+                               const SystemSpec& system_spec,
+                               const WorkloadSpec& workload_spec,
+                               const ExperimentConfig& config);
+
+}  // namespace skywalker
+
+#endif  // SKYWALKER_HARNESS_EXPERIMENT_H_

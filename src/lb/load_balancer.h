@@ -1,0 +1,159 @@
+// Load-balancer framework shared by all baseline policies (paper §5.1):
+// a Frontend with an FCFS request queue, per-replica state tracking, a
+// heartbeat probe loop, and the three pushing disciplines analysed in §3.3:
+//
+//  * kBlind               — route immediately on arrival (RR/LL/CH/SGL and
+//                           GKE Gateway behave this way);
+//  * kSelectiveOutstanding— push only to replicas with fewer than a fixed
+//                           number of outstanding requests (SP-O);
+//  * kSelectivePending    — push only to replicas whose continuous batch is
+//                           not full, i.e. last probe saw zero pending
+//                           requests (SP-P, the paper's proposal).
+//
+// Policy subclasses implement SelectReplica() over the currently available
+// candidate set.
+
+#ifndef SKYWALKER_LB_LOAD_BALANCER_H_
+#define SKYWALKER_LB_LOAD_BALANCER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/net/network.h"
+#include "src/replica/replica.h"
+#include "src/sim/simulator.h"
+#include "src/workload/request.h"
+
+namespace skywalker {
+
+enum class PushMode {
+  kBlind,
+  kSelectiveOutstanding,
+  kSelectivePending,
+};
+
+struct LbConfig {
+  PushMode push_mode = PushMode::kBlind;
+
+  // Heartbeat probe period (paper §4.1 uses 100 ms).
+  SimDuration probe_interval = Milliseconds(100);
+
+  // SP-O: fixed cap on outstanding requests per replica.
+  int max_outstanding_per_replica = 24;
+
+  // SP-P: optimistic pushes allowed per replica between two probes. Bounds
+  // burst overshoot caused by probe staleness (DESIGN.md §5.3) while still
+  // letting an empty continuous batch fill within one probe window.
+  int push_slack = 32;
+
+  // Capacity of the policy-owned routing trie (SGL policy).
+  int64_t routing_trie_capacity = 4'000'000;
+
+  // SGL cache-aware threshold: route by prefix only when the best match
+  // covers at least this fraction of the prompt.
+  double sgl_match_threshold = 0.5;
+
+  // SGL fallback bookkeeping: once a worker's approximate tree-size estimate
+  // exceeds this (≈ its KV budget), all estimates decay, mirroring worker
+  // eviction.
+  int64_t sgl_tree_decay_tokens = 49152;
+};
+
+class LoadBalancer : public Frontend {
+ public:
+  struct Stats {
+    int64_t received = 0;
+    int64_t dispatched = 0;
+    int64_t completed = 0;
+    int64_t probes_sent = 0;
+    int64_t max_queue_len = 0;
+  };
+
+  LoadBalancer(Simulator* sim, Network* net, LbId id, RegionId region,
+               const LbConfig& config);
+  ~LoadBalancer() override;
+
+  LoadBalancer(const LoadBalancer&) = delete;
+  LoadBalancer& operator=(const LoadBalancer&) = delete;
+
+  // Registers a replica this LB manages. May be called before or after
+  // Start().
+  void AttachReplica(Replica* replica);
+
+  // Starts the probe loop (no-op for kBlind).
+  void Start();
+  void Stop();
+
+  // Frontend:
+  RegionId region() const override { return region_; }
+  void HandleRequest(Request req, RequestCallbacks callbacks) override;
+
+  LbId id() const { return id_; }
+  const LbConfig& config() const { return config_; }
+  const Stats& stats() const { return stats_; }
+  size_t queue_length() const { return queue_.size(); }
+
+  // Current LB-tracked outstanding per replica (for imbalance metrics).
+  std::vector<int> OutstandingSnapshot() const;
+
+ protected:
+  struct ReplicaState {
+    Replica* replica = nullptr;
+    int outstanding = 0;        // LB-tracked in-flight (pushed, not completed).
+    int probed_pending = 0;     // Pending count from the last probe.
+    int probed_free_capacity = 1;  // Admission headroom from the last probe.
+    int pushes_since_probe = 0;
+    bool probed_once = false;
+    bool healthy = true;
+  };
+
+  struct Queued {
+    Request req;
+    RequestCallbacks callbacks;
+    SimTime lb_arrival = 0;
+  };
+
+  // Chooses a replica for the queue head, or kInvalidReplica to keep it
+  // queued. Implementations must only return available replicas (per
+  // IsAvailable) and may update their own routing state.
+  virtual ReplicaId SelectReplica(const Queued& queued) = 0;
+
+  // Pushing-discipline availability test (§3.3).
+  bool IsAvailable(const ReplicaState& state) const;
+
+  std::vector<ReplicaId> AvailableReplicas() const;
+
+  const std::map<ReplicaId, ReplicaState>& replica_states() const {
+    return replica_states_;
+  }
+  ReplicaState* FindReplica(ReplicaId id);
+
+  Simulator* sim() const { return sim_; }
+  Network* net() const { return net_; }
+
+  // Dispatches queue-head requests while a policy target exists.
+  void TryDispatch();
+
+ private:
+  void DispatchTo(Queued queued, ReplicaId replica_id);
+  void ProbeAll();
+
+  Simulator* sim_;
+  Network* net_;
+  LbId id_;
+  RegionId region_;
+  LbConfig config_;
+
+  std::map<ReplicaId, ReplicaState> replica_states_;
+  std::deque<Queued> queue_;
+  std::unique_ptr<PeriodicTask> probe_task_;
+  Stats stats_;
+};
+
+}  // namespace skywalker
+
+#endif  // SKYWALKER_LB_LOAD_BALANCER_H_

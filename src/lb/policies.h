@@ -1,0 +1,77 @@
+// Baseline routing policies from the paper's evaluation (§5.1):
+//   RR  — round robin
+//   LL  — least load (fewest LB-tracked outstanding requests)
+//   CH  — ring-hash consistent hashing on the request's routing key
+//   SGL — SGLang-Router-style cache-aware routing: route to the replica
+//         with the longest approximate prefix match when it covers more
+//         than a threshold fraction of the prompt, otherwise to the least
+//         loaded replica.
+//
+// All four run as a single (typically centralized) LoadBalancer. Their push
+// mode comes from LbConfig — the paper's baselines use blind pushing; the
+// Fig. 9 microbenchmark re-runs SGL with SP-O and SP-P.
+
+#ifndef SKYWALKER_LB_POLICIES_H_
+#define SKYWALKER_LB_POLICIES_H_
+
+#include <cstdint>
+
+#include "src/cache/hash_ring.h"
+#include "src/cache/routing_trie.h"
+#include "src/lb/load_balancer.h"
+
+namespace skywalker {
+
+class RoundRobinLb : public LoadBalancer {
+ public:
+  using LoadBalancer::LoadBalancer;
+
+ protected:
+  ReplicaId SelectReplica(const Queued& queued) override;
+
+ private:
+  size_t next_ = 0;
+};
+
+class LeastLoadLb : public LoadBalancer {
+ public:
+  using LoadBalancer::LoadBalancer;
+
+ protected:
+  ReplicaId SelectReplica(const Queued& queued) override;
+};
+
+class ConsistentHashLb : public LoadBalancer {
+ public:
+  ConsistentHashLb(Simulator* sim, Network* net, LbId id, RegionId region,
+                   const LbConfig& config, int vnodes_per_replica = 128);
+
+  void AttachReplicaToRing(Replica* replica);
+
+ protected:
+  ReplicaId SelectReplica(const Queued& queued) override;
+
+ private:
+  HashRing ring_;
+};
+
+class SglRouterLb : public LoadBalancer {
+ public:
+  SglRouterLb(Simulator* sim, Network* net, LbId id, RegionId region,
+              const LbConfig& config);
+
+ protected:
+  ReplicaId SelectReplica(const Queued& queued) override;
+
+ private:
+  RoutingTrie trie_;
+  // SGLang's cache-aware fallback balances by approximate per-worker tree
+  // size (cache footprint), not by in-flight load — a deliberate fidelity
+  // choice that reproduces the blind-pushing imbalance of §3.3. Counts are
+  // tokens inserted per target, decayed on eviction pressure.
+  std::map<TargetId, int64_t> approx_tree_tokens_;
+};
+
+}  // namespace skywalker
+
+#endif  // SKYWALKER_LB_POLICIES_H_

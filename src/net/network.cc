@@ -1,0 +1,28 @@
+#include "src/net/network.h"
+
+#include <utility>
+
+namespace skywalker {
+
+Network::Network(Simulator* sim, Topology topology, double jitter_fraction,
+                 uint64_t seed)
+    : sim_(sim),
+      topology_(std::move(topology)),
+      jitter_fraction_(jitter_fraction),
+      rng_(seed) {}
+
+void Network::Send(RegionId from, RegionId to, std::function<void()> deliver) {
+  ++messages_sent_;
+  if (from != to) {
+    ++cross_region_messages_;
+  }
+  SimDuration latency = topology_.Latency(from, to);
+  if (jitter_fraction_ > 0) {
+    double factor =
+        rng_.Uniform(1.0 - jitter_fraction_, 1.0 + jitter_fraction_);
+    latency = static_cast<SimDuration>(static_cast<double>(latency) * factor);
+  }
+  sim_->ScheduleAfter(latency, std::move(deliver));
+}
+
+}  // namespace skywalker

@@ -1,0 +1,55 @@
+// Message-level network model over the discrete-event simulator.
+//
+// A "send" schedules a delivery closure at the destination after the one-way
+// topology latency (plus optional jitter). Higher layers pass lambdas rather
+// than serialized payloads — standard practice for discrete-event simulation,
+// and it keeps the routing logic identical to what a real RPC layer would
+// invoke on receipt.
+
+#ifndef SKYWALKER_NET_NETWORK_H_
+#define SKYWALKER_NET_NETWORK_H_
+
+#include <functional>
+
+#include "src/common/rng.h"
+#include "src/common/sim_time.h"
+#include "src/net/topology.h"
+#include "src/sim/simulator.h"
+
+namespace skywalker {
+
+class Network {
+ public:
+  // `jitter_fraction` adds uniform noise in [1-j, 1+j] to each delivery,
+  // deterministic under the given seed. 0 disables jitter.
+  Network(Simulator* sim, Topology topology, double jitter_fraction = 0.0,
+          uint64_t seed = kDefaultRngSeed);
+
+  // Delivers `deliver` at the destination after Latency(from, to) (+jitter).
+  void Send(RegionId from, RegionId to, std::function<void()> deliver);
+
+  // Expected (jitter-free) one-way latency.
+  SimDuration Latency(RegionId from, RegionId to) const {
+    return topology_.Latency(from, to);
+  }
+
+  Simulator* sim() const { return sim_; }
+  const Topology& topology() const { return topology_; }
+
+  // Total messages sent (probing-overhead accounting in benches).
+  uint64_t messages_sent() const { return messages_sent_; }
+  // Messages whose source and destination regions differ.
+  uint64_t cross_region_messages() const { return cross_region_messages_; }
+
+ private:
+  Simulator* sim_;
+  Topology topology_;
+  double jitter_fraction_;
+  Rng rng_;
+  uint64_t messages_sent_ = 0;
+  uint64_t cross_region_messages_ = 0;
+};
+
+}  // namespace skywalker
+
+#endif  // SKYWALKER_NET_NETWORK_H_

@@ -1,0 +1,331 @@
+#include "src/replica/replica.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/logging.h"
+
+namespace skywalker {
+
+Replica::Replica(Simulator* sim, ReplicaId id, RegionId region,
+                 const ReplicaConfig& config)
+    : sim_(sim),
+      id_(id),
+      region_(region),
+      config_(config),
+      cache_(config.kv_capacity_tokens) {}
+
+void Replica::Enqueue(Request req, Handlers handlers) {
+  SKYWALKER_CHECK(!req.output.empty()) << "request must generate >= 1 token";
+  Seq seq;
+  seq.req = std::move(req);
+  seq.handlers = std::move(handlers);
+  pending_.push_back(std::move(seq));
+  ++stats_.enqueued;
+  stats_.peak_pending = std::max(stats_.peak_pending, pending_count());
+  MaybeStep();
+}
+
+int64_t Replica::Resident() const {
+  int64_t resident = cache_.size_tokens();
+  for (const Seq& seq : running_) {
+    resident += seq.private_tokens;
+  }
+  return resident;
+}
+
+int64_t Replica::CommittedFuture() const {
+  int64_t committed = 0;
+  for (const Seq& seq : running_) {
+    committed += seq.prefill_remaining;
+    committed += std::max<int64_t>(
+        0, config_.output_reserve_tokens - seq.generated);
+  }
+  return committed;
+}
+
+int64_t Replica::memory_used_tokens() const { return Resident(); }
+
+int Replica::EstimateFreeCapacity() const {
+  int free_slots = config_.max_running_requests -
+                   static_cast<int>(running_.size()) -
+                   static_cast<int>(pending_.size());
+  if (free_slots <= 0) {
+    return 0;
+  }
+  // Memory headroom in units of a typical request: average the footprint of
+  // the current batch, falling back to a conservative default when idle.
+  int64_t free_tokens =
+      config_.kv_capacity_tokens - Resident() - CommittedFuture();
+  if (free_tokens <= 0) {
+    return 0;
+  }
+  int64_t per_request = 512 + config_.output_reserve_tokens;
+  if (!running_.empty()) {
+    int64_t total = 0;
+    for (const Seq& seq : running_) {
+      total += seq.prompt_len() - seq.cached_len +
+               config_.output_reserve_tokens;
+    }
+    per_request = std::max<int64_t>(64, total /
+                                            static_cast<int64_t>(running_.size()));
+  }
+  int by_memory = static_cast<int>(free_tokens / per_request);
+  return std::max(0, std::min(free_slots, by_memory));
+}
+
+double Replica::memory_utilization() const {
+  return static_cast<double>(Resident()) /
+         static_cast<double>(config_.kv_capacity_tokens);
+}
+
+int64_t Replica::active_memory_tokens() const {
+  int64_t active = cache_.pinned_tokens();
+  for (const Seq& seq : running_) {
+    active += seq.private_tokens;
+  }
+  return active;
+}
+
+double Replica::active_memory_utilization() const {
+  return static_cast<double>(active_memory_tokens()) /
+         static_cast<double>(config_.kv_capacity_tokens);
+}
+
+double Replica::BusyFraction() const {
+  double elapsed = static_cast<double>(sim_->now());
+  return elapsed <= 0 ? 0.0 : stats_.busy_us / elapsed;
+}
+
+void Replica::Admit() {
+  while (!pending_.empty() &&
+         running_.size() < static_cast<size_t>(config_.max_running_requests)) {
+    Seq& candidate = pending_.front();
+    int64_t cached = 0;
+    PinId pin = kInvalidPin;
+    if (config_.enable_prefix_cache) {
+      auto match = cache_.MatchAndRef(candidate.req.prompt, sim_->now());
+      // A fully cached prompt still recomputes its last token so the engine
+      // produces the first output token (SGLang does the same).
+      cached = std::min(match.cached_len, candidate.prompt_len() - 1);
+      pin = match.pin;
+    }
+    int64_t need =
+        (candidate.prompt_len() - cached) + config_.output_reserve_tokens;
+    int64_t free = config_.kv_capacity_tokens - Resident() - CommittedFuture();
+    if (need > free) {
+      free += cache_.Evict(need - free);
+    }
+    if (need > free && !running_.empty()) {
+      // Not enough memory; wait for completions. (Pinned content cannot be
+      // evicted, and running seqs release memory as they finish.)
+      if (pin != kInvalidPin) {
+        cache_.Unref(pin);
+      }
+      break;
+    }
+    // Either it fits, or the batch is empty and we force-admit to guarantee
+    // progress (real engines recompute/preempt to handle this case).
+    Seq seq = std::move(candidate);
+    pending_.pop_front();
+    seq.cached_len = cached;
+    seq.pin = pin;
+    seq.prefill_remaining = seq.prompt_len() - cached;
+    seq.private_tokens = 0;
+    seq.prefill_done = false;
+    seq.prefill_alloc = 0;
+    stats_.cached_tokens_reused += cached;
+    running_.push_back(std::move(seq));
+    stats_.peak_running =
+        std::max(stats_.peak_running, static_cast<int>(running_.size()));
+  }
+}
+
+void Replica::MaybeStep() {
+  if (step_in_flight_) {
+    return;
+  }
+  Admit();
+  if (running_.empty()) {
+    return;
+  }
+  // Plan the step: chunked prefill first, plus one decode token per seq in
+  // decode phase (mixed batch, SGLang-style).
+  int64_t prefill_budget = config_.max_prefill_tokens_per_step;
+  int64_t prefill_total = 0;
+  int decode_count = 0;
+  for (Seq& seq : running_) {
+    seq.prefill_alloc = 0;
+    if (!seq.prefill_done && prefill_budget > 0) {
+      seq.prefill_alloc = std::min(seq.prefill_remaining, prefill_budget);
+      prefill_budget -= seq.prefill_alloc;
+      prefill_total += seq.prefill_alloc;
+    } else if (seq.prefill_done && seq.generated < seq.output_len()) {
+      ++decode_count;
+    }
+  }
+  if (prefill_total == 0 && decode_count == 0) {
+    return;  // Nothing to do (all seqs stalled behind the prefill budget).
+  }
+  int64_t decode_context_tokens = 0;
+  for (const Seq& seq : running_) {
+    if (seq.prefill_done && seq.generated < seq.output_len()) {
+      decode_context_tokens += seq.prompt_len() + seq.generated;
+    }
+  }
+  double duration_us =
+      config_.step_base_us +
+      static_cast<double>(prefill_total) * config_.prefill_us_per_token +
+      static_cast<double>(decode_count) * config_.decode_us_per_seq +
+      static_cast<double>(decode_context_tokens) *
+          config_.decode_us_per_context_token;
+  step_in_flight_ = true;
+  ++stats_.engine_steps;
+  stats_.busy_us += duration_us;
+  sim_->ScheduleAfter(static_cast<SimDuration>(duration_us),
+                      [this] { FinishStep(); });
+}
+
+void Replica::FinishStep() {
+  step_in_flight_ = false;
+
+  // Apply prefill progress and decode increments.
+  for (Seq& seq : running_) {
+    if (seq.prefill_alloc > 0) {
+      seq.prefill_remaining -= seq.prefill_alloc;
+      seq.private_tokens += seq.prefill_alloc;
+      stats_.prefill_tokens_computed += seq.prefill_alloc;
+      seq.prefill_alloc = 0;
+      if (seq.prefill_remaining == 0) {
+        OnPrefillComplete(seq);
+      }
+    } else if (seq.prefill_done && seq.first_token_sent &&
+               seq.generated < seq.output_len()) {
+      ++seq.generated;
+      ++seq.private_tokens;
+      ++stats_.output_tokens_generated;
+    }
+  }
+
+  // Completions (collected first: CompleteSeq mutates the cache).
+  std::vector<Seq> finished;
+  for (auto it = running_.begin(); it != running_.end();) {
+    if (it->prefill_done && it->generated >= it->output_len()) {
+      finished.push_back(std::move(*it));
+      it = running_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (Seq& seq : finished) {
+    CompleteSeq(seq);
+  }
+
+  ReclaimMemory();
+  SampleMemory();
+  MaybeStep();
+}
+
+void Replica::OnPrefillComplete(Seq& seq) {
+  seq.prefill_done = true;
+  // The final prefill chunk's forward pass produces the first output token.
+  if (seq.generated == 0) {
+    seq.generated = 1;
+    ++seq.private_tokens;
+    ++stats_.output_tokens_generated;
+  }
+
+  if (config_.enable_prefix_cache) {
+    // Publish prompt KV to the shared cache and re-pin the full prompt so
+    // concurrent identical prompts can reuse it from now on. Only generated
+    // tokens remain private afterwards (cached_len keeps the admission-time
+    // value for reporting; it reflects the compute actually saved).
+    cache_.Insert(seq.req.prompt, sim_->now());
+    if (seq.pin != kInvalidPin) {
+      cache_.Unref(seq.pin);
+    }
+    auto match = cache_.MatchAndRef(seq.req.prompt, sim_->now());
+    seq.pin = match.pin;
+    seq.private_tokens =
+        (seq.prompt_len() - match.cached_len) + seq.generated;
+  }
+
+  if (!seq.first_token_sent) {
+    seq.first_token_sent = true;
+    if (seq.handlers.on_first_token) {
+      seq.handlers.on_first_token(seq.req, seq.cached_len);
+    }
+  }
+}
+
+void Replica::CompleteSeq(Seq& seq) {
+  if (config_.enable_prefix_cache) {
+    TokenSeq full = seq.req.prompt;
+    full.insert(full.end(), seq.req.output.begin(), seq.req.output.end());
+    cache_.Insert(full, sim_->now());
+    if (seq.pin != kInvalidPin) {
+      cache_.Unref(seq.pin);
+      seq.pin = kInvalidPin;
+    }
+  }
+  ++stats_.completed;
+  if (seq.handlers.on_complete) {
+    seq.handlers.on_complete(seq.req, seq.cached_len);
+  }
+}
+
+void Replica::ReclaimMemory() {
+  int64_t over = Resident() - config_.kv_capacity_tokens;
+  if (over <= 0) {
+    return;
+  }
+  over -= cache_.Evict(over);
+  // Preempt youngest running requests until we fit (never the last one —
+  // progress must remain possible).
+  while (over > 0 && running_.size() > 1) {
+    Seq seq = std::move(running_.back());
+    running_.pop_back();
+    over -= seq.private_tokens;
+    if (seq.pin != kInvalidPin) {
+      cache_.Unref(seq.pin);
+      seq.pin = kInvalidPin;
+    }
+    // Restarts from scratch on re-admission; the prefix cache usually makes
+    // the recomputation cheap. first_token_sent stays true so the client
+    // sees no duplicate first-token callback.
+    seq.cached_len = 0;
+    seq.prefill_remaining = seq.prompt_len();
+    seq.private_tokens = 0;
+    seq.generated = seq.first_token_sent ? 1 : 0;
+    seq.prefill_done = false;
+    seq.prefill_alloc = 0;
+    ++stats_.preemptions;
+    pending_.push_front(std::move(seq));
+  }
+}
+
+void Replica::SampleMemory() {
+  stats_.peak_memory_utilization =
+      std::max(stats_.peak_memory_utilization, memory_utilization());
+  if (config_.memory_sample_every_steps <= 0) {
+    return;
+  }
+  if (stats_.engine_steps %
+          static_cast<int64_t>(config_.memory_sample_every_steps) ==
+      0) {
+    memory_series_.emplace_back(sim_->now(), active_memory_utilization());
+  }
+}
+
+void Replica::Crash() {
+  for (Seq& seq : running_) {
+    if (seq.pin != kInvalidPin) {
+      cache_.Unref(seq.pin);
+    }
+  }
+  running_.clear();
+  pending_.clear();
+  cache_.Clear();
+}
+
+}  // namespace skywalker

@@ -1,0 +1,209 @@
+// Discrete-event model of one LLM inference replica: an SGLang-style engine
+// with continuous batching, chunked prefill, a paged KV memory budget, and a
+// radix-tree prefix cache (paper §2.1).
+//
+// The model reproduces the observables the load-balancing layer depends on:
+//  * a *pending queue* of requests accepted by the engine but not yet in the
+//    continuous batch — the signal SP-P probes (§3.3);
+//  * prefill time proportional to non-cached prompt tokens (≈300 ms for a
+//    512-token prompt on an L4, §2.1), so prefix-cache hits directly cut
+//    TTFT;
+//  * step times of tens of milliseconds that grow with batch size;
+//  * a KV capacity that bounds concurrent requests at 20–50 for typical
+//    conversation lengths (§3.3), with LRU eviction and preemption under
+//    pressure.
+//
+// Timing model per engine step:
+//   duration = step_base + prefill_tokens · prefill_per_token
+//            + decoding_seqs · decode_per_seq
+//
+// Prompt KV is published to the prefix cache when prefill completes (SGLang
+// inserts computed KV into its radix tree immediately, so concurrent
+// identical prompts share from that point); generated tokens are published
+// at completion.
+
+#ifndef SKYWALKER_REPLICA_REPLICA_H_
+#define SKYWALKER_REPLICA_REPLICA_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "src/cache/prefix_cache.h"
+#include "src/common/sim_time.h"
+#include "src/sim/simulator.h"
+#include "src/workload/request.h"
+
+namespace skywalker {
+
+struct ReplicaConfig {
+  // KV memory in tokens. Default models an L4 (24 GB) serving
+  // Llama-3.1-8B: ~6 GB free for KV at 128 KiB/token ≈ 49K tokens.
+  int64_t kv_capacity_tokens = 49152;
+
+  // Engine cap on batch size (vLLM/SGLang max_num_seqs analogue).
+  int max_running_requests = 64;
+
+  // Chunked-prefill budget per engine step.
+  int64_t max_prefill_tokens_per_step = 1024;
+
+  // Admission headroom reserved per request for its future output.
+  int64_t output_reserve_tokens = 128;
+
+  // Timing constants (microseconds). Defaults calibrated so a 512-token
+  // prefill costs ~300 ms (paper §2.1) and decode steps are tens of ms.
+  // The per-context-token term models attention/KV-bandwidth cost, which
+  // gives decode throughput its knee: beyond a few dozen sequences, adding
+  // batch slots stops paying (as on a real L4).
+  double step_base_us = 20000.0;
+  double prefill_us_per_token = 550.0;
+  double decode_us_per_seq = 400.0;
+  double decode_us_per_context_token = 0.5;
+
+  bool enable_prefix_cache = true;
+
+  // Record a memory-utilization sample every N engine steps (0 disables).
+  int memory_sample_every_steps = 4;
+};
+
+class Replica {
+ public:
+  struct Handlers {
+    // First output token produced (prefill finished). `cached_tokens` is the
+    // prefix-cache hit length at admission.
+    std::function<void(const Request&, int64_t cached_tokens)> on_first_token;
+    // All output tokens produced.
+    std::function<void(const Request&, int64_t cached_tokens)> on_complete;
+  };
+
+  struct Stats {
+    int64_t enqueued = 0;
+    int64_t completed = 0;
+    int64_t prefill_tokens_computed = 0;
+    int64_t cached_tokens_reused = 0;
+    int64_t output_tokens_generated = 0;
+    int64_t preemptions = 0;
+    int64_t engine_steps = 0;
+    double busy_us = 0;          // Total step time.
+    double peak_memory_utilization = 0;
+    int peak_running = 0;
+    int peak_pending = 0;
+  };
+
+  Replica(Simulator* sim, ReplicaId id, RegionId region,
+          const ReplicaConfig& config);
+
+  Replica(const Replica&) = delete;
+  Replica& operator=(const Replica&) = delete;
+
+  // Request arrival at the replica (network latency already applied by the
+  // caller). Enters the pending queue until the batch admits it.
+  void Enqueue(Request req, Handlers handlers);
+
+  // --- Probe interface (what a heartbeat RPC would report, §3.3) ---
+
+  // Requests not yet scheduled into the continuous batch. "> 0" is the
+  // paper's definition of a full replica.
+  int pending_count() const { return static_cast<int>(pending_.size()); }
+  int running_count() const { return static_cast<int>(running_.size()); }
+  // LB-visible total load (outstanding = pending + running).
+  int outstanding_count() const { return pending_count() + running_count(); }
+
+  int64_t memory_used_tokens() const;
+  double memory_utilization() const;
+
+  // Engine-reported admission headroom: how many more requests of typical
+  // size the continuous batch could admit right now, bounded by both batch
+  // slots and KV memory. Heartbeat probes report this alongside the pending
+  // count so balancers can bound their optimistic pushes between probes.
+  int EstimateFreeCapacity() const;
+
+  // KV held by *running* requests (pinned cache paths + private tokens).
+  // Excludes cached-but-idle content, which an LRU cache keeps resident
+  // anyway; this is the "KV cache memory utilization" a serving dashboard
+  // (and the paper's Fig. 4b) reports.
+  int64_t active_memory_tokens() const;
+  double active_memory_utilization() const;
+
+  ReplicaId id() const { return id_; }
+  RegionId region() const { return region_; }
+  const ReplicaConfig& config() const { return config_; }
+  const PrefixCache& cache() const { return cache_; }
+  const Stats& stats() const { return stats_; }
+
+  // Fraction of wall time the engine executed steps since construction.
+  double BusyFraction() const;
+
+  // (time, utilization in [0,1]) samples for memory time-series figures.
+  const std::vector<std::pair<SimTime, double>>& memory_series() const {
+    return memory_series_;
+  }
+
+  // Drops all queued and running work (used by failure-injection tests).
+  // Running requests vanish without callbacks, like a crashed engine.
+  void Crash();
+
+ private:
+  struct Seq {
+    Request req;
+    Handlers handlers;
+    int64_t cached_len = 0;         // Admission-time hit (reporting).
+    PinId pin = kInvalidPin;
+    int64_t prefill_remaining = 0;  // Prompt tokens still to compute.
+    int64_t private_tokens = 0;     // KV held outside the shared cache.
+    int64_t generated = 0;          // Output tokens produced so far.
+    bool prefill_done = false;
+    bool first_token_sent = false;
+    int64_t prefill_alloc = 0;      // Tokens assigned in the current step.
+
+    int64_t prompt_len() const { return req.prompt_tokens(); }
+    int64_t output_len() const { return req.output_tokens(); }
+  };
+
+  // Memory resident on the GPU: shared cache + private per-seq KV.
+  int64_t Resident() const;
+
+  // Memory already promised to admitted requests but not yet materialized:
+  // remaining prefill tokens plus unconsumed output reserve. Without this,
+  // admission would overcommit (freshly admitted seqs hold no KV yet).
+  int64_t CommittedFuture() const;
+
+  // Moves pending requests into the batch while memory and slots allow.
+  void Admit();
+
+  // Starts an engine step if work exists and none is in flight.
+  void MaybeStep();
+
+  // Applies the effects of the step that just finished.
+  void FinishStep();
+
+  // Handles a seq whose prefill completed in this step.
+  void OnPrefillComplete(Seq& seq);
+
+  void CompleteSeq(Seq& seq);
+
+  // Frees memory under pressure: cache eviction first, then preemption of
+  // the youngest running request.
+  void ReclaimMemory();
+
+  void SampleMemory();
+
+  Simulator* sim_;
+  ReplicaId id_;
+  RegionId region_;
+  ReplicaConfig config_;
+  PrefixCache cache_;
+
+  std::deque<Seq> pending_;
+  std::vector<Seq> running_;  // Admission order (oldest first).
+  bool step_in_flight_ = false;
+
+  Stats stats_;
+  std::vector<std::pair<SimTime, double>> memory_series_;
+};
+
+}  // namespace skywalker
+
+#endif  // SKYWALKER_REPLICA_REPLICA_H_

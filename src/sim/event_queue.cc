@@ -1,0 +1,50 @@
+#include "src/sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace skywalker {
+
+EventId EventQueue::Push(SimTime at, std::function<void()> fn) {
+  EventId id = next_id_++;
+  heap_.push(Entry{at, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) {
+    return false;
+  }
+  callbacks_.erase(it);
+  --live_count_;
+  return true;
+}
+
+void EventQueue::SkipCancelled() {
+  while (!heap_.empty() && callbacks_.find(heap_.top().id) == callbacks_.end()) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::PeekTime() {
+  SkipCancelled();
+  assert(!heap_.empty());
+  return heap_.top().at;
+}
+
+EventQueue::Event EventQueue::Pop() {
+  SkipCancelled();
+  assert(!heap_.empty());
+  Entry top = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(top.id);
+  Event event{top.at, top.id, std::move(it->second)};
+  callbacks_.erase(it);
+  --live_count_;
+  return event;
+}
+
+}  // namespace skywalker

@@ -1,0 +1,74 @@
+// Priority event queue for the discrete-event simulator.
+//
+// Events with equal timestamps execute in scheduling (FIFO) order, which makes
+// runs deterministic. Cancellation is tombstone-based: cancelled ids are
+// skipped when popped.
+
+#ifndef SKYWALKER_SIM_EVENT_QUEUE_H_
+#define SKYWALKER_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/sim_time.h"
+
+namespace skywalker {
+
+using EventId = uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  // Enqueues `fn` to run at absolute time `at`. Returns a handle usable with
+  // Cancel().
+  EventId Push(SimTime at, std::function<void()> fn);
+
+  // Cancels a pending event. Returns false if the event already ran, was
+  // already cancelled, or never existed.
+  bool Cancel(EventId id);
+
+  bool empty() const { return live_count_ == 0; }
+  size_t size() const { return live_count_; }
+
+  // Timestamp of the earliest live event. Requires !empty().
+  SimTime PeekTime();
+
+  // Pops the earliest live event. Requires !empty().
+  struct Event {
+    SimTime at;
+    EventId id;
+    std::function<void()> fn;
+  };
+  Event Pop();
+
+ private:
+  struct Entry {
+    SimTime at;
+    uint64_t seq;  // Tie-break: earlier scheduling first.
+    EventId id;
+  };
+  struct EntryGreater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) {
+        return a.at > b.at;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  // Drops cancelled entries from the heap top.
+  void SkipCancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, EntryGreater> heap_;
+  std::unordered_map<EventId, std::function<void()>> callbacks_;
+  uint64_t next_seq_ = 1;
+  EventId next_id_ = 1;
+  size_t live_count_ = 0;
+};
+
+}  // namespace skywalker
+
+#endif  // SKYWALKER_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,78 @@
+#include "src/sim/simulator.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace skywalker {
+
+EventId Simulator::ScheduleAt(SimTime at, std::function<void()> fn) {
+  return events_.Push(std::max(at, now_), std::move(fn));
+}
+
+EventId Simulator::ScheduleAfter(SimDuration delay, std::function<void()> fn) {
+  return ScheduleAt(now_ + std::max<SimDuration>(delay, 0), std::move(fn));
+}
+
+size_t Simulator::Run() {
+  size_t n = 0;
+  while (Step()) {
+    ++n;
+  }
+  return n;
+}
+
+size_t Simulator::RunUntil(SimTime deadline) {
+  size_t n = 0;
+  while (!events_.empty() && events_.PeekTime() <= deadline) {
+    Step();
+    ++n;
+  }
+  now_ = std::max(now_, deadline);
+  return n;
+}
+
+bool Simulator::Step() {
+  if (events_.empty()) {
+    return false;
+  }
+  EventQueue::Event event = events_.Pop();
+  now_ = std::max(now_, event.at);
+  ++executed_;
+  event.fn();
+  return true;
+}
+
+PeriodicTask::PeriodicTask(Simulator* sim, SimDuration interval,
+                           std::function<void()> fn)
+    : sim_(sim), interval_(interval), fn_(std::move(fn)) {}
+
+PeriodicTask::~PeriodicTask() { Stop(); }
+
+void PeriodicTask::Start() { StartWithDelay(interval_); }
+
+void PeriodicTask::StartWithDelay(SimDuration initial_delay) {
+  Stop();
+  running_ = true;
+  pending_ = sim_->ScheduleAfter(initial_delay, [this] { Tick(); });
+}
+
+void PeriodicTask::Stop() {
+  if (pending_ != kInvalidEventId) {
+    sim_->Cancel(pending_);
+    pending_ = kInvalidEventId;
+  }
+  running_ = false;
+}
+
+void PeriodicTask::Tick() {
+  pending_ = kInvalidEventId;
+  if (!running_) {
+    return;
+  }
+  fn_();
+  if (running_) {  // fn_ may have called Stop().
+    pending_ = sim_->ScheduleAfter(interval_, [this] { Tick(); });
+  }
+}
+
+}  // namespace skywalker

@@ -1,0 +1,88 @@
+// Single-threaded discrete-event simulator. All actors (clients, load
+// balancers, replicas, the controller) share one Simulator instance; the
+// simulated clock only advances between events, so event handlers observe a
+// consistent "now".
+
+#ifndef SKYWALKER_SIM_SIMULATOR_H_
+#define SKYWALKER_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/common/sim_time.h"
+#include "src/sim/event_queue.h"
+
+namespace skywalker {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` at absolute simulated time `at` (clamped to now).
+  EventId ScheduleAt(SimTime at, std::function<void()> fn);
+
+  // Schedules `fn` after `delay` (clamped to zero).
+  EventId ScheduleAfter(SimDuration delay, std::function<void()> fn);
+
+  // Cancels a pending event; false if it already fired or was cancelled.
+  bool Cancel(EventId id) { return events_.Cancel(id); }
+
+  // Runs until the event queue drains. Returns events executed.
+  size_t Run();
+
+  // Runs events with timestamp <= `deadline`; the clock ends at
+  // min(deadline, time of last event) or `deadline` if events remain.
+  size_t RunUntil(SimTime deadline);
+
+  // RunUntil(now + d).
+  size_t RunFor(SimDuration d) { return RunUntil(now_ + d); }
+
+  // Executes at most one event. Returns false when the queue is empty.
+  bool Step();
+
+  bool HasPendingEvents() const { return !events_.empty(); }
+  size_t pending_events() const { return events_.size(); }
+  size_t executed_events() const { return executed_; }
+
+ private:
+  EventQueue events_;
+  SimTime now_ = 0;
+  size_t executed_ = 0;
+};
+
+// Repeats a callback at a fixed interval until stopped or the owner is
+// destroyed. Used for heartbeat probes and availability sync.
+class PeriodicTask {
+ public:
+  PeriodicTask(Simulator* sim, SimDuration interval, std::function<void()> fn);
+  ~PeriodicTask();
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  // Starts ticking; first tick after one interval (or `initial_delay`).
+  void Start();
+  void StartWithDelay(SimDuration initial_delay);
+  void Stop();
+  bool running() const { return running_; }
+
+  SimDuration interval() const { return interval_; }
+  void set_interval(SimDuration interval) { interval_ = interval; }
+
+ private:
+  void Tick();
+
+  Simulator* sim_;
+  SimDuration interval_;
+  std::function<void()> fn_;
+  EventId pending_ = kInvalidEventId;
+  bool running_ = false;
+};
+
+}  // namespace skywalker
+
+#endif  // SKYWALKER_SIM_SIMULATOR_H_

@@ -1,0 +1,22 @@
+#include "src/workload/length_model.h"
+
+#include <algorithm>
+
+namespace skywalker {
+
+int64_t LengthModel::Clamp(double v, int64_t lo, int64_t hi) {
+  int64_t n = static_cast<int64_t>(v);
+  return std::max(lo, std::min(hi, n));
+}
+
+int64_t LengthModel::SampleInputLen(Rng& rng) const {
+  return Clamp(rng.LogNormal(config_.input_mu, config_.input_sigma),
+               config_.input_min, config_.input_max);
+}
+
+int64_t LengthModel::SampleOutputLen(Rng& rng) const {
+  return Clamp(rng.LogNormal(config_.output_mu, config_.output_sigma),
+               config_.output_min, config_.output_max);
+}
+
+}  // namespace skywalker

@@ -1,0 +1,46 @@
+// Token-length distributions calibrated to the WildChat CDFs in Fig. 4a:
+// inputs cluster in the tens-to-hundreds of tokens, outputs are heavier
+// tailed (hundreds, with a tail into the thousands; clamped at a max).
+
+#ifndef SKYWALKER_WORKLOAD_LENGTH_MODEL_H_
+#define SKYWALKER_WORKLOAD_LENGTH_MODEL_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+
+namespace skywalker {
+
+struct LengthModelConfig {
+  // Lognormal parameters for user-message (input) token counts.
+  double input_mu = 4.3;     // median ~74 tokens
+  double input_sigma = 1.0;
+  int64_t input_min = 4;
+  int64_t input_max = 8192;
+
+  // Lognormal parameters for assistant-output token counts (heavier tail).
+  double output_mu = 5.4;    // median ~221 tokens
+  double output_sigma = 0.9;
+  int64_t output_min = 8;
+  int64_t output_max = 10000;
+};
+
+class LengthModel {
+ public:
+  explicit LengthModel(const LengthModelConfig& config = {})
+      : config_(config) {}
+
+  int64_t SampleInputLen(Rng& rng) const;
+  int64_t SampleOutputLen(Rng& rng) const;
+
+  const LengthModelConfig& config() const { return config_; }
+
+ private:
+  static int64_t Clamp(double v, int64_t lo, int64_t hi);
+
+  LengthModelConfig config_;
+};
+
+}  // namespace skywalker
+
+#endif  // SKYWALKER_WORKLOAD_LENGTH_MODEL_H_

@@ -1,0 +1,175 @@
+#include "src/workload/trace.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace skywalker {
+
+void Trace::Add(TraceEntry entry) { entries_.push_back(std::move(entry)); }
+
+void Trace::SortByTime() {
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [](const TraceEntry& a, const TraceEntry& b) {
+                     return a.submit_time < b.submit_time;
+                   });
+}
+
+void Trace::Serialize(std::ostream& os) const {
+  for (const TraceEntry& e : entries_) {
+    os << e.submit_time << ' ' << e.user_id << ' ' << e.session_id << ' '
+       << e.client_region << ' ' << e.routing_key << ' ' << e.prompt.size();
+    for (Token t : e.prompt) {
+      os << ' ' << t;
+    }
+    os << ' ' << e.output.size();
+    for (Token t : e.output) {
+      os << ' ' << t;
+    }
+    os << '\n';
+  }
+}
+
+StatusOr<Trace> Trace::Deserialize(std::istream& is) {
+  Trace trace;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream ls(line);
+    TraceEntry e;
+    size_t prompt_len = 0;
+    size_t output_len = 0;
+    if (!(ls >> e.submit_time >> e.user_id >> e.session_id >>
+          e.client_region >> e.routing_key >> prompt_len)) {
+      return InvalidArgumentError("trace line " + std::to_string(line_no) +
+                                  ": malformed header");
+    }
+    e.prompt.resize(prompt_len);
+    for (size_t i = 0; i < prompt_len; ++i) {
+      if (!(ls >> e.prompt[i])) {
+        return InvalidArgumentError("trace line " + std::to_string(line_no) +
+                                    ": truncated prompt");
+      }
+    }
+    if (!(ls >> output_len)) {
+      return InvalidArgumentError("trace line " + std::to_string(line_no) +
+                                  ": missing output length");
+    }
+    e.output.resize(output_len);
+    for (size_t i = 0; i < output_len; ++i) {
+      if (!(ls >> e.output[i])) {
+        return InvalidArgumentError("trace line " + std::to_string(line_no) +
+                                    ": truncated output");
+      }
+    }
+    trace.Add(std::move(e));
+  }
+  return trace;
+}
+
+Trace::Summary Trace::Summarize() const {
+  Summary summary;
+  summary.requests = entries_.size();
+  std::vector<UserId> users;
+  std::vector<SessionId> sessions;
+  bool first = true;
+  for (const TraceEntry& e : entries_) {
+    users.push_back(e.user_id);
+    sessions.push_back(e.session_id);
+    summary.prompt_tokens += static_cast<int64_t>(e.prompt.size());
+    summary.output_tokens += static_cast<int64_t>(e.output.size());
+    if (first || e.submit_time < summary.first_submit) {
+      summary.first_submit = e.submit_time;
+    }
+    if (first || e.submit_time > summary.last_submit) {
+      summary.last_submit = e.submit_time;
+    }
+    first = false;
+  }
+  std::sort(users.begin(), users.end());
+  summary.users = static_cast<size_t>(
+      std::unique(users.begin(), users.end()) - users.begin());
+  std::sort(sessions.begin(), sessions.end());
+  summary.sessions = static_cast<size_t>(
+      std::unique(sessions.begin(), sessions.end()) - sessions.begin());
+  return summary;
+}
+
+void RecordingFrontend::HandleRequest(Request req, RequestCallbacks callbacks) {
+  TraceEntry entry;
+  entry.submit_time = req.submit_time;
+  entry.user_id = req.user_id;
+  entry.session_id = req.session_id;
+  entry.client_region = req.client_region;
+  entry.routing_key = req.routing_key;
+  entry.prompt = req.prompt;
+  entry.output = req.output;
+  trace_->Add(std::move(entry));
+  wrapped_->HandleRequest(std::move(req), std::move(callbacks));
+}
+
+RecordingResolver::~RecordingResolver() = default;
+
+Frontend* RecordingResolver::Resolve(RegionId client_region) {
+  Frontend* target = inner_->Resolve(client_region);
+  if (target == nullptr) {
+    return nullptr;
+  }
+  for (const auto& wrapper : wrappers_) {
+    if (wrapper->region() == target->region() && wrapper->healthy()) {
+      return wrapper.get();
+    }
+  }
+  wrappers_.push_back(std::make_unique<RecordingFrontend>(target, trace_));
+  return wrappers_.back().get();
+}
+
+TraceReplayer::TraceReplayer(Simulator* sim, Network* net,
+                             FrontendResolver* resolver, MetricsSink* metrics,
+                             const Trace* trace)
+    : sim_(sim),
+      net_(net),
+      resolver_(resolver),
+      metrics_(metrics),
+      trace_(trace) {}
+
+void TraceReplayer::Start(double time_scale) {
+  for (const TraceEntry& entry : trace_->entries()) {
+    SimTime at = static_cast<SimTime>(
+        static_cast<double>(entry.submit_time) * time_scale);
+    sim_->ScheduleAt(at, [this, &entry] { SubmitEntry(entry); });
+  }
+}
+
+void TraceReplayer::SubmitEntry(const TraceEntry& entry) {
+  Frontend* frontend = resolver_->Resolve(entry.client_region);
+  if (frontend == nullptr) {
+    return;  // No healthy frontend; open-loop replay drops the request.
+  }
+  Request req;
+  req.id = NextRequestId();
+  req.user_id = entry.user_id;
+  req.session_id = entry.session_id;
+  req.client_region = entry.client_region;
+  req.routing_key = entry.routing_key;
+  req.prompt = entry.prompt;
+  req.output = entry.output;
+
+  ++submitted_;
+  RequestCallbacks callbacks;
+  callbacks.on_complete = [this](const RequestOutcome& outcome) {
+    ++completed_;
+    if (metrics_ != nullptr) {
+      metrics_->RecordOutcome(outcome);
+    }
+  };
+  SubmitViaNetwork(net_, entry.client_region, frontend, std::move(req),
+                   std::move(callbacks));
+}
+
+}  // namespace skywalker

@@ -1,0 +1,179 @@
+// Tests for the analysis layer: metrics windowing, cost model arithmetic
+// (Fig. 3b relationships), prefix-similarity measurement (Fig. 5 ordering).
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/cost_model.h"
+#include "src/analysis/metrics.h"
+#include "src/analysis/prefix_similarity.h"
+#include "src/workload/diurnal.h"
+
+namespace skywalker {
+namespace {
+
+RequestOutcome MakeOutcome(SimTime submit, SimTime first, SimTime done,
+                           int64_t prompt = 100, int64_t cached = 0,
+                           int64_t output = 50, bool forwarded = false) {
+  RequestOutcome o;
+  o.submit_time = submit;
+  o.first_token_time = first;
+  o.completion_time = done;
+  o.prompt_tokens = prompt;
+  o.cached_prompt_tokens = cached;
+  o.output_tokens = output;
+  o.forwarded = forwarded;
+  o.replica = 0;
+  return o;
+}
+
+TEST(MetricsTest, WindowFiltersOutcomes) {
+  MetricsCollector metrics;
+  metrics.SetMeasurementWindow(Seconds(10), Seconds(20));
+  metrics.RecordOutcome(MakeOutcome(Seconds(1), Seconds(2), Seconds(5)));
+  metrics.RecordOutcome(MakeOutcome(Seconds(11), Seconds(12), Seconds(15)));
+  metrics.RecordOutcome(MakeOutcome(Seconds(19), Seconds(21), Seconds(25)));
+  EXPECT_EQ(metrics.total_recorded(), 3u);
+  EXPECT_EQ(metrics.CountInWindow(), 1u);
+}
+
+TEST(MetricsTest, TtftAndE2eComputedFromTimestamps) {
+  MetricsCollector metrics;
+  metrics.RecordOutcome(
+      MakeOutcome(Seconds(0), SecondsF(0.4), Seconds(3)));
+  Distribution ttft = metrics.TtftSeconds();
+  Distribution e2e = metrics.E2eSeconds();
+  ASSERT_EQ(ttft.count(), 1u);
+  EXPECT_NEAR(ttft.mean(), 0.4, 1e-9);
+  EXPECT_NEAR(e2e.mean(), 3.0, 1e-9);
+}
+
+TEST(MetricsTest, ThroughputUsesWindowLength) {
+  MetricsCollector metrics;
+  metrics.SetMeasurementWindow(0, Seconds(10));
+  // 2 requests x (100 prompt + 50 output) tokens over 10 s = 30 tok/s.
+  metrics.RecordOutcome(MakeOutcome(Seconds(1), Seconds(2), Seconds(3)));
+  metrics.RecordOutcome(MakeOutcome(Seconds(4), Seconds(5), Seconds(6)));
+  EXPECT_NEAR(metrics.ThroughputTokensPerSec(), 30.0, 1e-9);
+  EXPECT_NEAR(metrics.OutputThroughputTokensPerSec(), 10.0, 1e-9);
+}
+
+TEST(MetricsTest, CacheHitRateTokenWeighted) {
+  MetricsCollector metrics;
+  metrics.RecordOutcome(
+      MakeOutcome(0, 1, 2, /*prompt=*/100, /*cached=*/80));
+  metrics.RecordOutcome(
+      MakeOutcome(0, 1, 2, /*prompt=*/300, /*cached=*/0));
+  EXPECT_NEAR(metrics.CacheHitRate(), 80.0 / 400.0, 1e-9);
+}
+
+TEST(MetricsTest, ForwardedFraction) {
+  MetricsCollector metrics;
+  metrics.RecordOutcome(MakeOutcome(0, 1, 2));
+  metrics.RecordOutcome(
+      MakeOutcome(0, 1, 2, 100, 0, 50, /*forwarded=*/true));
+  EXPECT_NEAR(metrics.ForwardedFraction(), 0.5, 1e-9);
+}
+
+TEST(CostModelTest, DemandConversionCeils) {
+  BinnedSeries requests(3);
+  requests.Add(0, 999);
+  requests.Add(1, 1000);
+  requests.Add(2, 1001);
+  RegionDemand demand = CostModel::DemandFromRequests(requests, 1000);
+  EXPECT_DOUBLE_EQ(demand.bin(0), 1);
+  EXPECT_DOUBLE_EQ(demand.bin(1), 1);
+  EXPECT_DOUBLE_EQ(demand.bin(2), 2);
+}
+
+TEST(CostModelTest, AggregationNeverCostsMoreThanRegionLocal) {
+  // peak(sum) <= sum(peaks) always.
+  DiurnalModel model = DiurnalModel::FiveCloudRegions();
+  CostModel cost;
+  std::vector<RegionDemand> demand;
+  for (size_t r = 0; r < model.num_regions(); ++r) {
+    demand.push_back(
+        CostModel::DemandFromRequests(model.HourlySeries(r, 4000), 500));
+  }
+  double region_local = cost.RegionLocalReservedCost(demand);
+  double aggregated = cost.AggregatedReservedCost(demand);
+  EXPECT_LE(aggregated, region_local);
+}
+
+TEST(CostModelTest, Fig3bRelationshipsHold) {
+  // Offset diurnal peaks: aggregation should save large double-digit
+  // percentages (paper: 40.5%), and perfect on-demand autoscaling should
+  // cost ~2x the aggregated reservation (paper: 2.2x).
+  DiurnalModel model = DiurnalModel::FiveCloudRegions();
+  CostModel cost;
+  std::vector<RegionDemand> demand;
+  for (size_t r = 0; r < model.num_regions(); ++r) {
+    demand.push_back(
+        CostModel::DemandFromRequests(model.HourlySeries(r, 4000), 250));
+  }
+  double region_local = cost.RegionLocalReservedCost(demand);
+  double aggregated = cost.AggregatedReservedCost(demand);
+  double autoscaling = cost.PerfectAutoscalingCost(demand);
+  double saving = 1.0 - aggregated / region_local;
+  EXPECT_GT(saving, 0.20);
+  EXPECT_LT(saving, 0.60);
+  double autoscale_ratio = autoscaling / aggregated;
+  EXPECT_GT(autoscale_ratio, 1.3);
+  EXPECT_LT(autoscale_ratio, 3.5);
+}
+
+TEST(CostModelTest, PricingRatioMatchesPaper) {
+  Pricing pricing;
+  EXPECT_NEAR(pricing.on_demand_hourly / pricing.reserved_hourly,
+              98.32 / 37.56, 1e-9);
+}
+
+TEST(PrefixSimilarityTest, OrderingMatchesFig5) {
+  ConversationGenerator gen(ConversationWorkloadConfig::WildChat(), 3, 21);
+  std::vector<RegionId> population;
+  for (int i = 0; i < 120; ++i) {
+    population.push_back(i % 3);
+  }
+  auto trace = gen.GenerateTrace(population, 3);
+  SimilarityStats stats = ComputePrefixSimilarity(trace, 4000, 5);
+  // Fig. 5a ordering: within-user > within-region > across-region.
+  EXPECT_GT(stats.within_user, stats.within_region);
+  EXPECT_GT(stats.within_region, stats.across_region);
+  EXPECT_GT(stats.within_user, 2.0 * stats.across_user);
+  EXPECT_GT(stats.within_user_pairs, 100u);
+  EXPECT_GT(stats.across_region_pairs, 100u);
+}
+
+TEST(PrefixSimilarityTest, HeatmapDiagonalDominates) {
+  ConversationGenerator gen(ConversationWorkloadConfig::Arena(), 3, 23);
+  std::vector<RegionId> population;
+  for (int i = 0; i < 30; ++i) {
+    population.push_back(i % 3);
+  }
+  auto trace = gen.GenerateTrace(population, 4);
+  auto heat = SimilarityHeatmap(trace, 20, 30, 29);
+  ASSERT_EQ(heat.size(), 20u);
+  double diag = 0;
+  double off = 0;
+  size_t off_n = 0;
+  for (size_t i = 0; i < heat.size(); ++i) {
+    diag += heat[i][i];
+    for (size_t j = 0; j < heat.size(); ++j) {
+      if (i != j) {
+        off += heat[i][j];
+        ++off_n;
+      }
+    }
+  }
+  diag /= static_cast<double>(heat.size());
+  off /= static_cast<double>(off_n);
+  EXPECT_GT(diag, 1.5 * off);
+}
+
+TEST(PrefixSimilarityTest, EmptyTraceIsZero) {
+  SimilarityStats stats = ComputePrefixSimilarity({}, 100, 1);
+  EXPECT_EQ(stats.within_user, 0);
+  EXPECT_EQ(stats.within_user_pairs, 0u);
+}
+
+}  // namespace
+}  // namespace skywalker

@@ -1,0 +1,165 @@
+// Tests for the experiment harness: system construction for every kind,
+// workload drivers, and result invariants across seeds (the property layer
+// the figure benches stand on).
+
+#include <gtest/gtest.h>
+
+#include "src/harness/experiment.h"
+#include "src/net/topology.h"
+
+namespace skywalker {
+namespace {
+
+SystemSpec TinySystem(SystemKind kind) {
+  SystemSpec spec;
+  spec.kind = kind;
+  spec.replicas_per_region = {1, 1, 1};
+  spec.replica_config.kv_capacity_tokens = 16384;
+  return spec;
+}
+
+WorkloadSpec TinyWorkload(uint64_t seed) {
+  WorkloadSpec spec;
+  spec.conversation = ConversationWorkloadConfig::Arena();
+  spec.conversation.lengths.output_max = 1500;
+  spec.seed = seed;
+  for (RegionId r = 0; r < 3; ++r) {
+    ClientGroup group;
+    group.kind = ClientGroup::Kind::kConversation;
+    group.region = r;
+    group.count = 4;
+    group.client.think_time_mean = Milliseconds(300);
+    group.client.program_gap_mean = Milliseconds(300);
+    spec.groups.push_back(group);
+  }
+  return spec;
+}
+
+ExperimentConfig TinyConfig() {
+  ExperimentConfig config;
+  config.warmup = Seconds(10);
+  config.measure = Seconds(40);
+  return config;
+}
+
+TEST(ServingSystemTest, BuildsEveryKindWithExpectedShape) {
+  Simulator sim;
+  Network net(&sim, Topology::ThreeContinents());
+  for (SystemKind kind :
+       {SystemKind::kGkeGateway, SystemKind::kRoundRobin,
+        SystemKind::kLeastLoad, SystemKind::kConsistentHash,
+        SystemKind::kSglRouter, SystemKind::kSkyWalkerCh,
+        SystemKind::kSkyWalker, SystemKind::kRegionLocal}) {
+    auto system = ServingSystem::Build(&sim, &net, TinySystem(kind));
+    EXPECT_EQ(system->replicas().size(), 3u) << SystemKindName(kind);
+    EXPECT_NE(system->resolver(), nullptr);
+    bool is_skywalker = kind == SystemKind::kSkyWalker ||
+                        kind == SystemKind::kSkyWalkerCh ||
+                        kind == SystemKind::kRegionLocal;
+    EXPECT_EQ(system->deployment() != nullptr, is_skywalker);
+    EXPECT_EQ(system->gateway() != nullptr, kind == SystemKind::kGkeGateway);
+  }
+}
+
+TEST(ServingSystemTest, CentralBaselineResolvesToOneRegion) {
+  Simulator sim;
+  Network net(&sim, Topology::ThreeContinents());
+  SystemSpec spec = TinySystem(SystemKind::kLeastLoad);
+  spec.central_lb_region = 2;
+  auto system = ServingSystem::Build(&sim, &net, spec);
+  for (RegionId client = 0; client < 3; ++client) {
+    Frontend* fe = system->resolver()->Resolve(client);
+    ASSERT_NE(fe, nullptr);
+    EXPECT_EQ(fe->region(), 2);
+  }
+}
+
+TEST(ServingSystemTest, RegionalSystemsResolveLocally) {
+  Simulator sim;
+  Network net(&sim, Topology::ThreeContinents());
+  auto system =
+      ServingSystem::Build(&sim, &net, TinySystem(SystemKind::kSkyWalker));
+  for (RegionId client = 0; client < 3; ++client) {
+    Frontend* fe = system->resolver()->Resolve(client);
+    ASSERT_NE(fe, nullptr);
+    EXPECT_EQ(fe->region(), client);
+  }
+}
+
+TEST(RunExperimentTest, ResultFieldsAreConsistent) {
+  ExperimentResult result =
+      RunExperiment(Topology::ThreeContinents(),
+                    TinySystem(SystemKind::kSkyWalker), TinyWorkload(5),
+                    TinyConfig());
+  EXPECT_GT(result.completed, 0u);
+  EXPECT_EQ(result.ttft.count(), result.completed);
+  EXPECT_EQ(result.e2e.count(), result.completed);
+  EXPECT_GE(result.throughput_tok_s, result.output_throughput_tok_s);
+  EXPECT_GE(result.ttft_p90_s, result.ttft_p50_s);
+  EXPECT_GE(result.e2e_p90_s, result.e2e_p50_s);
+  EXPECT_GE(result.cache_hit_rate, 0.0);
+  EXPECT_LE(result.cache_hit_rate, 1.0);
+  EXPECT_GE(result.forwarded_fraction, 0.0);
+  EXPECT_LE(result.forwarded_fraction, 1.0);
+}
+
+// Property: per-request TTFT <= E2E must hold for every outcome, for every
+// system kind, across seeds.
+class HarnessPropertyTest
+    : public ::testing::TestWithParam<std::tuple<SystemKind, uint64_t>> {};
+
+TEST_P(HarnessPropertyTest, TtftNeverExceedsE2e) {
+  auto [kind, seed] = GetParam();
+  Simulator sim;
+  Network net(&sim, Topology::ThreeContinents());
+  auto system = ServingSystem::Build(&sim, &net, TinySystem(kind));
+  MetricsCollector metrics;
+  WorkloadDriver driver(&sim, &net, system->resolver(), &metrics,
+                        TinyWorkload(seed), 3);
+  system->Start();
+  driver.Start();
+  sim.RunUntil(Seconds(60));
+  ASSERT_GT(metrics.total_recorded(), 10u);
+  for (const RequestOutcome& o : metrics.outcomes()) {
+    EXPECT_LE(o.submit_time, o.first_token_time);
+    EXPECT_LE(o.first_token_time, o.completion_time);
+    EXPECT_GE(o.cached_prompt_tokens, 0);
+    EXPECT_LT(o.cached_prompt_tokens, o.prompt_tokens);
+    EXPECT_TRUE(o.hops == 1 || o.hops == 2);
+    EXPECT_EQ(o.hops == 2, o.forwarded);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndSeeds, HarnessPropertyTest,
+    ::testing::Combine(::testing::Values(SystemKind::kSkyWalker,
+                                         SystemKind::kSkyWalkerCh,
+                                         SystemKind::kSglRouter,
+                                         SystemKind::kGkeGateway),
+                       ::testing::Values(11u, 22u, 33u)));
+
+// Property: deterministic replay — identical specs and seeds give identical
+// results for every system kind.
+class DeterminismPropertyTest : public ::testing::TestWithParam<SystemKind> {};
+
+TEST_P(DeterminismPropertyTest, IdenticalAcrossRuns) {
+  ExperimentResult a =
+      RunExperiment(Topology::ThreeContinents(), TinySystem(GetParam()),
+                    TinyWorkload(9), TinyConfig());
+  ExperimentResult b =
+      RunExperiment(Topology::ThreeContinents(), TinySystem(GetParam()),
+                    TinyWorkload(9), TinyConfig());
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_DOUBLE_EQ(a.throughput_tok_s, b.throughput_tok_s);
+  EXPECT_DOUBLE_EQ(a.ttft_p90_s, b.ttft_p90_s);
+  EXPECT_DOUBLE_EQ(a.cache_hit_rate, b.cache_hit_rate);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, DeterminismPropertyTest,
+                         ::testing::Values(SystemKind::kGkeGateway,
+                                           SystemKind::kConsistentHash,
+                                           SystemKind::kSkyWalker,
+                                           SystemKind::kRegionLocal));
+
+}  // namespace
+}  // namespace skywalker

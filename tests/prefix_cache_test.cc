@@ -1,0 +1,251 @@
+// Unit and property tests for the replica-side radix-tree prefix cache:
+// match/insert semantics, pin-protected eviction, edge splitting under
+// concurrent pins, and structural invariants under randomized workloads.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/cache/prefix_cache.h"
+#include "src/common/rng.h"
+
+namespace skywalker {
+namespace {
+
+TokenSeq Seq(std::initializer_list<Token> tokens) { return TokenSeq(tokens); }
+
+TEST(PrefixCacheTest, EmptyCacheMatchesNothing) {
+  PrefixCache cache(1000);
+  EXPECT_EQ(cache.MatchPrefix(Seq({1, 2, 3}), 0), 0);
+  EXPECT_EQ(cache.size_tokens(), 0);
+}
+
+TEST(PrefixCacheTest, InsertThenFullMatch) {
+  PrefixCache cache(1000);
+  EXPECT_EQ(cache.Insert(Seq({1, 2, 3, 4}), 0), 4);
+  EXPECT_EQ(cache.MatchPrefix(Seq({1, 2, 3, 4}), 1), 4);
+  EXPECT_EQ(cache.size_tokens(), 4);
+  EXPECT_TRUE(cache.CheckInvariants());
+}
+
+TEST(PrefixCacheTest, PartialMatchInsideEdge) {
+  PrefixCache cache(1000);
+  cache.Insert(Seq({1, 2, 3, 4}), 0);
+  EXPECT_EQ(cache.MatchPrefix(Seq({1, 2, 9}), 1), 2);
+  EXPECT_TRUE(cache.CheckInvariants());
+}
+
+TEST(PrefixCacheTest, ExtensionInsertAddsOnlySuffix) {
+  PrefixCache cache(1000);
+  cache.Insert(Seq({1, 2, 3}), 0);
+  EXPECT_EQ(cache.Insert(Seq({1, 2, 3, 4, 5}), 1), 2);
+  EXPECT_EQ(cache.size_tokens(), 5);
+  EXPECT_EQ(cache.MatchPrefix(Seq({1, 2, 3, 4, 5}), 2), 5);
+  EXPECT_TRUE(cache.CheckInvariants());
+}
+
+TEST(PrefixCacheTest, DivergentInsertSplitsEdge) {
+  PrefixCache cache(1000);
+  cache.Insert(Seq({1, 2, 3, 4}), 0);
+  cache.Insert(Seq({1, 2, 7, 8}), 1);
+  EXPECT_EQ(cache.size_tokens(), 6);  // 1,2 shared; 3,4 and 7,8 branches.
+  EXPECT_EQ(cache.MatchPrefix(Seq({1, 2, 3, 4}), 2), 4);
+  EXPECT_EQ(cache.MatchPrefix(Seq({1, 2, 7, 8}), 2), 4);
+  EXPECT_TRUE(cache.CheckInvariants());
+}
+
+TEST(PrefixCacheTest, DuplicateInsertAddsNothing) {
+  PrefixCache cache(1000);
+  cache.Insert(Seq({1, 2, 3}), 0);
+  EXPECT_EQ(cache.Insert(Seq({1, 2, 3}), 1), 0);
+  EXPECT_EQ(cache.size_tokens(), 3);
+}
+
+TEST(PrefixCacheTest, MatchAndRefPinsAgainstEviction) {
+  PrefixCache cache(1000);
+  cache.Insert(Seq({1, 2, 3, 4}), 0);
+  auto ref = cache.MatchAndRef(Seq({1, 2, 3, 4}), 1);
+  EXPECT_EQ(ref.cached_len, 4);
+  EXPECT_EQ(cache.Evict(1000), 0);  // Fully pinned: nothing evictable.
+  EXPECT_EQ(cache.size_tokens(), 4);
+  cache.Unref(ref.pin);
+  EXPECT_EQ(cache.Evict(1000), 4);  // Now evictable.
+  EXPECT_EQ(cache.size_tokens(), 0);
+  EXPECT_TRUE(cache.CheckInvariants());
+}
+
+TEST(PrefixCacheTest, PartialPinLeavesSuffixEvictable) {
+  PrefixCache cache(1000);
+  cache.Insert(Seq({1, 2, 3, 4, 5, 6}), 0);
+  // Pin only the first 3 tokens (splits the edge at the pin boundary).
+  auto ref = cache.MatchAndRef(Seq({1, 2, 3}), 1);
+  EXPECT_EQ(ref.cached_len, 3);
+  int64_t freed = cache.Evict(1000);
+  EXPECT_EQ(freed, 3);  // Tokens 4,5,6 evicted; pinned prefix survives.
+  EXPECT_EQ(cache.MatchPrefix(Seq({1, 2, 3}), 2), 3);
+  cache.Unref(ref.pin);
+  EXPECT_TRUE(cache.CheckInvariants());
+}
+
+TEST(PrefixCacheTest, LruEvictionOrder) {
+  PrefixCache cache(1000);
+  cache.Insert(Seq({1, 10, 11}), /*now=*/100);
+  cache.Insert(Seq({2, 20, 21}), /*now=*/200);
+  cache.Insert(Seq({3, 30, 31}), /*now=*/300);
+  // Touch the oldest to refresh it.
+  cache.MatchPrefix(Seq({1, 10, 11}), /*now=*/400);
+  EXPECT_EQ(cache.Evict(3), 3);  // Should evict branch "2" (oldest access).
+  EXPECT_EQ(cache.MatchPrefix(Seq({2, 20, 21}), 500), 0);
+  EXPECT_EQ(cache.MatchPrefix(Seq({1, 10, 11}), 500), 3);
+  EXPECT_EQ(cache.MatchPrefix(Seq({3, 30, 31}), 500), 3);
+}
+
+TEST(PrefixCacheTest, CapacityEnforcedOnInsert) {
+  PrefixCache cache(10);
+  TokenSeq a;
+  TokenSeq b;
+  for (Token t = 0; t < 8; ++t) {
+    a.push_back(t);
+    b.push_back(t + 100);
+  }
+  cache.Insert(a, 1);
+  cache.Insert(b, 2);
+  EXPECT_LE(cache.size_tokens(), 10);
+  EXPECT_TRUE(cache.CheckInvariants());
+}
+
+TEST(PrefixCacheTest, ConcurrentPinsWithSplits) {
+  PrefixCache cache(1000);
+  cache.Insert(Seq({1, 2, 3, 4, 5, 6}), 0);
+  auto long_ref = cache.MatchAndRef(Seq({1, 2, 3, 4, 5, 6}), 1);
+  // Second pin splits the path at token 2.
+  auto short_ref = cache.MatchAndRef(Seq({1, 2}), 2);
+  EXPECT_EQ(long_ref.cached_len, 6);
+  EXPECT_EQ(short_ref.cached_len, 2);
+  // Unref in either order must restore refcounts exactly.
+  cache.Unref(long_ref.pin);
+  EXPECT_EQ(cache.Evict(1000), 4);  // Suffix (3..6) evictable now.
+  cache.Unref(short_ref.pin);
+  EXPECT_EQ(cache.Evict(1000), 2);
+  EXPECT_EQ(cache.size_tokens(), 0);
+  EXPECT_TRUE(cache.CheckInvariants());
+}
+
+TEST(PrefixCacheTest, HitRateAccounting) {
+  PrefixCache cache(1000);
+  cache.Insert(Seq({1, 2, 3, 4}), 0);
+  auto ref = cache.MatchAndRef(Seq({1, 2, 3, 4, 5, 6, 7, 8}), 1);
+  EXPECT_EQ(ref.cached_len, 4);
+  EXPECT_EQ(cache.lookup_tokens(), 8);
+  EXPECT_EQ(cache.hit_tokens(), 4);
+  EXPECT_DOUBLE_EQ(cache.HitRate(), 0.5);
+  cache.Unref(ref.pin);
+}
+
+TEST(PrefixCacheTest, ClearKeepsPinnedContent) {
+  PrefixCache cache(1000);
+  cache.Insert(Seq({1, 2, 3}), 0);
+  cache.Insert(Seq({9, 8, 7}), 0);
+  auto ref = cache.MatchAndRef(Seq({1, 2, 3}), 1);
+  cache.Clear();
+  EXPECT_EQ(cache.size_tokens(), 3);  // Pinned branch survives.
+  cache.Unref(ref.pin);
+  cache.Clear();
+  EXPECT_EQ(cache.size_tokens(), 0);
+}
+
+// Property test: randomized inserts/matches/pins against a brute-force
+// reference model of "set of inserted sequences".
+class PrefixCachePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PrefixCachePropertyTest, MatchesBruteForceReference) {
+  Rng rng(GetParam());
+  PrefixCache cache(1'000'000);  // Effectively unbounded: no eviction.
+  std::vector<TokenSeq> inserted;
+
+  auto random_seq = [&rng](const std::vector<TokenSeq>& pool) {
+    TokenSeq seq;
+    if (!pool.empty() && rng.Bernoulli(0.6)) {
+      // Extend or truncate an existing sequence to force prefix structure.
+      const TokenSeq& base =
+          pool[static_cast<size_t>(rng.UniformInt(
+              0, static_cast<int64_t>(pool.size()) - 1))];
+      size_t keep = static_cast<size_t>(
+          rng.UniformInt(1, static_cast<int64_t>(base.size())));
+      seq.assign(base.begin(), base.begin() + static_cast<ptrdiff_t>(keep));
+      int64_t extra = rng.UniformInt(0, 6);
+      for (int64_t i = 0; i < extra; ++i) {
+        seq.push_back(static_cast<Token>(rng.UniformInt(0, 12)));
+      }
+    } else {
+      int64_t len = rng.UniformInt(1, 12);
+      for (int64_t i = 0; i < len; ++i) {
+        seq.push_back(static_cast<Token>(rng.UniformInt(0, 12)));
+      }
+    }
+    return seq;
+  };
+
+  for (int step = 0; step < 400; ++step) {
+    TokenSeq seq = random_seq(inserted);
+    if (rng.Bernoulli(0.5)) {
+      cache.Insert(seq, step);
+      inserted.push_back(seq);
+    } else {
+      int64_t got = cache.MatchPrefix(seq, step);
+      // Reference: longest common prefix against any inserted sequence.
+      int64_t expected = 0;
+      for (const TokenSeq& s : inserted) {
+        expected = std::max(
+            expected, static_cast<int64_t>(CommonPrefixLen(s, seq)));
+      }
+      ASSERT_EQ(got, expected) << "step " << step;
+    }
+    ASSERT_TRUE(cache.CheckInvariants()) << "step " << step;
+  }
+}
+
+TEST_P(PrefixCachePropertyTest, PinUnpinNeverCorruptsTree) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  PrefixCache cache(200);  // Small: eviction constantly active.
+  std::vector<PinId> pins;
+  for (int step = 0; step < 600; ++step) {
+    double roll = rng.NextDouble();
+    if (roll < 0.45) {
+      TokenSeq seq;
+      int64_t len = rng.UniformInt(1, 30);
+      Token base = static_cast<Token>(rng.UniformInt(0, 5));
+      for (int64_t i = 0; i < len; ++i) {
+        seq.push_back(base * 100 + static_cast<Token>(i));
+      }
+      cache.Insert(seq, step);
+    } else if (roll < 0.75) {
+      TokenSeq seq;
+      int64_t len = rng.UniformInt(1, 30);
+      Token base = static_cast<Token>(rng.UniformInt(0, 5));
+      for (int64_t i = 0; i < len; ++i) {
+        seq.push_back(base * 100 + static_cast<Token>(i));
+      }
+      pins.push_back(cache.MatchAndRef(seq, step).pin);
+    } else if (!pins.empty()) {
+      size_t idx = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(pins.size()) - 1));
+      cache.Unref(pins[idx]);
+      pins.erase(pins.begin() + static_cast<ptrdiff_t>(idx));
+    }
+    ASSERT_TRUE(cache.CheckInvariants()) << "step " << step;
+  }
+  for (PinId pin : pins) {
+    cache.Unref(pin);
+  }
+  // With all pins released the cache must fully drain.
+  cache.Evict(1 << 20);
+  EXPECT_EQ(cache.size_tokens(), 0);
+  EXPECT_TRUE(cache.CheckInvariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrefixCachePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 17, 99, 12345));
+
+}  // namespace
+}  // namespace skywalker
