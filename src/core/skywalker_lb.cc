@@ -1,6 +1,5 @@
 #include "src/core/skywalker_lb.h"
 
-#include <algorithm>
 #include <limits>
 #include <utility>
 
@@ -19,23 +18,25 @@ SkyWalkerLb::SkyWalkerLb(Simulator* sim, Network* net, LbId id,
       replica_ring_(config.ring_vnodes),
       lb_ring_(config.ring_vnodes),
       replica_trie_(config.replica_trie_capacity),
-      snapshot_trie_(config.snapshot_trie_capacity) {
-  probe_task_ = std::make_unique<PeriodicTask>(sim_, config_.probe_interval,
-                                               [this] { ProbeAll(); });
-}
+      snapshot_trie_(config.snapshot_trie_capacity),
+      engine_(sim, net, region, config.engine(), /*selector=*/this,
+              /*host=*/this) {}
 
 SkyWalkerLb::~SkyWalkerLb() = default;
 
 void SkyWalkerLb::AttachReplica(Replica* replica) {
-  ReplicaState state;
-  state.replica = replica;
-  replica_states_.emplace(replica->id(), state);
+  engine_.AttachReplica(replica);
+}
+
+void SkyWalkerLb::OnReplicaAttached(Replica* replica) {
   replica_ring_.AddTarget(replica->id());
-  TryDispatch();
 }
 
 void SkyWalkerLb::DetachReplica(ReplicaId replica_id) {
-  replica_states_.erase(replica_id);
+  engine_.DetachReplica(replica_id);
+}
+
+void SkyWalkerLb::OnReplicaDetached(ReplicaId replica_id) {
   replica_ring_.RemoveTarget(replica_id);
   replica_trie_.RemoveTarget(replica_id);
 }
@@ -58,28 +59,16 @@ void SkyWalkerLb::RemovePeer(LbId peer_id) {
 
 std::vector<Replica*> SkyWalkerLb::ManagedReplicas() const {
   std::vector<Replica*> out;
-  out.reserve(replica_states_.size());
-  for (const auto& [rid, state] : replica_states_) {
+  out.reserve(engine_.num_replicas());
+  for (const ReplicaState& state : engine_.replicas()) {
     out.push_back(state.replica);
   }
   return out;
 }
 
-void SkyWalkerLb::Start() { probe_task_->StartWithDelay(0); }
+void SkyWalkerLb::Start() { engine_.Start(); }
 
-void SkyWalkerLb::Stop() { probe_task_->Stop(); }
-
-bool SkyWalkerLb::ReplicaAvailable(const ReplicaState& state) const {
-  // Selective pushing by pending requests (§3.3): a replica is full when
-  // its continuous batch cannot admit more work, i.e. it has pending
-  // requests. Optimistic pushes between probes are bounded by the engine-
-  // reported admission headroom (capped by push_slack as a safety bound).
-  if (!state.probed_once) {
-    return state.pushes_since_probe < config_.push_slack;
-  }
-  return state.probed_pending == 0 &&
-         state.pushes_since_probe < config_.push_slack;
-}
+void SkyWalkerLb::Stop() { engine_.Stop(); }
 
 bool SkyWalkerLb::PeerAvailable(const PeerState& state) const {
   if (!state.peer->healthy()) {
@@ -88,27 +77,19 @@ bool SkyWalkerLb::PeerAvailable(const PeerState& state) const {
   if (!state.probed_once) {
     return false;  // Never forward before the first availability exchange.
   }
-  // Listing 1 line 12: available iff it has >= 1 available replica and its
-  // queue is within the τ buffer. Forwards since the last probe count as
-  // optimistic queue growth.
   // Reciprocal-offload suppression: a region that is itself out of local
   // capacity has no headroom to donate, whatever its instantaneous probe
   // snapshot says; forwarding there only displaces its own traffic.
   if (state.probed_overloaded) {
     return false;
   }
+  // Listing 1 line 12: available iff it has >= 1 available replica and its
+  // queue is within the τ buffer. Forwards since the last probe count as
+  // optimistic queue growth.
   size_t effective_queue =
       state.probed_queue_size + static_cast<size_t>(state.forwards_since_probe);
-  return state.probed_avail_replicas > 0 && effective_queue <= config_.queue_tau;
-}
-
-bool SkyWalkerLb::LocalAvailNonEmpty() const {
-  for (const auto& [rid, state] : replica_states_) {
-    if (ReplicaAvailable(state)) {
-      return true;
-    }
-  }
-  return false;
+  return state.probed_avail_replicas > 0 &&
+         effective_queue <= config_.queue_tau;
 }
 
 bool SkyWalkerLb::IsOverloaded() const {
@@ -122,27 +103,7 @@ int SkyWalkerLb::AvailableReplicaCount() const {
   if (!healthy_) {
     return 0;
   }
-  int count = 0;
-  for (const auto& [rid, state] : replica_states_) {
-    if (ReplicaAvailable(state)) {
-      ++count;
-    }
-  }
-  return count;
-}
-
-std::vector<int> SkyWalkerLb::OutstandingSnapshot() const {
-  std::vector<int> out;
-  out.reserve(replica_states_.size());
-  for (const auto& [rid, state] : replica_states_) {
-    out.push_back(state.outstanding);
-  }
-  return out;
-}
-
-SkyWalkerLb::ReplicaState* SkyWalkerLb::FindReplica(ReplicaId rid) {
-  auto it = replica_states_.find(rid);
-  return it == replica_states_.end() ? nullptr : &it->second;
+  return engine_.AvailableCount();
 }
 
 SkyWalkerLb::PeerState* SkyWalkerLb::FindPeer(LbId lbid) {
@@ -153,67 +114,41 @@ SkyWalkerLb::PeerState* SkyWalkerLb::FindPeer(LbId lbid) {
 void SkyWalkerLb::HandleRequest(Request req, RequestCallbacks callbacks) {
   if (!healthy_) {
     // Connection refused; the client re-resolves DNS and retries.
-    ++stats_.errors_reported;
+    ++errors_reported_;
     if (callbacks.on_error) {
       callbacks.on_error();
     }
     return;
   }
-  ++stats_.received_client;
+  ++received_client_;
   Queued queued;
   queued.req = std::move(req);
   queued.callbacks = std::move(callbacks);
-  queued.lb_arrival = sim_->now();
-  Enqueue(std::move(queued));
+  engine_.Enqueue(std::move(queued));
 }
 
 void SkyWalkerLb::HandleForwarded(Request req, RequestCallbacks callbacks,
                                   RegionId origin_lb_region) {
   if (!healthy_) {
-    ++stats_.errors_reported;
+    ++errors_reported_;
     if (callbacks.on_error) {
       callbacks.on_error();
     }
     return;
   }
-  ++stats_.received_forwarded;
+  ++received_forwarded_;
   Queued queued;
   queued.req = std::move(req);
   queued.callbacks = std::move(callbacks);
-  queued.lb_arrival = sim_->now();
   queued.forwarded_in = true;
   queued.origin_lb_region = origin_lb_region;
-  Enqueue(std::move(queued));
+  engine_.Enqueue(std::move(queued));
 }
 
-void SkyWalkerLb::Enqueue(Queued queued) {
-  queue_.push_back(std::move(queued));
-  stats_.max_queue_len = std::max<int64_t>(
-      stats_.max_queue_len, static_cast<int64_t>(queue_.size()));
-  TryDispatch();
-}
-
-int SkyWalkerLb::LeastOutstandingAmong(
-    const std::vector<TargetId>& candidates) const {
-  TargetId best = kInvalidTarget;
-  int best_load = std::numeric_limits<int>::max();
-  for (TargetId t : candidates) {
-    auto it = replica_states_.find(t);
-    if (it == replica_states_.end()) {
-      continue;
-    }
-    if (it->second.outstanding < best_load) {
-      best = t;
-      best_load = it->second.outstanding;
-    }
-  }
-  return best;
-}
-
-ReplicaId SkyWalkerLb::SelectLocalReplica(const Queued& queued) {
-  auto avail = [this](TargetId id) {
-    auto it = replica_states_.find(id);
-    return it != replica_states_.end() && ReplicaAvailable(it->second);
+ReplicaId SkyWalkerLb::SelectReplica(const Queued& queued,
+                                     const CandidateView& candidates) {
+  auto avail = [&candidates](TargetId id) {
+    return candidates.IsAvailable(id);
   };
 
   if (config_.policy == RoutingPolicyKind::kConsistentHash) {
@@ -223,19 +158,11 @@ ReplicaId SkyWalkerLb::SelectLocalReplica(const Queued& queued) {
   }
 
   // kPrefixTree (Listing 1 lines 18-21). Short prompts have little prefill
-  // worth saving; balance load instead (Â§7 request-characteristic routing).
+  // worth saving; balance load instead (§7 request-characteristic routing).
   if (config_.short_prompt_threshold > 0 &&
       queued.req.prompt_tokens() < config_.short_prompt_threshold) {
-    ReplicaId least = kInvalidReplica;
-    int least_load = std::numeric_limits<int>::max();
-    for (const auto& [rid, state] : replica_states_) {
-      if (ReplicaAvailable(state) && state.outstanding < least_load) {
-        least = rid;
-        least_load = state.outstanding;
-      }
-    }
-    // DispatchLocal records the placement in the trie as usual.
-    return least;
+    // OnLocalDispatch records the placement in the trie as usual.
+    return candidates.LeastLoadedAvailable();
   }
   RoutingTrie::Match match = replica_trie_.MatchBest(queued.req.prompt, avail);
   double ratio = queued.req.prompt.empty()
@@ -245,21 +172,13 @@ ReplicaId SkyWalkerLb::SelectLocalReplica(const Queued& queued) {
   if (!match.candidates.empty() && ratio >= config_.explore_threshold) {
     // Longest-prefix placement; tie-break toward the least-loaded candidate
     // recorded at the deepest usable node.
-    TargetId best = LeastOutstandingAmong(match.candidates);
-    if (best != kInvalidTarget) {
+    ReplicaId best = candidates.LeastLoadedAmong(match.candidates);
+    if (best != kInvalidReplica) {
       return best;
     }
   }
   // Low affinity: spread load across under-utilized available replicas.
-  ReplicaId best = kInvalidReplica;
-  int best_load = std::numeric_limits<int>::max();
-  for (const auto& [rid, state] : replica_states_) {
-    if (ReplicaAvailable(state) && state.outstanding < best_load) {
-      best = rid;
-      best_load = state.outstanding;
-    }
-  }
-  return best;
+  return candidates.LeastLoadedAvailable();
 }
 
 LbId SkyWalkerLb::StickyRemotePeer(const Queued& queued) {
@@ -285,7 +204,7 @@ LbId SkyWalkerLb::StickyRemotePeer(const Queued& queued) {
 }
 
 LbId SkyWalkerLb::SelectPeer(const Queued& queued) {
-  auto avail = [this, &queued](TargetId id) {
+  auto avail = [this](TargetId id) {
     auto it = peers_.find(id);
     if (it == peers_.end() || !PeerAvailable(it->second)) {
       return false;
@@ -325,125 +244,45 @@ LbId SkyWalkerLb::SelectPeer(const Queued& queued) {
   return best;
 }
 
-void SkyWalkerLb::TryDispatch() {
-  while (healthy_ && !queue_.empty()) {
-    Queued& head = queue_.front();
-    // Sticky remote affinity: a conversation whose KV context already lives
-    // in another region keeps going there while that peer stays available
-    // (otherwise every availability flap would re-prefill the full context
-    // on both sides).
-    if (!head.forwarded_in && config_.enable_forwarding &&
-        config_.policy == RoutingPolicyKind::kPrefixTree) {
-      LbId sticky = StickyRemotePeer(head);
-      if (sticky != kInvalidLb) {
-        Queued queued = std::move(head);
-        queue_.pop_front();
-        Forward(std::move(queued), sticky);
-        continue;
-      }
+DispatchEngine::Host::HeadAction SkyWalkerLb::OnQueueHead(Queued& head) {
+  // Sticky remote affinity: a conversation whose KV context already lives
+  // in another region keeps going there while that peer stays available
+  // (otherwise every availability flap would re-prefill the full context
+  // on both sides).
+  if (!head.forwarded_in && config_.enable_forwarding &&
+      config_.policy == RoutingPolicyKind::kPrefixTree) {
+    LbId sticky = StickyRemotePeer(head);
+    if (sticky != kInvalidLb) {
+      Forward(std::move(head), sticky);
+      return HeadAction::kTaken;
     }
-    // HANDLEREQUEST (Listing 1 line 28): local replicas take precedence.
-    ReplicaId replica = SelectLocalReplica(head);
-    if (replica != kInvalidReplica) {
-      last_local_avail_ = sim_->now();
-      Queued queued = std::move(head);
-      queue_.pop_front();
-      DispatchLocal(std::move(queued), replica);
-      continue;
-    }
-    if (head.forwarded_in || !config_.enable_forwarding) {
-      return;  // Terminal here; wait for local capacity.
-    }
-    // Flap damping: offload only when local unavailability persists (see
-    // SkyWalkerConfig::forward_patience).
-    if (sim_->now() - last_local_avail_ < config_.forward_patience) {
-      return;
-    }
-    LbId peer = SelectPeer(head);
-    if (peer == kInvalidLb) {
-      return;  // Nobody available anywhere; stay queued.
-    }
-    Queued queued = std::move(head);
-    queue_.pop_front();
-    Forward(std::move(queued), peer);
   }
+  // HANDLEREQUEST (Listing 1 line 28): local replicas take precedence.
+  return HeadAction::kPlaceLocal;
 }
 
-void SkyWalkerLb::DispatchLocal(Queued queued, ReplicaId replica_id) {
-  ReplicaState* state = FindReplica(replica_id);
-  SKYWALKER_CHECK(state != nullptr);
-  Replica* replica = state->replica;
-  ++state->outstanding;
-  ++state->pushes_since_probe;
-  ++stats_.dispatched_local;
-  stats_.queue_wait_sec.Add(ToSeconds(sim_->now() - queued.lb_arrival));
+DispatchEngine::Host::HeadAction SkyWalkerLb::OnUnplaced(Queued& head) {
+  if (head.forwarded_in || !config_.enable_forwarding) {
+    return HeadAction::kStall;  // Terminal here; wait for local capacity.
+  }
+  // Flap damping: offload only when local unavailability persists (see
+  // SkyWalkerConfig::forward_patience).
+  if (sim_->now() - last_local_avail_ < config_.forward_patience) {
+    return HeadAction::kStall;
+  }
+  LbId peer = SelectPeer(head);
+  if (peer == kInvalidLb) {
+    return HeadAction::kStall;  // Nobody available anywhere; stay queued.
+  }
+  Forward(std::move(head), peer);
+  return HeadAction::kTaken;
+}
 
+void SkyWalkerLb::OnLocalDispatch(const Queued& queued, ReplicaId replica_id) {
+  last_local_avail_ = sim_->now();
   if (config_.policy == RoutingPolicyKind::kPrefixTree) {
     replica_trie_.Insert(queued.req.prompt, replica_id);
   }
-
-  const RegionId client_region = queued.req.client_region;
-  const RegionId replica_region = replica->region();
-  // Response path: replica -> this LB -> (origin LB ->) client.
-  SimDuration response_latency = net_->Latency(replica_region, region_);
-  int hops = 1;
-  if (queued.forwarded_in) {
-    response_latency += net_->Latency(region_, queued.origin_lb_region) +
-                        net_->Latency(queued.origin_lb_region, client_region);
-    hops = 2;
-  } else {
-    response_latency += net_->Latency(region_, client_region);
-  }
-
-  auto outcome = std::make_shared<RequestOutcome>();
-  outcome->id = queued.req.id;
-  outcome->user_id = queued.req.user_id;
-  outcome->client_region = client_region;
-  outcome->served_region = replica_region;
-  outcome->replica = replica_id;
-  outcome->submit_time = queued.req.submit_time;
-  outcome->prompt_tokens = queued.req.prompt_tokens();
-  outcome->output_tokens = queued.req.output_tokens();
-  outcome->hops = hops;
-  outcome->forwarded = queued.forwarded_in;
-
-  auto callbacks =
-      std::make_shared<RequestCallbacks>(std::move(queued.callbacks));
-
-  Replica::Handlers handlers;
-  handlers.on_first_token = [this, outcome, callbacks, response_latency](
-                                const Request& req, int64_t cached) {
-    outcome->cached_prompt_tokens = cached;
-    outcome->first_token_time = sim_->now() + response_latency;
-    if (callbacks->on_first_token) {
-      sim_->ScheduleAfter(response_latency, [callbacks, outcome] {
-        callbacks->on_first_token(*outcome);
-      });
-    }
-  };
-  handlers.on_complete = [this, outcome, callbacks, response_latency,
-                          replica_id](const Request& req, int64_t cached) {
-    outcome->cached_prompt_tokens = cached;
-    outcome->completion_time = sim_->now() + response_latency;
-    if (callbacks->on_complete) {
-      sim_->ScheduleAfter(response_latency, [callbacks, outcome] {
-        callbacks->on_complete(*outcome);
-      });
-    }
-    net_->Send(outcome->served_region, region_, [this, replica_id] {
-      ReplicaState* rs = FindReplica(replica_id);
-      if (rs != nullptr && rs->outstanding > 0) {
-        --rs->outstanding;
-      }
-      TryDispatch();
-    });
-  };
-
-  net_->Send(region_, replica_region,
-             [replica, req = std::move(queued.req),
-              handlers = std::move(handlers)]() mutable {
-               replica->Enqueue(std::move(req), std::move(handlers));
-             });
 }
 
 void SkyWalkerLb::Forward(Queued queued, LbId peer_id) {
@@ -451,8 +290,7 @@ void SkyWalkerLb::Forward(Queued queued, LbId peer_id) {
   SKYWALKER_CHECK(state != nullptr);
   SkyWalkerLb* peer = state->peer;
   ++state->forwards_since_probe;
-  ++stats_.forwarded_out;
-  stats_.queue_wait_sec.Add(ToSeconds(sim_->now() - queued.lb_arrival));
+  ++forwarded_out_;
 
   if (config_.policy == RoutingPolicyKind::kPrefixTree) {
     // Regional snapshot update (§4.1): remember what this region offloaded
@@ -469,46 +307,25 @@ void SkyWalkerLb::Forward(Queued queued, LbId peer_id) {
              });
 }
 
-void SkyWalkerLb::ProbeAll() {
-  if (!healthy_) {
-    return;
-  }
+void SkyWalkerLb::OnProbeTick() {
   // Track smoothed local headroom for the overload advertisement.
-  if (!replica_states_.empty()) {
+  if (engine_.num_replicas() > 0) {
     double fraction = static_cast<double>(AvailableReplicaCount()) /
-                      static_cast<double>(replica_states_.size());
+                      static_cast<double>(engine_.num_replicas());
     avail_fraction_ewma_ = 0.8 * avail_fraction_ewma_ + 0.2 * fraction;
   }
-  // MONITORAVAILABILITY (Listing 1): local replica pending counts.
-  for (auto& [rid, state] : replica_states_) {
-    ++stats_.probes_sent;
-    Replica* replica = state.replica;
-    RegionId replica_region = replica->region();
-    ReplicaId replica_id = rid;
-    net_->Send(region_, replica_region,
-               [this, replica, replica_id, replica_region] {
-                 int pending = replica->pending_count();
-                 int free_capacity = replica->EstimateFreeCapacity();
-                 net_->Send(replica_region, region_,
-                            [this, replica_id, pending, free_capacity] {
-                              ReplicaState* rs = FindReplica(replica_id);
-                              if (rs == nullptr) {
-                                return;
-                              }
-                              rs->probed_pending = pending;
-                              rs->probed_free_capacity = free_capacity;
-                              rs->pushes_since_probe = 0;
-                              rs->probed_once = true;
-                              if (LocalAvailNonEmpty()) {
-                                last_local_avail_ = sim_->now();
-                              }
-                              TryDispatch();
-                            });
-               });
+}
+
+void SkyWalkerLb::OnReplicaProbeResult() {
+  if (engine_.AnyAvailable()) {
+    last_local_avail_ = sim_->now();
   }
-  // Peer LB availability: (available replicas, queue size).
+}
+
+void SkyWalkerLb::OnAfterReplicaProbes() {
+  // Peer LB availability: (available replicas, queue size, overload bit).
   for (auto& [lbid, state] : peers_) {
-    ++stats_.probes_sent;
+    ++peer_probes_sent_;
     SkyWalkerLb* peer = state.peer;
     RegionId peer_region = peer->region();
     LbId peer_id = lbid;
@@ -527,41 +344,40 @@ void SkyWalkerLb::ProbeAll() {
                    ps->probed_overloaded = overloaded;
                    ps->forwards_since_probe = 0;
                    ps->probed_once = true;
-                   TryDispatch();
+                   engine_.TryDispatch();
                  });
     });
   }
 }
 
-void SkyWalkerLb::FlushQueueWithError() {
-  std::deque<Queued> drained;
-  drained.swap(queue_);
-  for (Queued& queued : drained) {
-    ++stats_.errors_reported;
-    if (queued.callbacks.on_error) {
-      queued.callbacks.on_error();
-    }
-  }
-}
-
 void SkyWalkerLb::Fail() {
   healthy_ = false;
-  probe_task_->Stop();
-  FlushQueueWithError();
+  engine_.Stop();
+  errors_reported_ += engine_.FlushQueueWithError();
 }
 
 void SkyWalkerLb::Recover() {
   healthy_ = true;
   // Reset stale probe state; the restarted loop refreshes it.
-  for (auto& [rid, state] : replica_states_) {
-    state.probed_once = false;
-    state.pushes_since_probe = 0;
-  }
+  engine_.ResetProbeState();
   for (auto& [lbid, state] : peers_) {
     state.probed_once = false;
     state.forwards_since_probe = 0;
   }
-  probe_task_->StartWithDelay(0);
+  engine_.Start();
+}
+
+SkyWalkerLb::Stats SkyWalkerLb::stats() const {
+  Stats stats;
+  stats.received_client = received_client_;
+  stats.received_forwarded = received_forwarded_;
+  stats.dispatched_local = engine_.stats().dispatched;
+  stats.forwarded_out = forwarded_out_;
+  stats.probes_sent = engine_.stats().probes_sent + peer_probes_sent_;
+  stats.errors_reported = errors_reported_;
+  stats.max_queue_len = engine_.stats().max_queue_len;
+  stats.queue_wait_sec = engine_.stats().queue_wait_sec;
+  return stats;
 }
 
 }  // namespace skywalker

@@ -1,7 +1,11 @@
 // SkyWalker regional load balancer (paper §3, Listing 1).
 //
 // One instance runs per region as the first point of contact for local
-// clients. It implements:
+// clients. The replica half of §3.1 — FCFS queue, probe loop, selective
+// pushing by pending requests (§3.3) — is the shared dispatch engine in
+// src/routing/; this class carries only the cross-region half and plugs
+// into the engine as its ReplicaSelector (local placement policy) and Host
+// (forwarding hooks). It implements:
 //
 //  * Two-layer cross-region routing (§3.1): requests are placed on local
 //    replicas whenever any is available; otherwise they are forwarded to an
@@ -18,11 +22,8 @@
 //        `explore_threshold`, the balancer explores under-utilized replicas
 //        instead (§5.1).
 //
-//  * Selective pushing by pending requests (§3.3): replicas report their
-//    pending-queue size via 100 ms heartbeat probes; only replicas with an
-//    empty pending queue receive new work, everything else waits in the
-//    LB's FCFS queue. Peer availability requires >= 1 available replica and
-//    a queue shorter than the τ buffer (Listing 1, line 12).
+//  * Peer availability (Listing 1, line 12): a peer LB is available iff it
+//    has >= 1 available replica and a queue shorter than the τ buffer.
 //
 //  * Custom routing constraints (§4.1/§7): an optional predicate restricts
 //    which (from-region, to-region) forwarding pairs are allowed (e.g. GDPR
@@ -32,10 +33,8 @@
 #define SKYWALKER_CORE_SKYWALKER_LB_H_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
-#include <memory>
 #include <vector>
 
 #include "src/cache/hash_ring.h"
@@ -44,6 +43,7 @@
 #include "src/common/sim_time.h"
 #include "src/net/network.h"
 #include "src/replica/replica.h"
+#include "src/routing/dispatch_engine.h"
 #include "src/sim/simulator.h"
 #include "src/workload/request.h"
 
@@ -62,7 +62,7 @@ struct SkyWalkerConfig {
 
   // Optimistic pushes allowed per replica between probes: bounds burst
   // overshoot from probe staleness while letting an empty continuous batch
-  // fill within one probe window.
+  // fill within one probe window (DESIGN.md §5.3).
   int push_slack = 32;
 
   // τ: small queue buffer for newly arriving requests (Listing 1, line 12).
@@ -109,9 +109,21 @@ struct SkyWalkerConfig {
 
   // Optional constraint on forwarding pairs (GDPR, §7). Null allows all.
   std::function<bool(RegionId from, RegionId to)> forward_allowed;
+
+  // The engine-knob subset: SkyWalker always pushes selectively by pending
+  // requests (§3.3).
+  DispatchConfig engine() const {
+    DispatchConfig config;
+    config.push_mode = PushMode::kSelectivePending;
+    config.probe_interval = probe_interval;
+    config.push_slack = push_slack;
+    return config;
+  }
 };
 
-class SkyWalkerLb : public Frontend {
+class SkyWalkerLb : public Frontend,
+                    private DispatchEngine::Host,
+                    private ReplicaSelector {
  public:
   struct Stats {
     int64_t received_client = 0;
@@ -153,7 +165,7 @@ class SkyWalkerLb : public Frontend {
 
   // --- peer-visible probe state (PROBELB in Listing 1) ---
   int AvailableReplicaCount() const;
-  size_t QueueSize() const { return queue_.size(); }
+  size_t QueueSize() const { return engine_.queue_size(); }
   // True when this LB's own local capacity has been exhausted beyond the
   // patience window, i.e. it is (or is about to start) offloading. Peers
   // never forward into an overloaded region: that would only displace its
@@ -168,23 +180,18 @@ class SkyWalkerLb : public Frontend {
 
   LbId id() const { return id_; }
   const SkyWalkerConfig& config() const { return config_; }
-  const Stats& stats() const { return stats_; }
-  size_t num_replicas() const { return replica_states_.size(); }
+  // Assembled from the shared engine's counters plus the cross-region ones
+  // this class tracks; returned by value.
+  Stats stats() const;
+  size_t num_replicas() const { return engine_.num_replicas(); }
   size_t num_peers() const { return peers_.size(); }
 
   // LB-tracked outstanding per local replica (imbalance metrics).
-  std::vector<int> OutstandingSnapshot() const;
+  std::vector<int> OutstandingSnapshot() const {
+    return engine_.OutstandingSnapshot();
+  }
 
  private:
-  struct ReplicaState {
-    Replica* replica = nullptr;
-    int outstanding = 0;
-    int probed_pending = 0;
-    int probed_free_capacity = 1;  // Admission headroom from the last probe.
-    int pushes_since_probe = 0;
-    bool probed_once = false;
-  };
-
   struct PeerState {
     SkyWalkerLb* peer = nullptr;
     int probed_avail_replicas = 0;
@@ -194,36 +201,32 @@ class SkyWalkerLb : public Frontend {
     bool probed_once = false;
   };
 
-  struct Queued {
-    Request req;
-    RequestCallbacks callbacks;
-    SimTime lb_arrival = 0;
-    bool forwarded_in = false;          // Terminal: place locally only.
-    RegionId origin_lb_region = kInvalidRegion;  // Valid when forwarded_in.
-  };
+  // --- ReplicaSelector: SELECTCANDIDATE over local replicas (Listing 1,
+  // lines 17-26). ---
+  ReplicaId SelectReplica(const Queued& queued,
+                          const CandidateView& candidates) override;
+  void OnReplicaAttached(Replica* replica) override;
+  void OnReplicaDetached(ReplicaId replica_id) override;
 
-  bool ReplicaAvailable(const ReplicaState& state) const;
+  // --- DispatchEngine::Host: the cross-region half. ---
+  bool ShouldDispatch() const override { return healthy_; }
+  HeadAction OnQueueHead(Queued& head) override;
+  HeadAction OnUnplaced(Queued& head) override;
+  void OnLocalDispatch(const Queued& queued, ReplicaId replica_id) override;
+  void OnProbeTick() override;
+  void OnAfterReplicaProbes() override;
+  void OnReplicaProbeResult() override;
+
   bool PeerAvailable(const PeerState& state) const;
-  bool LocalAvailNonEmpty() const;
 
-  // SELECTCANDIDATE over local replicas (Listing 1, lines 17-26).
-  ReplicaId SelectLocalReplica(const Queued& queued);
   // SELECTCANDIDATE over peer LBs.
   LbId SelectPeer(const Queued& queued);
   // Available peer already holding this prompt's context (sticky affinity),
   // or kInvalidLb.
   LbId StickyRemotePeer(const Queued& queued);
 
-  void Enqueue(Queued queued);
-  void TryDispatch();
-  void DispatchLocal(Queued queued, ReplicaId replica_id);
   void Forward(Queued queued, LbId peer_id);
-  void ProbeAll();
-  void FlushQueueWithError();
-
-  ReplicaState* FindReplica(ReplicaId id);
   PeerState* FindPeer(LbId id);
-  int LeastOutstandingAmong(const std::vector<TargetId>& candidates) const;
 
   Simulator* sim_;
   Network* net_;
@@ -232,17 +235,22 @@ class SkyWalkerLb : public Frontend {
   SkyWalkerConfig config_;
   bool healthy_ = true;
 
-  std::map<ReplicaId, ReplicaState> replica_states_;
   std::map<LbId, PeerState> peers_;
-  std::deque<Queued> queue_;
 
   HashRing replica_ring_;
   HashRing lb_ring_;
   RoutingTrie replica_trie_;
   RoutingTrie snapshot_trie_;
 
-  std::unique_ptr<PeriodicTask> probe_task_;
-  Stats stats_;
+  DispatchEngine engine_;
+
+  // Cross-region stat counters (engine counts the local-placement half).
+  int64_t received_client_ = 0;
+  int64_t received_forwarded_ = 0;
+  int64_t forwarded_out_ = 0;
+  int64_t peer_probes_sent_ = 0;
+  int64_t errors_reported_ = 0;
+
   // Last simulated time at which some local replica was available.
   SimTime last_local_avail_ = 0;
   // EWMA of AvailableReplicaCount()/num_replicas, updated per probe cycle.

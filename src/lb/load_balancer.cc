@@ -1,203 +1,33 @@
 #include "src/lb/load_balancer.h"
 
-#include <algorithm>
 #include <utility>
-
-#include "src/common/logging.h"
 
 namespace skywalker {
 
 LoadBalancer::LoadBalancer(Simulator* sim, Network* net, LbId id,
-                           RegionId region, const LbConfig& config)
-    : sim_(sim), net_(net), id_(id), region_(region), config_(config) {
-  probe_task_ = std::make_unique<PeriodicTask>(sim_, config_.probe_interval,
-                                               [this] { ProbeAll(); });
-}
+                           RegionId region, const LbConfig& config,
+                           std::unique_ptr<ReplicaSelector> selector)
+    : id_(id),
+      region_(region),
+      config_(config),
+      selector_(std::move(selector)),
+      engine_(sim, net, region, config.engine(), selector_.get()) {}
 
 LoadBalancer::~LoadBalancer() = default;
 
 void LoadBalancer::AttachReplica(Replica* replica) {
-  ReplicaState state;
-  state.replica = replica;
-  replica_states_.emplace(replica->id(), state);
+  engine_.AttachReplica(replica);
 }
 
-void LoadBalancer::Start() {
-  if (config_.push_mode != PushMode::kBlind) {
-    probe_task_->StartWithDelay(0);
-  }
-}
+void LoadBalancer::Start() { engine_.Start(); }
 
-void LoadBalancer::Stop() { probe_task_->Stop(); }
-
-bool LoadBalancer::IsAvailable(const ReplicaState& state) const {
-  if (!state.healthy) {
-    return false;
-  }
-  switch (config_.push_mode) {
-    case PushMode::kBlind:
-      return true;
-    case PushMode::kSelectiveOutstanding:
-      return state.outstanding < config_.max_outstanding_per_replica;
-    case PushMode::kSelectivePending:
-      // Fresh LBs have not probed yet; treat as available so cold starts
-      // make progress (the first probe lands within one interval).
-      if (!state.probed_once) {
-        return state.pushes_since_probe < config_.push_slack;
-      }
-      // Optimistic pushes between probes are bounded by the engine-reported
-      // admission headroom (capped by push_slack as a safety bound).
-      return state.probed_pending == 0 &&
-             state.pushes_since_probe < config_.push_slack;
-  }
-  return false;
-}
-
-std::vector<ReplicaId> LoadBalancer::AvailableReplicas() const {
-  std::vector<ReplicaId> out;
-  for (const auto& [rid, state] : replica_states_) {
-    if (IsAvailable(state)) {
-      out.push_back(rid);
-    }
-  }
-  return out;
-}
-
-LoadBalancer::ReplicaState* LoadBalancer::FindReplica(ReplicaId rid) {
-  auto it = replica_states_.find(rid);
-  return it == replica_states_.end() ? nullptr : &it->second;
-}
-
-std::vector<int> LoadBalancer::OutstandingSnapshot() const {
-  std::vector<int> out;
-  out.reserve(replica_states_.size());
-  for (const auto& [rid, state] : replica_states_) {
-    out.push_back(state.outstanding);
-  }
-  return out;
-}
+void LoadBalancer::Stop() { engine_.Stop(); }
 
 void LoadBalancer::HandleRequest(Request req, RequestCallbacks callbacks) {
-  ++stats_.received;
   Queued queued;
   queued.req = std::move(req);
   queued.callbacks = std::move(callbacks);
-  queued.lb_arrival = sim_->now();
-  queue_.push_back(std::move(queued));
-  stats_.max_queue_len =
-      std::max<int64_t>(stats_.max_queue_len,
-                        static_cast<int64_t>(queue_.size()));
-  TryDispatch();
-}
-
-void LoadBalancer::TryDispatch() {
-  while (!queue_.empty()) {
-    ReplicaId target = SelectReplica(queue_.front());
-    if (target == kInvalidReplica) {
-      return;  // FCFS head-of-line: wait for capacity.
-    }
-    Queued queued = std::move(queue_.front());
-    queue_.pop_front();
-    DispatchTo(std::move(queued), target);
-  }
-}
-
-void LoadBalancer::DispatchTo(Queued queued, ReplicaId replica_id) {
-  ReplicaState* state = FindReplica(replica_id);
-  SKYWALKER_CHECK(state != nullptr) << "dispatch to unknown replica";
-  Replica* replica = state->replica;
-  ++state->outstanding;
-  ++state->pushes_since_probe;
-  ++stats_.dispatched;
-
-  const RegionId client_region = queued.req.client_region;
-  const RegionId replica_region = replica->region();
-  // Streamed responses travel replica -> LB -> client.
-  const SimDuration response_latency =
-      net_->Latency(replica_region, region_) +
-      net_->Latency(region_, client_region);
-
-  auto outcome = std::make_shared<RequestOutcome>();
-  outcome->id = queued.req.id;
-  outcome->user_id = queued.req.user_id;
-  outcome->client_region = client_region;
-  outcome->served_region = replica_region;
-  outcome->replica = replica_id;
-  outcome->submit_time = queued.req.submit_time;
-  outcome->prompt_tokens = queued.req.prompt_tokens();
-  outcome->output_tokens = queued.req.output_tokens();
-  outcome->hops = 1;
-  outcome->forwarded = false;
-
-  auto callbacks =
-      std::make_shared<RequestCallbacks>(std::move(queued.callbacks));
-
-  Replica::Handlers handlers;
-  handlers.on_first_token = [this, outcome, callbacks, response_latency](
-                                const Request& req, int64_t cached) {
-    outcome->cached_prompt_tokens = cached;
-    outcome->first_token_time = sim_->now() + response_latency;
-    if (callbacks->on_first_token) {
-      sim_->ScheduleAfter(response_latency, [callbacks, outcome] {
-        callbacks->on_first_token(*outcome);
-      });
-    }
-  };
-  handlers.on_complete = [this, outcome, callbacks, response_latency,
-                          replica_id](const Request& req, int64_t cached) {
-    outcome->cached_prompt_tokens = cached;
-    outcome->completion_time = sim_->now() + response_latency;
-    if (callbacks->on_complete) {
-      sim_->ScheduleAfter(response_latency, [callbacks, outcome] {
-        callbacks->on_complete(*outcome);
-      });
-    }
-    // LB-side accounting flows back over the replica->LB hop only.
-    net_->Send(outcome->served_region, region_, [this, replica_id] {
-      ReplicaState* rs = FindReplica(replica_id);
-      if (rs != nullptr && rs->outstanding > 0) {
-        --rs->outstanding;
-      }
-      ++stats_.completed;
-      TryDispatch();
-    });
-  };
-
-  net_->Send(region_, replica_region,
-             [replica, req = std::move(queued.req),
-              handlers = std::move(handlers)]() mutable {
-               replica->Enqueue(std::move(req), std::move(handlers));
-             });
-}
-
-void LoadBalancer::ProbeAll() {
-  for (auto& [rid, state] : replica_states_) {
-    if (!state.healthy) {
-      continue;
-    }
-    ++stats_.probes_sent;
-    Replica* replica = state.replica;
-    RegionId replica_region = replica->region();
-    ReplicaId replica_id = rid;
-    // Probe round trip: LB -> replica (read pending) -> LB.
-    net_->Send(region_, replica_region, [this, replica, replica_id,
-                                         replica_region] {
-      int pending = replica->pending_count();
-      int free_capacity = replica->EstimateFreeCapacity();
-      net_->Send(replica_region, region_,
-                 [this, replica_id, pending, free_capacity] {
-                   ReplicaState* rs = FindReplica(replica_id);
-                   if (rs == nullptr) {
-                     return;
-                   }
-                   rs->probed_pending = pending;
-                   rs->probed_free_capacity = free_capacity;
-                   rs->pushes_since_probe = 0;
-                   rs->probed_once = true;
-                   TryDispatch();
-                 });
-    });
-  }
+  engine_.Enqueue(std::move(queued));
 }
 
 }  // namespace skywalker

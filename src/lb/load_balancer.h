@@ -1,40 +1,25 @@
-// Load-balancer framework shared by all baseline policies (paper §5.1):
-// a Frontend with an FCFS request queue, per-replica state tracking, a
-// heartbeat probe loop, and the three pushing disciplines analysed in §3.3:
-//
-//  * kBlind               — route immediately on arrival (RR/LL/CH/SGL and
-//                           GKE Gateway behave this way);
-//  * kSelectiveOutstanding— push only to replicas with fewer than a fixed
-//                           number of outstanding requests (SP-O);
-//  * kSelectivePending    — push only to replicas whose continuous batch is
-//                           not full, i.e. last probe saw zero pending
-//                           requests (SP-P, the paper's proposal).
-//
-// Policy subclasses implement SelectReplica() over the currently available
-// candidate set.
+// Baseline load-balancer frontend (paper §5.1): a thin Frontend shell over
+// the shared dispatch engine in src/routing/. The engine owns the FCFS
+// queue, per-replica probe state, the heartbeat probe loop, and the three
+// pushing disciplines of §3.3 (kBlind / kSelectiveOutstanding /
+// kSelectivePending); this class only adapts requests into the engine and
+// injects the placement policy as a ReplicaSelector (src/lb/policies.h).
 
 #ifndef SKYWALKER_LB_LOAD_BALANCER_H_
 #define SKYWALKER_LB_LOAD_BALANCER_H_
 
 #include <cstdint>
-#include <deque>
-#include <map>
 #include <memory>
 #include <vector>
 
 #include "src/common/sim_time.h"
 #include "src/net/network.h"
 #include "src/replica/replica.h"
+#include "src/routing/dispatch_engine.h"
 #include "src/sim/simulator.h"
 #include "src/workload/request.h"
 
 namespace skywalker {
-
-enum class PushMode {
-  kBlind,
-  kSelectiveOutstanding,
-  kSelectivePending,
-};
 
 struct LbConfig {
   PushMode push_mode = PushMode::kBlind;
@@ -61,20 +46,27 @@ struct LbConfig {
   // exceeds this (≈ its KV budget), all estimates decay, mirroring worker
   // eviction.
   int64_t sgl_tree_decay_tokens = 49152;
+
+  // The engine-knob subset, in the shared config vocabulary.
+  DispatchConfig engine() const {
+    DispatchConfig config;
+    config.push_mode = push_mode;
+    config.probe_interval = probe_interval;
+    config.max_outstanding_per_replica = max_outstanding_per_replica;
+    config.push_slack = push_slack;
+    return config;
+  }
 };
 
 class LoadBalancer : public Frontend {
  public:
-  struct Stats {
-    int64_t received = 0;
-    int64_t dispatched = 0;
-    int64_t completed = 0;
-    int64_t probes_sent = 0;
-    int64_t max_queue_len = 0;
-  };
+  using Stats = DispatchEngine::Stats;
 
+  // `selector` provides the placement policy; see src/lb/policies.h for the
+  // four baselines. The selector is notified of replica attach/detach.
   LoadBalancer(Simulator* sim, Network* net, LbId id, RegionId region,
-               const LbConfig& config);
+               const LbConfig& config,
+               std::unique_ptr<ReplicaSelector> selector);
   ~LoadBalancer() override;
 
   LoadBalancer(const LoadBalancer&) = delete;
@@ -94,64 +86,25 @@ class LoadBalancer : public Frontend {
 
   LbId id() const { return id_; }
   const LbConfig& config() const { return config_; }
-  const Stats& stats() const { return stats_; }
-  size_t queue_length() const { return queue_.size(); }
+  const Stats& stats() const { return engine_.stats(); }
+  size_t queue_length() const { return engine_.queue_size(); }
 
   // Current LB-tracked outstanding per replica (for imbalance metrics).
-  std::vector<int> OutstandingSnapshot() const;
+  std::vector<int> OutstandingSnapshot() const {
+    return engine_.OutstandingSnapshot();
+  }
 
  protected:
-  struct ReplicaState {
-    Replica* replica = nullptr;
-    int outstanding = 0;        // LB-tracked in-flight (pushed, not completed).
-    int probed_pending = 0;     // Pending count from the last probe.
-    int probed_free_capacity = 1;  // Admission headroom from the last probe.
-    int pushes_since_probe = 0;
-    bool probed_once = false;
-    bool healthy = true;
-  };
-
-  struct Queued {
-    Request req;
-    RequestCallbacks callbacks;
-    SimTime lb_arrival = 0;
-  };
-
-  // Chooses a replica for the queue head, or kInvalidReplica to keep it
-  // queued. Implementations must only return available replicas (per
-  // IsAvailable) and may update their own routing state.
-  virtual ReplicaId SelectReplica(const Queued& queued) = 0;
-
-  // Pushing-discipline availability test (§3.3).
-  bool IsAvailable(const ReplicaState& state) const;
-
-  std::vector<ReplicaId> AvailableReplicas() const;
-
-  const std::map<ReplicaId, ReplicaState>& replica_states() const {
-    return replica_states_;
-  }
-  ReplicaState* FindReplica(ReplicaId id);
-
-  Simulator* sim() const { return sim_; }
-  Network* net() const { return net_; }
-
-  // Dispatches queue-head requests while a policy target exists.
-  void TryDispatch();
+  DispatchEngine* engine() { return &engine_; }
+  const DispatchEngine* engine() const { return &engine_; }
+  ReplicaSelector* selector() { return selector_.get(); }
 
  private:
-  void DispatchTo(Queued queued, ReplicaId replica_id);
-  void ProbeAll();
-
-  Simulator* sim_;
-  Network* net_;
   LbId id_;
   RegionId region_;
   LbConfig config_;
-
-  std::map<ReplicaId, ReplicaState> replica_states_;
-  std::deque<Queued> queue_;
-  std::unique_ptr<PeriodicTask> probe_task_;
-  Stats stats_;
+  std::unique_ptr<ReplicaSelector> selector_;
+  DispatchEngine engine_;
 };
 
 }  // namespace skywalker

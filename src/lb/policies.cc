@@ -6,69 +6,61 @@
 
 namespace skywalker {
 
-ReplicaId RoundRobinLb::SelectReplica(const Queued& queued) {
-  const auto& states = replica_states();
-  if (states.empty()) {
+ReplicaId RoundRobinSelector::SelectReplica(const Queued& queued,
+                                            const CandidateView& candidates) {
+  const size_t n = candidates.size();
+  if (n == 0) {
     return kInvalidReplica;
   }
-  // Walk the ordered replica map starting at next_, skipping unavailable.
-  std::vector<ReplicaId> ids;
-  ids.reserve(states.size());
-  for (const auto& [rid, state] : states) {
-    ids.push_back(rid);
-  }
-  for (size_t i = 0; i < ids.size(); ++i) {
-    size_t idx = (next_ + i) % ids.size();
-    const ReplicaState& state = states.at(ids[idx]);
-    if (IsAvailable(state)) {
+  // Walk the replica registry starting at next_, skipping unavailable.
+  for (size_t i = 0; i < n; ++i) {
+    size_t idx = (next_ + i) % n;
+    const ReplicaState& state = candidates[idx];
+    if (candidates.IsAvailable(state)) {
       next_ = idx + 1;
-      return ids[idx];
+      return state.replica->id();
     }
   }
   return kInvalidReplica;
 }
 
-ReplicaId LeastLoadLb::SelectReplica(const Queued& queued) {
-  ReplicaId best = kInvalidReplica;
-  int best_load = std::numeric_limits<int>::max();
-  for (const auto& [rid, state] : replica_states()) {
-    if (IsAvailable(state) && state.outstanding < best_load) {
-      best = rid;
-      best_load = state.outstanding;
-    }
-  }
-  return best;
+ReplicaId LeastLoadSelector::SelectReplica(const Queued& queued,
+                                           const CandidateView& candidates) {
+  return candidates.LeastLoadedAvailable();
 }
 
-ConsistentHashLb::ConsistentHashLb(Simulator* sim, Network* net, LbId id,
-                                   RegionId region, const LbConfig& config,
-                                   int vnodes_per_replica)
-    : LoadBalancer(sim, net, id, region, config), ring_(vnodes_per_replica) {}
+ConsistentHashSelector::ConsistentHashSelector(int vnodes_per_replica)
+    : ring_(vnodes_per_replica) {}
 
-void ConsistentHashLb::AttachReplicaToRing(Replica* replica) {
-  AttachReplica(replica);
+void ConsistentHashSelector::OnReplicaAttached(Replica* replica) {
   ring_.AddTarget(replica->id());
 }
 
-ReplicaId ConsistentHashLb::SelectReplica(const Queued& queued) {
+void ConsistentHashSelector::OnReplicaDetached(ReplicaId replica_id) {
+  ring_.RemoveTarget(replica_id);
+}
+
+ReplicaId ConsistentHashSelector::SelectReplica(
+    const Queued& queued, const CandidateView& candidates) {
   uint64_t key = HashString(queued.req.routing_key);
-  TargetId target = ring_.LookupAvailable(key, [this](TargetId id) {
-    const auto it = replica_states().find(id);
-    return it != replica_states().end() && IsAvailable(it->second);
-  });
+  TargetId target = ring_.LookupAvailable(
+      key, [&candidates](TargetId id) { return candidates.IsAvailable(id); });
   return target == kInvalidTarget ? kInvalidReplica : target;
 }
 
-SglRouterLb::SglRouterLb(Simulator* sim, Network* net, LbId id,
-                         RegionId region, const LbConfig& config)
-    : LoadBalancer(sim, net, id, region, config),
+SglRouterSelector::SglRouterSelector(const LbConfig& config)
+    : match_threshold_(config.sgl_match_threshold),
+      tree_decay_tokens_(config.sgl_tree_decay_tokens),
       trie_(config.routing_trie_capacity) {}
 
-ReplicaId SglRouterLb::SelectReplica(const Queued& queued) {
-  auto pred = [this](TargetId id) {
-    const auto it = replica_states().find(id);
-    return it != replica_states().end() && IsAvailable(it->second);
-  };
+void SglRouterSelector::OnReplicaDetached(ReplicaId replica_id) {
+  trie_.RemoveTarget(replica_id);
+  approx_tree_tokens_.erase(replica_id);
+}
+
+ReplicaId SglRouterSelector::SelectReplica(const Queued& queued,
+                                           const CandidateView& candidates) {
+  auto pred = [&candidates](TargetId id) { return candidates.IsAvailable(id); };
   RoutingTrie::Match match = trie_.MatchBest(queued.req.prompt, pred);
 
   ReplicaId chosen = kInvalidReplica;
@@ -77,16 +69,18 @@ ReplicaId SglRouterLb::SelectReplica(const Queued& queued) {
           ? 0.0
           : static_cast<double>(match.match_len) /
                 static_cast<double>(queued.req.prompt.size());
-  if (ratio >= config().sgl_match_threshold && !match.candidates.empty()) {
+  if (ratio >= match_threshold_ && !match.candidates.empty()) {
     chosen = match.candidates.front();  // Freshest cache wins.
   } else {
     // Cache-aware fallback (SGLang v0.4): the available worker with the
     // smallest approximate radix tree, i.e. the most free cache space.
     int64_t best_tokens = std::numeric_limits<int64_t>::max();
-    for (const auto& [rid, state] : replica_states()) {
-      if (!IsAvailable(state)) {
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      const ReplicaState& state = candidates[i];
+      if (!candidates.IsAvailable(state)) {
         continue;
       }
+      ReplicaId rid = state.replica->id();
       auto it = approx_tree_tokens_.find(rid);
       int64_t tokens = it == approx_tree_tokens_.end() ? 0 : it->second;
       if (tokens < best_tokens) {
@@ -101,7 +95,7 @@ ReplicaId SglRouterLb::SelectReplica(const Queued& queued) {
         static_cast<int64_t>(queued.req.prompt.size()) - match.match_len;
     // Mimic the router-side mirror of worker eviction: decay everyone once
     // any estimate crosses the per-worker KV budget.
-    if (approx_tree_tokens_[chosen] > config().sgl_tree_decay_tokens) {
+    if (approx_tree_tokens_[chosen] > tree_decay_tokens_) {
       for (auto& [rid, tokens] : approx_tree_tokens_) {
         tokens /= 2;
       }

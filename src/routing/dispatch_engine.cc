@@ -1,0 +1,371 @@
+#include "src/routing/dispatch_engine.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace skywalker {
+
+// --- CandidateView -----------------------------------------------------
+
+size_t CandidateView::size() const { return engine_->num_replicas(); }
+
+const ReplicaState& CandidateView::operator[](size_t index) const {
+  return engine_->replicas()[index];
+}
+
+const ReplicaState* CandidateView::Find(ReplicaId id) const {
+  return engine_->FindReplica(id);
+}
+
+bool CandidateView::IsAvailable(const ReplicaState& state) const {
+  return engine_->IsAvailable(state);
+}
+
+bool CandidateView::IsAvailable(ReplicaId id) const {
+  return engine_->IsAvailable(id);
+}
+
+ReplicaId CandidateView::LeastLoadedAvailable() const {
+  ReplicaId best = kInvalidReplica;
+  int best_load = std::numeric_limits<int>::max();
+  for (const ReplicaState& state : engine_->replicas()) {
+    if (IsAvailable(state) && state.outstanding < best_load) {
+      best = state.replica->id();
+      best_load = state.outstanding;
+    }
+  }
+  return best;
+}
+
+ReplicaId CandidateView::LeastLoadedAmong(
+    const std::vector<int32_t>& candidates) const {
+  ReplicaId best = kInvalidReplica;
+  int best_load = std::numeric_limits<int>::max();
+  for (int32_t candidate : candidates) {
+    const ReplicaState* state = Find(candidate);
+    if (state == nullptr) {
+      continue;
+    }
+    if (state->outstanding < best_load) {
+      best = candidate;
+      best_load = state->outstanding;
+    }
+  }
+  return best;
+}
+
+// --- DispatchEngine ----------------------------------------------------
+
+DispatchEngine::DispatchEngine(Simulator* sim, Network* net, RegionId region,
+                               const DispatchConfig& config,
+                               ReplicaSelector* selector, Host* host)
+    : sim_(sim),
+      net_(net),
+      region_(region),
+      config_(config),
+      selector_(selector),
+      host_(host) {
+  SKYWALKER_CHECK(selector_ != nullptr) << "engine needs a replica selector";
+  probe_task_ = std::make_unique<PeriodicTask>(sim_, config_.probe_interval,
+                                               [this] { ProbeAll(); });
+}
+
+DispatchEngine::~DispatchEngine() = default;
+
+void DispatchEngine::AttachReplica(Replica* replica) {
+  if (index_.count(replica->id()) > 0) {
+    return;
+  }
+  ReplicaState state;
+  state.replica = replica;
+  index_.emplace(replica->id(), replicas_.size());
+  replicas_.push_back(state);
+  selector_->OnReplicaAttached(replica);
+  TryDispatch();
+}
+
+bool DispatchEngine::DetachReplica(ReplicaId replica_id) {
+  auto it = index_.find(replica_id);
+  if (it == index_.end()) {
+    return false;
+  }
+  size_t pos = it->second;
+  index_.erase(it);
+  if (pos + 1 != replicas_.size()) {
+    replicas_[pos] = std::move(replicas_.back());
+    index_[replicas_[pos].replica->id()] = pos;
+  }
+  replicas_.pop_back();
+  selector_->OnReplicaDetached(replica_id);
+  return true;
+}
+
+ReplicaState* DispatchEngine::FindReplica(ReplicaId id) {
+  auto it = index_.find(id);
+  return it == index_.end() ? nullptr : &replicas_[it->second];
+}
+
+const ReplicaState* DispatchEngine::FindReplica(ReplicaId id) const {
+  auto it = index_.find(id);
+  return it == index_.end() ? nullptr : &replicas_[it->second];
+}
+
+void DispatchEngine::Start() {
+  if (config_.push_mode != PushMode::kBlind) {
+    probe_task_->StartWithDelay(0);
+  }
+}
+
+void DispatchEngine::Stop() { probe_task_->Stop(); }
+
+void DispatchEngine::ResetProbeState() {
+  for (ReplicaState& state : replicas_) {
+    state.probed_once = false;
+    state.pushes_since_probe = 0;
+  }
+}
+
+bool DispatchEngine::IsAvailable(const ReplicaState& state) const {
+  if (!state.healthy) {
+    return false;
+  }
+  switch (config_.push_mode) {
+    case PushMode::kBlind:
+      return true;
+    case PushMode::kSelectiveOutstanding:
+      return state.outstanding < config_.max_outstanding_per_replica;
+    case PushMode::kSelectivePending:
+      // Fresh engines have not probed yet; treat as available so cold starts
+      // make progress (the first probe lands within one interval).
+      if (!state.probed_once) {
+        return state.pushes_since_probe < config_.push_slack;
+      }
+      // Selective pushing by pending requests (§3.3): a replica is full when
+      // its continuous batch cannot admit more work, i.e. it has pending
+      // requests. Optimistic pushes between probes are bounded by push_slack
+      // (DESIGN.md §5.3).
+      return state.probed_pending == 0 &&
+             state.pushes_since_probe < config_.push_slack;
+  }
+  return false;
+}
+
+bool DispatchEngine::IsAvailable(ReplicaId id) const {
+  const ReplicaState* state = FindReplica(id);
+  return state != nullptr && IsAvailable(*state);
+}
+
+bool DispatchEngine::AnyAvailable() const {
+  for (const ReplicaState& state : replicas_) {
+    if (IsAvailable(state)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int DispatchEngine::AvailableCount() const {
+  int count = 0;
+  for (const ReplicaState& state : replicas_) {
+    if (IsAvailable(state)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<ReplicaId> DispatchEngine::AvailableReplicas() const {
+  std::vector<ReplicaId> out;
+  for (const ReplicaState& state : replicas_) {
+    if (IsAvailable(state)) {
+      out.push_back(state.replica->id());
+    }
+  }
+  return out;
+}
+
+std::vector<int> DispatchEngine::OutstandingSnapshot() const {
+  std::vector<int> out;
+  out.reserve(replicas_.size());
+  for (const ReplicaState& state : replicas_) {
+    out.push_back(state.outstanding);
+  }
+  return out;
+}
+
+void DispatchEngine::Enqueue(Queued queued) {
+  ++stats_.received;
+  queued.lb_arrival = sim_->now();
+  queue_.push_back(std::move(queued));
+  stats_.max_queue_len = std::max<int64_t>(
+      stats_.max_queue_len, static_cast<int64_t>(queue_.size()));
+  TryDispatch();
+}
+
+void DispatchEngine::RecordDequeue(SimTime lb_arrival) {
+  stats_.queue_wait_sec.Add(ToSeconds(sim_->now() - lb_arrival));
+}
+
+void DispatchEngine::TryDispatch() {
+  while ((host_ == nullptr || host_->ShouldDispatch()) && !queue_.empty()) {
+    Queued& head = queue_.front();
+    const SimTime lb_arrival = head.lb_arrival;
+    if (host_ != nullptr) {
+      Host::HeadAction action = host_->OnQueueHead(head);
+      if (action == Host::HeadAction::kStall) {
+        return;
+      }
+      if (action == Host::HeadAction::kTaken) {
+        RecordDequeue(lb_arrival);
+        queue_.pop_front();
+        continue;
+      }
+    }
+    ReplicaId target = selector_->SelectReplica(head, CandidateView(this));
+    if (target != kInvalidReplica) {
+      Queued queued = std::move(head);
+      queue_.pop_front();
+      DispatchTo(std::move(queued), target);
+      continue;
+    }
+    if (host_ != nullptr &&
+        host_->OnUnplaced(head) == Host::HeadAction::kTaken) {
+      RecordDequeue(lb_arrival);
+      queue_.pop_front();
+      continue;
+    }
+    return;  // FCFS head-of-line: wait for capacity.
+  }
+}
+
+void DispatchEngine::DispatchTo(Queued queued, ReplicaId replica_id) {
+  ReplicaState* state = FindReplica(replica_id);
+  SKYWALKER_CHECK(state != nullptr) << "dispatch to unknown replica";
+  Replica* replica = state->replica;
+  ++state->outstanding;
+  ++state->pushes_since_probe;
+  ++stats_.dispatched;
+  RecordDequeue(queued.lb_arrival);
+  if (host_ != nullptr) {
+    host_->OnLocalDispatch(queued, replica_id);
+  }
+
+  const RegionId client_region = queued.req.client_region;
+  const RegionId replica_region = replica->region();
+  // Streamed responses travel replica -> LB -> client; a forwarded-in
+  // request additionally hops back through its origin LB.
+  SimDuration response_latency = net_->Latency(replica_region, region_);
+  int hops = 1;
+  if (queued.forwarded_in) {
+    response_latency += net_->Latency(region_, queued.origin_lb_region) +
+                        net_->Latency(queued.origin_lb_region, client_region);
+    hops = 2;
+  } else {
+    response_latency += net_->Latency(region_, client_region);
+  }
+
+  auto outcome = std::make_shared<RequestOutcome>();
+  outcome->id = queued.req.id;
+  outcome->user_id = queued.req.user_id;
+  outcome->client_region = client_region;
+  outcome->served_region = replica_region;
+  outcome->replica = replica_id;
+  outcome->submit_time = queued.req.submit_time;
+  outcome->prompt_tokens = queued.req.prompt_tokens();
+  outcome->output_tokens = queued.req.output_tokens();
+  outcome->hops = hops;
+  outcome->forwarded = queued.forwarded_in;
+
+  auto callbacks =
+      std::make_shared<RequestCallbacks>(std::move(queued.callbacks));
+
+  Replica::Handlers handlers;
+  handlers.on_first_token = [this, outcome, callbacks, response_latency](
+                                const Request& req, int64_t cached) {
+    outcome->cached_prompt_tokens = cached;
+    outcome->first_token_time = sim_->now() + response_latency;
+    if (callbacks->on_first_token) {
+      sim_->ScheduleAfter(response_latency, [callbacks, outcome] {
+        callbacks->on_first_token(*outcome);
+      });
+    }
+  };
+  handlers.on_complete = [this, outcome, callbacks, response_latency,
+                          replica_id](const Request& req, int64_t cached) {
+    outcome->cached_prompt_tokens = cached;
+    outcome->completion_time = sim_->now() + response_latency;
+    if (callbacks->on_complete) {
+      sim_->ScheduleAfter(response_latency, [callbacks, outcome] {
+        callbacks->on_complete(*outcome);
+      });
+    }
+    // LB-side accounting flows back over the replica->LB hop only.
+    net_->Send(outcome->served_region, region_, [this, replica_id] {
+      ReplicaState* rs = FindReplica(replica_id);
+      if (rs != nullptr && rs->outstanding > 0) {
+        --rs->outstanding;
+      }
+      ++stats_.completed;
+      TryDispatch();
+    });
+  };
+
+  net_->Send(region_, replica_region,
+             [replica, req = std::move(queued.req),
+              handlers = std::move(handlers)]() mutable {
+               replica->Enqueue(std::move(req), std::move(handlers));
+             });
+}
+
+void DispatchEngine::ProbeAll() {
+  if (host_ != nullptr) {
+    host_->OnProbeTick();
+  }
+  for (const ReplicaState& state : replicas_) {
+    if (!state.healthy) {
+      continue;
+    }
+    ++stats_.probes_sent;
+    Replica* replica = state.replica;
+    RegionId replica_region = replica->region();
+    ReplicaId replica_id = replica->id();
+    // Probe round trip: LB -> replica (read pending) -> LB.
+    net_->Send(region_, replica_region, [this, replica, replica_id,
+                                         replica_region] {
+      int pending = replica->pending_count();
+      net_->Send(replica_region, region_,
+                 [this, replica_id, pending] {
+                   ReplicaState* rs = FindReplica(replica_id);
+                   if (rs == nullptr) {
+                     return;
+                   }
+                   rs->probed_pending = pending;
+                   rs->pushes_since_probe = 0;
+                   rs->probed_once = true;
+                   if (host_ != nullptr) {
+                     host_->OnReplicaProbeResult();
+                   }
+                   TryDispatch();
+                 });
+    });
+  }
+  if (host_ != nullptr) {
+    host_->OnAfterReplicaProbes();
+  }
+}
+
+int64_t DispatchEngine::FlushQueueWithError() {
+  std::deque<Queued> drained;
+  drained.swap(queue_);
+  for (Queued& queued : drained) {
+    if (queued.callbacks.on_error) {
+      queued.callbacks.on_error();
+    }
+  }
+  return static_cast<int64_t>(drained.size());
+}
+
+}  // namespace skywalker

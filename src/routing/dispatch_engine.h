@@ -1,0 +1,277 @@
+// Shared dispatch engine under every load-balancer stack (DESIGN.md §5).
+//
+// The paper's local-placement machinery — per-replica probe state, the FCFS
+// request queue, the 100 ms heartbeat probe loop (§4.1), and the three
+// pushing disciplines of §3.3 — is policy-agnostic: the baselines of §5.1
+// (RR/LL/CH/SGL) and SkyWalker's regional balancer (§3.1) differ only in
+// *which* available replica they pick and in what happens when no local
+// replica can take the queue head. This engine implements the shared half
+// exactly once:
+//
+//  * PushMode availability (IsAvailable):
+//      kBlind                — route immediately on arrival;
+//      kSelectiveOutstanding — cap LB-tracked in-flight per replica (SP-O);
+//      kSelectivePending     — push only to replicas whose last probe saw an
+//                              empty pending queue (SP-P, the paper's
+//                              proposal), with an optimistic push-slack bound
+//                              between probes (DESIGN.md §5.3).
+//  * The FCFS queue with head-of-line blocking and queue-wait statistics.
+//  * The probe loop: LB -> replica (read pending count + admission headroom)
+//    -> LB round trips every probe_interval.
+//  * Dispatch mechanics: outcome assembly, response-path latency (including
+//    the extra origin-LB hop for forwarded-in requests), and completion
+//    accounting.
+//
+// Placement policy plugs in through ReplicaSelector::SelectReplica over a
+// CandidateView; the cross-region half of a balancer (peer probing,
+// forwarding, stickiness, overload advertisement — src/core) plugs in
+// through DispatchEngine::Host hooks.
+//
+// Replica state lives in a flat vector with an id -> index side map, so the
+// per-dispatch hot path (availability scans, outstanding updates) is O(1)
+// amortized instead of O(log n) map walks.
+
+#ifndef SKYWALKER_ROUTING_DISPATCH_ENGINE_H_
+#define SKYWALKER_ROUTING_DISPATCH_ENGINE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/sim_time.h"
+#include "src/net/network.h"
+#include "src/replica/replica.h"
+#include "src/sim/simulator.h"
+#include "src/workload/request.h"
+
+namespace skywalker {
+
+// Pushing disciplines analysed in §3.3.
+enum class PushMode {
+  kBlind,
+  kSelectiveOutstanding,
+  kSelectivePending,
+};
+
+// Engine knobs shared by every balancer; policy-specific knobs stay in the
+// owning stack's config (LbConfig / SkyWalkerConfig).
+struct DispatchConfig {
+  PushMode push_mode = PushMode::kBlind;
+
+  // Heartbeat probe period (paper §4.1 uses 100 ms).
+  SimDuration probe_interval = Milliseconds(100);
+
+  // SP-O: fixed cap on outstanding requests per replica.
+  int max_outstanding_per_replica = 24;
+
+  // SP-P: optimistic pushes allowed per replica between two probes. Bounds
+  // burst overshoot caused by probe staleness (DESIGN.md §5.3) while still
+  // letting an empty continuous batch fill within one probe window.
+  int push_slack = 32;
+};
+
+// Engine-tracked state for one managed replica, refreshed by the probe loop.
+struct ReplicaState {
+  Replica* replica = nullptr;
+  int outstanding = 0;        // LB-tracked in-flight (pushed, not completed).
+  int probed_pending = 0;     // Pending count from the last probe.
+  int pushes_since_probe = 0;
+  bool probed_once = false;
+  bool healthy = true;
+};
+
+// One FCFS-queued request. `lb_arrival` is stamped by Enqueue.
+// `forwarded_in` marks a request another region offloaded here (terminal:
+// it must be placed locally; its response path hops back through the
+// origin LB).
+struct Queued {
+  Request req;
+  RequestCallbacks callbacks;
+  SimTime lb_arrival = 0;
+  bool forwarded_in = false;
+  RegionId origin_lb_region = kInvalidRegion;
+};
+
+class DispatchEngine;
+
+// Read-only window over the engine's replicas that a selector sees: indexed
+// iteration in attach order, id lookup, and the engine's push-mode
+// availability test. Also carries the least-loaded scans that several
+// policies share as their fallback.
+class CandidateView {
+ public:
+  explicit CandidateView(const DispatchEngine* engine) : engine_(engine) {}
+
+  size_t size() const;
+  const ReplicaState& operator[](size_t index) const;
+  const ReplicaState* Find(ReplicaId id) const;
+
+  // Pushing-discipline availability test (§3.3), delegated to the engine.
+  bool IsAvailable(const ReplicaState& state) const;
+  bool IsAvailable(ReplicaId id) const;
+
+  // Least-outstanding *available* replica, or kInvalidReplica.
+  ReplicaId LeastLoadedAvailable() const;
+
+  // Least-outstanding among `candidates` (already filtered for availability
+  // by the caller, e.g. a trie match); kInvalidReplica when none is known.
+  ReplicaId LeastLoadedAmong(const std::vector<int32_t>& candidates) const;
+
+ private:
+  const DispatchEngine* engine_;
+};
+
+// Placement policy: chooses a replica for the queue head, or kInvalidReplica
+// to keep it queued. Implementations must only return available replicas
+// (per CandidateView::IsAvailable). A non-invalid return commits the
+// dispatch, so selectors may update their routing state (trie/ring/counters)
+// before returning.
+class ReplicaSelector {
+ public:
+  virtual ~ReplicaSelector() = default;
+
+  virtual ReplicaId SelectReplica(const Queued& queued,
+                                  const CandidateView& candidates) = 0;
+
+  // Registry lifecycle notifications (keep rings/tries in sync).
+  virtual void OnReplicaAttached(Replica* replica) {}
+  virtual void OnReplicaDetached(ReplicaId replica_id) {}
+};
+
+// The policy-agnostic dispatch machinery. One instance per balancer.
+class DispatchEngine {
+ public:
+  struct Stats {
+    int64_t received = 0;
+    int64_t dispatched = 0;
+    int64_t completed = 0;
+    int64_t probes_sent = 0;
+    int64_t max_queue_len = 0;
+    Distribution queue_wait_sec;  // Time spent in the FCFS queue.
+  };
+
+  // Hooks for the cross-region half of a balancer (src/core). Every hook has
+  // a neutral default, so purely local balancers pass host == nullptr.
+  class Host {
+   public:
+    enum class HeadAction {
+      kPlaceLocal,  // Proceed to local placement via the selector.
+      kTaken,       // Host consumed the request (moved it out); pop and
+                    // continue with the next queue head.
+      kStall,       // Stop dispatching; the head stays queued.
+    };
+
+    virtual ~Host() = default;
+
+    // Gate on every dispatch iteration (e.g. LB health).
+    virtual bool ShouldDispatch() const { return true; }
+
+    // Pre-placement intercept for the queue head (e.g. sticky remote
+    // affinity). kTaken means the host moved the request out of `head`.
+    virtual HeadAction OnQueueHead(Queued& head) {
+      return HeadAction::kPlaceLocal;
+    }
+
+    // Local placement failed for `head` (no available replica accepted by
+    // the selector). The host may consume it (cross-region forwarding) by
+    // moving it out and returning kTaken; kStall keeps it queued.
+    // kPlaceLocal is treated as kStall.
+    virtual HeadAction OnUnplaced(Queued& head) { return HeadAction::kStall; }
+
+    // A request was committed to a local replica (record placement in
+    // policy state, refresh last-local-availability, ...).
+    virtual void OnLocalDispatch(const Queued& queued, ReplicaId replica_id) {}
+
+    // Probe-loop extension points: start of a probe tick (before replica
+    // probes go out), after replica probes were sent (peer probing), and
+    // each time a replica probe response lands (before the engine's
+    // TryDispatch).
+    virtual void OnProbeTick() {}
+    virtual void OnAfterReplicaProbes() {}
+    virtual void OnReplicaProbeResult() {}
+  };
+
+  // `selector` and `host` are borrowed and must outlive the engine
+  // (`host` may be nullptr for purely local balancers).
+  DispatchEngine(Simulator* sim, Network* net, RegionId region,
+                 const DispatchConfig& config, ReplicaSelector* selector,
+                 Host* host = nullptr);
+  ~DispatchEngine();
+
+  DispatchEngine(const DispatchEngine&) = delete;
+  DispatchEngine& operator=(const DispatchEngine&) = delete;
+
+  // --- replica registry ---
+  void AttachReplica(Replica* replica);
+  bool DetachReplica(ReplicaId replica_id);
+
+  const std::vector<ReplicaState>& replicas() const { return replicas_; }
+  size_t num_replicas() const { return replicas_.size(); }
+  ReplicaState* FindReplica(ReplicaId id);
+  const ReplicaState* FindReplica(ReplicaId id) const;
+
+  // --- probe loop ---
+  // Starts the heartbeat probe loop (no-op for kBlind: nothing to probe).
+  void Start();
+  void Stop();
+  // Clears probe freshness so a restarted loop re-establishes availability
+  // (LB recovery).
+  void ResetProbeState();
+
+  // --- request path ---
+  // Admits a request into the FCFS queue (stamping its arrival time) and
+  // dispatches as far as possible.
+  void Enqueue(Queued queued);
+  // Dispatches queue-head requests while a policy target exists (FCFS
+  // head-of-line blocking otherwise).
+  void TryDispatch();
+  // Errors out every queued request (LB failure); returns how many.
+  int64_t FlushQueueWithError();
+
+  // --- availability (§3.3) ---
+  bool IsAvailable(const ReplicaState& state) const;
+  bool IsAvailable(ReplicaId id) const;
+  bool AnyAvailable() const;
+  int AvailableCount() const;
+  std::vector<ReplicaId> AvailableReplicas() const;
+
+  // Current LB-tracked outstanding per replica (imbalance metrics).
+  std::vector<int> OutstandingSnapshot() const;
+
+  size_t queue_size() const { return queue_.size(); }
+  const Stats& stats() const { return stats_; }
+  const DispatchConfig& config() const { return config_; }
+  Simulator* sim() const { return sim_; }
+  Network* net() const { return net_; }
+  RegionId region() const { return region_; }
+
+ private:
+  // Commits `queued` to `replica_id`: bookkeeping, outcome assembly,
+  // response-path latency, network round trips, completion accounting.
+  void DispatchTo(Queued queued, ReplicaId replica_id);
+  void ProbeAll();
+  void RecordDequeue(SimTime lb_arrival);
+
+  Simulator* sim_;
+  Network* net_;
+  RegionId region_;
+  DispatchConfig config_;
+  ReplicaSelector* selector_;
+  Host* host_;
+
+  // Flat registry: hot-path scans iterate `replicas_`; `index_` maps
+  // ReplicaId -> position (swap-remove keeps it dense on detach).
+  std::vector<ReplicaState> replicas_;
+  std::unordered_map<ReplicaId, size_t> index_;
+
+  std::deque<Queued> queue_;
+  std::unique_ptr<PeriodicTask> probe_task_;
+  Stats stats_;
+};
+
+}  // namespace skywalker
+
+#endif  // SKYWALKER_ROUTING_DISPATCH_ENGINE_H_

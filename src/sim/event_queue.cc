@@ -7,24 +7,24 @@ namespace skywalker {
 
 EventId EventQueue::Push(SimTime at, std::function<void()> fn) {
   EventId id = next_id_++;
-  heap_.push(Entry{at, next_seq_++, id});
-  callbacks_.emplace(id, std::move(fn));
-  ++live_count_;
+  heap_.push(Entry{at, next_seq_++, id, std::move(fn)});
+  live_.insert(id);
   return id;
 }
 
 bool EventQueue::Cancel(EventId id) {
-  auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) {
+  if (live_.erase(id) == 0) {
     return false;
   }
-  callbacks_.erase(it);
-  --live_count_;
+  // The heap entry stays behind as a tombstone; SkipCancelled erases it (and
+  // this marker) when it reaches the top.
+  cancelled_.insert(id);
   return true;
 }
 
 void EventQueue::SkipCancelled() {
-  while (!heap_.empty() && callbacks_.find(heap_.top().id) == callbacks_.end()) {
+  while (!heap_.empty() && cancelled_.count(heap_.top().id) > 0) {
+    cancelled_.erase(heap_.top().id);
     heap_.pop();
   }
 }
@@ -38,12 +38,12 @@ SimTime EventQueue::PeekTime() {
 EventQueue::Event EventQueue::Pop() {
   SkipCancelled();
   assert(!heap_.empty());
-  Entry top = heap_.top();
+  // priority_queue::top() is const; moving the callback out is safe because
+  // the entry is popped immediately after.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  Event event{top.at, top.id, std::move(top.fn)};
   heap_.pop();
-  auto it = callbacks_.find(top.id);
-  Event event{top.at, top.id, std::move(it->second)};
-  callbacks_.erase(it);
-  --live_count_;
+  live_.erase(event.id);
   return event;
 }
 

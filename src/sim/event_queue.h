@@ -1,8 +1,11 @@
 // Priority event queue for the discrete-event simulator.
 //
 // Events with equal timestamps execute in scheduling (FIFO) order, which makes
-// runs deterministic. Cancellation is tombstone-based: cancelled ids are
-// skipped when popped.
+// runs deterministic. The callback lives in the heap entry itself (moved in on
+// Push, moved out on Pop); cancellation is tombstone-based — cancelled ids go
+// into a side set and their heap entries are dropped, and the tombstone
+// erased, as Pop/PeekTime skip over them, so neither structure grows
+// unboundedly across long runs (e.g. the diurnal benches).
 
 #ifndef SKYWALKER_SIM_EVENT_QUEUE_H_
 #define SKYWALKER_SIM_EVENT_QUEUE_H_
@@ -10,7 +13,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/common/sim_time.h"
@@ -30,8 +33,8 @@ class EventQueue {
   // already cancelled, or never existed.
   bool Cancel(EventId id);
 
-  bool empty() const { return live_count_ == 0; }
-  size_t size() const { return live_count_; }
+  bool empty() const { return live_.empty(); }
+  size_t size() const { return live_.size(); }
 
   // Timestamp of the earliest live event. Requires !empty().
   SimTime PeekTime();
@@ -49,6 +52,7 @@ class EventQueue {
     SimTime at;
     uint64_t seq;  // Tie-break: earlier scheduling first.
     EventId id;
+    std::function<void()> fn;
   };
   struct EntryGreater {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -59,14 +63,14 @@ class EventQueue {
     }
   };
 
-  // Drops cancelled entries from the heap top.
+  // Drops cancelled entries (and their tombstones) from the heap top.
   void SkipCancelled();
 
   std::priority_queue<Entry, std::vector<Entry>, EntryGreater> heap_;
-  std::unordered_map<EventId, std::function<void()>> callbacks_;
+  std::unordered_set<EventId> live_;       // Pushed, not yet popped/cancelled.
+  std::unordered_set<EventId> cancelled_;  // Tombstones still in the heap.
   uint64_t next_seq_ = 1;
   EventId next_id_ = 1;
-  size_t live_count_ = 0;
 };
 
 }  // namespace skywalker

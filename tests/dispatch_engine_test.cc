@@ -1,0 +1,356 @@
+// Tests for the shared dispatch engine (src/routing/): push-mode
+// availability, push-slack bounds under probe staleness, and probe-driven
+// queue draining — parameterized over all four baseline policies AND the
+// SkyWalker regional balancer, proving the refactor left one set of
+// semantics, not two.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/skywalker_lb.h"
+#include "src/lb/policies.h"
+#include "src/net/network.h"
+#include "src/routing/dispatch_engine.h"
+#include "src/sim/simulator.h"
+
+namespace skywalker {
+namespace {
+
+Request MakeRequest(RequestId id, int64_t prompt_len, int64_t output_len,
+                    const std::string& key = "k", Token base = 0) {
+  Request req;
+  req.id = id;
+  req.client_region = 0;
+  req.routing_key = key;
+  for (int64_t i = 0; i < prompt_len; ++i) {
+    req.prompt.push_back(base + static_cast<Token>(i));
+  }
+  for (int64_t i = 0; i < output_len; ++i) {
+    req.output.push_back(500000 + base + static_cast<Token>(i));
+  }
+  return req;
+}
+
+RequestCallbacks CountCompletions(int* completed) {
+  RequestCallbacks callbacks;
+  callbacks.on_complete = [completed](const RequestOutcome&) { ++*completed; };
+  return callbacks;
+}
+
+enum class BalancerKind {
+  kRoundRobin,
+  kLeastLoad,
+  kConsistentHash,
+  kSglRouter,
+  kSkyWalker,
+};
+
+struct BalancerCase {
+  const char* name;
+  BalancerKind kind;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<BalancerCase>& info) {
+  return info.param.name;
+}
+
+// One single-region balancer of the requested kind over one replica, with a
+// uniform facade so every scenario below runs verbatim against each stack.
+struct Bench {
+  Simulator sim;
+  std::unique_ptr<Network> net;
+  std::unique_ptr<Replica> replica;
+  std::unique_ptr<LoadBalancer> baseline;
+  std::unique_ptr<SkyWalkerLb> sky;
+
+  Bench(BalancerKind kind, const ReplicaConfig& rconfig, PushMode mode,
+        int push_slack, SimDuration probe_interval) {
+    Topology topology;
+    topology.AddRegion("local", Milliseconds(1));
+    net = std::make_unique<Network>(&sim, topology);
+    replica = std::make_unique<Replica>(&sim, 0, 0, rconfig);
+    if (kind == BalancerKind::kSkyWalker) {
+      // SkyWalker is SP-P by construction; scenarios that exercise other
+      // push modes skip it.
+      SkyWalkerConfig config;
+      config.push_slack = push_slack;
+      config.probe_interval = probe_interval;
+      config.enable_forwarding = false;
+      sky = std::make_unique<SkyWalkerLb>(&sim, net.get(), 0, 0, config);
+      sky->AttachReplica(replica.get());
+      return;
+    }
+    LbConfig config;
+    config.push_mode = mode;
+    config.push_slack = push_slack;
+    config.probe_interval = probe_interval;
+    config.max_outstanding_per_replica = 4;
+    switch (kind) {
+      case BalancerKind::kRoundRobin:
+        baseline =
+            std::make_unique<RoundRobinLb>(&sim, net.get(), 0, 0, config);
+        break;
+      case BalancerKind::kLeastLoad:
+        baseline = std::make_unique<LeastLoadLb>(&sim, net.get(), 0, 0, config);
+        break;
+      case BalancerKind::kConsistentHash:
+        baseline =
+            std::make_unique<ConsistentHashLb>(&sim, net.get(), 0, 0, config);
+        break;
+      case BalancerKind::kSglRouter:
+        baseline = std::make_unique<SglRouterLb>(&sim, net.get(), 0, 0, config);
+        break;
+      case BalancerKind::kSkyWalker:
+        break;
+    }
+    baseline->AttachReplica(replica.get());
+  }
+
+  void Start() {
+    if (sky != nullptr) {
+      sky->Start();
+    } else {
+      baseline->Start();
+    }
+  }
+
+  void Submit(Request req, RequestCallbacks callbacks) {
+    if (sky != nullptr) {
+      sky->HandleRequest(std::move(req), std::move(callbacks));
+    } else {
+      baseline->HandleRequest(std::move(req), std::move(callbacks));
+    }
+  }
+
+  size_t QueueLength() const {
+    return sky != nullptr ? sky->QueueSize() : baseline->queue_length();
+  }
+};
+
+class SharedEngineTest : public ::testing::TestWithParam<BalancerCase> {};
+
+// SP-P with maximally stale probes (loop never started): every stack must
+// stop pushing after exactly push_slack optimistic dispatches, and resume —
+// then drain completely — once the probe loop starts reporting.
+TEST_P(SharedEngineTest, ColdStartSlackBoundsPushesUntilProbesArrive) {
+  const int kSlack = 2;
+  const int kRequests = 6;
+  Bench bench(GetParam().kind, ReplicaConfig{}, PushMode::kSelectivePending,
+              kSlack, Milliseconds(100));
+  int completed = 0;
+  for (int i = 0; i < kRequests; ++i) {
+    bench.Submit(MakeRequest(static_cast<RequestId>(i), 32, 4, "k",
+                             static_cast<Token>(i) * 1000),
+                 CountCompletions(&completed));
+  }
+  bench.sim.RunFor(Seconds(1));
+  // No probe ever answered: the engine granted exactly push_slack pushes.
+  EXPECT_EQ(bench.replica->stats().enqueued, kSlack);
+  EXPECT_EQ(bench.QueueLength(), static_cast<size_t>(kRequests - kSlack));
+
+  bench.Start();
+  bench.sim.RunFor(Seconds(600));
+  EXPECT_EQ(completed, kRequests);
+  EXPECT_EQ(bench.QueueLength(), 0u);
+}
+
+// SP-P against a replica whose batch genuinely fills: the pending queue at
+// the replica stays within the slack bound while the LB queue absorbs the
+// backlog, and everything completes as probes re-open admission.
+TEST_P(SharedEngineTest, SelectivePendingHoldsBackWhenReplicaFull) {
+  ReplicaConfig rconfig;
+  rconfig.kv_capacity_tokens = 1200;
+  rconfig.output_reserve_tokens = 128;
+  const int kSlack = 2;
+  Bench bench(GetParam().kind, rconfig, PushMode::kSelectivePending, kSlack,
+              Milliseconds(100));
+  bench.Start();
+  int completed = 0;
+  for (int i = 0; i < 10; ++i) {
+    bench.Submit(MakeRequest(static_cast<RequestId>(i), 300, 100, "k",
+                             static_cast<Token>(i) * 10000),
+                 CountCompletions(&completed));
+  }
+  bench.sim.RunFor(Seconds(2));
+  // Between any two probes at most push_slack requests land on the replica,
+  // so its pending queue never grows past slack + 1 (one may be admitted).
+  EXPECT_LE(bench.replica->stats().peak_pending, kSlack + 1);
+  EXPECT_GT(bench.QueueLength(), 0u);
+  bench.sim.RunFor(Seconds(600));
+  EXPECT_EQ(completed, 10);
+}
+
+// SP-O (baselines only): the fixed outstanding cap gates admission per
+// replica regardless of the placement policy in front of it.
+TEST_P(SharedEngineTest, SelectiveOutstandingCapsInFlight) {
+  if (GetParam().kind == BalancerKind::kSkyWalker) {
+    GTEST_SKIP() << "SkyWalker pushes by pending requests only (§3.3)";
+  }
+  ReplicaConfig rconfig;
+  rconfig.kv_capacity_tokens = 100000;
+  Bench bench(GetParam().kind, rconfig, PushMode::kSelectiveOutstanding,
+              /*push_slack=*/32, Milliseconds(100));
+  bench.Start();
+  int completed = 0;
+  for (int i = 0; i < 12; ++i) {
+    bench.Submit(MakeRequest(static_cast<RequestId>(i), 64, 64, "k",
+                             static_cast<Token>(i) * 10000),
+                 CountCompletions(&completed));
+  }
+  bench.sim.RunFor(Milliseconds(20));
+  EXPECT_LE(bench.replica->outstanding_count(), 4);
+  EXPECT_GE(bench.QueueLength(), 8u);
+  bench.sim.RunFor(Seconds(600));
+  EXPECT_EQ(completed, 12);
+}
+
+// Blind pushing (baselines only): everything lands on the replica
+// immediately, reproducing the §3.3 failure mode the selective modes fix.
+TEST_P(SharedEngineTest, BlindPushingFloodsReplica) {
+  if (GetParam().kind == BalancerKind::kSkyWalker) {
+    GTEST_SKIP() << "SkyWalker pushes by pending requests only (§3.3)";
+  }
+  ReplicaConfig rconfig;
+  rconfig.kv_capacity_tokens = 1200;
+  rconfig.output_reserve_tokens = 128;
+  Bench bench(GetParam().kind, rconfig, PushMode::kBlind, /*push_slack=*/32,
+              Milliseconds(100));
+  bench.Start();
+  int completed = 0;
+  for (int i = 0; i < 10; ++i) {
+    bench.Submit(MakeRequest(static_cast<RequestId>(i), 300, 100, "k",
+                             static_cast<Token>(i) * 10000),
+                 CountCompletions(&completed));
+  }
+  bench.sim.RunFor(Seconds(2));
+  EXPECT_GE(bench.replica->stats().peak_pending, 5);
+  EXPECT_EQ(bench.QueueLength(), 0u);
+  bench.sim.Run();
+  EXPECT_EQ(completed, 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBalancers, SharedEngineTest,
+    ::testing::Values(BalancerCase{"RoundRobin", BalancerKind::kRoundRobin},
+                      BalancerCase{"LeastLoad", BalancerKind::kLeastLoad},
+                      BalancerCase{"ConsistentHash",
+                                   BalancerKind::kConsistentHash},
+                      BalancerCase{"SglRouter", BalancerKind::kSglRouter},
+                      BalancerCase{"SkyWalker", BalancerKind::kSkyWalker}),
+    CaseName);
+
+// --- Direct engine-surface tests ----------------------------------------
+
+// Trivial selector: first available replica in registry order.
+class FirstAvailableSelector : public ReplicaSelector {
+ public:
+  ReplicaId SelectReplica(const Queued& queued,
+                          const CandidateView& candidates) override {
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (candidates.IsAvailable(candidates[i])) {
+        return candidates[i].replica->id();
+      }
+    }
+    return kInvalidReplica;
+  }
+};
+
+struct EngineBench {
+  Simulator sim;
+  std::unique_ptr<Network> net;
+  std::vector<std::unique_ptr<Replica>> replicas;
+  FirstAvailableSelector selector;
+  std::unique_ptr<DispatchEngine> engine;
+
+  explicit EngineBench(int num_replicas,
+                       const DispatchConfig& config = DispatchConfig{}) {
+    Topology topology;
+    topology.AddRegion("local", Milliseconds(1));
+    net = std::make_unique<Network>(&sim, topology);
+    engine = std::make_unique<DispatchEngine>(&sim, net.get(), 0, config,
+                                              &selector);
+    for (int i = 0; i < num_replicas; ++i) {
+      replicas.push_back(
+          std::make_unique<Replica>(&sim, i, 0, ReplicaConfig{}));
+      engine->AttachReplica(replicas.back().get());
+    }
+  }
+
+  void Submit(Request req, RequestCallbacks callbacks) {
+    Queued queued;
+    queued.req = std::move(req);
+    queued.callbacks = std::move(callbacks);
+    engine->Enqueue(std::move(queued));
+  }
+};
+
+TEST(DispatchEngineTest, DetachKeepsFlatRegistryDense) {
+  EngineBench bench(3);
+  EXPECT_EQ(bench.engine->num_replicas(), 3u);
+  EXPECT_TRUE(bench.engine->DetachReplica(1));
+  EXPECT_FALSE(bench.engine->DetachReplica(1));
+  EXPECT_EQ(bench.engine->num_replicas(), 2u);
+  // Swap-remove keeps lookups intact for the survivors.
+  EXPECT_NE(bench.engine->FindReplica(0), nullptr);
+  EXPECT_NE(bench.engine->FindReplica(2), nullptr);
+  EXPECT_EQ(bench.engine->FindReplica(1), nullptr);
+  EXPECT_EQ(bench.engine->OutstandingSnapshot().size(), 2u);
+
+  // Detached replica receives no traffic; the rest still serve.
+  int completed = 0;
+  for (int i = 0; i < 4; ++i) {
+    bench.Submit(MakeRequest(static_cast<RequestId>(i), 16, 2, "k",
+                             static_cast<Token>(i) * 100),
+                 CountCompletions(&completed));
+  }
+  bench.sim.Run();
+  EXPECT_EQ(completed, 4);
+  EXPECT_EQ(bench.replicas[1]->stats().enqueued, 0);
+  EXPECT_EQ(bench.engine->stats().dispatched, 4);
+  EXPECT_EQ(bench.engine->stats().completed, 4);
+}
+
+TEST(DispatchEngineTest, FlushQueueWithErrorDrainsAndReports) {
+  DispatchConfig config;
+  config.push_mode = PushMode::kSelectivePending;
+  config.push_slack = 0;  // Nothing dispatches without a probe.
+  EngineBench bench(1, config);
+  int errors = 0;
+  for (int i = 0; i < 3; ++i) {
+    Request req = MakeRequest(static_cast<RequestId>(i), 16, 2);
+    RequestCallbacks callbacks;
+    callbacks.on_error = [&errors] { ++errors; };
+    bench.Submit(std::move(req), std::move(callbacks));
+  }
+  EXPECT_EQ(bench.engine->queue_size(), 3u);
+  EXPECT_EQ(bench.engine->FlushQueueWithError(), 3);
+  EXPECT_EQ(errors, 3);
+  EXPECT_EQ(bench.engine->queue_size(), 0u);
+}
+
+TEST(DispatchEngineTest, QueueWaitStatsTrackHeadOfLineBlocking) {
+  DispatchConfig config;
+  config.push_mode = PushMode::kSelectivePending;
+  config.push_slack = 1;
+  EngineBench bench(1, config);
+  int completed = 0;
+  bench.Submit(MakeRequest(1, 16, 2), CountCompletions(&completed));
+  bench.Submit(MakeRequest(2, 16, 2, "k", 1000), CountCompletions(&completed));
+  // Second request waits for the probe loop, which is not running: only one
+  // dispatch, one queue-wait sample (zero wait).
+  bench.sim.RunFor(Seconds(1));
+  EXPECT_EQ(bench.engine->stats().dispatched, 1);
+  EXPECT_EQ(bench.engine->stats().queue_wait_sec.count(), 1u);
+  bench.engine->Start();
+  bench.sim.RunFor(Seconds(600));
+  EXPECT_EQ(completed, 2);
+  EXPECT_EQ(bench.engine->stats().queue_wait_sec.count(), 2u);
+  // The blocked request's recorded wait spans the probe delay.
+  EXPECT_GT(bench.engine->stats().queue_wait_sec.max(), 0.5);
+}
+
+}  // namespace
+}  // namespace skywalker
