@@ -1,0 +1,329 @@
+// Scenario port of bench/fig06_ch_vs_optimal.cc — KV-cache hit rate of
+// consistent hashing vs an optimal router with a global view, under the
+// three adversarial scenarios of §3.2 (cross-user sharing, bursty requests,
+// heterogeneous user programs). Workloads are hand-crafted adversarial
+// traces, so the seed stream does not perturb them.
+//
+// Expected shape (paper): optimal beats CH by ~16.5 / ~7.1 / ~8.8 points.
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/scenarios/scenarios.h"
+#include "src/cache/hash_ring.h"
+#include "src/cache/routing_trie.h"
+#include "src/common/hash.h"
+#include "src/common/rng.h"
+#include "src/replica/replica.h"
+#include "src/sim/simulator.h"
+
+namespace skywalker {
+
+namespace {
+
+constexpr int kReplicas = 4;
+constexpr int64_t kCapacity = 8192;  // Small KV budget per replica.
+
+struct Item {
+  std::string key;  // Consistent-hashing key.
+  TokenSeq prompt;
+  TokenSeq output;
+  int wave = 0;  // Items in the same wave are issued concurrently.
+};
+
+struct AdversarialTrace {
+  std::string name;
+  std::vector<Item> items;
+};
+
+// Appends `n` fresh tokens from a rolling counter.
+void Fresh(TokenSeq* seq, int64_t n, Token* counter) {
+  for (int64_t i = 0; i < n; ++i) {
+    seq->push_back((*counter)++);
+  }
+}
+
+// Cross-user: 48 users over 12 shared 1200-token templates, two turns each.
+AdversarialTrace CrossUserSharing() {
+  AdversarialTrace s;
+  s.name = "Cross-User Sharing";
+  Token counter = 1;
+  std::vector<TokenSeq> templates(12);
+  for (auto& t : templates) {
+    Fresh(&t, 1200, &counter);
+  }
+  struct UserState {
+    std::string key;
+    TokenSeq context;
+  };
+  std::vector<UserState> users;
+  for (int u = 0; u < 48; ++u) {
+    UserState user;
+    user.key = "user-" + std::to_string(u);
+    user.context = templates[static_cast<size_t>(u) % templates.size()];
+    users.push_back(std::move(user));
+  }
+  int wave = 0;
+  for (int turn = 0; turn < 2; ++turn) {
+    for (size_t u = 0; u < users.size(); ++u) {
+      if (u % 12 == 0) {
+        ++wave;  // 12 concurrent users per wave.
+      }
+      Item item;
+      item.key = users[u].key;
+      Fresh(&users[u].context, 80, &counter);
+      item.prompt = users[u].context;
+      Fresh(&item.output, 120, &counter);
+      users[u].context.insert(users[u].context.end(), item.output.begin(),
+                              item.output.end());
+      item.wave = wave;
+      s.items.push_back(std::move(item));
+    }
+  }
+  return s;
+}
+
+// Bursty: skewed user activity; each burst is 12 concurrent same-context
+// requests. Heavy users overload their hash-owned replica's cache.
+AdversarialTrace BurstyRequests() {
+  AdversarialTrace s;
+  s.name = "Bursty Request";
+  Token counter = 10'000'000;
+  struct UserState {
+    std::string key;
+    TokenSeq context;
+    int bursts;
+  };
+  std::vector<UserState> users;
+  for (int u = 0; u < 12; ++u) {
+    UserState user;
+    user.key = "burst-user-" + std::to_string(u);
+    Fresh(&user.context, 1000, &counter);
+    user.bursts = u < 4 ? 3 : 1;  // 4 heavy users, 8 light.
+    users.push_back(std::move(user));
+  }
+  int wave = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (auto& user : users) {
+      if (round >= user.bursts) {
+        continue;
+      }
+      ++wave;
+      for (int b = 0; b < 12; ++b) {
+        Item item;
+        item.key = user.key;
+        item.prompt = user.context;
+        Fresh(&item.prompt, 50, &counter);
+        Fresh(&item.output, 80, &counter);
+        item.wave = wave;
+        s.items.push_back(std::move(item));
+      }
+      // The burst's first completion extends the shared context.
+      Fresh(&user.context, 130, &counter);
+    }
+  }
+  return s;
+}
+
+// Heterogeneous programs: one key per user, but each user's conversations
+// are unrelated and together exceed one replica's KV capacity.
+AdversarialTrace HeterogeneousPrograms() {
+  AdversarialTrace s;
+  s.name = "Heterogeneous Program";
+  Token counter = 100'000'000;
+  const int kUsers = 4;
+  const int kConvsPerUser = 8;
+  std::vector<std::vector<TokenSeq>> contexts(kUsers);
+  for (int u = 0; u < kUsers; ++u) {
+    contexts[static_cast<size_t>(u)].resize(kConvsPerUser);
+    for (auto& ctx : contexts[static_cast<size_t>(u)]) {
+      Fresh(&ctx, 800, &counter);
+    }
+  }
+  int wave = 0;
+  for (int turn = 0; turn < 2; ++turn) {
+    for (int c = 0; c < kConvsPerUser; ++c) {
+      ++wave;  // One conversation per user concurrently.
+      for (int u = 0; u < kUsers; ++u) {
+        TokenSeq& ctx =
+            contexts[static_cast<size_t>(u)][static_cast<size_t>(c)];
+        Item item;
+        item.key = "hetero-user-" + std::to_string(u);
+        Fresh(&ctx, 60, &counter);
+        item.prompt = ctx;
+        Fresh(&item.output, 150, &counter);
+        ctx.insert(ctx.end(), item.output.begin(), item.output.end());
+        item.wave = wave;
+        s.items.push_back(std::move(item));
+      }
+    }
+  }
+  return s;
+}
+
+AdversarialTrace MakeTrace(int index) {
+  switch (index) {
+    case 0:
+      return CrossUserSharing();
+    case 1:
+      return BurstyRequests();
+    default:
+      return HeterogeneousPrograms();
+  }
+}
+
+// Runs the trace wave by wave (items within a wave enqueue concurrently)
+// and returns the aggregate replica-cache hit rate.
+double ServeWith(
+    const AdversarialTrace& trace,
+    const std::function<int(const Item&,
+                            const std::vector<std::unique_ptr<Replica>>&)>&
+        pick) {
+  Simulator sim;
+  ReplicaConfig config;
+  config.kv_capacity_tokens = kCapacity;
+  config.max_running_requests = 32;
+  std::vector<std::unique_ptr<Replica>> replicas;
+  for (int i = 0; i < kReplicas; ++i) {
+    replicas.push_back(std::make_unique<Replica>(&sim, i, 0, config));
+  }
+  RequestId next = 1;
+  int current_wave = -1;
+  for (const auto& item : trace.items) {
+    if (item.wave != current_wave) {
+      sim.Run();  // Wave barrier: drain the previous wave.
+      current_wave = item.wave;
+    }
+    Request req;
+    req.id = next++;
+    req.client_region = 0;
+    req.routing_key = item.key;
+    req.prompt = item.prompt;
+    req.output = item.output;
+    int target = pick(item, replicas);
+    replicas[static_cast<size_t>(target)]->Enqueue(std::move(req), {});
+  }
+  sim.Run();
+  int64_t hits = 0;
+  int64_t lookups = 0;
+  for (const auto& replica : replicas) {
+    hits += replica->cache().hit_tokens();
+    lookups += replica->cache().lookup_tokens();
+  }
+  return lookups == 0
+             ? 0.0
+             : static_cast<double>(hits) / static_cast<double>(lookups);
+}
+
+double RunConsistentHash(const AdversarialTrace& trace) {
+  HashRing ring;
+  for (int i = 0; i < kReplicas; ++i) {
+    ring.AddTarget(i);
+  }
+  return ServeWith(trace, [&ring](const Item& item, const auto&) {
+    return static_cast<int>(ring.Lookup(HashString(item.key)));
+  });
+}
+
+// Optimal: global view — longest prefix across both live caches and prompts
+// already routed (in flight), like a centralized Preble-style scheduler;
+// ties go to the least-loaded replica.
+//
+// Known modeling caveat (inherited from the original bench/fig06, kept for
+// bit-equivalence of the historical numbers): probing MatchPrefix(prompt, 0)
+// refreshes matched nodes' last-access to time 0, which makes the probed
+// shared prefixes the oldest LRU entries on every replica. That biases
+// *against* the optimal router, so the reported gap_pts is a conservative
+// lower bound.
+double RunOptimal(const AdversarialTrace& trace) {
+  std::vector<std::unique_ptr<RoutingTrie>> shadows;
+  std::vector<int64_t> assigned_tokens(kReplicas, 0);
+  for (int i = 0; i < kReplicas; ++i) {
+    shadows.push_back(std::make_unique<RoutingTrie>(1 << 26));
+  }
+  return ServeWith(trace, [&shadows, &assigned_tokens](
+                              const Item& item, const auto& replicas) {
+    int best = 0;
+    int64_t best_len = -1;
+    int64_t best_load = 0;
+    for (size_t i = 0; i < replicas.size(); ++i) {
+      int64_t len = const_cast<PrefixCache&>(replicas[i]->cache())
+                        .MatchPrefix(item.prompt, 0);
+      auto shadow = shadows[i]->MatchBest(item.prompt, nullptr);
+      len = std::max(len, shadow.match_len);
+      int64_t load = assigned_tokens[i] + replicas[i]->active_memory_tokens();
+      if (len > best_len || (len == best_len && load < best_load)) {
+        best_len = len;
+        best_load = load;
+        best = static_cast<int>(i);
+      }
+    }
+    shadows[static_cast<size_t>(best)]->Insert(item.prompt, 0);
+    assigned_tokens[static_cast<size_t>(best)] +=
+        static_cast<int64_t>(item.prompt.size()) - best_len;
+    return best;
+  });
+}
+
+}  // namespace
+
+Scenario MakeFig06ChVsOptimalScenario() {
+  Scenario scenario;
+  scenario.name = "fig06";
+  scenario.title = "KV-cache hit rate: consistent hashing vs optimal";
+  scenario.description =
+      "Three adversarial single-region traces served under consistent "
+      "hashing and under an optimal global-view router; reports hit rates "
+      "and the gap.";
+  scenario.metric_keys = {"ch_hit_pct", "optimal_hit_pct", "gap_pts"};
+  scenario.plan = [](const ScenarioOptions&) {
+    ScenarioPlan plan;
+    const char* names[] = {"Cross-User Sharing", "Bursty Request",
+                           "Heterogeneous Program"};
+    for (int s = 0; s < 3; ++s) {
+      plan.cells.push_back(ScenarioCell{
+          std::string(names[s]) + "/CH", [s] {
+            MetricRow row;
+            row.label = "CH";
+            row.Set("hit_pct", RunConsistentHash(MakeTrace(s)) * 100);
+            return std::vector<MetricRow>{std::move(row)};
+          }});
+      plan.cells.push_back(ScenarioCell{
+          std::string(names[s]) + "/optimal", [s] {
+            MetricRow row;
+            row.label = "optimal";
+            row.Set("hit_pct", RunOptimal(MakeTrace(s)) * 100);
+            return std::vector<MetricRow>{std::move(row)};
+          }});
+    }
+    plan.finalize = [names](
+                        const std::vector<std::vector<MetricRow>>& cell_rows) {
+      ScenarioReport report;
+      for (int s = 0; s < 3; ++s) {
+        const double ch = *cell_rows[static_cast<size_t>(2 * s)][0].Find(
+            "hit_pct");
+        const double optimal =
+            *cell_rows[static_cast<size_t>(2 * s + 1)][0].Find("hit_pct");
+        MetricRow row;
+        row.label = names[s];
+        row.Dim("trace", names[s]);
+        row.Set("ch_hit_pct", ch);
+        row.Set("optimal_hit_pct", optimal);
+        row.Set("gap_pts", optimal - ch);
+        report.rows.push_back(std::move(row));
+      }
+      report.notes.push_back(
+          "Check vs paper (Fig. 6): optimal beats CH in all three traces; "
+          "paper gaps are 16.49 pts (cross-user), 7.07 pts (bursty), 8.78 "
+          "pts (heterogeneous).");
+      return report;
+    };
+    return plan;
+  };
+  return scenario;
+}
+
+}  // namespace skywalker

@@ -119,4 +119,97 @@ std::map<ReplicaId, int64_t> MetricsCollector::PerReplicaCounts() const {
 
 void MetricsCollector::Clear() { outcomes_.clear(); }
 
+MetricRow& MetricRow::Set(std::string key, double value) {
+  for (auto& [k, v] : metrics) {
+    if (k == key) {
+      v = value;
+      return *this;
+    }
+  }
+  metrics.emplace_back(std::move(key), value);
+  return *this;
+}
+
+const double* MetricRow::Find(std::string_view key) const {
+  for (const auto& [k, v] : metrics) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+const std::vector<std::string>& StandardExperimentMetricKeys() {
+  static const std::vector<std::string> keys = {
+      metric_keys::kThroughputTokS, metric_keys::kOutputTokS,
+      metric_keys::kTtftP50,        metric_keys::kTtftP90,
+      metric_keys::kTtftP99,        metric_keys::kTtftMean,
+      metric_keys::kE2eP50,         metric_keys::kE2eP90,
+      metric_keys::kE2eP99,         metric_keys::kCacheHitRate,
+      metric_keys::kForwardRate,    metric_keys::kImbalance,
+      metric_keys::kCompleted,      metric_keys::kCostUsdPerHour,
+  };
+  return keys;
+}
+
+Json MetricRowJson(const MetricRow& row) {
+  Json j = Json::Object();
+  j.Set("label", row.label);
+  if (!row.dims.empty()) {
+    Json dims = Json::Object();
+    for (const auto& [k, v] : row.dims) {
+      dims.Set(k, v);
+    }
+    j.Set("dims", std::move(dims));
+  }
+  Json metrics = Json::Object();
+  for (const auto& [k, v] : row.metrics) {
+    metrics.Set(k, v);
+  }
+  j.Set("metrics", std::move(metrics));
+  return j;
+}
+
+std::vector<MetricRow> MeanRowsByLabel(
+    const std::vector<std::vector<MetricRow>>& per_trial_rows) {
+  std::vector<MetricRow> means;
+  std::vector<std::map<std::string, int>> counts;  // Parallel to `means`.
+  for (const auto& rows : per_trial_rows) {
+    for (const MetricRow& row : rows) {
+      MetricRow* mean = nullptr;
+      std::map<std::string, int>* count = nullptr;
+      for (size_t i = 0; i < means.size(); ++i) {
+        if (means[i].label == row.label) {
+          mean = &means[i];
+          count = &counts[i];
+          break;
+        }
+      }
+      if (mean == nullptr) {
+        MetricRow fresh;
+        fresh.label = row.label;
+        fresh.dims = row.dims;
+        means.push_back(std::move(fresh));
+        counts.emplace_back();
+        mean = &means.back();
+        count = &counts.back();
+      }
+      for (const auto& [key, value] : row.metrics) {
+        const double* prev = mean->Find(key);
+        mean->Set(key, (prev == nullptr ? 0.0 : *prev) + value);
+        ++(*count)[key];
+      }
+    }
+  }
+  for (size_t i = 0; i < means.size(); ++i) {
+    for (auto& [key, sum] : means[i].metrics) {
+      int n = counts[i][key];
+      if (n > 1) {
+        sum /= n;
+      }
+    }
+  }
+  return means;
+}
+
 }  // namespace skywalker

@@ -2,14 +2,22 @@
 // steady-state measurement window, producing the quantities every figure of
 // the paper reports — service throughput (token/s), TTFT and end-to-end
 // latency distributions, cache hit rates, and forwarding fractions.
+//
+// Also defines the machine-readable metric layer every skybench scenario
+// emits: MetricRow (a labeled bag of named scalar metrics) and the JSON
+// writers that turn rows and distributions into BENCH_*.json content.
 
 #ifndef SKYWALKER_ANALYSIS_METRICS_H_
 #define SKYWALKER_ANALYSIS_METRICS_H_
 
 #include <map>
+#include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "src/common/histogram.h"
+#include "src/common/json.h"
 #include "src/common/sim_time.h"
 #include "src/workload/client.h"
 #include "src/workload/request.h"
@@ -60,6 +68,55 @@ class MetricsCollector : public MetricsSink {
   SimTime window_start_ = 0;
   SimTime window_end_ = kSimTimeMax;
 };
+
+// One labeled result row of a benchmark scenario — e.g. one (system,
+// workload) cell of Fig. 8. `label` uniquely identifies the row within its
+// scenario; `dims` optionally names the dimensions the label concatenates
+// (so tooling can pivot without parsing labels); `metrics` is insertion-
+// ordered so serialization is stable.
+struct MetricRow {
+  std::string label;
+  std::vector<std::pair<std::string, std::string>> dims;
+  std::vector<std::pair<std::string, double>> metrics;
+
+  MetricRow& Dim(std::string key, std::string value) {
+    dims.emplace_back(std::move(key), std::move(value));
+    return *this;
+  }
+  // Appends or overwrites in place (insertion position preserved).
+  MetricRow& Set(std::string key, double value);
+  const double* Find(std::string_view key) const;
+};
+
+// The standard metric keys shared by every simulation-backed scenario.
+// Declared here so scenario definitions and schema tests agree on spelling.
+namespace metric_keys {
+inline constexpr const char* kThroughputTokS = "throughput_tok_s";
+inline constexpr const char* kOutputTokS = "output_throughput_tok_s";
+inline constexpr const char* kTtftP50 = "ttft_p50_s";
+inline constexpr const char* kTtftP90 = "ttft_p90_s";
+inline constexpr const char* kTtftP99 = "ttft_p99_s";
+inline constexpr const char* kTtftMean = "ttft_mean_s";
+inline constexpr const char* kE2eP50 = "e2e_p50_s";
+inline constexpr const char* kE2eP90 = "e2e_p90_s";
+inline constexpr const char* kE2eP99 = "e2e_p99_s";
+inline constexpr const char* kCacheHitRate = "cache_hit_rate";
+inline constexpr const char* kForwardRate = "forward_rate";
+inline constexpr const char* kImbalance = "outstanding_imbalance";
+inline constexpr const char* kCompleted = "completed";
+inline constexpr const char* kCostUsdPerHour = "cost_usd_per_hour";
+}  // namespace metric_keys
+
+// The standard keys above, in canonical order (schema tests iterate this).
+const std::vector<std::string>& StandardExperimentMetricKeys();
+
+// {"label":..,"dims":{..},"metrics":{..}} — dims omitted when empty.
+Json MetricRowJson(const MetricRow& row);
+
+// Element-wise mean of rows that share a label across trials. Rows keep
+// first-seen order; metrics keep the first row's key order.
+std::vector<MetricRow> MeanRowsByLabel(
+    const std::vector<std::vector<MetricRow>>& per_trial_rows);
 
 }  // namespace skywalker
 

@@ -1,0 +1,443 @@
+#include "src/common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace skywalker {
+
+Json& Json::Set(std::string key, Json value) {
+  type_ = Type::kObject;
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+const Json* Json::Find(std::string_view key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+Json& Json::Append(Json value) {
+  type_ = Type::kArray;
+  elements_.push_back(std::move(value));
+  return *this;
+}
+
+std::string Json::FormatNumber(double v) {
+  if (!std::isfinite(v)) {
+    return "null";
+  }
+  // Integral values within the exact-double range print without a decimal
+  // point; everything else uses the shortest precision that round-trips.
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[40];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) {
+      break;
+    }
+  }
+  return buf;
+}
+
+namespace {
+
+void EscapeString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void Newline(std::string* out, bool indent, int depth) {
+  if (!indent) {
+    return;
+  }
+  out->push_back('\n');
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+}
+
+}  // namespace
+
+void Json::DumpTo(std::string* out, bool indent, int depth) const {
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      return;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Type::kNumber:
+      *out += FormatNumber(number_);
+      return;
+    case Type::kString:
+      EscapeString(string_, out);
+      return;
+    case Type::kArray: {
+      if (elements_.empty()) {
+        *out += "[]";
+        return;
+      }
+      out->push_back('[');
+      for (size_t i = 0; i < elements_.size(); ++i) {
+        if (i > 0) {
+          out->push_back(',');
+        }
+        Newline(out, indent, depth + 1);
+        elements_[i].DumpTo(out, indent, depth + 1);
+      }
+      Newline(out, indent, depth);
+      out->push_back(']');
+      return;
+    }
+    case Type::kObject: {
+      if (members_.empty()) {
+        *out += "{}";
+        return;
+      }
+      out->push_back('{');
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) {
+          out->push_back(',');
+        }
+        Newline(out, indent, depth + 1);
+        EscapeString(members_[i].first, out);
+        *out += indent ? ": " : ":";
+        members_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      Newline(out, indent, depth);
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+std::string Json::Dump(bool indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  if (indent) {
+    out.push_back('\n');
+  }
+  return out;
+}
+
+// --- Parser ----------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Json> Run() {
+    SkipWs();
+    std::optional<Json> value = ParseValue();
+    if (!value.has_value()) {
+      return std::nullopt;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return std::nullopt;  // Trailing garbage.
+    }
+    return value;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Json> ParseValue() {
+    if (pos_ >= text_.size()) {
+      return std::nullopt;
+    }
+    // Bounded nesting so corrupted input fails with nullopt instead of
+    // overflowing the stack. BENCH files nest ~5 deep.
+    if (depth_ >= 256) {
+      return std::nullopt;
+    }
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        std::optional<std::string> s = ParseString();
+        if (!s.has_value()) {
+          return std::nullopt;
+        }
+        return Json(std::move(*s));
+      }
+      case 't':
+        return ConsumeLiteral("true") ? std::optional<Json>(Json(true))
+                                      : std::nullopt;
+      case 'f':
+        return ConsumeLiteral("false") ? std::optional<Json>(Json(false))
+                                       : std::nullopt;
+      case 'n':
+        return ConsumeLiteral("null") ? std::optional<Json>(Json())
+                                      : std::nullopt;
+      default:
+        return ParseNumber();
+    }
+  }
+
+  std::optional<Json> ParseObject() {
+    ++pos_;  // '{'
+    ++depth_;
+    Json obj = Json::Object();
+    SkipWs();
+    if (Consume('}')) {
+      --depth_;
+      return obj;
+    }
+    while (true) {
+      SkipWs();
+      std::optional<std::string> key = ParseString();
+      if (!key.has_value()) {
+        return std::nullopt;
+      }
+      SkipWs();
+      if (!Consume(':')) {
+        return std::nullopt;
+      }
+      SkipWs();
+      std::optional<Json> value = ParseValue();
+      if (!value.has_value()) {
+        return std::nullopt;
+      }
+      obj.Set(std::move(*key), std::move(*value));
+      SkipWs();
+      if (Consume('}')) {
+        --depth_;
+        return obj;
+      }
+      if (!Consume(',')) {
+        return std::nullopt;
+      }
+    }
+  }
+
+  std::optional<Json> ParseArray() {
+    ++pos_;  // '['
+    ++depth_;
+    Json arr = Json::Array();
+    SkipWs();
+    if (Consume(']')) {
+      --depth_;
+      return arr;
+    }
+    while (true) {
+      SkipWs();
+      std::optional<Json> value = ParseValue();
+      if (!value.has_value()) {
+        return std::nullopt;
+      }
+      arr.Append(std::move(*value));
+      SkipWs();
+      if (Consume(']')) {
+        --depth_;
+        return arr;
+      }
+      if (!Consume(',')) {
+        return std::nullopt;
+      }
+    }
+  }
+
+  std::optional<std::string> ParseString() {
+    if (!Consume('"')) {
+      return std::nullopt;
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return std::nullopt;  // RFC 8259: control chars must be escaped.
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        return std::nullopt;
+      }
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return std::nullopt;
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return std::nullopt;
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs unsupported;
+          // benchmark output is ASCII).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return std::nullopt;
+      }
+    }
+    return std::nullopt;  // Unterminated.
+  }
+
+  // Strict JSON number grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+  std::optional<Json> ParseNumber() {
+    const size_t start = pos_;
+    auto digits = [this] {
+      size_t n = 0;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        ++n;
+      }
+      return n;
+    };
+    Consume('-');
+    if (Consume('0')) {
+      // A leading zero must stand alone (no 007).
+      if (pos_ < text_.size() &&
+          std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return std::nullopt;
+      }
+    } else if (digits() == 0) {
+      return std::nullopt;  // '-', '.5', '+5', etc.
+    }
+    if (Consume('.') && digits() == 0) {
+      return std::nullopt;  // '1.' has no fraction digits.
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (!Consume('+')) {
+        Consume('-');
+      }
+      if (digits() == 0) {
+        return std::nullopt;
+      }
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    return Json(std::strtod(token.c_str(), nullptr));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+std::optional<Json> Json::Parse(std::string_view text) {
+  return Parser(text).Run();
+}
+
+}  // namespace skywalker

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
+#include "src/analysis/cost_model.h"
 #include "src/common/logging.h"
 
 namespace skywalker {
@@ -286,6 +288,31 @@ ExperimentResult RunExperiment(const Topology& topology,
           ? 0.0
           : max_mean / min_mean;
   return result;
+}
+
+MetricRow ExperimentMetricRow(std::string label,
+                              const ExperimentResult& result,
+                              int total_replicas) {
+  MetricRow row;
+  row.label = std::move(label);
+  row.Set(metric_keys::kThroughputTokS, result.throughput_tok_s);
+  row.Set(metric_keys::kOutputTokS, result.output_throughput_tok_s);
+  row.Set(metric_keys::kTtftP50, result.ttft_p50_s);
+  row.Set(metric_keys::kTtftP90, result.ttft_p90_s);
+  row.Set(metric_keys::kTtftP99,
+          result.ttft.empty() ? 0.0 : result.ttft.Percentile(99));
+  row.Set(metric_keys::kTtftMean, result.ttft_mean_s);
+  row.Set(metric_keys::kE2eP50, result.e2e_p50_s);
+  row.Set(metric_keys::kE2eP90, result.e2e_p90_s);
+  row.Set(metric_keys::kE2eP99,
+          result.e2e.empty() ? 0.0 : result.e2e.Percentile(99));
+  row.Set(metric_keys::kCacheHitRate, result.cache_hit_rate);
+  row.Set(metric_keys::kForwardRate, result.forwarded_fraction);
+  row.Set(metric_keys::kImbalance, result.outstanding_imbalance);
+  row.Set(metric_keys::kCompleted, static_cast<double>(result.completed));
+  row.Set(metric_keys::kCostUsdPerHour,
+          total_replicas * Pricing().reserved_hourly);
+  return row;
 }
 
 }  // namespace skywalker

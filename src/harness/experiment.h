@@ -21,6 +21,7 @@
 #include "src/net/network.h"
 #include "src/sim/simulator.h"
 #include "src/workload/client.h"
+#include "src/workload/spec.h"
 
 namespace skywalker {
 
@@ -89,23 +90,8 @@ class ServingSystem {
   FrontendResolver* resolver_ = nullptr;
 };
 
-// One group of identical closed-loop clients in one region.
-struct ClientGroup {
-  enum class Kind { kConversation, kToT };
-  Kind kind = Kind::kConversation;
-  RegionId region = 0;
-  int count = 0;
-  ToTConfig tot;  // Used when kind == kToT.
-  ClientConfig client;
-};
-
-struct WorkloadSpec {
-  // Conversation groups share one generator (shared template pools drive
-  // cross-user prefix similarity); configure it here.
-  ConversationWorkloadConfig conversation;
-  std::vector<ClientGroup> groups;
-  uint64_t seed = 42;
-};
+// ClientGroup and WorkloadSpec live in src/workload/spec.h (included above)
+// together with the paper's canonical workload presets.
 
 // Owns generators and clients; starts them staggered to avoid thundering
 // herds at t=0.
@@ -160,6 +146,13 @@ ExperimentResult RunExperiment(const Topology& topology,
                                const SystemSpec& system_spec,
                                const WorkloadSpec& workload_spec,
                                const ExperimentConfig& config);
+
+// Converts a result into the standard machine-readable row (all keys of
+// StandardExperimentMetricKeys()). `total_replicas` prices the deployment at
+// the paper's reserved per-replica-hour rate (cost_usd_per_hour).
+MetricRow ExperimentMetricRow(std::string label,
+                              const ExperimentResult& result,
+                              int total_replicas);
 
 }  // namespace skywalker
 

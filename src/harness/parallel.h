@@ -1,0 +1,29 @@
+// Deterministic thread pool for independent benchmark cells.
+//
+// Each job owns its entire world (its own Simulator, Network, Rng streams)
+// and writes only to its own indexed result slot, so the schedule cannot
+// influence results: ParallelFor(n, 1, fn) and ParallelFor(n, 16, fn)
+// produce identical outputs, merely at different wall-clock speeds. That is
+// what lets skybench run trials in parallel while BENCH_*.json stays
+// byte-identical across thread counts.
+
+#ifndef SKYWALKER_HARNESS_PARALLEL_H_
+#define SKYWALKER_HARNESS_PARALLEL_H_
+
+#include <functional>
+
+namespace skywalker {
+
+// Invokes fn(0..n-1), each index at most once, on up to `threads` workers
+// (inline when threads <= 1 or n <= 1). Blocks until the claimed jobs
+// finish. If a job throws, workers stop claiming new indices and the first
+// exception is rethrown on the calling thread after all workers join — a
+// failing run surfaces its error instead of paying for the remaining jobs.
+void ParallelFor(size_t n, int threads, const std::function<void(size_t)>& fn);
+
+// Default worker count: hardware concurrency, at least 1.
+int DefaultThreadCount();
+
+}  // namespace skywalker
+
+#endif  // SKYWALKER_HARNESS_PARALLEL_H_

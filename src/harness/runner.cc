@@ -1,0 +1,224 @@
+#include "src/harness/runner.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/table.h"
+#include "src/harness/parallel.h"
+
+namespace skywalker {
+
+namespace {
+
+// One planned trial: the plan plus slots for its cells' rows.
+struct PlannedTrial {
+  const Scenario* scenario = nullptr;
+  int trial = 0;
+  uint64_t seed_stream = 0;
+  ScenarioPlan plan;
+  std::vector<std::vector<MetricRow>> cell_rows;  // Indexed by cell.
+};
+
+ScenarioReport Finalize(const PlannedTrial& planned) {
+  if (planned.plan.finalize != nullptr) {
+    return planned.plan.finalize(planned.cell_rows);
+  }
+  ScenarioReport report;
+  for (const auto& rows : planned.cell_rows) {
+    report.rows.insert(report.rows.end(), rows.begin(), rows.end());
+  }
+  return report;
+}
+
+}  // namespace
+
+std::vector<ScenarioRunResult> RunScenarios(
+    const std::vector<const Scenario*>& scenarios, const RunConfig& config) {
+  SKYWALKER_CHECK(config.trials >= 1);
+
+  // Plan sequentially (plans are cheap); collect a flat job list.
+  std::vector<PlannedTrial> planned;
+  struct Job {
+    size_t planned_index;
+    size_t cell_index;
+  };
+  std::vector<Job> jobs;
+  for (const Scenario* scenario : scenarios) {
+    for (int trial = 0; trial < config.trials; ++trial) {
+      PlannedTrial pt;
+      pt.scenario = scenario;
+      pt.trial = trial;
+      pt.seed_stream = TrialSeedStream(config.seed, trial);
+      ScenarioOptions options;
+      options.seed_stream = pt.seed_stream;
+      options.smoke = config.smoke;
+      pt.plan = scenario->plan(options);
+      pt.cell_rows.resize(pt.plan.cells.size());
+      planned.push_back(std::move(pt));
+      for (size_t c = 0; c < planned.back().plan.cells.size(); ++c) {
+        jobs.push_back(Job{planned.size() - 1, c});
+      }
+    }
+  }
+
+  // Every cell owns its world and writes only its indexed slot, so the pool
+  // schedule cannot affect the merged result.
+  ParallelFor(jobs.size(), config.threads, [&](size_t i) {
+    PlannedTrial& pt = planned[jobs[i].planned_index];
+    const ScenarioCell& cell = pt.plan.cells[jobs[i].cell_index];
+    try {
+      pt.cell_rows[jobs[i].cell_index] = cell.run();
+    } catch (const std::exception& e) {
+      throw std::runtime_error(pt.scenario->name + "/" + cell.label + ": " +
+                               e.what());
+    }
+  });
+
+  std::vector<ScenarioRunResult> results;
+  size_t planned_index = 0;
+  for (const Scenario* scenario : scenarios) {
+    ScenarioRunResult result;
+    result.scenario = scenario;
+    result.config = config;
+    for (int trial = 0; trial < config.trials; ++trial) {
+      PlannedTrial& pt = planned[planned_index++];
+      TrialResult tr;
+      tr.trial = pt.trial;
+      tr.seed_stream = pt.seed_stream;
+      tr.report = Finalize(pt);
+      result.trials.push_back(std::move(tr));
+    }
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+Json ScenarioRunJson(const ScenarioRunResult& result) {
+  const Scenario& scenario = *result.scenario;
+  Json doc = Json::Object();
+  doc.Set("schema_version", 1);
+  doc.Set("scenario", scenario.name);
+  doc.Set("title", scenario.title);
+  // Seeds are full 64-bit values; doubles lose the low bits above 2^53, so
+  // they serialize as decimal strings to keep recorded trials reproducible.
+  doc.Set("seed", std::to_string(result.config.seed));
+  doc.Set("trials", result.config.trials);
+  doc.Set("smoke", result.config.smoke);
+  doc.Set("deterministic", scenario.deterministic);
+  Json keys = Json::Array();
+  for (const std::string& key : scenario.metric_keys) {
+    keys.Append(key);
+  }
+  doc.Set("metric_keys", std::move(keys));
+
+  Json trial_results = Json::Array();
+  std::vector<std::vector<MetricRow>> per_trial_rows;
+  for (const TrialResult& trial : result.trials) {
+    Json tj = Json::Object();
+    tj.Set("trial", trial.trial);
+    tj.Set("seed_stream", std::to_string(trial.seed_stream));
+    Json rows = Json::Array();
+    for (const MetricRow& row : trial.report.rows) {
+      rows.Append(MetricRowJson(row));
+    }
+    tj.Set("rows", std::move(rows));
+    if (!trial.report.derived.empty()) {
+      Json derived = Json::Object();
+      for (const auto& [k, v] : trial.report.derived) {
+        derived.Set(k, v);
+      }
+      tj.Set("derived", std::move(derived));
+    }
+    if (!trial.report.notes.empty()) {
+      Json notes = Json::Array();
+      for (const std::string& note : trial.report.notes) {
+        notes.Append(note);
+      }
+      tj.Set("notes", std::move(notes));
+    }
+    trial_results.Append(std::move(tj));
+    per_trial_rows.push_back(trial.report.rows);
+  }
+  doc.Set("trial_results", std::move(trial_results));
+
+  Json summary = Json::Object();
+  Json summary_rows = Json::Array();
+  for (const MetricRow& row : MeanRowsByLabel(per_trial_rows)) {
+    summary_rows.Append(MetricRowJson(row));
+  }
+  summary.Set("rows", std::move(summary_rows));
+  // Mean of derived metrics across trials: reuse the row averager by
+  // wrapping each trial's derived pairs in a single pseudo-row.
+  std::vector<std::vector<MetricRow>> per_trial_derived;
+  for (const TrialResult& trial : result.trials) {
+    if (trial.report.derived.empty()) {
+      continue;
+    }
+    MetricRow row;
+    row.label = "derived";
+    row.metrics = trial.report.derived;
+    per_trial_derived.push_back({std::move(row)});
+  }
+  if (!per_trial_derived.empty()) {
+    // Named: a range-for over MeanRowsByLabel(...)[0].metrics would iterate
+    // a member of a destroyed temporary.
+    const std::vector<MetricRow> derived_means =
+        MeanRowsByLabel(per_trial_derived);
+    Json derived = Json::Object();
+    for (const auto& [k, v] : derived_means[0].metrics) {
+      derived.Set(k, v);
+    }
+    summary.Set("derived", std::move(derived));
+  }
+  doc.Set("summary", std::move(summary));
+  return doc;
+}
+
+std::string ScenarioReportText(const Scenario& scenario,
+                               const TrialResult& trial) {
+  std::string out = "=== " + scenario.name + ": " + scenario.title + " ===\n";
+  if (!trial.report.rows.empty()) {
+    // Header = label + union of metric keys in first-seen order.
+    std::vector<std::string> headers = {"label"};
+    for (const MetricRow& row : trial.report.rows) {
+      for (const auto& [key, value] : row.metrics) {
+        (void)value;
+        bool seen = false;
+        for (const std::string& h : headers) {
+          if (h == key) {
+            seen = true;
+            break;
+          }
+        }
+        if (!seen) {
+          headers.push_back(key);
+        }
+      }
+    }
+    Table table(headers);
+    for (const MetricRow& row : trial.report.rows) {
+      std::vector<std::string> cells = {row.label};
+      for (size_t i = 1; i < headers.size(); ++i) {
+        const double* v = row.Find(headers[i]);
+        cells.push_back(v == nullptr ? "-" : Table::Num(*v, 3));
+      }
+      table.AddRow(std::move(cells));
+    }
+    out += table.ToAscii();
+  }
+  if (!trial.report.derived.empty()) {
+    Table derived({"derived metric", "value"});
+    for (const auto& [k, v] : trial.report.derived) {
+      derived.AddRow({k, Table::Num(v, 3)});
+    }
+    out += derived.ToAscii();
+  }
+  for (const std::string& note : trial.report.notes) {
+    out += note;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace skywalker

@@ -1,0 +1,65 @@
+// Executes registered scenarios: plans every (scenario, trial), flattens all
+// cells into one job list, runs the jobs on the deterministic pool, then
+// reassembles per-trial reports in plan order and serializes BENCH_*.json.
+
+#ifndef SKYWALKER_HARNESS_RUNNER_H_
+#define SKYWALKER_HARNESS_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/json.h"
+#include "src/harness/scenario.h"
+
+namespace skywalker {
+
+struct RunConfig {
+  int trials = 1;
+  uint64_t seed = 42;    // Perturbs trials >= 1; trial 0 is canonical.
+  bool smoke = false;
+  int threads = 1;
+};
+
+struct TrialResult {
+  int trial = 0;
+  uint64_t seed_stream = 0;
+  ScenarioReport report;
+};
+
+struct ScenarioRunResult {
+  const Scenario* scenario = nullptr;
+  RunConfig config;
+  std::vector<TrialResult> trials;
+};
+
+// Runs every requested scenario. All cells across scenarios and trials share
+// one ParallelFor(threads) schedule; results are merged in (scenario, trial,
+// cell) declaration order, so output is independent of thread count.
+std::vector<ScenarioRunResult> RunScenarios(
+    const std::vector<const Scenario*>& scenarios, const RunConfig& config);
+
+// The BENCH_<scenario>.json document. Layout:
+// {
+//   "schema_version": 1,
+//   "scenario": "fig09", "title": ..., "seed": ..., "trials": N,
+//   "smoke": false, "metric_keys": [...],
+//   "trial_results": [
+//     {"trial": 0, "seed_stream": 0,
+//      "rows": [{"label": ..., "dims": {...}, "metrics": {...}}],
+//      "derived": {...}, "notes": [...]}
+//   ],
+//   "summary": {"rows": [...mean across trials...], "derived": {...}}
+// }
+// Deliberately excludes anything nondeterministic (wall-clock, host, thread
+// count) so that identical seeds yield byte-identical files.
+Json ScenarioRunJson(const ScenarioRunResult& result);
+
+// Renders the report as the human-readable table + notes the historical
+// per-figure executables printed.
+std::string ScenarioReportText(const Scenario& scenario,
+                               const TrialResult& trial);
+
+}  // namespace skywalker
+
+#endif  // SKYWALKER_HARNESS_RUNNER_H_

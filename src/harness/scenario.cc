@@ -1,0 +1,67 @@
+#include "src/harness/scenario.h"
+
+#include "src/common/logging.h"
+
+namespace skywalker {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+uint64_t MixSeed(uint64_t canonical, uint64_t stream) {
+  if (stream == 0) {
+    return canonical;
+  }
+  return SplitMix64(canonical ^ stream);
+}
+
+uint64_t TrialSeedStream(uint64_t cli_seed, int trial) {
+  if (trial == 0) {
+    return 0;
+  }
+  uint64_t stream =
+      SplitMix64(SplitMix64(cli_seed) ^ static_cast<uint64_t>(trial));
+  // Stream 0 is reserved for "canonical"; remap the (vanishingly unlikely)
+  // collision.
+  return stream == 0 ? 1 : stream;
+}
+
+ScenarioRegistry& ScenarioRegistry::Get() {
+  static ScenarioRegistry* registry = new ScenarioRegistry();
+  return *registry;
+}
+
+void ScenarioRegistry::Register(Scenario scenario) {
+  SKYWALKER_CHECK(!scenario.name.empty());
+  SKYWALKER_CHECK(scenario.plan != nullptr) << scenario.name;
+  SKYWALKER_CHECK(Find(scenario.name) == nullptr)
+      << "duplicate scenario: " << scenario.name;
+  scenarios_.push_back(std::make_unique<Scenario>(std::move(scenario)));
+}
+
+const Scenario* ScenarioRegistry::Find(std::string_view name) const {
+  for (const auto& scenario : scenarios_) {
+    if (scenario->name == name) {
+      return scenario.get();
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const Scenario*> ScenarioRegistry::All() const {
+  std::vector<const Scenario*> all;
+  all.reserve(scenarios_.size());
+  for (const auto& scenario : scenarios_) {
+    all.push_back(scenario.get());
+  }
+  return all;
+}
+
+}  // namespace skywalker

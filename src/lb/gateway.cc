@@ -150,7 +150,7 @@ void GatewayLb::Route(RegionId endpoint_region, Request req,
 
   Replica::Handlers handlers;
   handlers.on_first_token = [this, outcome, shared_callbacks,
-                             response_latency](const Request& r,
+                             response_latency](const Request& /*r*/,
                                                int64_t cached) {
     outcome->cached_prompt_tokens = cached;
     outcome->first_token_time = sim_->now() + response_latency;
@@ -163,7 +163,7 @@ void GatewayLb::Route(RegionId endpoint_region, Request req,
   ReplicaId rid = replica->id();
   RegionId cluster_region = cluster->region;
   handlers.on_complete = [this, outcome, shared_callbacks, response_latency,
-                          rid, cluster_region](const Request& r,
+                          rid, cluster_region](const Request& /*r*/,
                                                int64_t cached) {
     outcome->cached_prompt_tokens = cached;
     outcome->completion_time = sim_->now() + response_latency;

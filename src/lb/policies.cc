@@ -6,7 +6,7 @@
 
 namespace skywalker {
 
-ReplicaId RoundRobinSelector::SelectReplica(const Queued& queued,
+ReplicaId RoundRobinSelector::SelectReplica(const Queued& /*queued*/,
                                             const CandidateView& candidates) {
   const size_t n = candidates.size();
   if (n == 0) {
@@ -24,7 +24,7 @@ ReplicaId RoundRobinSelector::SelectReplica(const Queued& queued,
   return kInvalidReplica;
 }
 
-ReplicaId LeastLoadSelector::SelectReplica(const Queued& queued,
+ReplicaId LeastLoadSelector::SelectReplica(const Queued& /*queued*/,
                                            const CandidateView& candidates) {
   return candidates.LeastLoadedAvailable();
 }

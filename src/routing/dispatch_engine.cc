@@ -284,7 +284,7 @@ void DispatchEngine::DispatchTo(Queued queued, ReplicaId replica_id) {
 
   Replica::Handlers handlers;
   handlers.on_first_token = [this, outcome, callbacks, response_latency](
-                                const Request& req, int64_t cached) {
+                                const Request& /*req*/, int64_t cached) {
     outcome->cached_prompt_tokens = cached;
     outcome->first_token_time = sim_->now() + response_latency;
     if (callbacks->on_first_token) {
@@ -294,7 +294,8 @@ void DispatchEngine::DispatchTo(Queued queued, ReplicaId replica_id) {
     }
   };
   handlers.on_complete = [this, outcome, callbacks, response_latency,
-                          replica_id](const Request& req, int64_t cached) {
+                          replica_id](const Request& /*req*/,
+                                      int64_t cached) {
     outcome->cached_prompt_tokens = cached;
     outcome->completion_time = sim_->now() + response_latency;
     if (callbacks->on_complete) {

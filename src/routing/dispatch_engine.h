@@ -137,8 +137,8 @@ class ReplicaSelector {
                                   const CandidateView& candidates) = 0;
 
   // Registry lifecycle notifications (keep rings/tries in sync).
-  virtual void OnReplicaAttached(Replica* replica) {}
-  virtual void OnReplicaDetached(ReplicaId replica_id) {}
+  virtual void OnReplicaAttached(Replica* /*replica*/) {}
+  virtual void OnReplicaDetached(ReplicaId /*replica_id*/) {}
 };
 
 // The policy-agnostic dispatch machinery. One instance per balancer.
@@ -171,7 +171,7 @@ class DispatchEngine {
 
     // Pre-placement intercept for the queue head (e.g. sticky remote
     // affinity). kTaken means the host moved the request out of `head`.
-    virtual HeadAction OnQueueHead(Queued& head) {
+    virtual HeadAction OnQueueHead(Queued& /*head*/) {
       return HeadAction::kPlaceLocal;
     }
 
@@ -179,11 +179,14 @@ class DispatchEngine {
     // the selector). The host may consume it (cross-region forwarding) by
     // moving it out and returning kTaken; kStall keeps it queued.
     // kPlaceLocal is treated as kStall.
-    virtual HeadAction OnUnplaced(Queued& head) { return HeadAction::kStall; }
+    virtual HeadAction OnUnplaced(Queued& /*head*/) {
+      return HeadAction::kStall;
+    }
 
     // A request was committed to a local replica (record placement in
     // policy state, refresh last-local-availability, ...).
-    virtual void OnLocalDispatch(const Queued& queued, ReplicaId replica_id) {}
+    virtual void OnLocalDispatch(const Queued& /*queued*/,
+                                 ReplicaId /*replica_id*/) {}
 
     // Probe-loop extension points: start of a probe tick (before replica
     // probes go out), after replica probes were sent (peer probing), and

@@ -1,5 +1,6 @@
 #include "src/workload/client.h"
 
+#include <atomic>
 #include <utility>
 
 #include "src/common/logging.h"
@@ -7,8 +8,12 @@
 namespace skywalker {
 
 RequestId NextRequestId() {
-  static RequestId next = 1;
-  return next++;
+  // Atomic because skybench runs independent simulator cells on a thread
+  // pool. Ids only label requests (no routing or ordering decision reads
+  // them), so cross-cell allocation order does not affect results — the
+  // determinism tests verify byte-identical output across thread counts.
+  static std::atomic<RequestId> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
 }
 
 void SubmitViaNetwork(Network* net, RegionId client_region, Frontend* frontend,

@@ -102,7 +102,9 @@ class FrontendResolver {
 class SingleFrontendResolver : public FrontendResolver {
  public:
   explicit SingleFrontendResolver(Frontend* frontend) : frontend_(frontend) {}
-  Frontend* Resolve(RegionId client_region) override { return frontend_; }
+  Frontend* Resolve(RegionId /*client_region*/) override {
+    return frontend_;
+  }
 
  private:
   Frontend* frontend_;

@@ -222,7 +222,7 @@ TEST(SubmitViaNetworkTest, StampsSubmitTimeAndAppliesLatency) {
   class CaptureFrontend : public Frontend {
    public:
     RegionId region() const override { return 1; }
-    void HandleRequest(Request req, RequestCallbacks callbacks) override {
+    void HandleRequest(Request req, RequestCallbacks /*callbacks*/) override {
       received = req;
       got = true;
     }

@@ -247,7 +247,7 @@ INSTANTIATE_TEST_SUITE_P(
 // Trivial selector: first available replica in registry order.
 class FirstAvailableSelector : public ReplicaSelector {
  public:
-  ReplicaId SelectReplica(const Queued& queued,
+  ReplicaId SelectReplica(const Queued& /*queued*/,
                           const CandidateView& candidates) override {
     for (size_t i = 0; i < candidates.size(); ++i) {
       if (candidates.IsAvailable(candidates[i])) {

@@ -1,0 +1,118 @@
+// Tests for the JSON document model: serialization stability (insertion
+// order, shortest round-trip numbers), escaping, and the strict parser.
+
+#include <gtest/gtest.h>
+
+#include "src/common/json.h"
+
+namespace skywalker {
+namespace {
+
+TEST(JsonTest, ObjectPreservesInsertionOrder) {
+  Json obj = Json::Object();
+  obj.Set("zeta", 1);
+  obj.Set("alpha", 2);
+  obj.Set("mid", 3);
+  EXPECT_EQ(obj.Dump(false), "{\"zeta\":1,\"alpha\":2,\"mid\":3}");
+}
+
+TEST(JsonTest, SetOverwritesInPlace) {
+  Json obj = Json::Object();
+  obj.Set("a", 1);
+  obj.Set("b", 2);
+  obj.Set("a", 3);
+  EXPECT_EQ(obj.Dump(false), "{\"a\":3,\"b\":2}");
+}
+
+TEST(JsonTest, NumberFormattingRoundTrips) {
+  EXPECT_EQ(Json::FormatNumber(0), "0");
+  EXPECT_EQ(Json::FormatNumber(42), "42");
+  EXPECT_EQ(Json::FormatNumber(-7), "-7");
+  EXPECT_EQ(Json::FormatNumber(0.5), "0.5");
+  // Shortest representation that parses back exactly.
+  EXPECT_EQ(Json::FormatNumber(0.1), "0.1");
+  const double v = 1.0 / 3.0;
+  EXPECT_EQ(std::strtod(Json::FormatNumber(v).c_str(), nullptr), v);
+  // Non-finite values have no JSON encoding; they serialize as null.
+  EXPECT_EQ(Json::FormatNumber(std::numeric_limits<double>::infinity()),
+            "null");
+}
+
+TEST(JsonTest, StringEscaping) {
+  Json s("line\nwith \"quotes\" and \\slash");
+  EXPECT_EQ(s.Dump(false), "\"line\\nwith \\\"quotes\\\" and \\\\slash\"");
+}
+
+TEST(JsonTest, ParseRoundTrip) {
+  Json doc = Json::Object();
+  doc.Set("name", "fig09");
+  doc.Set("trials", 3);
+  doc.Set("smoke", false);
+  doc.Set("ratio", 1.2748);
+  Json rows = Json::Array();
+  Json row = Json::Object();
+  row.Set("label", "BP");
+  row.Set("value", -17.5);
+  rows.Append(std::move(row));
+  rows.Append(Json());  // null element
+  doc.Set("rows", std::move(rows));
+
+  for (bool indent : {false, true}) {
+    std::optional<Json> parsed = Json::Parse(doc.Dump(indent));
+    ASSERT_TRUE(parsed.has_value()) << "indent=" << indent;
+    EXPECT_EQ(parsed->Dump(indent), doc.Dump(indent));
+  }
+}
+
+TEST(JsonTest, ParseAcceptsEscapes) {
+  std::optional<Json> parsed =
+      Json::Parse("{\"k\": \"a\\u0041\\n\\t\\\"\"}");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->Find("k")->AsString(), "aA\n\t\"");
+}
+
+TEST(JsonTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(Json::Parse("").has_value());
+  EXPECT_FALSE(Json::Parse("{").has_value());
+  EXPECT_FALSE(Json::Parse("[1,]").has_value());
+  EXPECT_FALSE(Json::Parse("{\"a\":1,}").has_value());
+  EXPECT_FALSE(Json::Parse("{\"a\" 1}").has_value());
+  EXPECT_FALSE(Json::Parse("nul").has_value());
+  EXPECT_FALSE(Json::Parse("1 2").has_value());  // Trailing garbage.
+  EXPECT_FALSE(Json::Parse("\"unterminated").has_value());
+  // RFC 8259: raw control characters inside strings must be escaped.
+  EXPECT_FALSE(Json::Parse("\"a\nb\"").has_value());
+  EXPECT_FALSE(Json::Parse("\"a\tb\"").has_value());
+  EXPECT_TRUE(Json::Parse("\"a\\nb\"").has_value());
+}
+
+TEST(JsonTest, ParseBoundsNestingDepth) {
+  // Pathological nesting fails with nullopt instead of a stack overflow.
+  std::string deep(100000, '[');
+  EXPECT_FALSE(Json::Parse(deep).has_value());
+  std::string ok = std::string(100, '[') + std::string(100, ']');
+  EXPECT_TRUE(Json::Parse(ok).has_value());
+}
+
+TEST(JsonTest, ParseEnforcesJsonNumberGrammar) {
+  EXPECT_FALSE(Json::Parse("+5").has_value());
+  EXPECT_FALSE(Json::Parse("007").has_value());
+  EXPECT_FALSE(Json::Parse(".5").has_value());
+  EXPECT_FALSE(Json::Parse("1.").has_value());
+  EXPECT_FALSE(Json::Parse("1e").has_value());
+  EXPECT_FALSE(Json::Parse("-").has_value());
+  ASSERT_TRUE(Json::Parse("-0.5e-3").has_value());
+  EXPECT_EQ(Json::Parse("-0.5e-3")->AsDouble(), -0.5e-3);
+  EXPECT_EQ(Json::Parse("10").has_value(), true);
+  EXPECT_EQ(Json::Parse("0").has_value(), true);
+}
+
+TEST(JsonTest, FindReturnsNullForMissingKey) {
+  Json obj = Json::Object();
+  obj.Set("present", 1);
+  EXPECT_NE(obj.Find("present"), nullptr);
+  EXPECT_EQ(obj.Find("absent"), nullptr);
+}
+
+}  // namespace
+}  // namespace skywalker

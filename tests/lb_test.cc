@@ -306,7 +306,7 @@ TEST(LoadBalancerTest, OutcomeTimestampsIncludeNetworkPath) {
   RequestOutcome observed;
   RequestCallbacks callbacks;
   callbacks.on_first_token = [&](const RequestOutcome& o) { observed = o; };
-  callbacks.on_complete = [&](const RequestOutcome& o) {};
+  callbacks.on_complete = [&](const RequestOutcome&) {};
   // Model the client->LB trip explicitly as SubmitViaNetwork would.
   net.Send(ap, us, [&lb, req, callbacks]() mutable {
     lb.HandleRequest(std::move(req), std::move(callbacks));

@@ -71,7 +71,7 @@ TEST_P(ReplicaSweepTest, ConservationAndInvariants) {
       ASSERT_LT(cached, r.prompt_tokens());
     };
     handlers.on_complete = [&completed, &sim](const Request& r,
-                                              int64_t cached) {
+                                              int64_t /*cached*/) {
       ASSERT_EQ(completed.count(r.id), 0u);
       completed[r.id] = sim.now();
     };

@@ -36,7 +36,7 @@ Replica::Handlers Record(Simulator* sim, Completion* out) {
     out->first_token = sim->now();
     out->cached = cached;
   };
-  handlers.on_complete = [sim, out](const Request&, int64_t cached) {
+  handlers.on_complete = [sim, out](const Request&, int64_t /*cached*/) {
     out->completed = sim->now();
   };
   return handlers;

@@ -247,7 +247,7 @@ TEST(SkyWalkerLbTest, ConsistentHashVariantStickyByKey) {
 TEST(SkyWalkerLbTest, GdprConstraintBlocksForwarding) {
   SkyWalkerConfig config;
   config.push_slack = 1;
-  config.forward_allowed = [](RegionId from, RegionId to) {
+  config.forward_allowed = [](RegionId /*from*/, RegionId /*to*/) {
     return false;  // Forwarding prohibited everywhere.
   };
   ReplicaConfig rconfig;
