@@ -211,6 +211,179 @@ Scenario MakeMicroDatastructuresScenario() {
               })};
         }});
 
+    // --- Adversarial shapes (ISSUE 3): layouts the arena rewrite must not
+    // regress on. Deep single-token chains maximize per-node walk overhead
+    // (no long edges to memcmp through); 256-way root fan-out forces the
+    // child small-vector to spill and binary-search; split/evict churn
+    // cycles nodes and pool chunks through the free lists.
+
+    // Deep chain: inserting every prefix of one sequence leaves a chain of
+    // 1-token nodes; matching the full sequence visits every node.
+    {
+      const size_t depth = options.smoke ? 256 : 1024;
+      const std::string label = "prefix_cache_match_deep_chain";
+      plan.cells.push_back(ScenarioCell{label, [label, depth, large] {
+        PrefixCache cache(1 << 26);
+        TokenSeq seq;
+        for (size_t i = 0; i < depth; ++i) {
+          seq.push_back(static_cast<Token>(i * 7 + 1));
+          cache.Insert(seq, static_cast<SimTime>(i));
+        }
+        return std::vector<MetricRow>{
+            TimedRow(label, large / 8, [&](int64_t i) {
+              return static_cast<double>(
+                  cache.MatchPrefix(seq, static_cast<SimTime>(i)));
+            })};
+      }});
+    }
+    {
+      const size_t depth = options.smoke ? 256 : 1024;
+      const std::string label = "routing_trie_match_deep_chain";
+      plan.cells.push_back(ScenarioCell{label, [label, depth, large] {
+        RoutingTrie trie(1 << 26);
+        TokenSeq seq;
+        for (size_t i = 0; i < depth; ++i) {
+          seq.push_back(static_cast<Token>(i * 7 + 1));
+          trie.Insert(seq, static_cast<TargetId>(i % 12));
+        }
+        auto pred = [](TargetId id) { return id % 2 == 0; };
+        return std::vector<MetricRow>{
+            TimedRow(label, large / 8, [&](int64_t) {
+              return static_cast<double>(trie.MatchBest(seq, pred).match_len);
+            })};
+      }});
+    }
+
+    // Root fan-out: 256 distinct first tokens, so the root's child map
+    // spills far past its inline capacity.
+    {
+      const std::string label = "prefix_cache_root_fanout_256";
+      plan.cells.push_back(ScenarioCell{label, [label, large] {
+        PrefixCache cache(1 << 26);
+        std::vector<TokenSeq> seqs;
+        for (Token base = 0; base < 256; ++base) {
+          TokenSeq seq;
+          for (Token i = 0; i < 32; ++i) {
+            seq.push_back(base * 1000 + i);
+          }
+          cache.Insert(seq, static_cast<SimTime>(base));
+          seqs.push_back(std::move(seq));
+        }
+        return std::vector<MetricRow>{
+            TimedRow(label, large, [&](int64_t i) {
+              return static_cast<double>(cache.MatchPrefix(
+                  seqs[static_cast<size_t>(i * 131) % seqs.size()],
+                  static_cast<SimTime>(i)));
+            })};
+      }});
+    }
+    {
+      const std::string label = "routing_trie_root_fanout_256";
+      plan.cells.push_back(ScenarioCell{label, [label, large] {
+        RoutingTrie trie(1 << 26);
+        std::vector<TokenSeq> seqs;
+        for (Token base = 0; base < 256; ++base) {
+          TokenSeq seq;
+          for (Token i = 0; i < 32; ++i) {
+            seq.push_back(base * 1000 + i);
+          }
+          trie.Insert(seq, static_cast<TargetId>(base % 12));
+          seqs.push_back(std::move(seq));
+        }
+        auto pred = [](TargetId id) { return id % 3 != 0; };
+        return std::vector<MetricRow>{
+            TimedRow(label, large, [&](int64_t i) {
+              return static_cast<double>(
+                  trie.MatchBest(seqs[static_cast<size_t>(i * 131) %
+                                      seqs.size()],
+                                 pred)
+                      .match_len);
+            })};
+      }});
+    }
+
+    // Split/evict churn: every iteration inserts a sequence that splits an
+    // existing edge, in a cache small enough that eviction frees nodes at
+    // the same rate — steady-state traffic over the node/chunk free lists.
+    {
+      const std::string label = "prefix_cache_split_evict_churn";
+      plan.cells.push_back(ScenarioCell{label, [label, small] {
+        PrefixCache cache(32 * 1024);
+        Token fresh = 50'000'000;
+        return std::vector<MetricRow>{
+            TimedRow(label, small, [&](int64_t i) {
+              // Shared 128-token stem per group, then a fork point: the
+              // second insert of a group splits the first one's leaf edge.
+              Token group = static_cast<Token>(i / 2 % 64);
+              TokenSeq seq;
+              for (Token t = 0; t < 128; ++t) {
+                seq.push_back(group * 4096 + t);
+              }
+              for (int t = 0; t < 128; ++t) {
+                seq.push_back(fresh++);
+              }
+              return static_cast<double>(
+                  cache.Insert(seq, static_cast<SimTime>(i)));
+            })};
+      }});
+    }
+    {
+      const std::string label = "routing_trie_split_evict_churn";
+      plan.cells.push_back(ScenarioCell{label, [label, small] {
+        RoutingTrie trie(32 * 1024);
+        Token fresh = 90'000'000;
+        MetricRow row = TimedRow(label, small, [&](int64_t i) {
+          Token group = static_cast<Token>(i / 2 % 64);
+          TokenSeq seq;
+          for (Token t = 0; t < 128; ++t) {
+            seq.push_back(group * 4096 + t);
+          }
+          for (int t = 0; t < 128; ++t) {
+            seq.push_back(fresh++);
+          }
+          trie.Insert(seq, static_cast<TargetId>(i % 12));
+          return 0.0;
+        });
+        // Insert() returns void; fold the final trie shape into the
+        // checksum so split/evict behavior is still regression-checked.
+        row.Set("checksum", static_cast<double>(trie.size_tokens()) +
+                                static_cast<double>(trie.num_nodes()));
+        return std::vector<MetricRow>{std::move(row)};
+      }});
+    }
+
+    // Cancel churn: generation-stamped cancellation must stay O(1) with no
+    // tombstone accumulation even when half the scheduled events die.
+    {
+      const std::string label = "event_queue_push_cancel_pop";
+      plan.cells.push_back(ScenarioCell{label, [label, large, stream] {
+        EventQueue queue;
+        Rng rng(MixSeed(10, stream));
+        SimTime now = 0;
+        std::vector<EventId> pending(4096, kInvalidEventId);
+        for (size_t i = 0; i < pending.size(); ++i) {
+          pending[i] = queue.Push(
+              now + static_cast<SimTime>(rng.UniformInt(0, 1000000)), [] {});
+        }
+        size_t cursor = 0;
+        return std::vector<MetricRow>{
+            TimedRow(label, large, [&](int64_t) {
+              // Push one, cancel an older handle (often already popped —
+              // stale-cancel is part of the shape), pop one. The push
+              // precedes the pop, so the queue can never drain.
+              pending[cursor] = queue.Push(
+                  now + static_cast<SimTime>(rng.UniformInt(1, 1000000)),
+                  [] {});
+              size_t victim = (cursor + pending.size() / 2) % pending.size();
+              queue.Cancel(pending[victim]);
+              cursor = (cursor + 1) % pending.size();
+              auto event = queue.Pop();
+              now = event.at;
+              return static_cast<double>(now % 1024);
+            })};
+      }});
+    }
+
     for (int64_t backlog : {int64_t{1024}, int64_t{65536}}) {
       const std::string label =
           "event_queue_push_pop/" + std::to_string(backlog);

@@ -35,6 +35,7 @@ struct CliOptions {
   bool smoke = false;
   bool quiet = false;       // Suppress tables; still writes JSON.
   bool write_json = true;
+  bool timing = false;      // Write the BENCH_TIMING.json sidecar.
   int trials = 1;
   uint64_t seed = 42;
   int threads = DefaultThreadCount();
@@ -56,6 +57,8 @@ void PrintUsage() {
       "  --threads=T            worker threads (default: hardware "
       "concurrency)\n"
       "  --smoke                tiny durations for schema/CI checks\n"
+      "  --timing               also write BENCH_TIMING.json (wall-clock\n"
+      "                         sidecar; excluded from golden comparisons)\n"
       "  --out=FILE             JSON path (single scenario only)\n"
       "  --out-dir=DIR          directory for BENCH_<scenario>.json "
       "(default .)\n"
@@ -82,6 +85,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->all = true;
     } else if (std::strcmp(arg, "--smoke") == 0) {
       options->smoke = true;
+    } else if (std::strcmp(arg, "--timing") == 0) {
+      options->timing = true;
     } else if (std::strcmp(arg, "--quiet") == 0) {
       options->quiet = true;
     } else if (std::strcmp(arg, "--no-json") == 0) {
@@ -199,8 +204,9 @@ int SkybenchMain(int argc, char** argv) {
                 config.smoke ? ", smoke mode" : "");
   }
 
+  RunTiming timing;
   const std::vector<ScenarioRunResult> results =
-      RunScenarios(scenarios, config);
+      RunScenarios(scenarios, config, &timing);
 
   int exit_code = 0;
   for (const ScenarioRunResult& result : results) {
@@ -222,6 +228,18 @@ int SkybenchMain(int argc, char** argv) {
       } else if (!options.quiet) {
         std::printf("wrote %s\n", path.c_str());
       }
+    }
+  }
+  if (options.timing && options.write_json) {
+    // The wall-clock sidecar: nondeterministic by design, so it lives in a
+    // separate file that the golden/determinism suites never compare.
+    const std::string path = options.out_dir + "/BENCH_TIMING.json";
+    if (!WriteFile(path, TimingJson(results, config, timing).Dump())) {
+      std::fprintf(stderr, "skybench: failed to write %s\n", path.c_str());
+      exit_code = 1;
+    } else if (!options.quiet) {
+      std::printf("wrote %s (wall %.2fs)\n", path.c_str(),
+                  timing.wall_seconds);
     }
   }
   return exit_code;

@@ -1,6 +1,7 @@
 #include "src/cache/prefix_cache.h"
 
 #include <cassert>
+#include <cstring>
 #include <limits>
 
 #include "src/common/logging.h"
@@ -8,76 +9,87 @@
 namespace skywalker {
 
 PrefixCache::PrefixCache(int64_t capacity_tokens)
-    : capacity_tokens_(capacity_tokens), root_(std::make_unique<Node>()) {}
+    : capacity_tokens_(capacity_tokens) {
+  root_ = nodes_.Alloc();
+}
 
 PrefixCache::~PrefixCache() = default;
 
-int64_t PrefixCache::WalkAndSplit(const TokenSeq& seq, SimTime now,
-                                  std::vector<Node*>* path) {
-  Node* node = root_.get();
-  size_t pos = 0;
-  while (pos < seq.size()) {
-    auto it = node->children.find(seq[pos]);
-    if (it == node->children.end()) {
-      break;
-    }
-    Node* child = it->second.get();
-    const TokenSeq& edge = child->edge;
-    size_t matched = 0;
-    while (matched < edge.size() && pos + matched < seq.size() &&
-           edge[matched] == seq[pos + matched]) {
-      ++matched;
-    }
-    if (matched == 0) {
-      break;  // Defensive; the map key guarantees >= 1 in practice.
-    }
-    if (matched < edge.size()) {
-      // Partial edge match: split so the boundary is node-aligned.
-      SplitNode(child, matched);
-    }
-    child->last_access = now;
-    pos += matched;
-    if (path != nullptr) {
-      path->push_back(child);
-    }
-    node = child;
-  }
-  return static_cast<int64_t>(pos);
+SlabId PrefixCache::SplitAbove(SlabId id, size_t keep) {
+  SlabId top = nodes_.Alloc();
+  Node& lower = node(id);
+  Node& upper = node(top);
+  assert(keep > 0 && keep < lower.edge.size());
+
+  upper.edge = lower.edge.Prefix(keep);
+  pool_.AddRef(upper.edge);
+  upper.parent = lower.parent;
+  // Both halves are covered by exactly the pins that covered the original
+  // node (pin boundaries are node-aligned, so no pin ends strictly inside);
+  // pins keep referencing `id`, which stays the deepest covered node.
+  upper.ref_count = lower.ref_count;
+  upper.last_access = lower.last_access;
+  upper.children.Clear();
+  upper.children.Set(lower.edge[keep], id);
+
+  *node(lower.parent).children.Find(lower.edge.front()) = top;
+  lower.edge = lower.edge.Suffix(keep);  // Keeps the original chunk ref.
+  lower.parent = top;
+  ++num_nodes_;  // Token count is unchanged; one extra node exists.
+  return top;
 }
 
-void PrefixCache::SplitNode(Node* node, size_t keep) {
-  assert(keep > 0 && keep < node->edge.size());
-  auto tail = std::make_unique<Node>();
-  tail->edge.assign(node->edge.begin() + static_cast<ptrdiff_t>(keep),
-                    node->edge.end());
-  tail->children = std::move(node->children);
-  for (auto& [token, child] : tail->children) {
-    child->parent = tail.get();
+int64_t PrefixCache::WalkAndSplit(const TokenSeq& seq, SimTime now,
+                                  SlabId* deepest) {
+  // The walk carries a raw node pointer alongside the id (slab chunks have
+  // stable addresses) and derefs ids through a chunk-caching cursor.
+  Slab<Node, 6>::Cursor cursor(&nodes_);
+  SlabId cur = root_;
+  Node* cur_node = &node(cur);
+  size_t pos = 0;
+  while (pos < seq.size()) {
+    const SlabId* child_slot = cur_node->children.Find(seq[pos]);
+    if (child_slot == nullptr) {
+      break;
+    }
+    SlabId child = *child_slot;
+    Node* child_node = cursor.Deref(child);
+    const size_t n =
+        std::min<size_t>(child_node->edge.size(), seq.size() - pos);
+    // The child is keyed by its edge's first token, so that token is already
+    // known equal — single-token edges (deep chains) skip the compare (and
+    // the edge-data load) entirely.
+    size_t matched = 1;
+    if (n > 1) {
+      matched += CommonPrefixLenRaw(child_node->edge.data + 1,
+                                    seq.data() + pos + 1, n - 1);
+    }
+    if (matched < child_node->edge.size()) {
+      // Partial edge match: split so the boundary is node-aligned. The
+      // fully-matched half is the new upper node.
+      child = SplitAbove(child, matched);
+      child_node = &node(child);
+    }
+    child_node->last_access = now;
+    pos += matched;
+    cur = child;
+    cur_node = child_node;
   }
-  // Both halves are covered by exactly the pins that covered the original
-  // node (pin boundaries are node-aligned, so no pin ends strictly inside).
-  tail->ref_count = node->ref_count;
-  tail->last_access = node->last_access;
-  tail->parent = node;
-
-  node->edge.resize(keep);
-  node->children.clear();
-  Token first = tail->edge.front();
-  node->children.emplace(first, std::move(tail));
-  ++num_nodes_;  // Token count is unchanged; one extra node exists.
+  *deepest = cur;
+  return static_cast<int64_t>(pos);
 }
 
 PrefixCache::MatchRef PrefixCache::MatchAndRef(const TokenSeq& seq,
                                                SimTime now) {
-  std::vector<Node*> path;
-  int64_t len = WalkAndSplit(seq, now, &path);
-  for (Node* n : path) {
-    ++n->ref_count;
+  SlabId deepest = root_;
+  int64_t len = WalkAndSplit(seq, now, &deepest);
+  for (SlabId n = deepest; n != root_; n = node(n).parent) {
+    ++node(n).ref_count;
   }
-  PinId id = next_pin_++;
-  Pin pin;
-  pin.prefix.assign(seq.begin(), seq.begin() + static_cast<ptrdiff_t>(len));
-  pins_.emplace(id, std::move(pin));
+
+  uint32_t slot = pins_.Acquire();
+  pins_[slot] = deepest == root_ ? kNilSlabId : deepest;
+  PinId id = static_cast<PinId>(pins_.MakeHandle(slot));
 
   lookup_tokens_ += static_cast<int64_t>(seq.size());
   hit_tokens_ += len;
@@ -85,49 +97,43 @@ PrefixCache::MatchRef PrefixCache::MatchAndRef(const TokenSeq& seq,
 }
 
 int64_t PrefixCache::MatchPrefix(const TokenSeq& seq, SimTime now) {
-  return WalkAndSplit(seq, now, nullptr);
+  SlabId deepest = root_;
+  return WalkAndSplit(seq, now, &deepest);
 }
 
 void PrefixCache::Unref(PinId pin) {
-  auto it = pins_.find(pin);
-  SKYWALKER_CHECK(it != pins_.end()) << "double Unref or invalid pin " << pin;
-  const TokenSeq& prefix = it->second.prefix;
-  AdjustRefs(prefix, static_cast<int64_t>(prefix.size()), -1);
-  pins_.erase(it);
-}
-
-void PrefixCache::AdjustRefs(const TokenSeq& seq, int64_t len, int64_t delta) {
-  Node* node = root_.get();
-  int64_t pos = 0;
-  while (pos < len) {
-    auto it = node->children.find(seq[static_cast<size_t>(pos)]);
-    SKYWALKER_CHECK(it != node->children.end())
-        << "pinned path missing at token " << pos;
-    Node* child = it->second.get();
-    int64_t edge_len = static_cast<int64_t>(child->edge.size());
-    SKYWALKER_CHECK(pos + edge_len <= len)
-        << "pin boundary not node-aligned (pos=" << pos
-        << " edge=" << edge_len << " len=" << len << ")";
-    child->ref_count += delta;
-    SKYWALKER_CHECK(child->ref_count >= 0) << "negative refcount";
-    pos += edge_len;
-    node = child;
+  const uint64_t handle = static_cast<uint64_t>(pin);
+  SKYWALKER_CHECK(pin != kInvalidPin && pins_.IsValid(handle))
+      << "double Unref or invalid pin " << pin;
+  const uint32_t slot = GenSlotPool<SlabId>::HandleSlot(handle);
+  // Every node from the pin's deepest covered node up to the root is covered
+  // by it (splits insert nodes above survivors, so the chain stays intact).
+  SlabId cur = pins_[slot];
+  while (cur != kNilSlabId && cur != root_) {
+    Node& n = node(cur);
+    --n.ref_count;
+    SKYWALKER_CHECK(n.ref_count >= 0) << "negative refcount";
+    cur = n.parent;
   }
+  pins_[slot] = kNilSlabId;
+  pins_.Release(slot);
 }
 
 int64_t PrefixCache::Insert(const TokenSeq& seq, SimTime now) {
-  std::vector<Node*> path;
-  int64_t matched = WalkAndSplit(seq, now, &path);
+  SlabId parent = root_;
+  int64_t matched = WalkAndSplit(seq, now, &parent);
   int64_t added = 0;
   if (matched < static_cast<int64_t>(seq.size())) {
-    Node* parent = path.empty() ? root_.get() : path.back();
-    auto leaf = std::make_unique<Node>();
-    leaf->edge.assign(seq.begin() + matched, seq.end());
-    leaf->parent = parent;
-    leaf->last_access = now;
-    added = static_cast<int64_t>(leaf->edge.size());
-    Token first = leaf->edge.front();
-    parent->children.emplace(first, std::move(leaf));
+    SlabId leaf = nodes_.Alloc();
+    Node& n = node(leaf);
+    n.edge = pool_.Intern(seq.data() + matched,
+                          seq.size() - static_cast<size_t>(matched));
+    n.children.Clear();
+    n.parent = parent;
+    n.ref_count = 0;
+    n.last_access = now;
+    added = static_cast<int64_t>(n.edge.size());
+    node(parent).children.Set(n.edge.front(), leaf);
     ++num_nodes_;
     size_tokens_ += added;
   }
@@ -139,40 +145,49 @@ int64_t PrefixCache::Insert(const TokenSeq& seq, SimTime now) {
 
 int64_t PrefixCache::Evict(int64_t tokens) {
   int64_t freed = 0;
+  std::vector<SlabId> stack;
   while (freed < tokens) {
-    // LRU leaf scan. Trees here hold a few thousand nodes at most; a linear
-    // scan keeps the structure simple (micro-benchmarked in bench/).
-    Node* victim = nullptr;
+    // LRU leaf scan. The slab keeps nodes contiguous, so the scan streams
+    // through a few cache lines per chunk; trees here hold a few thousand
+    // nodes at most (micro-benchmarked in bench/).
+    SlabId victim = kNilSlabId;
     SimTime oldest = std::numeric_limits<SimTime>::max();
-    // Iterative DFS.
-    std::vector<Node*> stack{root_.get()};
+    stack.clear();
+    stack.push_back(root_);
     while (!stack.empty()) {
-      Node* n = stack.back();
+      SlabId id = stack.back();
       stack.pop_back();
-      for (auto& [token, child] : n->children) {
-        stack.push_back(child.get());
+      const Node& n = node(id);
+      for (const auto& [token, child] : n.children) {
+        (void)token;
+        stack.push_back(child);
       }
-      if (n != root_.get() && n->children.empty() && n->ref_count == 0 &&
-          n->last_access < oldest) {
-        oldest = n->last_access;
-        victim = n;
+      if (id != root_ && n.children.empty() && n.ref_count == 0 &&
+          n.last_access < oldest) {
+        oldest = n.last_access;
+        victim = id;
       }
     }
-    if (victim == nullptr) {
+    if (victim == kNilSlabId) {
       break;  // Everything evictable is gone (rest is pinned or interior).
     }
-    freed += static_cast<int64_t>(victim->edge.size());
+    freed += static_cast<int64_t>(node(victim).edge.size());
     RemoveLeaf(victim);
   }
   return freed;
 }
 
-void PrefixCache::RemoveLeaf(Node* leaf) {
-  assert(leaf->children.empty() && leaf->ref_count == 0);
-  Node* parent = leaf->parent;
-  size_tokens_ -= static_cast<int64_t>(leaf->edge.size());
+void PrefixCache::RemoveLeaf(SlabId leaf) {
+  Node& n = node(leaf);
+  assert(n.children.empty() && n.ref_count == 0);
+  size_tokens_ -= static_cast<int64_t>(n.edge.size());
   --num_nodes_;
-  parent->children.erase(leaf->edge.front());
+  node(n.parent).children.Erase(n.edge.front());
+  pool_.Release(n.edge);
+  n.edge = TokenSlice{};
+  n.parent = kNilSlabId;
+  n.last_access = 0;
+  nodes_.Free(leaf);  // children map already empty; its capacity is kept.
 }
 
 void PrefixCache::Clear() {
@@ -183,15 +198,16 @@ void PrefixCache::Clear() {
 int64_t PrefixCache::pinned_tokens() const {
   // Sum of edge lengths of nodes with ref_count > 0.
   int64_t total = 0;
-  std::vector<const Node*> stack{root_.get()};
+  std::vector<SlabId> stack{root_};
   while (!stack.empty()) {
-    const Node* n = stack.back();
+    const Node& n = node(stack.back());
     stack.pop_back();
-    for (const auto& [token, child] : n->children) {
-      stack.push_back(child.get());
+    for (const auto& [token, child] : n.children) {
+      (void)token;
+      stack.push_back(child);
     }
-    if (n->ref_count > 0) {
-      total += static_cast<int64_t>(n->edge.size());
+    if (n.ref_count > 0) {
+      total += static_cast<int64_t>(n.edge.size());
     }
   }
   return total;
@@ -201,35 +217,38 @@ bool PrefixCache::CheckInvariants() const {
   int64_t tokens = 0;
   size_t nodes = 0;
   bool ok = true;
-  std::vector<const Node*> stack{root_.get()};
+  std::vector<SlabId> stack{root_};
   while (!stack.empty()) {
-    const Node* n = stack.back();
+    SlabId id = stack.back();
     stack.pop_back();
-    if (n != root_.get()) {
-      tokens += static_cast<int64_t>(n->edge.size());
+    const Node& n = node(id);
+    if (id != root_) {
+      tokens += static_cast<int64_t>(n.edge.size());
       ++nodes;
-      if (n->edge.empty()) {
+      if (n.edge.empty()) {
         ok = false;  // Non-root nodes must have a non-empty edge.
       }
-      // Children must be reachable under the right first token, and a
-      // child's refcount never exceeds its parent's chain... (refcounts are
-      // per-pin-coverage, child <= parent holds because pins cover prefixes).
-      if (n->parent != nullptr && n->parent != root_.get() &&
-          n->ref_count > n->parent->ref_count) {
+      // A child's refcount never exceeds its parent's (refcounts are
+      // per-pin-coverage and pins cover prefixes).
+      if (n.parent != root_ && n.ref_count > node(n.parent).ref_count) {
         ok = false;
       }
     }
-    for (const auto& [token, child] : n->children) {
-      if (child->edge.empty() || child->edge.front() != token) {
+    for (const auto& [token, child] : n.children) {
+      const Node& c = node(child);
+      if (c.edge.empty() || c.edge.front() != token || c.parent != id) {
         ok = false;
       }
-      if (child->parent != n) {
-        ok = false;
-      }
-      stack.push_back(child.get());
+      stack.push_back(child);
     }
   }
   if (tokens != size_tokens_ || nodes != num_nodes_) {
+    ok = false;
+  }
+  // Arena accounting: every tree node is live in the slab (plus the root),
+  // and every non-root node holds exactly one pool reference.
+  if (nodes_.live() != num_nodes_ + 1 ||
+      pool_.live_refs() != static_cast<int64_t>(num_nodes_)) {
     ok = false;
   }
   return ok;

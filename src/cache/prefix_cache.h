@@ -13,20 +13,39 @@
 //
 // Invariant maintained across edge splits: a node's ref_count equals the
 // number of active pins whose pinned length fully covers the node's edge.
-// Ref splits edges at its boundary, splits copy the count to both halves,
-// and nodes are never merged, so the invariant survives concurrent pins.
+// MatchAndRef splits edges at its boundary, splits copy the count to both
+// halves, and nodes are never merged, so the invariant survives concurrent
+// pins.
+//
+// Memory layout (ISSUE 3): nodes live in a slab arena linked by 32-bit ids
+// with children in a sorted inline small-vector, and edge labels are
+// TokenSlice views into a shared TokenPool instead of per-node
+// std::vector<Token> copies — a walk is sequential index math over
+// contiguous slabs, an edge split is slice arithmetic, and steady-state
+// churn (evict + reinsert, splits) recycles nodes and chunks through free
+// lists without touching the heap. Pins are generation-checked handles onto
+// the deepest covered node; Unref unwinds by walking parent links, which
+// stays correct across splits because a split inserts the new (upper) node
+// *above* the surviving one, preserving the identity of every node a pin
+// can reference.
+//
+// Observable behavior (match lengths, eviction order, counters) is
+// bit-identical to the seed std::map implementation; only the layout
+// changed. tests/prefix_structures_property_test.cc fuzzes this equivalence
+// against a copy of the seed code.
 
 #ifndef SKYWALKER_CACHE_PREFIX_CACHE_H_
 #define SKYWALKER_CACHE_PREFIX_CACHE_H_
 
 #include <cstdint>
-#include <map>
-#include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "src/cache/small_map.h"
+#include "src/cache/token_pool.h"
 #include "src/cache/tokens.h"
+#include "src/common/gen_slot_pool.h"
 #include "src/common/sim_time.h"
+#include "src/common/slab.h"
 
 namespace skywalker {
 
@@ -76,7 +95,7 @@ class PrefixCache {
   // unevictable content).
   int64_t pinned_tokens() const;
   size_t num_nodes() const { return num_nodes_; }
-  size_t active_pins() const { return pins_.size(); }
+  size_t active_pins() const { return pins_.live(); }
 
   // Cumulative statistics (for cache-hit-rate reporting).
   int64_t lookup_tokens() const { return lookup_tokens_; }
@@ -92,42 +111,47 @@ class PrefixCache {
   bool CheckInvariants() const;
 
  private:
-  struct Node {
-    TokenSeq edge;  // Label on the edge from parent to this node.
-    std::map<Token, std::unique_ptr<Node>> children;
-    Node* parent = nullptr;
-    int64_t ref_count = 0;
+  // Exactly one cache line: edge slice (16) + child map with two inline
+  // entries (32) + parent (4) + ref_count (4) + last_access (8). Walks touch
+  // one line per node; conversation trees branch at turn boundaries, so >2
+  // children is rare enough that the spill path doesn't show in profiles.
+  struct alignas(64) Node {
+    TokenSlice edge;  // Label on the edge from parent to this node.
+    SmallSortedMap<Token, SlabId, 2> children;
+    SlabId parent = kNilSlabId;
+    // Pins in flight are bounded by the replica batch size; 2^31 is ample.
+    int32_t ref_count = 0;
     SimTime last_access = 0;
   };
-
-  struct Pin {
-    TokenSeq prefix;  // Copy of the pinned tokens (node-aligned by Ref).
-  };
+  static_assert(sizeof(Node) == 64, "Node must stay one cache line");
 
   // Walks `seq`, splitting any edge that straddles the match end so the
-  // match boundary is node-aligned. Returns matched length and fills `path`
-  // with fully matched nodes (root excluded).
-  int64_t WalkAndSplit(const TokenSeq& seq, SimTime now,
-                       std::vector<Node*>* path);
+  // match boundary is node-aligned. Returns matched length; `*deepest` gets
+  // the deepest fully matched node (root if nothing matched). The full
+  // matched path is exactly the parent chain of `*deepest`.
+  int64_t WalkAndSplit(const TokenSeq& seq, SimTime now, SlabId* deepest);
 
-  // Adjusts ref_count by `delta` on every node fully covered by
-  // `seq[0..len)`. Requires the boundary to be node-aligned.
-  void AdjustRefs(const TokenSeq& seq, int64_t len, int64_t delta);
+  // Splits the edge of `id` at `keep` tokens by inserting a new node ABOVE
+  // it: the new node takes the first `keep` tokens, `id` keeps the rest
+  // (and its children, refcount, pins). Returns the new upper node.
+  SlabId SplitAbove(SlabId id, size_t keep);
 
-  // Splits `node` so its edge has length `keep`; the remainder moves into a
-  // new child that inherits children, refcount and access time.
-  void SplitNode(Node* node, size_t keep);
+  // Removes an unpinned leaf.
+  void RemoveLeaf(SlabId leaf);
 
-  // Removes an unpinned leaf; asserts invariants.
-  void RemoveLeaf(Node* leaf);
+  Node& node(SlabId id) { return nodes_[id]; }
+  const Node& node(SlabId id) const { return nodes_[id]; }
 
   int64_t capacity_tokens_;
-  std::unique_ptr<Node> root_;
+  Slab<Node, 6> nodes_;  // 64-node chunks: cheap short-lived instances.
+  TokenPool pool_;
+  SlabId root_;
   int64_t size_tokens_ = 0;
   size_t num_nodes_ = 0;  // Excludes root.
 
-  std::unordered_map<PinId, Pin> pins_;
-  PinId next_pin_ = 1;
+  // Pins are generation-stamped handles so stale/double Unrefs are caught;
+  // the slot payload is the deepest node covered by the pin.
+  GenSlotPool<SlabId> pins_;
 
   int64_t lookup_tokens_ = 0;
   int64_t hit_tokens_ = 0;

@@ -2,115 +2,147 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <limits>
 
 namespace skywalker {
 
 RoutingTrie::RoutingTrie(int64_t capacity_tokens)
-    : capacity_tokens_(capacity_tokens), root_(std::make_unique<Node>()) {}
+    : capacity_tokens_(capacity_tokens) {
+  root_ = nodes_.Alloc();
+}
 
 RoutingTrie::~RoutingTrie() = default;
 
-void RoutingTrie::SplitNode(Node* node, size_t keep) {
-  assert(keep > 0 && keep < node->edge.size());
-  auto tail = std::make_unique<Node>();
-  tail->edge.assign(node->edge.begin() + static_cast<ptrdiff_t>(keep),
-                    node->edge.end());
-  tail->children = std::move(node->children);
-  for (auto& [token, child] : tail->children) {
-    child->parent = tail.get();
-  }
-  tail->targets = node->targets;  // Both halves keep the recorded targets.
-  tail->last_insert_gen = node->last_insert_gen;
-  tail->parent = node;
+SlabId RoutingTrie::SplitAbove(SlabId id, size_t keep) {
+  SlabId top = nodes_.Alloc();
+  Node& lower = node(id);
+  Node& upper = node(top);
+  assert(keep > 0 && keep < lower.edge.size());
 
-  node->edge.resize(keep);
-  node->children.clear();
-  node->children.emplace(tail->edge.front(), std::move(tail));
+  upper.edge = lower.edge.Prefix(keep);
+  pool_.AddRef(upper.edge);
+  upper.parent = lower.parent;
+  // Both halves keep the recorded targets.
+  upper.targets.CopyFrom(lower.targets);
+  upper.last_insert_gen = lower.last_insert_gen;
+  upper.children.Clear();
+  upper.children.Set(lower.edge[keep], id);
+
+  *node(lower.parent).children.Find(lower.edge.front()) = top;
+  lower.edge = lower.edge.Suffix(keep);  // Keeps the original chunk ref.
+  lower.parent = top;
   ++num_nodes_;
+  return top;
 }
 
 void RoutingTrie::Insert(const TokenSeq& seq, TargetId target) {
   uint64_t gen = next_gen_++;
-  Node* node = root_.get();
-  node->targets[target] = gen;
+  node(root_).targets.Set(target, gen);
+  Slab<Node, 6>::Cursor cursor(&nodes_);
+  SlabId cur = root_;
+  Node* cur_node = &node(cur);
   size_t pos = 0;
   while (pos < seq.size()) {
-    auto it = node->children.find(seq[pos]);
-    if (it == node->children.end()) {
-      auto leaf = std::make_unique<Node>();
-      leaf->edge.assign(seq.begin() + static_cast<ptrdiff_t>(pos), seq.end());
-      leaf->parent = node;
-      leaf->targets[target] = gen;
-      leaf->last_insert_gen = gen;
-      size_tokens_ += static_cast<int64_t>(leaf->edge.size());
+    const SlabId* child_slot = cur_node->children.Find(seq[pos]);
+    if (child_slot == nullptr) {
+      SlabId leaf = nodes_.Alloc();
+      Node& n = node(leaf);
+      n.edge = pool_.Intern(seq.data() + pos, seq.size() - pos);
+      n.children.Clear();
+      n.parent = cur;
+      n.targets.Clear();
+      n.targets.Set(target, gen);
+      n.last_insert_gen = gen;
+      size_tokens_ += static_cast<int64_t>(n.edge.size());
       ++num_nodes_;
-      node->children.emplace(leaf->edge.front(), std::move(leaf));
+      // Re-resolve: Alloc above may have been the first touch of a new
+      // chunk, but existing chunk addresses are stable, so cur_node holds.
+      cur_node->children.Set(n.edge.front(), leaf);
       break;
     }
-    Node* child = it->second.get();
-    size_t matched = 0;
-    while (matched < child->edge.size() && pos + matched < seq.size() &&
-           child->edge[matched] == seq[pos + matched]) {
-      ++matched;
+    SlabId child = *child_slot;
+    Node* child_node = cursor.Deref(child);
+    const size_t n =
+        std::min<size_t>(child_node->edge.size(), seq.size() - pos);
+    // First token is the child's map key: known equal, skip it.
+    size_t matched = 1;
+    if (n > 1) {
+      matched += CommonPrefixLenRaw(child_node->edge.data + 1,
+                                    seq.data() + pos + 1, n - 1);
     }
-    if (matched < child->edge.size()) {
-      SplitNode(child, matched);
+    if (matched < child_node->edge.size()) {
+      child = SplitAbove(child, matched);
+      child_node = &node(child);
     }
-    child->targets[target] = gen;
-    child->last_insert_gen = gen;
+    child_node->targets.Set(target, gen);
+    child_node->last_insert_gen = gen;
     pos += matched;
-    node = child;
+    cur = child;
+    cur_node = child_node;
   }
   EvictToCapacity();
 }
 
-void RoutingTrie::FillAvailable(const Node* node, const TargetPredicate& pred,
+void RoutingTrie::FillAvailable(SlabId id, const TargetPredicate& pred,
                                 std::vector<TargetId>* out) const {
   out->clear();
   // Most-recently-inserted first, so callers preferring fresh caches can
-  // take the front.
-  std::vector<std::pair<uint64_t, TargetId>> avail;
-  for (const auto& [target, gen] : node->targets) {
+  // take the front. Deployments have a few dozen targets at most, so the
+  // (gen, target) sort scratch lives on the stack; only the returned
+  // candidate vector allocates.
+  constexpr size_t kInlineAvail = 64;
+  std::pair<uint64_t, TargetId> inline_avail[kInlineAvail];
+  std::vector<std::pair<uint64_t, TargetId>> spill;
+  std::pair<uint64_t, TargetId>* avail = inline_avail;
+  const auto& targets = node(id).targets;
+  if (targets.size() > kInlineAvail) {
+    spill.resize(targets.size());
+    avail = spill.data();
+  }
+  size_t count = 0;
+  for (const auto& [target, gen] : targets) {
     if (!pred || pred(target)) {
-      avail.emplace_back(gen, target);
+      avail[count++] = {gen, target};
     }
   }
-  std::sort(avail.begin(), avail.end(),
+  std::sort(avail, avail + count,
             [](const auto& a, const auto& b) { return a.first > b.first; });
-  out->reserve(avail.size());
-  for (const auto& [gen, target] : avail) {
-    out->push_back(target);
+  out->reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out->push_back(avail[i].second);
   }
 }
 
 RoutingTrie::Match RoutingTrie::MatchBest(const TokenSeq& seq,
                                           const TargetPredicate& pred) const {
   Match result;
-  const Node* best = root_.get();
+  SlabId best = root_;
   int64_t best_len = 0;
 
-  const Node* node = root_.get();
+  Slab<Node, 6>::ConstCursor cursor(&nodes_);
+  const Node* cur_node = &node(root_);
   size_t pos = 0;
   while (pos < seq.size()) {
-    auto it = node->children.find(seq[pos]);
-    if (it == node->children.end()) {
+    const SlabId* child_slot = cur_node->children.Find(seq[pos]);
+    if (child_slot == nullptr) {
       break;
     }
-    const Node* child = it->second.get();
-    size_t matched = 0;
-    while (matched < child->edge.size() && pos + matched < seq.size() &&
-           child->edge[matched] == seq[pos + matched]) {
-      ++matched;
-    }
-    if (matched == 0) {
-      break;
+    const SlabId child = *child_slot;
+    const Node& c = *cursor.Deref(child);
+    const size_t n = std::min<size_t>(c.edge.size(), seq.size() - pos);
+    // First token is the child's map key: known equal, skip it.
+    size_t matched = 1;
+    if (n > 1) {
+      matched += CommonPrefixLenRaw(c.edge.data + 1, seq.data() + pos + 1,
+                                    n - 1);
     }
     // Early exit (paper §3.2): child target sets are subsets of the
     // parent's, so once no available target remains there is nothing
     // deeper worth visiting.
     bool any_available = false;
-    for (const auto& [target, gen] : child->targets) {
+    for (const auto& [target, gen] : c.targets) {
+      (void)gen;
       if (!pred || pred(target)) {
         any_available = true;
         break;
@@ -122,10 +154,10 @@ RoutingTrie::Match RoutingTrie::MatchBest(const TokenSeq& seq,
     pos += matched;
     best = child;
     best_len = static_cast<int64_t>(pos);
-    if (matched < child->edge.size()) {
+    if (matched < c.edge.size()) {
       break;  // Diverged inside this edge; partial tokens still matched.
     }
-    node = child;
+    cur_node = &c;
   }
 
   result.match_len = best_len;
@@ -135,90 +167,108 @@ RoutingTrie::Match RoutingTrie::MatchBest(const TokenSeq& seq,
 
 void RoutingTrie::RemoveTarget(TargetId target) {
   // DFS removing the target; prune empty leaves bottom-up.
-  std::vector<Node*> stack{root_.get()};
-  std::vector<Node*> order;
+  std::vector<SlabId> stack{root_};
+  std::vector<SlabId> order;
   while (!stack.empty()) {
-    Node* n = stack.back();
+    SlabId id = stack.back();
     stack.pop_back();
-    order.push_back(n);
-    for (auto& [token, child] : n->children) {
-      stack.push_back(child.get());
+    order.push_back(id);
+    for (const auto& [token, child] : node(id).children) {
+      (void)token;
+      stack.push_back(child);
     }
   }
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    Node* n = *it;
-    n->targets.erase(target);
-    if (n != root_.get() && n->children.empty() && n->targets.empty()) {
-      RemoveLeaf(n);
+    SlabId id = *it;
+    Node& n = node(id);
+    n.targets.Erase(target);
+    if (id != root_ && n.children.empty() && n.targets.empty()) {
+      RemoveLeaf(id);
     }
   }
 }
 
 void RoutingTrie::EvictToCapacity() {
+  std::vector<SlabId> stack;
   while (size_tokens_ > capacity_tokens_) {
     // Earliest-inserted leaf first (paper: evict starting from the earliest
     // inserted records).
-    Node* victim = nullptr;
+    SlabId victim = kNilSlabId;
     uint64_t oldest = std::numeric_limits<uint64_t>::max();
-    std::vector<Node*> stack{root_.get()};
+    stack.clear();
+    stack.push_back(root_);
     while (!stack.empty()) {
-      Node* n = stack.back();
+      SlabId id = stack.back();
       stack.pop_back();
-      for (auto& [token, child] : n->children) {
-        stack.push_back(child.get());
+      const Node& n = node(id);
+      for (const auto& [token, child] : n.children) {
+        (void)token;
+        stack.push_back(child);
       }
-      if (n != root_.get() && n->children.empty() &&
-          n->last_insert_gen < oldest) {
-        oldest = n->last_insert_gen;
-        victim = n;
+      if (id != root_ && n.children.empty() && n.last_insert_gen < oldest) {
+        oldest = n.last_insert_gen;
+        victim = id;
       }
     }
-    if (victim == nullptr) {
+    if (victim == kNilSlabId) {
       break;
     }
     RemoveLeaf(victim);
   }
 }
 
-void RoutingTrie::RemoveLeaf(Node* leaf) {
-  assert(leaf->children.empty());
-  Node* parent = leaf->parent;
-  size_tokens_ -= static_cast<int64_t>(leaf->edge.size());
+void RoutingTrie::RemoveLeaf(SlabId leaf) {
+  Node& n = node(leaf);
+  assert(n.children.empty());
+  size_tokens_ -= static_cast<int64_t>(n.edge.size());
   --num_nodes_;
-  parent->children.erase(leaf->edge.front());
+  node(n.parent).children.Erase(n.edge.front());
+  pool_.Release(n.edge);
+  n.edge = TokenSlice{};
+  n.parent = kNilSlabId;
+  n.targets.Clear();
+  n.last_insert_gen = 0;
+  nodes_.Free(leaf);
 }
 
 bool RoutingTrie::CheckInvariants() const {
   bool ok = true;
   int64_t tokens = 0;
   size_t nodes = 0;
-  std::vector<const Node*> stack{root_.get()};
+  std::vector<SlabId> stack{root_};
   while (!stack.empty()) {
-    const Node* n = stack.back();
+    SlabId id = stack.back();
     stack.pop_back();
-    if (n != root_.get()) {
-      tokens += static_cast<int64_t>(n->edge.size());
+    const Node& n = node(id);
+    if (id != root_) {
+      tokens += static_cast<int64_t>(n.edge.size());
       ++nodes;
-      if (n->edge.empty()) {
+      if (n.edge.empty()) {
         ok = false;
       }
       // Subset property: every target of a child must appear in the parent.
-      for (const auto& [target, gen] : n->targets) {
-        if (n->parent->targets.find(target) == n->parent->targets.end() &&
-            n->parent != root_.get()) {
-          ok = false;
+      if (n.parent != root_) {
+        for (const auto& [target, gen] : n.targets) {
+          (void)gen;
+          if (node(n.parent).targets.Find(target) == nullptr) {
+            ok = false;
+          }
         }
       }
     }
-    for (const auto& [token, child] : n->children) {
-      if (child->edge.empty() || child->edge.front() != token ||
-          child->parent != n) {
+    for (const auto& [token, child] : n.children) {
+      const Node& c = node(child);
+      if (c.edge.empty() || c.edge.front() != token || c.parent != id) {
         ok = false;
       }
-      stack.push_back(child.get());
+      stack.push_back(child);
     }
   }
   if (tokens != size_tokens_ || nodes != num_nodes_) {
+    ok = false;
+  }
+  if (nodes_.live() != num_nodes_ + 1 ||
+      pool_.live_refs() != static_cast<int64_t>(num_nodes_)) {
     ok = false;
   }
   return ok;

@@ -9,17 +9,26 @@
 //
 // Memory is bounded: when total stored tokens exceed the capacity, leaves are
 // evicted starting from the earliest-inserted records (paper §3.2).
+//
+// Memory layout (ISSUE 3): like PrefixCache, nodes live in a slab arena
+// linked by 32-bit ids, children and per-node target sets are sorted inline
+// small-vectors, and edge labels are TokenSlice views into a shared
+// TokenPool. The match walk itself does not allocate; each MatchBest still
+// allocates once for the returned candidates vector. Inserts allocate only
+// when the interned sequence opens a new pool chunk or the arena grows.
+// Observable behavior is bit-identical to the seed std::map implementation.
 
 #ifndef SKYWALKER_CACHE_ROUTING_TRIE_H_
 #define SKYWALKER_CACHE_ROUTING_TRIE_H_
 
 #include <cstdint>
 #include <functional>
-#include <map>
-#include <memory>
 #include <vector>
 
+#include "src/cache/small_map.h"
+#include "src/cache/token_pool.h"
 #include "src/cache/tokens.h"
+#include "src/common/slab.h"
 
 namespace skywalker {
 
@@ -69,22 +78,30 @@ class RoutingTrie {
 
  private:
   struct Node {
-    TokenSeq edge;
-    std::map<Token, std::unique_ptr<Node>> children;
-    Node* parent = nullptr;
+    TokenSlice edge;
+    SmallSortedMap<Token, SlabId> children;
+    SlabId parent = kNilSlabId;
     // target -> generation of the most recent insert touching this node.
-    std::map<TargetId, uint64_t> targets;
+    SmallSortedMap<TargetId, uint64_t> targets;
     uint64_t last_insert_gen = 0;
   };
 
-  void SplitNode(Node* node, size_t keep);
+  // Splits the edge of `id` at `keep` tokens by inserting a new node above
+  // it (same scheme as PrefixCache::SplitAbove). Returns the upper node.
+  SlabId SplitAbove(SlabId id, size_t keep);
+
   void EvictToCapacity();
-  void RemoveLeaf(Node* leaf);
-  void FillAvailable(const Node* node, const TargetPredicate& pred,
+  void RemoveLeaf(SlabId leaf);
+  void FillAvailable(SlabId id, const TargetPredicate& pred,
                      std::vector<TargetId>* out) const;
 
+  Node& node(SlabId id) { return nodes_[id]; }
+  const Node& node(SlabId id) const { return nodes_[id]; }
+
   int64_t capacity_tokens_;
-  std::unique_ptr<Node> root_;
+  Slab<Node, 6> nodes_;  // 64-node chunks: cheap short-lived instances.
+  TokenPool pool_;
+  SlabId root_;
   int64_t size_tokens_ = 0;
   size_t num_nodes_ = 0;
   uint64_t next_gen_ = 1;

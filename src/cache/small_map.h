@@ -1,0 +1,151 @@
+// Sorted flat map with inline small-vector storage, replacing the
+// std::map<Token, unique_ptr<Node>> / std::map<TargetId, gen> node members
+// in the radix structures. Radix nodes overwhelmingly have 0–4 children
+// (conversation workloads branch at turn boundaries, not per token), so the
+// entries live inline in the node itself — a child lookup is a linear scan
+// over one cache line instead of a red-black-tree pointer chase. Nodes that
+// do fan out (e.g. a trie root over many first tokens) spill to a heap
+// array and switch to binary search.
+//
+// Keys and values must be trivially copyable: entries move with memmove and
+// the destructor only frees the spill buffer. Clear() keeps the spill
+// capacity, so recycling a node through a slab free list does not allocate.
+
+#ifndef SKYWALKER_CACHE_SMALL_MAP_H_
+#define SKYWALKER_CACHE_SMALL_MAP_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace skywalker {
+
+template <typename K, typename V, size_t kInline = 4>
+class SmallSortedMap {
+  static_assert(std::is_trivially_copyable_v<K> &&
+                    std::is_trivially_copyable_v<V>,
+                "SmallSortedMap entries are relocated with memmove");
+
+ public:
+  struct Entry {
+    K key;
+    V value;
+  };
+
+  SmallSortedMap() = default;
+  SmallSortedMap(const SmallSortedMap&) = delete;
+  SmallSortedMap& operator=(const SmallSortedMap&) = delete;
+  ~SmallSortedMap() { delete[] heap_; }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Drops all entries but keeps any spill buffer for reuse.
+  void Clear() { size_ = 0; }
+
+  // Replaces this map's contents with a copy of `other` (edge splits copy a
+  // node's target set to both halves).
+  void CopyFrom(const SmallSortedMap& other) {
+    size_ = 0;
+    while (capacity() < other.size_) {
+      Grow();
+    }
+    std::memcpy(data(), other.data(), other.size_ * sizeof(Entry));
+    size_ = other.size_;
+  }
+
+  const V* Find(K key) const {
+    // The inline case takes an explicit (well-predicted) branch rather than
+    // selecting `heap_ ? heap_ : inline_` with a cmov: the entry loads must
+    // not carry a data dependency on the heap_ load, or every step of a
+    // radix walk serializes on two dependent cache misses instead of one.
+    if (heap_ == nullptr) {
+      for (uint32_t i = 0; i < size_; ++i) {
+        if (inline_[i].key >= key) {
+          return inline_[i].key == key ? &inline_[i].value : nullptr;
+        }
+      }
+      return nullptr;
+    }
+    const Entry* e = std::lower_bound(
+        heap_, heap_ + size_, key,
+        [](const Entry& entry, K k) { return entry.key < k; });
+    return (e != heap_ + size_ && e->key == key) ? &e->value : nullptr;
+  }
+  V* Find(K key) {
+    return const_cast<V*>(static_cast<const SmallSortedMap*>(this)->Find(key));
+  }
+
+  // Inserts or overwrites; returns true if the key was new.
+  bool Set(K key, V value) {
+    Entry* e = const_cast<Entry*>(LowerBound(key));
+    if (e != end() && e->key == key) {
+      e->value = value;
+      return false;
+    }
+    size_t at = static_cast<size_t>(e - data());
+    if (size_ == capacity()) {
+      Grow();
+    }
+    Entry* d = data();
+    std::memmove(d + at + 1, d + at, (size_ - at) * sizeof(Entry));
+    d[at] = Entry{key, value};
+    ++size_;
+    return true;
+  }
+
+  bool Erase(K key) {
+    Entry* e = const_cast<Entry*>(LowerBound(key));
+    if (e == end() || e->key != key) {
+      return false;
+    }
+    std::memmove(e, e + 1,
+                 static_cast<size_t>(end() - (e + 1)) * sizeof(Entry));
+    --size_;
+    return true;
+  }
+
+  // Iteration is in ascending key order (matches std::map, which the
+  // structures' deterministic traversal order depends on).
+  const Entry* begin() const { return data(); }
+  const Entry* end() const { return data() + size_; }
+
+ private:
+  size_t capacity() const { return heap_ == nullptr ? kInline : heap_cap_; }
+  const Entry* data() const { return heap_ == nullptr ? inline_ : heap_; }
+  Entry* data() { return heap_ == nullptr ? inline_ : heap_; }
+
+  const Entry* LowerBound(K key) const {
+    const Entry* d = data();
+    if (size_ <= kInline) {  // Inline (or shrunk-into-spill): linear scan.
+      const Entry* e = d + size_;
+      while (d != e && d->key < key) {
+        ++d;
+      }
+      return d;
+    }
+    return std::lower_bound(
+        d, d + size_, key,
+        [](const Entry& entry, K k) { return entry.key < k; });
+  }
+
+  void Grow() {
+    size_t new_cap = capacity() * 2;
+    Entry* spill = new Entry[new_cap];
+    std::memcpy(spill, data(), size_ * sizeof(Entry));
+    delete[] heap_;
+    heap_ = spill;
+    heap_cap_ = new_cap;
+  }
+
+  uint32_t size_ = 0;
+  uint32_t heap_cap_ = 0;
+  Entry* heap_ = nullptr;
+  Entry inline_[kInline];
+};
+
+}  // namespace skywalker
+
+#endif  // SKYWALKER_CACHE_SMALL_MAP_H_

@@ -1,0 +1,92 @@
+#include "src/cache/token_pool.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace skywalker {
+
+TokenPool::~TokenPool() = default;
+
+uint32_t TokenPool::AcquireChunk(size_t min_tokens) {
+  if (min_tokens <= kChunkTokens && !free_standard_.empty()) {
+    uint32_t id = free_standard_.back();
+    free_standard_.pop_back();
+    chunks_[id].used = 0;
+    return id;
+  }
+  uint32_t id;
+  if (!free_slots_.empty()) {
+    id = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    id = static_cast<uint32_t>(chunks_.size());
+    chunks_.emplace_back();
+  }
+  Chunk& chunk = chunks_[id];
+  chunk.oversized = min_tokens > kChunkTokens;
+  chunk.capacity =
+      static_cast<uint32_t>(chunk.oversized ? min_tokens : kChunkTokens);
+  chunk.tokens.reset(new Token[chunk.capacity]);  // Uninitialized on purpose.
+  chunk.used = 0;
+  chunk.refs = 0;
+  return id;
+}
+
+TokenSlice TokenPool::Intern(const Token* tokens, size_t len) {
+  assert(len > 0);
+  uint32_t id;
+  if (len > kChunkTokens) {
+    id = AcquireChunk(len);  // Dedicated, exactly-sized chunk.
+  } else {
+    if (open_ == UINT32_MAX ||
+        chunks_[open_].used + len > chunks_[open_].capacity) {
+      // Seal the old open chunk; if nothing references it any more, it can
+      // be recycled immediately.
+      if (open_ != UINT32_MAX && chunks_[open_].refs == 0) {
+        free_standard_.push_back(open_);
+      }
+      open_ = AcquireChunk(len);
+    }
+    id = open_;
+  }
+  Chunk& chunk = chunks_[id];
+  Token* dst = chunk.tokens.get() + chunk.used;
+  std::memcpy(dst, tokens, len * sizeof(Token));
+  chunk.used += static_cast<uint32_t>(len);
+  chunk.refs += 1;
+  live_refs_ += 1;
+  return TokenSlice{dst, id, static_cast<uint32_t>(len)};
+}
+
+void TokenPool::AddRef(const TokenSlice& slice) {
+  if (slice.chunk == UINT32_MAX) {
+    return;  // Null slice (e.g. a root node's empty edge).
+  }
+  chunks_[slice.chunk].refs += 1;
+  live_refs_ += 1;
+}
+
+void TokenPool::Release(const TokenSlice& slice) {
+  if (slice.chunk == UINT32_MAX) {
+    return;
+  }
+  Chunk& chunk = chunks_[slice.chunk];
+  assert(chunk.refs > 0);
+  chunk.refs -= 1;
+  live_refs_ -= 1;
+  if (chunk.refs != 0 || slice.chunk == open_) {
+    return;  // Still referenced, or still accepting appends.
+  }
+  if (chunk.oversized) {
+    // Oversized chunks are one-shot: return the memory and recycle the slot.
+    chunk.tokens.reset();
+    chunk.capacity = 0;
+    chunk.used = 0;
+    free_slots_.push_back(slice.chunk);
+  } else {
+    chunk.used = 0;
+    free_standard_.push_back(slice.chunk);
+  }
+}
+
+}  // namespace skywalker

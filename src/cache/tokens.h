@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "src/common/hash.h"
@@ -16,14 +17,32 @@ namespace skywalker {
 using Token = int32_t;
 using TokenSeq = std::vector<Token>;
 
-// Length of the longest common prefix of two sequences.
-inline size_t CommonPrefixLen(const TokenSeq& a, const TokenSeq& b) {
-  size_t n = std::min(a.size(), b.size());
+// Length of the common prefix of a[0..n) and b[0..n). The radix walk's
+// innermost loop: long edges take one SIMD memcmp (full equality is the hot
+// case — walking through an interior node), short edges stay scalar because
+// the memcmp call overhead would dominate a 1–2 token compare.
+inline size_t CommonPrefixLenRaw(const Token* a, const Token* b, size_t n) {
+  if (n >= 16) {
+    if (std::memcmp(a, b, n * sizeof(Token)) == 0) {
+      return n;
+    }
+    // A mismatch exists strictly before n; scan unbounded to it.
+    size_t i = 0;
+    while (a[i] == b[i]) {
+      ++i;
+    }
+    return i;
+  }
   size_t i = 0;
   while (i < n && a[i] == b[i]) {
     ++i;
   }
   return i;
+}
+
+// Length of the longest common prefix of two sequences.
+inline size_t CommonPrefixLen(const TokenSeq& a, const TokenSeq& b) {
+  return CommonPrefixLenRaw(a.data(), b.data(), std::min(a.size(), b.size()));
 }
 
 // Prefix similarity as defined in §3.2 of the paper:

@@ -1,0 +1,88 @@
+// Generation-stamped slot pool: free-listed payload slots addressed by a
+// 32-bit index, each carrying a 32-bit generation that is bumped on every
+// release. A handle packs (slot << 32) | gen; since the generation moves on
+// release, a stale handle (double-cancel, double-unref, reuse after pop)
+// fails the validity check in O(1) with no tombstone bookkeeping. Both the
+// event queue (pending callbacks) and the prefix cache (pins) sit on this
+// pool, so the encoding and wrap rules live in exactly one place.
+//
+// Generation 0 is reserved: handles are never 0, so callers may use 0 (or
+// any negative value, for signed handle types) as their "invalid" sentinel.
+
+#ifndef SKYWALKER_COMMON_GEN_SLOT_POOL_H_
+#define SKYWALKER_COMMON_GEN_SLOT_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace skywalker {
+
+template <typename T>
+class GenSlotPool {
+ public:
+  using Handle = uint64_t;
+
+  static uint32_t HandleSlot(Handle h) { return static_cast<uint32_t>(h >> 32); }
+  static uint32_t HandleGen(Handle h) { return static_cast<uint32_t>(h); }
+
+  // Takes a slot off the free list (payload in whatever state the previous
+  // user left it) or appends a fresh one. Returns the slot index; the
+  // matching handle is `MakeHandle(slot)`.
+  uint32_t Acquire() {
+    ++live_;
+    if (!free_.empty()) {
+      uint32_t slot = free_.back();
+      free_.pop_back();
+      return slot;
+    }
+    uint32_t slot = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+    return slot;
+  }
+
+  // Invalidates every outstanding handle for `slot` and returns it to the
+  // free list. The payload is left as-is; reset it before or after if it
+  // holds resources.
+  void Release(uint32_t slot) {
+    Slot& s = slots_[slot];
+    if (++s.gen == 0) {
+      s.gen = 1;  // Keep generation 0 reserved across wrap-around.
+    }
+    free_.push_back(slot);
+    --live_;
+  }
+
+  Handle MakeHandle(uint32_t slot) const {
+    return (static_cast<Handle>(slot) << 32) | slots_[slot].gen;
+  }
+
+  // True iff `h` was minted for its slot's current generation (i.e. the
+  // slot has not been released since).
+  bool IsValid(Handle h) const {
+    uint32_t slot = HandleSlot(h);
+    uint32_t gen = HandleGen(h);
+    return gen != 0 && slot < slots_.size() && slots_[slot].gen == gen;
+  }
+
+  uint32_t gen(uint32_t slot) const { return slots_[slot].gen; }
+  T& operator[](uint32_t slot) { return slots_[slot].value; }
+  const T& operator[](uint32_t slot) const { return slots_[slot].value; }
+
+  // Acquired (not yet released) slots.
+  size_t live() const { return live_; }
+
+ private:
+  struct Slot {
+    uint32_t gen = 1;
+    T value{};
+  };
+
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_;
+  size_t live_ = 0;
+};
+
+}  // namespace skywalker
+
+#endif  // SKYWALKER_COMMON_GEN_SLOT_POOL_H_

@@ -1,0 +1,122 @@
+// Move-only `void()` callable with small-buffer storage, built for the
+// simulator's event hot path: a lambda whose captures fit in the inline
+// buffer is stored in place and never touches the heap, unlike
+// std::function, which allocates for anything beyond two pointers of
+// captures. Oversized or throwing-move callables fall back to a single heap
+// allocation so correctness never depends on the capture size.
+//
+// Moves are noexcept (heap-fallback callables move by pointer swap; inline
+// callables require nothrow-move-constructible functors), so containers of
+// InlineFunction can reallocate without the strong-exception-safety copy
+// penalty.
+
+#ifndef SKYWALKER_COMMON_INLINE_FUNCTION_H_
+#define SKYWALKER_COMMON_INLINE_FUNCTION_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace skywalker {
+
+class InlineFunction {
+ public:
+  // 48 bytes holds every scheduling lambda in the simulator today (the
+  // largest captures a handful of pointers/ints); bigger functors still
+  // work via the heap path.
+  static constexpr size_t kInlineSize = 48;
+
+  InlineFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &InlineOps<Fn>::kOps;
+    } else {
+      *PtrSlot() = new Fn(std::forward<F>(f));
+      ops_ = &HeapOps<Fn>::kOps;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { MoveFrom(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { Reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(buf_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    // Move-constructs the payload into `dst` storage and destroys `src`.
+    void (*relocate)(void* src, void* dst) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <typename Fn>
+  struct InlineOps {
+    static void Invoke(void* s) { (*static_cast<Fn*>(s))(); }
+    static void Relocate(void* src, void* dst) noexcept {
+      Fn* f = static_cast<Fn*>(src);
+      ::new (dst) Fn(std::move(*f));
+      f->~Fn();
+    }
+    static void Destroy(void* s) noexcept { static_cast<Fn*>(s)->~Fn(); }
+    static constexpr Ops kOps{Invoke, Relocate, Destroy};
+  };
+
+  template <typename Fn>
+  struct HeapOps {
+    static Fn* Get(void* s) { return *static_cast<Fn**>(s); }
+    static void Invoke(void* s) { (*Get(s))(); }
+    static void Relocate(void* src, void* dst) noexcept {
+      *static_cast<void**>(dst) = Get(src);
+    }
+    static void Destroy(void* s) noexcept { delete Get(s); }
+    static constexpr Ops kOps{Invoke, Relocate, Destroy};
+  };
+
+  void** PtrSlot() { return reinterpret_cast<void**>(buf_); }
+
+  void MoveFrom(InlineFunction& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(other.buf_, buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void Reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+};
+
+}  // namespace skywalker
+
+#endif  // SKYWALKER_COMMON_INLINE_FUNCTION_H_

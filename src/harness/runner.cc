@@ -1,5 +1,6 @@
 #include "src/harness/runner.h"
 
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
@@ -18,6 +19,7 @@ struct PlannedTrial {
   uint64_t seed_stream = 0;
   ScenarioPlan plan;
   std::vector<std::vector<MetricRow>> cell_rows;  // Indexed by cell.
+  std::vector<double> cell_seconds;               // Indexed by cell.
 };
 
 ScenarioReport Finalize(const PlannedTrial& planned) {
@@ -34,8 +36,10 @@ ScenarioReport Finalize(const PlannedTrial& planned) {
 }  // namespace
 
 std::vector<ScenarioRunResult> RunScenarios(
-    const std::vector<const Scenario*>& scenarios, const RunConfig& config) {
+    const std::vector<const Scenario*>& scenarios, const RunConfig& config,
+    RunTiming* timing) {
   SKYWALKER_CHECK(config.trials >= 1);
+  const auto run_start = std::chrono::steady_clock::now();
 
   // Plan sequentially (plans are cheap); collect a flat job list.
   std::vector<PlannedTrial> planned;
@@ -55,6 +59,7 @@ std::vector<ScenarioRunResult> RunScenarios(
       options.smoke = config.smoke;
       pt.plan = scenario->plan(options);
       pt.cell_rows.resize(pt.plan.cells.size());
+      pt.cell_seconds.resize(pt.plan.cells.size(), 0);
       planned.push_back(std::move(pt));
       for (size_t c = 0; c < planned.back().plan.cells.size(); ++c) {
         jobs.push_back(Job{planned.size() - 1, c});
@@ -63,16 +68,21 @@ std::vector<ScenarioRunResult> RunScenarios(
   }
 
   // Every cell owns its world and writes only its indexed slot, so the pool
-  // schedule cannot affect the merged result.
+  // schedule cannot affect the merged result. Per-cell wall time feeds the
+  // --timing sidecar only, never the merged metrics.
   ParallelFor(jobs.size(), config.threads, [&](size_t i) {
     PlannedTrial& pt = planned[jobs[i].planned_index];
     const ScenarioCell& cell = pt.plan.cells[jobs[i].cell_index];
+    const auto start = std::chrono::steady_clock::now();
     try {
       pt.cell_rows[jobs[i].cell_index] = cell.run();
     } catch (const std::exception& e) {
       throw std::runtime_error(pt.scenario->name + "/" + cell.label + ": " +
                                e.what());
     }
+    pt.cell_seconds[jobs[i].cell_index] =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
   });
 
   std::vector<ScenarioRunResult> results;
@@ -83,6 +93,10 @@ std::vector<ScenarioRunResult> RunScenarios(
     result.config = config;
     for (int trial = 0; trial < config.trials; ++trial) {
       PlannedTrial& pt = planned[planned_index++];
+      for (double seconds : pt.cell_seconds) {
+        result.cell_seconds += seconds;
+        ++result.cells;
+      }
       TrialResult tr;
       tr.trial = pt.trial;
       tr.seed_stream = pt.seed_stream;
@@ -91,7 +105,33 @@ std::vector<ScenarioRunResult> RunScenarios(
     }
     results.push_back(std::move(result));
   }
+  if (timing != nullptr) {
+    timing->wall_seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - run_start)
+                               .count();
+  }
   return results;
+}
+
+Json TimingJson(const std::vector<ScenarioRunResult>& results,
+                const RunConfig& config, const RunTiming& timing) {
+  Json doc = Json::Object();
+  doc.Set("schema_version", 1);
+  doc.Set("kind", "timing_sidecar");
+  doc.Set("trials", config.trials);
+  doc.Set("smoke", config.smoke);
+  doc.Set("threads", config.threads);
+  doc.Set("wall_seconds", timing.wall_seconds);
+  Json scenarios = Json::Array();
+  for (const ScenarioRunResult& result : results) {
+    Json entry = Json::Object();
+    entry.Set("scenario", result.scenario->name);
+    entry.Set("cells", static_cast<int>(result.cells));
+    entry.Set("cell_seconds", result.cell_seconds);
+    scenarios.Append(std::move(entry));
+  }
+  doc.Set("scenarios", std::move(scenarios));
+  return doc;
 }
 
 Json ScenarioRunJson(const ScenarioRunResult& result) {

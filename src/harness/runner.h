@@ -31,13 +31,33 @@ struct ScenarioRunResult {
   const Scenario* scenario = nullptr;
   RunConfig config;
   std::vector<TrialResult> trials;
+  // Summed wall-clock of this scenario's cells across all trials (cells run
+  // interleaved on the shared pool, so per-scenario elapsed time is not
+  // well-defined — summed cell time is the scheduler-independent cost).
+  double cell_seconds = 0;
+  size_t cells = 0;
+};
+
+// Wall-clock accounting for one RunScenarios call (the opt-in
+// `skybench --timing` sidecar). Never part of BENCH_<scenario>.json: those
+// files stay byte-identical across hosts and thread counts, while this is
+// nondeterministic by nature.
+struct RunTiming {
+  double wall_seconds = 0;  // End-to-end, including planning and merging.
 };
 
 // Runs every requested scenario. All cells across scenarios and trials share
 // one ParallelFor(threads) schedule; results are merged in (scenario, trial,
 // cell) declaration order, so output is independent of thread count.
+// `timing`, when non-null, receives end-to-end wall-clock for the run.
 std::vector<ScenarioRunResult> RunScenarios(
-    const std::vector<const Scenario*>& scenarios, const RunConfig& config);
+    const std::vector<const Scenario*>& scenarios, const RunConfig& config,
+    RunTiming* timing = nullptr);
+
+// The BENCH_TIMING.json document: end-to-end wall seconds plus per-scenario
+// summed cell seconds. Excluded from golden/determinism comparisons.
+Json TimingJson(const std::vector<ScenarioRunResult>& results,
+                const RunConfig& config, const RunTiming& timing);
 
 // The BENCH_<scenario>.json document. Layout:
 // {

@@ -11,7 +11,7 @@ Network::Network(Simulator* sim, Topology topology, double jitter_fraction,
       jitter_fraction_(jitter_fraction),
       rng_(seed) {}
 
-void Network::Send(RegionId from, RegionId to, std::function<void()> deliver) {
+void Network::Send(RegionId from, RegionId to, EventFn deliver) {
   ++messages_sent_;
   if (from != to) {
     ++cross_region_messages_;

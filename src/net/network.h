@@ -4,12 +4,12 @@
 // topology latency (plus optional jitter). Higher layers pass lambdas rather
 // than serialized payloads — standard practice for discrete-event simulation,
 // and it keeps the routing logic identical to what a real RPC layer would
-// invoke on receipt.
+// invoke on receipt. Deliveries are EventFn (small-buffer callables), so a
+// message whose captures fit inline reaches the event queue without any
+// heap allocation.
 
 #ifndef SKYWALKER_NET_NETWORK_H_
 #define SKYWALKER_NET_NETWORK_H_
-
-#include <functional>
 
 #include "src/common/rng.h"
 #include "src/common/sim_time.h"
@@ -26,7 +26,7 @@ class Network {
           uint64_t seed = kDefaultRngSeed);
 
   // Delivers `deliver` at the destination after Latency(from, to) (+jitter).
-  void Send(RegionId from, RegionId to, std::function<void()> deliver);
+  void Send(RegionId from, RegionId to, EventFn deliver);
 
   // Expected (jitter-free) one-way latency.
   SimDuration Latency(RegionId from, RegionId to) const {

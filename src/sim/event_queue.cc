@@ -5,45 +5,98 @@
 
 namespace skywalker {
 
-EventId EventQueue::Push(SimTime at, std::function<void()> fn) {
-  EventId id = next_id_++;
-  heap_.push(Entry{at, next_seq_++, id, std::move(fn)});
-  live_.insert(id);
-  return id;
+namespace {
+constexpr size_t kArity = 4;
+}  // namespace
+
+void EventQueue::SiftUp(size_t i) {
+  const Entry moving = heap_[i];
+  while (i > 0) {
+    size_t parent = (i - 1) / kArity;
+    if (!Before(moving, heap_[parent])) {
+      break;
+    }
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = moving;
+}
+
+void EventQueue::SiftDown(size_t i) {
+  const size_t n = heap_.size();
+  const Entry moving = heap_[i];
+  for (;;) {
+    size_t first = i * kArity + 1;
+    if (first >= n) {
+      break;
+    }
+    size_t last = first + kArity < n ? first + kArity : n;
+    size_t best = first;
+    for (size_t c = first + 1; c < last; ++c) {
+      if (Before(heap_[c], heap_[best])) {
+        best = c;
+      }
+    }
+    if (!Before(heap_[best], moving)) {
+      break;
+    }
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = moving;
+}
+
+void EventQueue::PopHeapTop() {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    SiftDown(0);
+  }
+}
+
+EventId EventQueue::Push(SimTime at, EventFn fn) {
+  uint32_t slot = slots_.Acquire();
+  slots_[slot] = std::move(fn);
+  heap_.push_back(Entry{at, next_seq_++, slot, slots_.gen(slot)});
+  SiftUp(heap_.size() - 1);
+  return slots_.MakeHandle(slot);
+}
+
+void EventQueue::ReleaseSlot(uint32_t slot) {
+  slots_[slot] = EventFn();  // Drop the callback; slots may idle on the list.
+  slots_.Release(slot);
 }
 
 bool EventQueue::Cancel(EventId id) {
-  if (live_.erase(id) == 0) {
-    return false;
+  if (!slots_.IsValid(id)) {
+    return false;  // Already ran, already cancelled, or never existed.
   }
-  // The heap entry stays behind as a tombstone; SkipCancelled erases it (and
-  // this marker) when it reaches the top.
-  cancelled_.insert(id);
+  // The heap entry stays behind; SkipStale drops it (generation mismatch)
+  // when it reaches the top.
+  ReleaseSlot(GenSlotPool<EventFn>::HandleSlot(id));
   return true;
 }
 
-void EventQueue::SkipCancelled() {
-  while (!heap_.empty() && cancelled_.count(heap_.top().id) > 0) {
-    cancelled_.erase(heap_.top().id);
-    heap_.pop();
+void EventQueue::SkipStale() {
+  while (!heap_.empty() && !IsLive(heap_.front())) {
+    PopHeapTop();
   }
 }
 
 SimTime EventQueue::PeekTime() {
-  SkipCancelled();
+  SkipStale();
   assert(!heap_.empty());
-  return heap_.top().at;
+  return heap_.front().at;
 }
 
 EventQueue::Event EventQueue::Pop() {
-  SkipCancelled();
+  SkipStale();
   assert(!heap_.empty());
-  // priority_queue::top() is const; moving the callback out is safe because
-  // the entry is popped immediately after.
-  Entry& top = const_cast<Entry&>(heap_.top());
-  Event event{top.at, top.id, std::move(top.fn)};
-  heap_.pop();
-  live_.erase(event.id);
+  const Entry top = heap_.front();
+  PopHeapTop();
+  Event event{top.at, slots_.MakeHandle(top.slot),
+              std::move(slots_[top.slot])};
+  ReleaseSlot(top.slot);
   return event;
 }
 

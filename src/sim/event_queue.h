@@ -1,21 +1,27 @@
 // Priority event queue for the discrete-event simulator.
 //
-// Events with equal timestamps execute in scheduling (FIFO) order, which makes
-// runs deterministic. The callback lives in the heap entry itself (moved in on
-// Push, moved out on Pop); cancellation is tombstone-based — cancelled ids go
-// into a side set and their heap entries are dropped, and the tombstone
-// erased, as Pop/PeekTime skip over them, so neither structure grows
-// unboundedly across long runs (e.g. the diurnal benches).
+// Events with equal timestamps execute in scheduling (FIFO) order, which
+// makes runs deterministic.
+//
+// Layout (ISSUE 3): the binary heap holds 24-byte POD entries
+// {time, seq, slot, generation} — sift operations are memcpy-speed — while
+// the callback lives in a slot slab addressed by index. Cancellation is
+// zero-tombstone: Cancel bumps the slot's generation and recycles it, and
+// Pop/PeekTime discard heap entries whose generation no longer matches (the
+// stale entry is the only residue, and it is dropped the moment it reaches
+// the heap top — there is no side set to maintain). Callbacks are
+// InlineFunction, so neither Push nor Pop allocates in steady state: slots
+// come from a free list, the heap vector reuses its capacity, and small
+// lambdas are stored in place.
 
 #ifndef SKYWALKER_SIM_EVENT_QUEUE_H_
 #define SKYWALKER_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "src/common/gen_slot_pool.h"
+#include "src/common/inline_function.h"
 #include "src/common/sim_time.h"
 
 namespace skywalker {
@@ -23,18 +29,22 @@ namespace skywalker {
 using EventId = uint64_t;
 inline constexpr EventId kInvalidEventId = 0;
 
+// Scheduled-callback type. Small captures are stored inline (no heap);
+// oversized functors transparently fall back to one allocation.
+using EventFn = InlineFunction;
+
 class EventQueue {
  public:
   // Enqueues `fn` to run at absolute time `at`. Returns a handle usable with
   // Cancel().
-  EventId Push(SimTime at, std::function<void()> fn);
+  EventId Push(SimTime at, EventFn fn);
 
   // Cancels a pending event. Returns false if the event already ran, was
   // already cancelled, or never existed.
   bool Cancel(EventId id);
 
-  bool empty() const { return live_.empty(); }
-  size_t size() const { return live_.size(); }
+  bool empty() const { return slots_.live() == 0; }
+  size_t size() const { return slots_.live(); }
 
   // Timestamp of the earliest live event. Requires !empty().
   SimTime PeekTime();
@@ -43,34 +53,43 @@ class EventQueue {
   struct Event {
     SimTime at;
     EventId id;
-    std::function<void()> fn;
+    EventFn fn;
   };
   Event Pop();
 
  private:
+  // Trivially copyable heap entry; the heap never touches callbacks, which
+  // live in the generation-stamped slot pool (releasing a slot invalidates
+  // both the outstanding EventId and any stale heap entry in one store).
   struct Entry {
     SimTime at;
     uint64_t seq;  // Tie-break: earlier scheduling first.
-    EventId id;
-    std::function<void()> fn;
-  };
-  struct EntryGreater {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) {
-        return a.at > b.at;
-      }
-      return a.seq > b.seq;
-    }
+    uint32_t slot;
+    uint32_t gen;
   };
 
-  // Drops cancelled entries (and their tombstones) from the heap top.
-  void SkipCancelled();
+  bool IsLive(const Entry& entry) const {
+    return slots_.gen(entry.slot) == entry.gen;
+  }
 
-  std::priority_queue<Entry, std::vector<Entry>, EntryGreater> heap_;
-  std::unordered_set<EventId> live_;       // Pushed, not yet popped/cancelled.
-  std::unordered_set<EventId> cancelled_;  // Tombstones still in the heap.
+  // 4-ary min-heap on (at, seq): half the sift depth of a binary heap, and
+  // the four children of a node share two cache lines. (at, seq) is a strict
+  // total order — seq is unique — so pop order is independent of heap arity.
+  static bool Before(const Entry& a, const Entry& b) {
+    return a.at != b.at ? a.at < b.at : a.seq < b.seq;
+  }
+  void SiftUp(size_t i);
+  void SiftDown(size_t i);
+  void PopHeapTop();
+
+  // Drops stale (cancelled) entries from the heap top.
+  void SkipStale();
+
+  void ReleaseSlot(uint32_t slot);
+
+  std::vector<Entry> heap_;
+  GenSlotPool<EventFn> slots_;
   uint64_t next_seq_ = 1;
-  EventId next_id_ = 1;
 };
 
 }  // namespace skywalker

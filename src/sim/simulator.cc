@@ -5,11 +5,11 @@
 
 namespace skywalker {
 
-EventId Simulator::ScheduleAt(SimTime at, std::function<void()> fn) {
+EventId Simulator::ScheduleAt(SimTime at, EventFn fn) {
   return events_.Push(std::max(at, now_), std::move(fn));
 }
 
-EventId Simulator::ScheduleAfter(SimDuration delay, std::function<void()> fn) {
+EventId Simulator::ScheduleAfter(SimDuration delay, EventFn fn) {
   return ScheduleAt(now_ + std::max<SimDuration>(delay, 0), std::move(fn));
 }
 

@@ -23,10 +23,11 @@ class Simulator {
   SimTime now() const { return now_; }
 
   // Schedules `fn` at absolute simulated time `at` (clamped to now).
-  EventId ScheduleAt(SimTime at, std::function<void()> fn);
+  // EventFn stores small lambdas inline — scheduling does not allocate.
+  EventId ScheduleAt(SimTime at, EventFn fn);
 
   // Schedules `fn` after `delay` (clamped to zero).
-  EventId ScheduleAfter(SimDuration delay, std::function<void()> fn);
+  EventId ScheduleAfter(SimDuration delay, EventFn fn);
 
   // Cancels a pending event; false if it already fired or was cancelled.
   bool Cancel(EventId id) { return events_.Cancel(id); }

@@ -1,0 +1,604 @@
+// Differential property tests for the arena-backed radix structures
+// (ISSUE 3): randomized insert/match/pin/unpin/evict traces run through the
+// new PrefixCache/RoutingTrie AND byte-for-byte copies of the seed std::map
+// implementations, asserting identical observable behavior after every
+// operation — match lengths, insert/evict returns, candidate orderings,
+// size/node/pin counters — plus CheckInvariants() on the new structures.
+//
+// The references below are the pre-ISSUE-3 implementations, kept verbatim
+// (modulo class names): they define the behavior the PR's determinism
+// guardrail freezes. If an optimization ever changes eviction tie-breaking,
+// split shapes, or candidate order, these tests fail before the BENCH_*.json
+// golden diff does.
+
+#include <gtest/gtest.h>
+
+#include <cassert>
+#include <limits>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cache/prefix_cache.h"
+#include "src/cache/routing_trie.h"
+#include "src/common/rng.h"
+
+namespace skywalker {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Reference implementations (seed code, pointer-based std::map layout).
+// ---------------------------------------------------------------------------
+
+class ReferencePrefixCache {
+ public:
+  explicit ReferencePrefixCache(int64_t capacity_tokens)
+      : capacity_tokens_(capacity_tokens), root_(std::make_unique<Node>()) {}
+
+  struct MatchRef {
+    int64_t cached_len = 0;
+    PinId pin = kInvalidPin;
+  };
+
+  MatchRef MatchAndRef(const TokenSeq& seq, SimTime now) {
+    std::vector<Node*> path;
+    int64_t len = WalkAndSplit(seq, now, &path);
+    for (Node* n : path) {
+      ++n->ref_count;
+    }
+    PinId id = next_pin_++;
+    Pin pin;
+    pin.prefix.assign(seq.begin(), seq.begin() + static_cast<ptrdiff_t>(len));
+    pins_.emplace(id, std::move(pin));
+    lookup_tokens_ += static_cast<int64_t>(seq.size());
+    hit_tokens_ += len;
+    return MatchRef{len, id};
+  }
+
+  int64_t MatchPrefix(const TokenSeq& seq, SimTime now) {
+    return WalkAndSplit(seq, now, nullptr);
+  }
+
+  void Unref(PinId pin) {
+    auto it = pins_.find(pin);
+    ASSERT_TRUE(it != pins_.end());
+    const TokenSeq& prefix = it->second.prefix;
+    AdjustRefs(prefix, static_cast<int64_t>(prefix.size()), -1);
+    pins_.erase(it);
+  }
+
+  int64_t Insert(const TokenSeq& seq, SimTime now) {
+    std::vector<Node*> path;
+    int64_t matched = WalkAndSplit(seq, now, &path);
+    int64_t added = 0;
+    if (matched < static_cast<int64_t>(seq.size())) {
+      Node* parent = path.empty() ? root_.get() : path.back();
+      auto leaf = std::make_unique<Node>();
+      leaf->edge.assign(seq.begin() + matched, seq.end());
+      leaf->parent = parent;
+      leaf->last_access = now;
+      added = static_cast<int64_t>(leaf->edge.size());
+      Token first = leaf->edge.front();
+      parent->children.emplace(first, std::move(leaf));
+      ++num_nodes_;
+      size_tokens_ += added;
+    }
+    if (size_tokens_ > capacity_tokens_) {
+      Evict(size_tokens_ - capacity_tokens_);
+    }
+    return added;
+  }
+
+  int64_t Evict(int64_t tokens) {
+    int64_t freed = 0;
+    while (freed < tokens) {
+      Node* victim = nullptr;
+      SimTime oldest = std::numeric_limits<SimTime>::max();
+      std::vector<Node*> stack{root_.get()};
+      while (!stack.empty()) {
+        Node* n = stack.back();
+        stack.pop_back();
+        for (auto& [token, child] : n->children) {
+          stack.push_back(child.get());
+        }
+        if (n != root_.get() && n->children.empty() && n->ref_count == 0 &&
+            n->last_access < oldest) {
+          oldest = n->last_access;
+          victim = n;
+        }
+      }
+      if (victim == nullptr) {
+        break;
+      }
+      freed += static_cast<int64_t>(victim->edge.size());
+      RemoveLeaf(victim);
+    }
+    return freed;
+  }
+
+  void Clear() { Evict(std::numeric_limits<int64_t>::max()); }
+
+  int64_t size_tokens() const { return size_tokens_; }
+  size_t num_nodes() const { return num_nodes_; }
+  size_t active_pins() const { return pins_.size(); }
+  int64_t lookup_tokens() const { return lookup_tokens_; }
+  int64_t hit_tokens() const { return hit_tokens_; }
+
+  int64_t pinned_tokens() const {
+    int64_t total = 0;
+    std::vector<const Node*> stack{root_.get()};
+    while (!stack.empty()) {
+      const Node* n = stack.back();
+      stack.pop_back();
+      for (const auto& [token, child] : n->children) {
+        stack.push_back(child.get());
+      }
+      if (n->ref_count > 0) {
+        total += static_cast<int64_t>(n->edge.size());
+      }
+    }
+    return total;
+  }
+
+ private:
+  struct Node {
+    TokenSeq edge;
+    std::map<Token, std::unique_ptr<Node>> children;
+    Node* parent = nullptr;
+    int64_t ref_count = 0;
+    SimTime last_access = 0;
+  };
+  struct Pin {
+    TokenSeq prefix;
+  };
+
+  int64_t WalkAndSplit(const TokenSeq& seq, SimTime now,
+                       std::vector<Node*>* path) {
+    Node* node = root_.get();
+    size_t pos = 0;
+    while (pos < seq.size()) {
+      auto it = node->children.find(seq[pos]);
+      if (it == node->children.end()) {
+        break;
+      }
+      Node* child = it->second.get();
+      const TokenSeq& edge = child->edge;
+      size_t matched = 0;
+      while (matched < edge.size() && pos + matched < seq.size() &&
+             edge[matched] == seq[pos + matched]) {
+        ++matched;
+      }
+      if (matched == 0) {
+        break;
+      }
+      if (matched < edge.size()) {
+        SplitNode(child, matched);
+      }
+      child->last_access = now;
+      pos += matched;
+      if (path != nullptr) {
+        path->push_back(child);
+      }
+      node = child;
+    }
+    return static_cast<int64_t>(pos);
+  }
+
+  void SplitNode(Node* node, size_t keep) {
+    auto tail = std::make_unique<Node>();
+    tail->edge.assign(node->edge.begin() + static_cast<ptrdiff_t>(keep),
+                      node->edge.end());
+    tail->children = std::move(node->children);
+    for (auto& [token, child] : tail->children) {
+      child->parent = tail.get();
+    }
+    tail->ref_count = node->ref_count;
+    tail->last_access = node->last_access;
+    tail->parent = node;
+    node->edge.resize(keep);
+    node->children.clear();
+    Token first = tail->edge.front();
+    node->children.emplace(first, std::move(tail));
+    ++num_nodes_;
+  }
+
+  void AdjustRefs(const TokenSeq& seq, int64_t len, int64_t delta) {
+    Node* node = root_.get();
+    int64_t pos = 0;
+    while (pos < len) {
+      auto it = node->children.find(seq[static_cast<size_t>(pos)]);
+      ASSERT_TRUE(it != node->children.end());
+      Node* child = it->second.get();
+      int64_t edge_len = static_cast<int64_t>(child->edge.size());
+      ASSERT_TRUE(pos + edge_len <= len);
+      child->ref_count += delta;
+      ASSERT_TRUE(child->ref_count >= 0);
+      pos += edge_len;
+      node = child;
+    }
+  }
+
+  void RemoveLeaf(Node* leaf) {
+    Node* parent = leaf->parent;
+    size_tokens_ -= static_cast<int64_t>(leaf->edge.size());
+    --num_nodes_;
+    parent->children.erase(leaf->edge.front());
+  }
+
+  int64_t capacity_tokens_;
+  std::unique_ptr<Node> root_;
+  int64_t size_tokens_ = 0;
+  size_t num_nodes_ = 0;
+  std::unordered_map<PinId, Pin> pins_;
+  PinId next_pin_ = 1;
+  int64_t lookup_tokens_ = 0;
+  int64_t hit_tokens_ = 0;
+};
+
+class ReferenceRoutingTrie {
+ public:
+  explicit ReferenceRoutingTrie(int64_t capacity_tokens)
+      : capacity_tokens_(capacity_tokens), root_(std::make_unique<Node>()) {}
+
+  using TargetPredicate = RoutingTrie::TargetPredicate;
+
+  void Insert(const TokenSeq& seq, TargetId target) {
+    uint64_t gen = next_gen_++;
+    Node* node = root_.get();
+    node->targets[target] = gen;
+    size_t pos = 0;
+    while (pos < seq.size()) {
+      auto it = node->children.find(seq[pos]);
+      if (it == node->children.end()) {
+        auto leaf = std::make_unique<Node>();
+        leaf->edge.assign(seq.begin() + static_cast<ptrdiff_t>(pos),
+                          seq.end());
+        leaf->parent = node;
+        leaf->targets[target] = gen;
+        leaf->last_insert_gen = gen;
+        size_tokens_ += static_cast<int64_t>(leaf->edge.size());
+        ++num_nodes_;
+        node->children.emplace(leaf->edge.front(), std::move(leaf));
+        break;
+      }
+      Node* child = it->second.get();
+      size_t matched = 0;
+      while (matched < child->edge.size() && pos + matched < seq.size() &&
+             child->edge[matched] == seq[pos + matched]) {
+        ++matched;
+      }
+      if (matched < child->edge.size()) {
+        SplitNode(child, matched);
+      }
+      child->targets[target] = gen;
+      child->last_insert_gen = gen;
+      pos += matched;
+      node = child;
+    }
+    EvictToCapacity();
+  }
+
+  RoutingTrie::Match MatchBest(const TokenSeq& seq,
+                               const TargetPredicate& pred) const {
+    RoutingTrie::Match result;
+    const Node* best = root_.get();
+    int64_t best_len = 0;
+    const Node* node = root_.get();
+    size_t pos = 0;
+    while (pos < seq.size()) {
+      auto it = node->children.find(seq[pos]);
+      if (it == node->children.end()) {
+        break;
+      }
+      const Node* child = it->second.get();
+      size_t matched = 0;
+      while (matched < child->edge.size() && pos + matched < seq.size() &&
+             child->edge[matched] == seq[pos + matched]) {
+        ++matched;
+      }
+      if (matched == 0) {
+        break;
+      }
+      bool any_available = false;
+      for (const auto& [target, gen] : child->targets) {
+        (void)gen;
+        if (!pred || pred(target)) {
+          any_available = true;
+          break;
+        }
+      }
+      if (!any_available) {
+        break;
+      }
+      pos += matched;
+      best = child;
+      best_len = static_cast<int64_t>(pos);
+      if (matched < child->edge.size()) {
+        break;
+      }
+      node = child;
+    }
+    result.match_len = best_len;
+    FillAvailable(best, pred, &result.candidates);
+    return result;
+  }
+
+  void RemoveTarget(TargetId target) {
+    std::vector<Node*> stack{root_.get()};
+    std::vector<Node*> order;
+    while (!stack.empty()) {
+      Node* n = stack.back();
+      stack.pop_back();
+      order.push_back(n);
+      for (auto& [token, child] : n->children) {
+        stack.push_back(child.get());
+      }
+    }
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      Node* n = *it;
+      n->targets.erase(target);
+      if (n != root_.get() && n->children.empty() && n->targets.empty()) {
+        RemoveLeaf(n);
+      }
+    }
+  }
+
+  int64_t size_tokens() const { return size_tokens_; }
+  size_t num_nodes() const { return num_nodes_; }
+
+ private:
+  struct Node {
+    TokenSeq edge;
+    std::map<Token, std::unique_ptr<Node>> children;
+    Node* parent = nullptr;
+    std::map<TargetId, uint64_t> targets;
+    uint64_t last_insert_gen = 0;
+  };
+
+  void SplitNode(Node* node, size_t keep) {
+    auto tail = std::make_unique<Node>();
+    tail->edge.assign(node->edge.begin() + static_cast<ptrdiff_t>(keep),
+                      node->edge.end());
+    tail->children = std::move(node->children);
+    for (auto& [token, child] : tail->children) {
+      child->parent = tail.get();
+    }
+    tail->targets = node->targets;
+    tail->last_insert_gen = node->last_insert_gen;
+    tail->parent = node;
+    node->edge.resize(keep);
+    node->children.clear();
+    node->children.emplace(tail->edge.front(), std::move(tail));
+    ++num_nodes_;
+  }
+
+  void FillAvailable(const Node* node, const TargetPredicate& pred,
+                     std::vector<TargetId>* out) const {
+    out->clear();
+    std::vector<std::pair<uint64_t, TargetId>> avail;
+    for (const auto& [target, gen] : node->targets) {
+      if (!pred || pred(target)) {
+        avail.emplace_back(gen, target);
+      }
+    }
+    std::sort(avail.begin(), avail.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    out->reserve(avail.size());
+    for (const auto& [gen, target] : avail) {
+      (void)gen;
+      out->push_back(target);
+    }
+  }
+
+  void EvictToCapacity() {
+    while (size_tokens_ > capacity_tokens_) {
+      Node* victim = nullptr;
+      uint64_t oldest = std::numeric_limits<uint64_t>::max();
+      std::vector<Node*> stack{root_.get()};
+      while (!stack.empty()) {
+        Node* n = stack.back();
+        stack.pop_back();
+        for (auto& [token, child] : n->children) {
+          stack.push_back(child.get());
+        }
+        if (n != root_.get() && n->children.empty() &&
+            n->last_insert_gen < oldest) {
+          oldest = n->last_insert_gen;
+          victim = n;
+        }
+      }
+      if (victim == nullptr) {
+        break;
+      }
+      RemoveLeaf(victim);
+    }
+  }
+
+  void RemoveLeaf(Node* leaf) {
+    Node* parent = leaf->parent;
+    size_tokens_ -= static_cast<int64_t>(leaf->edge.size());
+    --num_nodes_;
+    parent->children.erase(leaf->edge.front());
+  }
+
+  int64_t capacity_tokens_;
+  std::unique_ptr<Node> root_;
+  int64_t size_tokens_ = 0;
+  size_t num_nodes_ = 0;
+  uint64_t next_gen_ = 1;
+};
+
+// ---------------------------------------------------------------------------
+// Trace generators.
+// ---------------------------------------------------------------------------
+
+// Conversation-shaped random sequence: extends/truncates earlier sequences
+// (prefix structure, splits) or draws fresh tokens from a small alphabet
+// (fan-out, collisions).
+TokenSeq RandomSeq(Rng& rng, const std::vector<TokenSeq>& history) {
+  TokenSeq seq;
+  if (!history.empty() && rng.Bernoulli(0.6)) {
+    const TokenSeq& base = history[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(history.size()) - 1))];
+    size_t keep = static_cast<size_t>(
+        rng.UniformInt(1, static_cast<int64_t>(base.size())));
+    seq.assign(base.begin(), base.begin() + static_cast<ptrdiff_t>(keep));
+    int64_t extra = rng.UniformInt(0, 8);
+    for (int64_t i = 0; i < extra; ++i) {
+      seq.push_back(static_cast<Token>(rng.UniformInt(0, 9)));
+    }
+  } else {
+    int64_t len = rng.UniformInt(1, 16);
+    for (int64_t i = 0; i < len; ++i) {
+      seq.push_back(static_cast<Token>(rng.UniformInt(0, 9)));
+    }
+  }
+  return seq;
+}
+
+struct CacheParams {
+  uint64_t seed = 0;
+  int64_t capacity = 0;
+  // Divisor applied to the step counter when stamping SimTime: > 1 forces
+  // duplicate LRU timestamps, stressing eviction-scan tie-breaking.
+  SimTime time_divisor = 1;
+};
+
+class PrefixCacheDifferentialTest
+    : public ::testing::TestWithParam<CacheParams> {};
+
+TEST_P(PrefixCacheDifferentialTest, MatchesSeedImplementationExactly) {
+  const CacheParams params = GetParam();
+  Rng rng(params.seed);
+  PrefixCache cache(params.capacity);
+  ReferencePrefixCache ref(params.capacity);
+
+  std::vector<TokenSeq> history;
+  std::vector<std::pair<PinId, PinId>> pins;  // {new, reference}
+
+  for (int step = 0; step < 1200; ++step) {
+    SCOPED_TRACE(step);
+    const SimTime now = static_cast<SimTime>(step) / params.time_divisor;
+    const double roll = rng.NextDouble();
+    if (roll < 0.35) {
+      TokenSeq seq = RandomSeq(rng, history);
+      history.push_back(seq);
+      ASSERT_EQ(cache.Insert(seq, now), ref.Insert(seq, now));
+    } else if (roll < 0.55) {
+      TokenSeq seq = RandomSeq(rng, history);
+      ASSERT_EQ(cache.MatchPrefix(seq, now), ref.MatchPrefix(seq, now));
+    } else if (roll < 0.75) {
+      TokenSeq seq = RandomSeq(rng, history);
+      auto got = cache.MatchAndRef(seq, now);
+      auto want = ref.MatchAndRef(seq, now);
+      ASSERT_EQ(got.cached_len, want.cached_len);
+      pins.emplace_back(got.pin, want.pin);
+    } else if (roll < 0.85 && !pins.empty()) {
+      size_t idx = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(pins.size()) - 1));
+      cache.Unref(pins[idx].first);
+      ref.Unref(pins[idx].second);
+      pins.erase(pins.begin() + static_cast<ptrdiff_t>(idx));
+    } else {
+      int64_t tokens = rng.UniformInt(1, 64);
+      ASSERT_EQ(cache.Evict(tokens), ref.Evict(tokens));
+    }
+    ASSERT_EQ(cache.size_tokens(), ref.size_tokens());
+    ASSERT_EQ(cache.num_nodes(), ref.num_nodes());
+    ASSERT_EQ(cache.pinned_tokens(), ref.pinned_tokens());
+    ASSERT_EQ(cache.active_pins(), ref.active_pins());
+    ASSERT_EQ(cache.lookup_tokens(), ref.lookup_tokens());
+    ASSERT_EQ(cache.hit_tokens(), ref.hit_tokens());
+    ASSERT_TRUE(cache.CheckInvariants());
+  }
+
+  // Drain: release every pin, then everything must evict identically.
+  for (const auto& [mine, theirs] : pins) {
+    cache.Unref(mine);
+    ref.Unref(theirs);
+  }
+  ASSERT_EQ(cache.Evict(1 << 30), ref.Evict(1 << 30));
+  ASSERT_EQ(cache.size_tokens(), 0);
+  ASSERT_TRUE(cache.CheckInvariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Traces, PrefixCacheDifferentialTest,
+    ::testing::Values(CacheParams{1, 1'000'000, 1},   // No eviction.
+                      CacheParams{2, 200, 1},          // Heavy eviction.
+                      CacheParams{3, 200, 4},          // Eviction + LRU ties.
+                      CacheParams{4, 50, 1},           // Brutal eviction.
+                      CacheParams{5, 1000, 8},         // Many ties.
+                      CacheParams{99, 400, 2}));
+
+struct TrieParams {
+  uint64_t seed = 0;
+  int64_t capacity = 0;
+};
+
+class RoutingTrieDifferentialTest
+    : public ::testing::TestWithParam<TrieParams> {};
+
+TEST_P(RoutingTrieDifferentialTest, MatchesSeedImplementationExactly) {
+  const TrieParams params = GetParam();
+  Rng rng(params.seed);
+  RoutingTrie trie(params.capacity);
+  ReferenceRoutingTrie ref(params.capacity);
+
+  std::vector<TokenSeq> history;
+  constexpr TargetId kTargets = 6;
+
+  for (int step = 0; step < 1200; ++step) {
+    SCOPED_TRACE(step);
+    const double roll = rng.NextDouble();
+    if (roll < 0.45) {
+      TokenSeq seq = RandomSeq(rng, history);
+      history.push_back(seq);
+      TargetId target = static_cast<TargetId>(rng.UniformInt(0, kTargets - 1));
+      trie.Insert(seq, target);
+      ref.Insert(seq, target);
+    } else if (roll < 0.9) {
+      TokenSeq seq = RandomSeq(rng, history);
+      std::set<TargetId> avail;
+      for (TargetId t = 0; t < kTargets; ++t) {
+        if (rng.Bernoulli(0.6)) {
+          avail.insert(t);
+        }
+      }
+      auto pred = [&avail](TargetId id) { return avail.count(id) > 0; };
+      auto got = trie.MatchBest(seq, pred);
+      auto want = ref.MatchBest(seq, pred);
+      ASSERT_EQ(got.match_len, want.match_len);
+      ASSERT_EQ(got.candidates, want.candidates);  // Order included.
+    } else {
+      TargetId target = static_cast<TargetId>(rng.UniformInt(0, kTargets - 1));
+      trie.RemoveTarget(target);
+      ref.RemoveTarget(target);
+    }
+    ASSERT_EQ(trie.size_tokens(), ref.size_tokens());
+    ASSERT_EQ(trie.num_nodes(), ref.num_nodes());
+    ASSERT_TRUE(trie.CheckInvariants());
+  }
+
+  // Teardown: removing every target must empty both tries identically.
+  for (TargetId t = 0; t < kTargets; ++t) {
+    trie.RemoveTarget(t);
+    ref.RemoveTarget(t);
+    ASSERT_EQ(trie.size_tokens(), ref.size_tokens());
+    ASSERT_EQ(trie.num_nodes(), ref.num_nodes());
+    ASSERT_TRUE(trie.CheckInvariants());
+  }
+  ASSERT_EQ(trie.num_nodes(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Traces, RoutingTrieDifferentialTest,
+                         ::testing::Values(TrieParams{11, 1'000'000},
+                                           TrieParams{12, 300},
+                                           TrieParams{13, 60},
+                                           TrieParams{14, 1000},
+                                           TrieParams{77, 150}));
+
+}  // namespace
+}  // namespace skywalker
