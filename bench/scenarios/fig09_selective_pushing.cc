@@ -135,7 +135,7 @@ MetricRow RunPushMode(PushMode mode, const std::string& label,
   for (auto& replica : replicas) {
     preemptions += replica->stats().preemptions;
   }
-  row.Set("preemptions", static_cast<double>(preemptions));
+  row.Set(metric_keys::kPreemptions, static_cast<double>(preemptions));
   return row;
 }
 
@@ -156,7 +156,7 @@ Scenario MakeFig09SelectivePushingScenario() {
       metric_keys::kE2eP50,         metric_keys::kE2eP90,
       metric_keys::kE2eP99,         metric_keys::kCacheHitRate,
       metric_keys::kForwardRate,    metric_keys::kCompleted,
-      metric_keys::kCostUsdPerHour, "preemptions",
+      metric_keys::kCostUsdPerHour, metric_keys::kPreemptions,
   };
   scenario.plan = [](const ScenarioOptions& options) {
     ScenarioPlan plan;

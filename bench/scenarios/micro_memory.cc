@@ -1,0 +1,175 @@
+// Microbenchmarks for the paged KV memory subsystem (src/memory/, ISSUE 4):
+// allocator churn, copy-on-write fork/free storms, and the swap-vs-recompute
+// preemption policies under an overloaded replica.
+//
+// ns_per_op is wall clock (deterministic = false); the checksums are
+// deterministic and double as a cheap behavior pin. As with the other micro
+// scenarios, timings under `skybench --all` include thread-pool contention —
+// run standalone with --threads=1 for comparable numbers.
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "bench/scenarios/scenarios.h"
+#include "src/memory/block_allocator.h"
+#include "src/memory/block_table.h"
+#include "src/memory/kv_controller.h"
+#include "src/replica/replica.h"
+#include "src/sim/simulator.h"
+
+namespace skywalker {
+
+namespace {
+
+MetricRow MicroRow(const std::string& label, double total_ns,
+                   int64_t iterations, double checksum) {
+  MetricRow row;
+  row.label = label;
+  row.Set("ns_per_op", total_ns / static_cast<double>(iterations));
+  row.Set("iterations", static_cast<double>(iterations));
+  row.Set("checksum", checksum);
+  return row;
+}
+
+double ElapsedNs(const std::chrono::steady_clock::time_point& start) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+Request MakeRequest(RequestId id, int64_t prompt_len, int64_t output_len,
+                    Token base) {
+  Request req;
+  req.id = id;
+  req.client_region = 0;
+  for (int64_t i = 0; i < prompt_len; ++i) {
+    req.prompt.push_back(base + static_cast<Token>(i));
+  }
+  for (int64_t i = 0; i < output_len; ++i) {
+    req.output.push_back(base + 1'000'000 + static_cast<Token>(i));
+  }
+  return req;
+}
+
+}  // namespace
+
+Scenario MakeMicroMemoryScenario() {
+  Scenario scenario;
+  scenario.name = "micro_memory";
+  scenario.title = "Paged-KV memory subsystem microbenchmarks";
+  scenario.description =
+      "ns per allocator append/truncate churn op, CoW fork/free storms, and "
+      "end-to-end replica overload under recompute vs swap preemption.";
+  scenario.metric_keys = {"ns_per_op", "iterations", "checksum"};
+  scenario.deterministic = false;  // Wall-clock metrics.
+  scenario.plan = [](const ScenarioOptions& options) {
+    ScenarioPlan plan;
+
+    // Steady-state allocator churn: grow a table, shrink it, repeat — the
+    // decode/evict cycle the replica drives every step.
+    for (int32_t block_size : {int32_t{1}, int32_t{16}, int32_t{32}}) {
+      const std::string label = "alloc_churn/b" + std::to_string(block_size);
+      const int64_t iterations = options.smoke ? 20'000 : 2'000'000;
+      plan.cells.push_back(ScenarioCell{
+          label, [label, block_size, iterations] {
+            BlockAllocator alloc(1 << 20);
+            BlockTable table;
+            const auto start = std::chrono::steady_clock::now();
+            for (int64_t i = 0; i < iterations; ++i) {
+              table.Append(alloc, block_size, 7 + (i & 63));
+              if (table.num_tokens() > 48'000) {
+                table.Truncate(alloc, block_size, table.num_tokens() - 1024);
+              }
+            }
+            double checksum =
+                static_cast<double>(alloc.stats().allocated) +
+                static_cast<double>(alloc.stats().freed) * 1e-3 +
+                static_cast<double>(table.num_tokens()) * 1e-9;
+            table.Clear(alloc);
+            return std::vector<MetricRow>{
+                MicroRow(label, ElapsedNs(start), iterations, checksum)};
+          }});
+    }
+
+    // CoW fork/free storm: many children fork a shared parent prefix, each
+    // diverges (copy-on-write at the partial tail), then frees — the
+    // beam/parallel-sampling pattern.
+    {
+      const std::string label = "cow_fork_storm";
+      const int64_t iterations = options.smoke ? 500 : 20'000;
+      plan.cells.push_back(ScenarioCell{
+          label, [label, iterations] {
+            constexpr int32_t kBs = 16;
+            BlockAllocator alloc(1 << 20);
+            BlockTable parent;
+            parent.Append(alloc, kBs, 4096 + 5);  // Partial tail: CoW bait.
+            std::vector<BlockTable> children(64);
+            const auto start = std::chrono::steady_clock::now();
+            for (int64_t i = 0; i < iterations; ++i) {
+              for (size_t c = 0; c < children.size(); ++c) {
+                children[c].ForkFrom(alloc, parent, kBs,
+                                     parent.num_tokens() -
+                                         static_cast<int64_t>(c % 7));
+                children[c].Append(alloc, kBs, 3 + static_cast<int64_t>(c % 5));
+              }
+              for (BlockTable& child : children) {
+                child.Clear(alloc);
+              }
+            }
+            double checksum =
+                static_cast<double>(alloc.stats().cow_copies) +
+                static_cast<double>(alloc.used_blocks()) * 1e-3;
+            parent.Clear(alloc);
+            return std::vector<MetricRow>{MicroRow(
+                label, ElapsedNs(start),
+                iterations * static_cast<int64_t>(children.size()),
+                checksum)};
+          }});
+    }
+
+    // Swap-vs-recompute sweep: an overloaded replica (tiny KV budget, long
+    // decodes) under each preemption policy. The checksum pins completions
+    // and preemption counts; ns_per_op bounds simulation cost.
+    for (bool swap : {false, true}) {
+      const std::string label =
+          std::string("overload/") + (swap ? "swap" : "recompute");
+      const int64_t iterations = options.smoke ? 2 : 10;
+      plan.cells.push_back(ScenarioCell{
+          label, [label, swap, iterations] {
+            double checksum = 0;
+            const auto start = std::chrono::steady_clock::now();
+            for (int64_t it = 0; it < iterations; ++it) {
+              Simulator sim;
+              ReplicaConfig config;
+              config.kv_capacity_tokens = 4096;
+              config.kv_block_size_tokens = 16;
+              config.output_reserve_tokens = 64;
+              config.kv_preempt_policy = swap ? PreemptPolicy::kSwap
+                                              : PreemptPolicy::kRecompute;
+              Replica replica(&sim, 0, 0, config);
+              for (int i = 0; i < 24; ++i) {
+                replica.Enqueue(
+                    MakeRequest(static_cast<RequestId>(i), 200, 300,
+                                static_cast<Token>(i) * 100'000),
+                    {});
+              }
+              sim.Run();
+              const KvCounters& kv = replica.kv().counters();
+              checksum += static_cast<double>(replica.stats().completed) +
+                          static_cast<double>(kv.preempt_recompute +
+                                              kv.preempt_swap) *
+                              1e-3 +
+                          static_cast<double>(kv.swap_ins) * 1e-6;
+            }
+            return std::vector<MetricRow>{MicroRow(
+                label, ElapsedNs(start), iterations * 24, checksum)};
+          }});
+    }
+    return plan;
+  };
+  return scenario;
+}
+
+}  // namespace skywalker

@@ -13,6 +13,7 @@ void RegisterAllScenarios() {
     registry.Register(MakeFig05aPrefixSimilarityScenario());
     registry.Register(MakeFig05bSimilarityHeatmapScenario());
     registry.Register(MakeFig06ChVsOptimalScenario());
+    registry.Register(MakeFig07MemoryPressureScenario());
     registry.Register(MakeFig08MacroScenario());
     registry.Register(MakeFig09SelectivePushingScenario());
     registry.Register(MakeFig10DiurnalCostScenario());
@@ -23,6 +24,7 @@ void RegisterAllScenarios() {
     registry.Register(MakeAblationHeterogeneousScenario());
     registry.Register(MakeAblationShortPromptScenario());
     registry.Register(MakeMicroDatastructuresScenario());
+    registry.Register(MakeMicroMemoryScenario());
     registry.Register(MakeMicroReplicaScenario());
     return true;
   }();

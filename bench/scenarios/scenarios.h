@@ -23,6 +23,7 @@ Scenario MakeFig04bRrImbalanceScenario();
 Scenario MakeFig05aPrefixSimilarityScenario();
 Scenario MakeFig05bSimilarityHeatmapScenario();
 Scenario MakeFig06ChVsOptimalScenario();
+Scenario MakeFig07MemoryPressureScenario();
 Scenario MakeFig08MacroScenario();
 Scenario MakeFig09SelectivePushingScenario();
 Scenario MakeFig10DiurnalCostScenario();
@@ -33,6 +34,7 @@ Scenario MakeAblationMigrationControlScenario();
 Scenario MakeAblationHeterogeneousScenario();
 Scenario MakeAblationShortPromptScenario();
 Scenario MakeMicroDatastructuresScenario();
+Scenario MakeMicroMemoryScenario();
 Scenario MakeMicroReplicaScenario();
 
 // Registers every scenario above into ScenarioRegistry::Get(). Idempotent.

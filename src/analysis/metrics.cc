@@ -152,6 +152,34 @@ const std::vector<std::string>& StandardExperimentMetricKeys() {
   return keys;
 }
 
+const std::vector<std::string>& KvMemoryMetricKeys() {
+  static const std::vector<std::string> keys = {
+      metric_keys::kPreemptions,          metric_keys::kSwapOuts,
+      metric_keys::kSwapIns,              metric_keys::kSwapTransferSec,
+      metric_keys::kKvFragmentationPct,   metric_keys::kKvWatermarkRejections,
+  };
+  return keys;
+}
+
+MetricRow& SetKvMetrics(MetricRow& row, const KvCounters& counters,
+                        int64_t capacity_tokens_total) {
+  row.Set(metric_keys::kPreemptions,
+          static_cast<double>(counters.preempt_recompute +
+                              counters.preempt_swap));
+  row.Set(metric_keys::kSwapOuts, static_cast<double>(counters.preempt_swap));
+  row.Set(metric_keys::kSwapIns, static_cast<double>(counters.swap_ins));
+  row.Set(metric_keys::kSwapTransferSec, counters.swap_transfer_us * 1e-6);
+  row.Set(metric_keys::kKvFragmentationPct,
+          capacity_tokens_total <= 0
+              ? 0.0
+              : 100.0 *
+                    static_cast<double>(counters.peak_fragmentation_tokens) /
+                    static_cast<double>(capacity_tokens_total));
+  row.Set(metric_keys::kKvWatermarkRejections,
+          static_cast<double>(counters.watermark_rejections));
+  return row;
+}
+
 Json MetricRowJson(const MetricRow& row) {
   Json j = Json::Object();
   j.Set("label", row.label);

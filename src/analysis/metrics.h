@@ -19,6 +19,7 @@
 #include "src/common/histogram.h"
 #include "src/common/json.h"
 #include "src/common/sim_time.h"
+#include "src/memory/kv_controller.h"
 #include "src/workload/client.h"
 #include "src/workload/request.h"
 
@@ -105,10 +106,30 @@ inline constexpr const char* kForwardRate = "forward_rate";
 inline constexpr const char* kImbalance = "outstanding_imbalance";
 inline constexpr const char* kCompleted = "completed";
 inline constexpr const char* kCostUsdPerHour = "cost_usd_per_hour";
+
+// Paged-KV memory keys (ISSUE 4). Scenarios that report the memory
+// subsystem (fig07_memory_pressure, fig09, micro_memory) carry these;
+// SetKvMetrics below fills the full set from summed KvCounters.
+inline constexpr const char* kPreemptions = "preemptions";
+inline constexpr const char* kSwapOuts = "swap_outs";
+inline constexpr const char* kSwapIns = "swap_ins";
+inline constexpr const char* kSwapTransferSec = "swap_transfer_s";
+inline constexpr const char* kKvFragmentationPct = "kv_fragmentation_pct";
+inline constexpr const char* kKvWatermarkRejections =
+    "kv_watermark_rejections";
 }  // namespace metric_keys
 
 // The standard keys above, in canonical order (schema tests iterate this).
 const std::vector<std::string>& StandardExperimentMetricKeys();
+
+// The paged-KV keys, in canonical order (what SetKvMetrics writes).
+const std::vector<std::string>& KvMemoryMetricKeys();
+
+// Fills the paged-KV metric keys from fleet-summed counters.
+// `capacity_tokens_total` is the fleet KV budget (fragmentation is reported
+// as peak percent of it; pass 0 to report 0).
+MetricRow& SetKvMetrics(MetricRow& row, const KvCounters& counters,
+                        int64_t capacity_tokens_total);
 
 // {"label":..,"dims":{..},"metrics":{..}} — dims omitted when empty.
 Json MetricRowJson(const MetricRow& row);

@@ -110,6 +110,10 @@ struct SkyWalkerConfig {
   // Optional constraint on forwarding pairs (GDPR, §7). Null allows all.
   std::function<bool(RegionId from, RegionId to)> forward_allowed;
 
+  // Free-block-aware routing gate on the probe loop's KV snapshots: local
+  // replicas below this free-block fraction are skipped (0 = off).
+  double min_free_block_fraction = 0.0;
+
   // The engine-knob subset: SkyWalker always pushes selectively by pending
   // requests (§3.3).
   DispatchConfig engine() const {
@@ -117,6 +121,7 @@ struct SkyWalkerConfig {
     config.push_mode = PushMode::kSelectivePending;
     config.probe_interval = probe_interval;
     config.push_slack = push_slack;
+    config.min_free_block_fraction = min_free_block_fraction;
     return config;
   }
 };

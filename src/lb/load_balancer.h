@@ -47,6 +47,10 @@ struct LbConfig {
   // eviction.
   int64_t sgl_tree_decay_tokens = 49152;
 
+  // Free-block-aware routing gate: replicas whose probed free-KV-block
+  // fraction is below this floor are skipped (0 = off, the seed behavior).
+  double min_free_block_fraction = 0.0;
+
   // The engine-knob subset, in the shared config vocabulary.
   DispatchConfig engine() const {
     DispatchConfig config;
@@ -54,6 +58,7 @@ struct LbConfig {
     config.probe_interval = probe_interval;
     config.max_outstanding_per_replica = max_outstanding_per_replica;
     config.push_slack = push_slack;
+    config.min_free_block_fraction = min_free_block_fraction;
     return config;
   }
 };

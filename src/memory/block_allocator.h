@@ -1,0 +1,91 @@
+// Fixed-size KV page allocator (vLLM-style PagedAttention pool, ISSUE 4).
+//
+// The GPU's KV budget is carved into pages of `block_size_tokens` tokens;
+// every live token of KV state — shared prefix-cache content and per-
+// sequence private state alike — occupies exactly one slot of exactly one
+// block. Blocks are refcounted so copy-on-write forks (shared prompt
+// prefixes, beam/parallel-sampling style) map to shared references instead
+// of token copies, and a freed block returns to a LIFO free list so
+// steady-state churn (admit/decode/evict/preempt cycles) recycles ids
+// without touching the heap (tests/kv_memory_alloc_test.cc pins this).
+//
+// Blocks here are *bookkeeping*, not storage — the simulator never holds
+// real KV bytes — so allocation past `capacity_blocks` is permitted and
+// simply drives free_blocks() negative. This mirrors the replica engine's
+// semantics, where force-admission and decode growth may transiently
+// overshoot the budget and the reclaim path (eviction, then preemption)
+// restores the invariant after the step. Admission control is the layer
+// that keeps overshoot bounded; the allocator just counts truthfully.
+//
+// With block_size_tokens == 1 the pool degenerates to one token per block
+// and every derived quantity reduces to the seed's token-counter
+// arithmetic — the coarse compatibility mode that keeps historical
+// BENCH_*.json goldens byte-identical (DESIGN.md §9).
+
+#ifndef SKYWALKER_MEMORY_BLOCK_ALLOCATOR_H_
+#define SKYWALKER_MEMORY_BLOCK_ALLOCATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace skywalker {
+
+using BlockId = int32_t;
+inline constexpr BlockId kInvalidBlockId = -1;
+
+struct BlockAllocatorStats {
+  int64_t allocated = 0;   // Cumulative Allocate() calls.
+  int64_t freed = 0;       // Cumulative blocks returned to the free list.
+  int64_t cow_copies = 0;  // Copy-on-write duplications (BlockTable).
+  int64_t peak_used_blocks = 0;
+};
+
+class BlockAllocator {
+ public:
+  explicit BlockAllocator(int64_t capacity_blocks);
+
+  BlockAllocator(const BlockAllocator&) = delete;
+  BlockAllocator& operator=(const BlockAllocator&) = delete;
+
+  // Returns a block with ref_count == 1. Never fails (see file comment);
+  // callers gate on free_blocks() for admission decisions.
+  BlockId Allocate();
+
+  // Shares an existing block (copy-on-write fork).
+  void AddRef(BlockId id);
+
+  // Drops one reference; returns true when the block became free.
+  bool Release(BlockId id);
+
+  // Pre-sizes metadata and the free list so later Allocate/Release cycles
+  // below `blocks` live blocks never allocate heap memory.
+  void Reserve(int64_t blocks);
+
+  int64_t capacity_blocks() const { return capacity_blocks_; }
+  int64_t used_blocks() const { return used_blocks_; }
+  // May be negative during transient overshoot (see file comment).
+  int64_t free_blocks() const { return capacity_blocks_ - used_blocks_; }
+
+  int32_t ref_count(BlockId id) const {
+    return refs_[static_cast<size_t>(id)];
+  }
+
+  const BlockAllocatorStats& stats() const { return stats_; }
+  void NoteCowCopy() { ++stats_.cow_copies; }
+
+  // Structural soundness: used_blocks matches the number of ids with a
+  // positive refcount and the free list holds exactly the zero-ref ids.
+  bool CheckInvariants() const;
+
+ private:
+  int64_t capacity_blocks_;
+  std::vector<int32_t> refs_;       // Indexed by BlockId.
+  std::vector<BlockId> free_list_;  // LIFO: deterministic, cache-friendly.
+  int64_t used_blocks_ = 0;
+  BlockAllocatorStats stats_;
+};
+
+}  // namespace skywalker
+
+#endif  // SKYWALKER_MEMORY_BLOCK_ALLOCATOR_H_

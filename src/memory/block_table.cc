@@ -1,0 +1,74 @@
+#include "src/memory/block_table.h"
+
+#include "src/common/logging.h"
+
+namespace skywalker {
+
+int64_t BlockTable::Append(BlockAllocator& alloc, int32_t block_size,
+                           int64_t tokens) {
+  SKYWALKER_CHECK(tokens >= 0);
+  if (tokens == 0) {
+    return 0;
+  }
+  int64_t allocated = 0;
+  int64_t tail_fill = tokens_ % block_size;
+  if (tail_fill != 0 && alloc.ref_count(blocks_.back()) > 1) {
+    // Copy-on-write: the partial tail is shared with a fork; duplicate it
+    // before writing. (Full shared blocks are immutable and stay shared.)
+    alloc.Release(blocks_.back());
+    blocks_.back() = alloc.Allocate();
+    alloc.NoteCowCopy();
+    ++allocated;
+  }
+  int64_t remaining = tokens;
+  if (tail_fill != 0) {
+    int64_t slots = block_size - tail_fill;
+    remaining -= slots < remaining ? slots : remaining;
+  }
+  while (remaining > 0) {
+    blocks_.push_back(alloc.Allocate());
+    ++allocated;
+    remaining -= block_size < remaining ? block_size : remaining;
+  }
+  tokens_ += tokens;
+  return allocated;
+}
+
+void BlockTable::ForkFrom(BlockAllocator& alloc, const BlockTable& parent,
+                          int32_t block_size, int64_t tokens) {
+  SKYWALKER_CHECK(blocks_.empty() && tokens_ == 0) << "fork into empty table";
+  SKYWALKER_CHECK(tokens <= parent.tokens_) << "fork beyond parent";
+  int64_t cover = (tokens + block_size - 1) / block_size;
+  for (int64_t i = 0; i < cover; ++i) {
+    BlockId id = parent.blocks_[static_cast<size_t>(i)];
+    alloc.AddRef(id);
+    blocks_.push_back(id);
+  }
+  tokens_ = tokens;
+}
+
+int64_t BlockTable::Truncate(BlockAllocator& alloc, int32_t block_size,
+                             int64_t tokens) {
+  SKYWALKER_CHECK(tokens >= 0 && tokens <= tokens_) << "truncate range";
+  tokens_ -= tokens;
+  int64_t keep = (tokens_ + block_size - 1) / block_size;
+  int64_t released = 0;
+  while (num_blocks() > keep) {
+    alloc.Release(blocks_.back());
+    blocks_.pop_back();
+    ++released;
+  }
+  return released;
+}
+
+int64_t BlockTable::Clear(BlockAllocator& alloc) {
+  int64_t released = static_cast<int64_t>(blocks_.size());
+  for (BlockId id : blocks_) {
+    alloc.Release(id);
+  }
+  blocks_.clear();  // Capacity retained for pooled reuse.
+  tokens_ = 0;
+  return released;
+}
+
+}  // namespace skywalker

@@ -1,0 +1,68 @@
+// Per-sequence KV page table (ISSUE 4): the ordered list of blocks holding
+// one logical token sequence, vLLM block-table style.
+//
+// A table owns one reference on each of its blocks. Growth fills the
+// partially-used tail block before allocating a new one; a *shared* partial
+// tail (refcount > 1, i.e. a copy-on-write fork boundary) is duplicated
+// first — the CoW copy the paper-adjacent systems pay on fork divergence —
+// so writers never mutate pages a sibling still reads.
+//
+// `ForkFrom` shares a prefix of another table by taking references, which
+// is how prefix reuse maps to block refs instead of token copies. Internal
+// fragmentation (allocated-but-unfilled tail slots) is observable per table
+// and aggregated by the KvController into the replica's load snapshot.
+//
+// Tables keep their vector capacity across Clear() so pooled reuse
+// (KvController's sequence slots) stays allocation-free in steady state.
+
+#ifndef SKYWALKER_MEMORY_BLOCK_TABLE_H_
+#define SKYWALKER_MEMORY_BLOCK_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/memory/block_allocator.h"
+
+namespace skywalker {
+
+class BlockTable {
+ public:
+  int64_t num_tokens() const { return tokens_; }
+  int64_t num_blocks() const { return static_cast<int64_t>(blocks_.size()); }
+  const std::vector<BlockId>& blocks() const { return blocks_; }
+
+  int64_t padded_tokens(int32_t block_size) const {
+    return num_blocks() * block_size;
+  }
+  // Allocated-but-unfilled tail slots; zero when block_size == 1.
+  int64_t fragmentation_tokens(int32_t block_size) const {
+    return padded_tokens(block_size) - tokens_;
+  }
+
+  // Appends `tokens`, allocating blocks as needed. A shared partial tail is
+  // copy-on-write duplicated before being written into. Returns the net
+  // number of blocks allocated (CoW replacement allocates one without
+  // changing the block count).
+  int64_t Append(BlockAllocator& alloc, int32_t block_size, int64_t tokens);
+
+  // Becomes a fork of `parent`'s first `tokens` tokens by taking references
+  // on the covering blocks. The table must be empty.
+  void ForkFrom(BlockAllocator& alloc, const BlockTable& parent,
+                int32_t block_size, int64_t tokens);
+
+  // Drops the last `tokens` tokens, releasing blocks that become empty.
+  // Returns the number of references released.
+  int64_t Truncate(BlockAllocator& alloc, int32_t block_size, int64_t tokens);
+
+  // Releases every block reference; keeps vector capacity for reuse.
+  // Returns the number of references released.
+  int64_t Clear(BlockAllocator& alloc);
+
+ private:
+  std::vector<BlockId> blocks_;
+  int64_t tokens_ = 0;
+};
+
+}  // namespace skywalker
+
+#endif  // SKYWALKER_MEMORY_BLOCK_TABLE_H_

@@ -1,0 +1,244 @@
+#include "src/memory/kv_controller.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace skywalker {
+
+KvCounters& operator+=(KvCounters& lhs, const KvCounters& rhs) {
+  lhs.preempt_recompute += rhs.preempt_recompute;
+  lhs.preempt_swap += rhs.preempt_swap;
+  lhs.swap_ins += rhs.swap_ins;
+  lhs.swapped_out_tokens += rhs.swapped_out_tokens;
+  lhs.swapped_in_tokens += rhs.swapped_in_tokens;
+  lhs.swap_transfer_us += rhs.swap_transfer_us;
+  lhs.watermark_rejections += rhs.watermark_rejections;
+  lhs.peak_fragmentation_tokens += rhs.peak_fragmentation_tokens;
+  return lhs;
+}
+
+KvController::KvController(const KvConfig& config)
+    : config_(config),
+      total_blocks_(config.capacity_tokens / config.block_size_tokens),
+      alloc_(total_blocks_) {
+  SKYWALKER_CHECK(config.block_size_tokens >= 1) << "block size";
+  SKYWALKER_CHECK(config.watermark_blocks >= 0) << "watermark";
+  SKYWALKER_CHECK(total_blocks_ > 0) << "capacity below one block";
+}
+
+KvController::SeqEntry& KvController::entry(SeqId id) {
+  SeqEntry& e = seqs_[static_cast<size_t>(id)];
+  SKYWALKER_CHECK(e.live) << "dead sequence slot";
+  return e;
+}
+
+const KvController::SeqEntry& KvController::entry(SeqId id) const {
+  const SeqEntry& e = seqs_[static_cast<size_t>(id)];
+  SKYWALKER_CHECK(e.live) << "dead sequence slot";
+  return e;
+}
+
+void KvController::SetCommitted(SeqEntry& e, int64_t prefill,
+                                int64_t reserve) {
+  committed_prefill_total_ += prefill - e.committed_prefill;
+  committed_reserve_total_ += reserve - e.committed_reserve;
+  committed_blocks_total_ +=
+      (CeilBlocks(prefill) + CeilBlocks(reserve)) -
+      (CeilBlocks(e.committed_prefill) + CeilBlocks(e.committed_reserve));
+  e.committed_prefill = prefill;
+  e.committed_reserve = reserve;
+}
+
+void KvController::NoteFragmentation() {
+  counters_.peak_fragmentation_tokens =
+      std::max(counters_.peak_fragmentation_tokens, fragmentation_tokens());
+}
+
+KvController::SeqId KvController::AdmitSeq(int64_t prefill_tokens,
+                                           int64_t reserve_tokens) {
+  SeqId id;
+  if (!free_slots_.empty()) {
+    id = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    id = static_cast<SeqId>(seqs_.size());
+    seqs_.emplace_back();
+  }
+  SeqEntry& e = seqs_[static_cast<size_t>(id)];
+  e.live = true;
+  SetCommitted(e, prefill_tokens, reserve_tokens);
+  ++live_seqs_;
+  return id;
+}
+
+void KvController::OnPrefillChunk(SeqId id, int64_t tokens) {
+  SeqEntry& e = entry(id);
+  SKYWALKER_CHECK(tokens <= e.committed_prefill) << "chunk beyond commitment";
+  SetCommitted(e, e.committed_prefill - tokens, e.committed_reserve);
+  e.table.Append(alloc_, config_.block_size_tokens, tokens);
+  seq_tokens_total_ += tokens;
+  NoteFragmentation();
+}
+
+void KvController::OnDecodeToken(SeqId id) {
+  SeqEntry& e = entry(id);
+  if (e.committed_reserve > 0) {
+    SetCommitted(e, e.committed_prefill, e.committed_reserve - 1);
+  }
+  e.table.Append(alloc_, config_.block_size_tokens, 1);
+  seq_tokens_total_ += 1;
+  NoteFragmentation();
+}
+
+void KvController::RebaseTokens(SeqId id, int64_t tokens) {
+  SeqEntry& e = entry(id);
+  int64_t current = e.table.num_tokens();
+  if (tokens < current) {
+    e.table.Truncate(alloc_, config_.block_size_tokens, current - tokens);
+  } else if (tokens > current) {
+    e.table.Append(alloc_, config_.block_size_tokens, tokens - current);
+  }
+  seq_tokens_total_ += tokens - current;
+  NoteFragmentation();
+}
+
+int64_t KvController::SeqTokens(SeqId id) const {
+  return entry(id).table.num_tokens();
+}
+
+int64_t KvController::ReleaseSeq(SeqId id) {
+  SeqEntry& e = entry(id);
+  int64_t tokens = e.table.num_tokens();
+  e.table.Clear(alloc_);
+  seq_tokens_total_ -= tokens;
+  SetCommitted(e, 0, 0);
+  e.live = false;
+  --live_seqs_;
+  free_slots_.push_back(id);
+  return tokens;
+}
+
+SimDuration KvController::SwapOut(SeqId id) {
+  int64_t tokens = SeqTokens(id);
+  ReleaseSeq(id);
+  ++counters_.preempt_swap;
+  counters_.swapped_out_tokens += tokens;
+  SimDuration transfer = SwapDuration(tokens);
+  counters_.swap_transfer_us += static_cast<double>(transfer);
+  return transfer;
+}
+
+KvController::SeqId KvController::BeginSwapIn(int64_t tokens,
+                                              int64_t prefill_remaining,
+                                              int64_t reserve_remaining,
+                                              SimDuration* transfer) {
+  SeqId id = AdmitSeq(prefill_remaining, reserve_remaining);
+  SeqEntry& e = entry(id);
+  e.table.Append(alloc_, config_.block_size_tokens, tokens);
+  seq_tokens_total_ += tokens;
+  ++counters_.swap_ins;
+  counters_.swapped_in_tokens += tokens;
+  *transfer = SwapDuration(tokens);
+  counters_.swap_transfer_us += static_cast<double>(*transfer);
+  NoteFragmentation();
+  return id;
+}
+
+void KvController::SyncCacheTokens(int64_t cache_size_tokens) {
+  if (cache_size_tokens > cache_tokens_) {
+    cache_table_.Append(alloc_, config_.block_size_tokens,
+                        cache_size_tokens - cache_tokens_);
+  } else if (cache_size_tokens < cache_tokens_) {
+    cache_table_.Truncate(alloc_, config_.block_size_tokens,
+                          cache_tokens_ - cache_size_tokens);
+  }
+  cache_tokens_ = cache_size_tokens;
+  NoteFragmentation();
+}
+
+bool KvController::CanAdmit(int64_t prefill_tokens,
+                            int64_t reserve_tokens) const {
+  return CeilBlocks(prefill_tokens) + CeilBlocks(reserve_tokens) +
+             config_.watermark_blocks <=
+         FreeBlocksForAdmission();
+}
+
+bool KvController::CanAdmitIgnoringWatermark(int64_t prefill_tokens,
+                                             int64_t reserve_tokens) const {
+  return CeilBlocks(prefill_tokens) + CeilBlocks(reserve_tokens) <=
+         FreeBlocksForAdmission();
+}
+
+int64_t KvController::AdmissionDeficitTokens(int64_t prefill_tokens,
+                                             int64_t reserve_tokens) const {
+  int64_t deficit_blocks = CeilBlocks(prefill_tokens) +
+                           CeilBlocks(reserve_tokens) +
+                           config_.watermark_blocks -
+                           FreeBlocksForAdmission();
+  return std::max<int64_t>(0, deficit_blocks * config_.block_size_tokens);
+}
+
+bool KvController::CanAdmitRestore(int64_t tokens, int64_t prefill_remaining,
+                                   int64_t reserve_remaining) const {
+  return CeilBlocks(tokens) + CeilBlocks(prefill_remaining) +
+             CeilBlocks(reserve_remaining) + config_.watermark_blocks <=
+         FreeBlocksForAdmission();
+}
+
+int64_t KvController::RestoreDeficitTokens(int64_t tokens,
+                                           int64_t prefill_remaining,
+                                           int64_t reserve_remaining) const {
+  int64_t deficit_blocks =
+      CeilBlocks(tokens) + CeilBlocks(prefill_remaining) +
+      CeilBlocks(reserve_remaining) + config_.watermark_blocks -
+      FreeBlocksForAdmission();
+  return std::max<int64_t>(0, deficit_blocks * config_.block_size_tokens);
+}
+
+int64_t KvController::ReclaimNeededTokens() const {
+  return std::max<int64_t>(0, (used_blocks() - total_blocks_) *
+                                  config_.block_size_tokens);
+}
+
+SimDuration KvController::SwapDuration(int64_t tokens) const {
+  return static_cast<SimDuration>(
+      std::llround(static_cast<double>(tokens) * config_.swap_us_per_token));
+}
+
+void KvController::Reserve(int64_t seqs, int64_t blocks) {
+  seqs_.reserve(static_cast<size_t>(seqs));
+  free_slots_.reserve(static_cast<size_t>(seqs));
+  alloc_.Reserve(blocks);
+}
+
+bool KvController::CheckConsistency() const {
+  int64_t seq_tokens = 0;
+  int64_t prefill = 0;
+  int64_t reserve = 0;
+  int64_t committed_blocks = 0;
+  int64_t live = 0;
+  int64_t table_blocks = cache_table_.num_blocks();
+  for (const SeqEntry& e : seqs_) {
+    if (!e.live) {
+      continue;
+    }
+    ++live;
+    seq_tokens += e.table.num_tokens();
+    prefill += e.committed_prefill;
+    reserve += e.committed_reserve;
+    committed_blocks +=
+        CeilBlocks(e.committed_prefill) + CeilBlocks(e.committed_reserve);
+    table_blocks += e.table.num_blocks();
+  }
+  return live == live_seqs_ && seq_tokens == seq_tokens_total_ &&
+         prefill == committed_prefill_total_ &&
+         reserve == committed_reserve_total_ &&
+         committed_blocks == committed_blocks_total_ &&
+         cache_table_.num_tokens() == cache_tokens_ &&
+         table_blocks == alloc_.used_blocks() && alloc_.CheckInvariants() &&
+         fragmentation_tokens() >= 0;
+}
+
+}  // namespace skywalker

@@ -1,0 +1,229 @@
+// Paged KV memory controller (ISSUE 4): the ledger and preemption policy
+// the replica engine runs its memory decisions through.
+//
+// Three charges share one BlockAllocator pool:
+//   * the shared prefix cache, charged block-rounded in aggregate (an
+//     internal block table tracks cache.size_tokens; per-radix-node block
+//     mapping is future work, DESIGN.md §9),
+//   * per-sequence block tables for private KV (prefill chunks and
+//     generated tokens),
+//   * committed future — prefill still to compute plus the unconsumed
+//     output reserve of each admitted sequence, counted per sequence in
+//     ceil-blocks. This is the explicit `reserved_tokens` lifecycle: the
+//     reserve is charged at admission, consumed token-by-token as decode
+//     proceeds, and returned exactly once when the sequence completes, is
+//     preempted, or aborts (tests/replica_test.cc pins return-on-
+//     completion; the differential property test pins the arithmetic).
+//
+// Admission asks CanAdmit(prefill, reserve): the ceil-block need must fit
+// under total - used - committed - watermark. With block_size_tokens == 1
+// and watermark_blocks == 0 every ceil is the identity and the check
+// reduces exactly to the seed replica's token arithmetic
+// (need <= capacity - Resident() - CommittedFuture()) — the coarse
+// compatibility mode that keeps historical BENCH goldens byte-identical.
+//
+// Preemption policy selects what a reclaim victim costs:
+//   * kRecompute — drop the victim's blocks; it re-prefills from scratch on
+//     re-admission (the seed behavior, usually cheap under a warm prefix
+//     cache).
+//   * kSwap — the victim's private blocks move to host memory over PCIe
+//     (modeled: swap_us_per_token each direction; ~5 us/token ≈ 128 KiB of
+//     KV over ~24 GiB/s effective PCIe 4.0 x16) and restore later without
+//     recomputation. The controller owns the transfer-time model and the
+//     swap counters; the replica owns victim choice and scheduling.
+
+#ifndef SKYWALKER_MEMORY_KV_CONTROLLER_H_
+#define SKYWALKER_MEMORY_KV_CONTROLLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/memory/block_allocator.h"
+#include "src/memory/block_table.h"
+
+namespace skywalker {
+
+enum class PreemptPolicy {
+  kRecompute,  // Drop KV; re-prefill on re-admission (seed behavior).
+  kSwap,       // Move KV to host over PCIe; restore without recompute.
+};
+
+struct KvConfig {
+  int64_t capacity_tokens = 49152;
+
+  // 1 = coarse compatibility mode: token-granular pages, every block
+  // quantity reduces to the seed token-counter arithmetic.
+  int32_t block_size_tokens = 1;
+
+  // Admission keeps at least this many blocks free (decode headroom).
+  int64_t watermark_blocks = 0;
+
+  PreemptPolicy preempt_policy = PreemptPolicy::kRecompute;
+
+  // Host<->device transfer cost per token, each direction. Default models
+  // 128 KiB/token KV over ~24 GiB/s effective PCIe 4.0 x16.
+  double swap_us_per_token = 5.2;
+};
+
+struct KvCounters {
+  int64_t preempt_recompute = 0;
+  int64_t preempt_swap = 0;      // Swap-outs.
+  int64_t swap_ins = 0;
+  int64_t swapped_out_tokens = 0;
+  int64_t swapped_in_tokens = 0;
+  double swap_transfer_us = 0;   // Modeled PCIe time, both directions.
+  int64_t watermark_rejections = 0;
+  int64_t peak_fragmentation_tokens = 0;
+};
+
+// Element-wise sum for fleet-level metric rows.
+KvCounters& operator+=(KvCounters& lhs, const KvCounters& rhs);
+
+class KvController {
+ public:
+  using SeqId = int32_t;
+  static constexpr SeqId kInvalidSeq = -1;
+
+  explicit KvController(const KvConfig& config);
+
+  KvController(const KvController&) = delete;
+  KvController& operator=(const KvController&) = delete;
+
+  // --- sequence ledger -------------------------------------------------
+  // Registers an admitted sequence: `prefill_tokens` still to compute and
+  // `reserve_tokens` of unconsumed output reserve become committed future.
+  // No blocks are held yet; they materialize as compute proceeds.
+  SeqId AdmitSeq(int64_t prefill_tokens, int64_t reserve_tokens);
+
+  // A prefill chunk materialized: tokens move from committed to resident.
+  void OnPrefillChunk(SeqId id, int64_t tokens);
+
+  // One output token materialized: consumes one token of reserve (floor 0)
+  // and grows the sequence's table.
+  void OnDecodeToken(SeqId id);
+
+  // Re-prices the sequence's private footprint to `tokens` (prefill
+  // completion publishes the prompt to the shared cache, leaving only
+  // generated/uncached tokens private).
+  void RebaseTokens(SeqId id, int64_t tokens);
+
+  int64_t SeqTokens(SeqId id) const;
+
+  // Completion / abort / recompute-preemption: frees the sequence's blocks
+  // and returns its committed future (the reserve comes back here, exactly
+  // once). Returns the resident tokens freed.
+  int64_t ReleaseSeq(SeqId id);
+
+  // --- swap ledger (kSwap policy) --------------------------------------
+  // Swap-out: frees the victim's blocks now, records the transfer, and
+  // returns the modeled PCIe time (the caller gates swap-in eligibility on
+  // it). The slot is released; swap-in creates a fresh one.
+  SimDuration SwapOut(SeqId id);
+
+  // Swap-in admission: re-charges `tokens` of restored KV immediately plus
+  // the remaining committed future; `*transfer` gets the restore latency.
+  SeqId BeginSwapIn(int64_t tokens, int64_t prefill_remaining,
+                    int64_t reserve_remaining, SimDuration* transfer);
+
+  // --- shared-cache charge ---------------------------------------------
+  // Reconciles the cache charge after any PrefixCache mutation.
+  void SyncCacheTokens(int64_t cache_size_tokens);
+
+  // --- admission / reclaim arithmetic ----------------------------------
+  int64_t total_blocks() const { return total_blocks_; }
+  int64_t used_blocks() const { return alloc_.used_blocks(); }
+  int64_t free_blocks() const { return alloc_.free_blocks(); }
+  int64_t committed_blocks() const { return committed_blocks_total_; }
+
+  // Token-granular views (coarse mode: identical to the seed counters).
+  int64_t resident_tokens() const { return cache_tokens_ + seq_tokens_total_; }
+  int64_t seq_resident_tokens() const { return seq_tokens_total_; }
+  int64_t cache_resident_tokens() const { return cache_tokens_; }
+  int64_t committed_tokens() const {
+    return committed_prefill_total_ + committed_reserve_total_;
+  }
+  int64_t committed_reserve_tokens() const {
+    return committed_reserve_total_;
+  }
+  // Allocated-but-unfilled slots across all tables (0 when block_size == 1).
+  int64_t fragmentation_tokens() const {
+    return used_blocks() * config_.block_size_tokens - resident_tokens();
+  }
+
+  // Whether `prefill` + `reserve` fits under the watermark right now.
+  bool CanAdmit(int64_t prefill_tokens, int64_t reserve_tokens) const;
+  // Same, ignoring the watermark (distinguishes watermark rejections from
+  // genuine capacity exhaustion for the counters).
+  bool CanAdmitIgnoringWatermark(int64_t prefill_tokens,
+                                 int64_t reserve_tokens) const;
+  void NoteWatermarkRejection() { ++counters_.watermark_rejections; }
+  void NoteRecomputePreemption() { ++counters_.preempt_recompute; }
+
+  // Cache tokens to evict before the need fits (0 when it already fits).
+  int64_t AdmissionDeficitTokens(int64_t prefill_tokens,
+                                 int64_t reserve_tokens) const;
+
+  // Swap-in admission check/deficit, priced exactly as BeginSwapIn charges:
+  // restored resident tokens, remaining prefill, and remaining reserve each
+  // ceil to blocks separately.
+  bool CanAdmitRestore(int64_t tokens, int64_t prefill_remaining,
+                       int64_t reserve_remaining) const;
+  int64_t RestoreDeficitTokens(int64_t tokens, int64_t prefill_remaining,
+                               int64_t reserve_remaining) const;
+
+  // Tokens over hard capacity — the reclaim target after a step.
+  int64_t ReclaimNeededTokens() const;
+
+  SimDuration SwapDuration(int64_t tokens) const;
+
+  const KvConfig& config() const { return config_; }
+  const KvCounters& counters() const { return counters_; }
+  const BlockAllocatorStats& allocator_stats() const { return alloc_.stats(); }
+  int64_t live_seqs() const { return live_seqs_; }
+
+  // Pre-sizes slots, tables, and the allocator for allocation-free reuse.
+  void Reserve(int64_t seqs, int64_t blocks);
+
+  // Validates ledger totals against a full rescan (tests / debug).
+  bool CheckConsistency() const;
+
+ private:
+  struct SeqEntry {
+    BlockTable table;
+    int64_t committed_prefill = 0;
+    int64_t committed_reserve = 0;
+    bool live = false;
+  };
+
+  int64_t CeilBlocks(int64_t tokens) const {
+    return (tokens + config_.block_size_tokens - 1) / config_.block_size_tokens;
+  }
+  // Free blocks after committed future, before the watermark.
+  int64_t FreeBlocksForAdmission() const {
+    return total_blocks_ - used_blocks() - committed_blocks_total_;
+  }
+  SeqEntry& entry(SeqId id);
+  const SeqEntry& entry(SeqId id) const;
+  // Adjusts the committed totals (tokens and ceil-blocks) for one entry.
+  void SetCommitted(SeqEntry& e, int64_t prefill, int64_t reserve);
+  void NoteFragmentation();
+
+  KvConfig config_;
+  int64_t total_blocks_;
+  BlockAllocator alloc_;
+  BlockTable cache_table_;  // Anonymous charge mirroring cache.size_tokens.
+  int64_t cache_tokens_ = 0;
+  std::vector<SeqEntry> seqs_;
+  std::vector<SeqId> free_slots_;
+  int64_t live_seqs_ = 0;
+  int64_t seq_tokens_total_ = 0;
+  int64_t committed_prefill_total_ = 0;
+  int64_t committed_reserve_total_ = 0;
+  int64_t committed_blocks_total_ = 0;
+  KvCounters counters_;
+};
+
+}  // namespace skywalker
+
+#endif  // SKYWALKER_MEMORY_KV_CONTROLLER_H_

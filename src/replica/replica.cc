@@ -13,7 +13,8 @@ Replica::Replica(Simulator* sim, ReplicaId id, RegionId region,
       id_(id),
       region_(region),
       config_(config),
-      cache_(config.kv_capacity_tokens) {}
+      cache_(config.kv_capacity_tokens),
+      kv_(config.kv()) {}
 
 void Replica::Enqueue(Request req, Handlers handlers) {
   SKYWALKER_CHECK(!req.output.empty()) << "request must generate >= 1 token";
@@ -26,37 +27,24 @@ void Replica::Enqueue(Request req, Handlers handlers) {
   MaybeStep();
 }
 
-int64_t Replica::Resident() const {
-  int64_t resident = cache_.size_tokens();
-  for (const Seq& seq : running_) {
-    resident += seq.private_tokens;
-  }
-  return resident;
+int64_t Replica::ReserveRemaining(const Seq& seq) const {
+  return std::max<int64_t>(0, config_.output_reserve_tokens - seq.generated);
 }
 
-int64_t Replica::CommittedFuture() const {
-  int64_t committed = 0;
-  for (const Seq& seq : running_) {
-    committed += seq.prefill_remaining;
-    committed += std::max<int64_t>(
-        0, config_.output_reserve_tokens - seq.generated);
-  }
-  return committed;
-}
+void Replica::SyncKvCache() { kv_.SyncCacheTokens(cache_.size_tokens()); }
 
-int64_t Replica::memory_used_tokens() const { return Resident(); }
+int64_t Replica::memory_used_tokens() const { return kv_.resident_tokens(); }
 
 int Replica::EstimateFreeCapacity() const {
   int free_slots = config_.max_running_requests -
-                   static_cast<int>(running_.size()) -
-                   static_cast<int>(pending_.size());
+                   static_cast<int>(running_.size()) - pending_count();
   if (free_slots <= 0) {
     return 0;
   }
   // Memory headroom in units of a typical request: average the footprint of
   // the current batch, falling back to a conservative default when idle.
-  int64_t free_tokens =
-      config_.kv_capacity_tokens - Resident() - CommittedFuture();
+  int64_t free_tokens = config_.kv_capacity_tokens - kv_.resident_tokens() -
+                        kv_.committed_tokens();
   if (free_tokens <= 0) {
     return 0;
   }
@@ -74,17 +62,33 @@ int Replica::EstimateFreeCapacity() const {
   return std::max(0, std::min(free_slots, by_memory));
 }
 
+Replica::LoadSnapshot Replica::Snapshot() const {
+  LoadSnapshot snap;
+  snap.pending = pending_count();
+  snap.running = running_count();
+  snap.free_capacity = EstimateFreeCapacity();
+  // Routing headroom: blocks a new admission could actually claim, counting
+  // evictable (unpinned, idle) cache content as free. Raw allocator
+  // free_blocks would read ~0 forever once the LRU cache warms up — the
+  // cache deliberately keeps otherwise-idle blocks resident.
+  int64_t admissible_tokens = config_.kv_capacity_tokens -
+                              active_memory_tokens() - kv_.committed_tokens();
+  snap.free_blocks = std::max<int64_t>(
+      0, admissible_tokens / config_.kv_block_size_tokens);
+  snap.total_blocks = kv_.total_blocks();
+  snap.fragmentation_tokens = kv_.fragmentation_tokens();
+  snap.preemptions = stats_.preemptions;
+  snap.swapped = swapped_count();
+  return snap;
+}
+
 double Replica::memory_utilization() const {
-  return static_cast<double>(Resident()) /
+  return static_cast<double>(kv_.resident_tokens()) /
          static_cast<double>(config_.kv_capacity_tokens);
 }
 
 int64_t Replica::active_memory_tokens() const {
-  int64_t active = cache_.pinned_tokens();
-  for (const Seq& seq : running_) {
-    active += seq.private_tokens;
-  }
-  return active;
+  return cache_.pinned_tokens() + kv_.seq_resident_tokens();
 }
 
 double Replica::active_memory_utilization() const {
@@ -98,8 +102,19 @@ double Replica::BusyFraction() const {
 }
 
 void Replica::Admit() {
+  MaybeStartSwapIns();
+  // Strict resume priority: while any swapped-out sequence is still waiting
+  // to come back, fresh pending requests must not consume the memory its
+  // restore needs — otherwise a stream of small admissions can starve a
+  // large swap-in indefinitely. (The wait is bounded: a completion or the
+  // swap-out transfer's completion poke re-enters here, and the swap-in
+  // claims the freed blocks first.)
+  if (!swapped_.empty()) {
+    return;
+  }
   while (!pending_.empty() &&
-         running_.size() < static_cast<size_t>(config_.max_running_requests)) {
+         running_.size() + restoring_.size() <
+             static_cast<size_t>(config_.max_running_requests)) {
     Seq& candidate = pending_.front();
     int64_t cached = 0;
     PinId pin = kInvalidPin;
@@ -110,15 +125,26 @@ void Replica::Admit() {
       cached = std::min(match.cached_len, candidate.prompt_len() - 1);
       pin = match.pin;
     }
-    int64_t need =
-        (candidate.prompt_len() - cached) + config_.output_reserve_tokens;
-    int64_t free = config_.kv_capacity_tokens - Resident() - CommittedFuture();
-    if (need > free) {
-      free += cache_.Evict(need - free);
+    const int64_t prefill_need = candidate.prompt_len() - cached;
+    const int64_t reserve = config_.output_reserve_tokens;
+    if (!kv_.CanAdmit(prefill_need, reserve)) {
+      cache_.Evict(kv_.AdmissionDeficitTokens(prefill_need, reserve));
+      SyncKvCache();
     }
-    if (need > free && !running_.empty()) {
+    if (!kv_.CanAdmit(prefill_need, reserve) &&
+        (!running_.empty() || !restoring_.empty())) {
       // Not enough memory; wait for completions. (Pinned content cannot be
-      // evicted, and running seqs release memory as they finish.)
+      // evicted, and running seqs release memory as they finish.) Count a
+      // watermark rejection once per blocked request's episode — keyed by
+      // request id, since Admit re-runs every engine step and preemption
+      // can rotate the queue head mid-episode.
+      if (kv_.CanAdmitIgnoringWatermark(prefill_need, reserve) &&
+          (!watermark_reject_id_valid_ ||
+           watermark_reject_id_ != candidate.req.id)) {
+        kv_.NoteWatermarkRejection();
+        watermark_reject_id_ = candidate.req.id;
+        watermark_reject_id_valid_ = true;
+      }
       if (pin != kInvalidPin) {
         cache_.Unref(pin);
       }
@@ -128,16 +154,67 @@ void Replica::Admit() {
     // progress (real engines recompute/preempt to handle this case).
     Seq seq = std::move(candidate);
     pending_.pop_front();
+    if (watermark_reject_id_valid_ && watermark_reject_id_ == seq.req.id) {
+      watermark_reject_id_valid_ = false;  // Its episode ended in admission.
+    }
     seq.cached_len = cached;
     seq.pin = pin;
     seq.prefill_remaining = seq.prompt_len() - cached;
-    seq.private_tokens = 0;
+    seq.kv = kv_.AdmitSeq(seq.prefill_remaining, ReserveRemaining(seq));
     seq.prefill_done = false;
     seq.prefill_alloc = 0;
     stats_.cached_tokens_reused += cached;
     running_.push_back(std::move(seq));
     stats_.peak_running =
         std::max(stats_.peak_running, static_cast<int>(running_.size()));
+  }
+}
+
+void Replica::MaybeStartSwapIns() {
+  while (!swapped_.empty() &&
+         running_.size() + restoring_.size() <
+             static_cast<size_t>(config_.max_running_requests)) {
+    SwappedSeq& front = swapped_.front();
+    if (sim_->now() < front.ready_at) {
+      break;  // The swap-out completion poke re-enters here.
+    }
+    const int64_t tokens = front.swap_tokens;
+    const int64_t reserve = ReserveRemaining(front.seq);
+    const int64_t prefill = front.seq.prefill_remaining;
+    if (!kv_.CanAdmitRestore(tokens, prefill, reserve)) {
+      cache_.Evict(kv_.RestoreDeficitTokens(tokens, prefill, reserve));
+      SyncKvCache();
+    }
+    if (!kv_.CanAdmitRestore(tokens, prefill, reserve) &&
+        !(running_.empty() && restoring_.empty())) {
+      break;  // Wait for completions; a drained engine forces the restore.
+    }
+    RestoringSeq restoring;
+    restoring.seq = std::move(front.seq);
+    swapped_.pop_front();
+    SimDuration transfer = 0;
+    restoring.seq.kv = kv_.BeginSwapIn(
+        tokens, restoring.seq.prefill_remaining, reserve, &transfer);
+    restoring.ticket = next_restore_ticket_++;
+    const int64_t ticket = restoring.ticket;
+    restoring.arrival =
+        sim_->ScheduleAfter(transfer, [this, ticket] { FinishSwapIn(ticket); });
+    restoring_.push_back(std::move(restoring));
+  }
+}
+
+void Replica::FinishSwapIn(int64_t ticket) {
+  for (auto it = restoring_.begin(); it != restoring_.end(); ++it) {
+    if (it->ticket != ticket) {
+      continue;
+    }
+    Seq seq = std::move(it->seq);
+    restoring_.erase(it);
+    running_.push_back(std::move(seq));
+    stats_.peak_running =
+        std::max(stats_.peak_running, static_cast<int>(running_.size()));
+    MaybeStep();
+    return;
   }
 }
 
@@ -193,7 +270,7 @@ void Replica::FinishStep() {
   for (Seq& seq : running_) {
     if (seq.prefill_alloc > 0) {
       seq.prefill_remaining -= seq.prefill_alloc;
-      seq.private_tokens += seq.prefill_alloc;
+      kv_.OnPrefillChunk(seq.kv, seq.prefill_alloc);
       stats_.prefill_tokens_computed += seq.prefill_alloc;
       seq.prefill_alloc = 0;
       if (seq.prefill_remaining == 0) {
@@ -202,7 +279,7 @@ void Replica::FinishStep() {
     } else if (seq.prefill_done && seq.first_token_sent &&
                seq.generated < seq.output_len()) {
       ++seq.generated;
-      ++seq.private_tokens;
+      kv_.OnDecodeToken(seq.kv);
       ++stats_.output_tokens_generated;
     }
   }
@@ -231,7 +308,7 @@ void Replica::OnPrefillComplete(Seq& seq) {
   // The final prefill chunk's forward pass produces the first output token.
   if (seq.generated == 0) {
     seq.generated = 1;
-    ++seq.private_tokens;
+    kv_.OnDecodeToken(seq.kv);
     ++stats_.output_tokens_generated;
   }
 
@@ -241,13 +318,14 @@ void Replica::OnPrefillComplete(Seq& seq) {
     // tokens remain private afterwards (cached_len keeps the admission-time
     // value for reporting; it reflects the compute actually saved).
     cache_.Insert(seq.req.prompt, sim_->now());
+    SyncKvCache();
     if (seq.pin != kInvalidPin) {
       cache_.Unref(seq.pin);
     }
     auto match = cache_.MatchAndRef(seq.req.prompt, sim_->now());
     seq.pin = match.pin;
-    seq.private_tokens =
-        (seq.prompt_len() - match.cached_len) + seq.generated;
+    kv_.RebaseTokens(seq.kv,
+                     (seq.prompt_len() - match.cached_len) + seq.generated);
   }
 
   if (!seq.first_token_sent) {
@@ -263,11 +341,15 @@ void Replica::CompleteSeq(Seq& seq) {
     TokenSeq full = seq.req.prompt;
     full.insert(full.end(), seq.req.output.begin(), seq.req.output.end());
     cache_.Insert(full, sim_->now());
+    SyncKvCache();
     if (seq.pin != kInvalidPin) {
       cache_.Unref(seq.pin);
       seq.pin = kInvalidPin;
     }
   }
+  // Blocks and the unconsumed output reserve return here — exactly once.
+  kv_.ReleaseSeq(seq.kv);
+  seq.kv = KvController::kInvalidSeq;
   ++stats_.completed;
   if (seq.handlers.on_complete) {
     seq.handlers.on_complete(seq.req, seq.cached_len);
@@ -275,32 +357,52 @@ void Replica::CompleteSeq(Seq& seq) {
 }
 
 void Replica::ReclaimMemory() {
-  int64_t over = Resident() - config_.kv_capacity_tokens;
+  int64_t over = kv_.ReclaimNeededTokens();
   if (over <= 0) {
     return;
   }
   over -= cache_.Evict(over);
+  SyncKvCache();
   // Preempt youngest running requests until we fit (never the last one —
-  // progress must remain possible).
+  // progress must remain possible). The policy decides the victim's fate.
   while (over > 0 && running_.size() > 1) {
     Seq seq = std::move(running_.back());
     running_.pop_back();
-    over -= seq.private_tokens;
-    if (seq.pin != kInvalidPin) {
-      cache_.Unref(seq.pin);
-      seq.pin = kInvalidPin;
-    }
-    // Restarts from scratch on re-admission; the prefix cache usually makes
-    // the recomputation cheap. first_token_sent stays true so the client
-    // sees no duplicate first-token callback.
-    seq.cached_len = 0;
-    seq.prefill_remaining = seq.prompt_len();
-    seq.private_tokens = 0;
-    seq.generated = seq.first_token_sent ? 1 : 0;
-    seq.prefill_done = false;
-    seq.prefill_alloc = 0;
     ++stats_.preemptions;
-    pending_.push_front(std::move(seq));
+    if (config_.kv_preempt_policy == PreemptPolicy::kSwap) {
+      // Swap-to-host: private KV crosses PCIe and comes back later without
+      // recomputation. The prefix-cache pin is kept — shared blocks stay
+      // device-resident (the radix tree still references them).
+      SwappedSeq swapped;
+      swapped.swap_tokens = kv_.SeqTokens(seq.kv);
+      over -= swapped.swap_tokens;
+      SimDuration transfer = kv_.SwapOut(seq.kv);
+      seq.kv = KvController::kInvalidSeq;
+      seq.prefill_alloc = 0;
+      swapped.ready_at = sim_->now() + transfer;
+      swapped.seq = std::move(seq);
+      swapped_.push_back(std::move(swapped));
+      // Poke the engine when the transfer completes, so a drained batch can
+      // start the swap-in even with no other event pending.
+      sim_->ScheduleAfter(transfer, [this] { MaybeStep(); });
+    } else {
+      // Recompute: restarts from scratch on re-admission; the prefix cache
+      // usually makes the recomputation cheap. first_token_sent stays true
+      // so the client sees no duplicate first-token callback.
+      over -= kv_.ReleaseSeq(seq.kv);
+      kv_.NoteRecomputePreemption();
+      seq.kv = KvController::kInvalidSeq;
+      if (seq.pin != kInvalidPin) {
+        cache_.Unref(seq.pin);
+        seq.pin = kInvalidPin;
+      }
+      seq.cached_len = 0;
+      seq.prefill_remaining = seq.prompt_len();
+      seq.generated = seq.first_token_sent ? 1 : 0;
+      seq.prefill_done = false;
+      seq.prefill_alloc = 0;
+      pending_.push_front(std::move(seq));
+    }
   }
 }
 
@@ -322,10 +424,27 @@ void Replica::Crash() {
     if (seq.pin != kInvalidPin) {
       cache_.Unref(seq.pin);
     }
+    kv_.ReleaseSeq(seq.kv);
   }
   running_.clear();
+  for (SwappedSeq& swapped : swapped_) {
+    if (swapped.seq.pin != kInvalidPin) {
+      cache_.Unref(swapped.seq.pin);
+    }
+  }
+  swapped_.clear();
+  for (RestoringSeq& restoring : restoring_) {
+    sim_->Cancel(restoring.arrival);
+    if (restoring.seq.pin != kInvalidPin) {
+      cache_.Unref(restoring.seq.pin);
+    }
+    kv_.ReleaseSeq(restoring.seq.kv);
+  }
+  restoring_.clear();
   pending_.clear();
+  watermark_reject_id_valid_ = false;
   cache_.Clear();
+  SyncKvCache();
 }
 
 }  // namespace skywalker

@@ -1,17 +1,19 @@
 // Discrete-event model of one LLM inference replica: an SGLang-style engine
-// with continuous batching, chunked prefill, a paged KV memory budget, and a
-// radix-tree prefix cache (paper §2.1).
+// with continuous batching, chunked prefill, a paged KV memory subsystem
+// (src/memory/), and a radix-tree prefix cache (paper §2.1).
 //
 // The model reproduces the observables the load-balancing layer depends on:
 //  * a *pending queue* of requests accepted by the engine but not yet in the
-//    continuous batch — the signal SP-P probes (§3.3);
+//    continuous batch — the signal SP-P probes (§3.3); preempted sequences
+//    parked for swap-in count as pending, since the batch cannot admit them;
 //  * prefill time proportional to non-cached prompt tokens (≈300 ms for a
 //    512-token prompt on an L4, §2.1), so prefix-cache hits directly cut
 //    TTFT;
 //  * step times of tens of milliseconds that grow with batch size;
 //  * a KV capacity that bounds concurrent requests at 20–50 for typical
-//    conversation lengths (§3.3), with LRU eviction and preemption under
-//    pressure.
+//    conversation lengths (§3.3), with LRU eviction and policy-driven
+//    preemption (recompute or swap-to-host, src/memory/kv_controller.h)
+//    under pressure.
 //
 // Timing model per engine step:
 //   duration = step_base + prefill_tokens · prefill_per_token
@@ -21,6 +23,13 @@
 // inserts computed KV into its radix tree immediately, so concurrent
 // identical prompts share from that point); generated tokens are published
 // at completion.
+//
+// Memory accounting runs through a KvController (DESIGN.md §9): admission
+// is a free-block watermark check, prefill/decode growth allocates pages,
+// and ReclaimMemory picks preemption victims whose treatment the configured
+// policy decides. The default configuration (kv_block_size_tokens == 1,
+// no watermark, recompute preemption) is the *coarse compatibility mode*,
+// bit-identical to the seed token-counter accounting.
 
 #ifndef SKYWALKER_REPLICA_REPLICA_H_
 #define SKYWALKER_REPLICA_REPLICA_H_
@@ -33,6 +42,7 @@
 
 #include "src/cache/prefix_cache.h"
 #include "src/common/sim_time.h"
+#include "src/memory/kv_controller.h"
 #include "src/sim/simulator.h"
 #include "src/workload/request.h"
 
@@ -66,6 +76,28 @@ struct ReplicaConfig {
 
   // Record a memory-utilization sample every N engine steps (0 disables).
   int memory_sample_every_steps = 4;
+
+  // --- paged KV memory (src/memory/, ISSUE 4) --------------------------
+  // Page size in tokens. 1 = coarse compatibility mode (seed-identical
+  // token-granular accounting); real engines use 16 or 32.
+  int32_t kv_block_size_tokens = 1;
+  // Admission keeps this many blocks free as decode headroom.
+  int64_t kv_watermark_blocks = 0;
+  // What preemption does to its victim: recompute (seed behavior) or
+  // swap-to-host with modeled PCIe transfer latency.
+  PreemptPolicy kv_preempt_policy = PreemptPolicy::kRecompute;
+  // PCIe transfer model for kSwap, us per token each direction.
+  double kv_swap_us_per_token = 5.2;
+
+  KvConfig kv() const {
+    KvConfig config;
+    config.capacity_tokens = kv_capacity_tokens;
+    config.block_size_tokens = kv_block_size_tokens;
+    config.watermark_blocks = kv_watermark_blocks;
+    config.preempt_policy = kv_preempt_policy;
+    config.swap_us_per_token = kv_swap_us_per_token;
+    return config;
+  }
 };
 
 class Replica {
@@ -84,12 +116,27 @@ class Replica {
     int64_t prefill_tokens_computed = 0;
     int64_t cached_tokens_reused = 0;
     int64_t output_tokens_generated = 0;
-    int64_t preemptions = 0;
+    int64_t preemptions = 0;  // Recompute + swap victims.
     int64_t engine_steps = 0;
     double busy_us = 0;          // Total step time.
     double peak_memory_utilization = 0;
     int peak_running = 0;
     int peak_pending = 0;
+  };
+
+  // What a heartbeat probe RPC reports (§3.3 + ISSUE 4): queue state plus
+  // the paged-memory headroom signals balancers can route on.
+  struct LoadSnapshot {
+    int pending = 0;        // Accepted, not in the batch (incl. swapped).
+    int running = 0;
+    int free_capacity = 0;  // EstimateFreeCapacity().
+    // Blocks a new admission could claim right now; evictable cache content
+    // counts as free (a warm LRU cache keeps raw free blocks at ~0).
+    int64_t free_blocks = 0;
+    int64_t total_blocks = 0;
+    int64_t fragmentation_tokens = 0;
+    int64_t preemptions = 0;  // Cumulative.
+    int64_t swapped = 0;      // Currently swapped out or restoring.
   };
 
   Replica(Simulator* sim, ReplicaId id, RegionId region,
@@ -105,11 +152,18 @@ class Replica {
   // --- Probe interface (what a heartbeat RPC would report, §3.3) ---
 
   // Requests not yet scheduled into the continuous batch. "> 0" is the
-  // paper's definition of a full replica.
-  int pending_count() const { return static_cast<int>(pending_.size()); }
+  // paper's definition of a full replica. Swapped-out or restoring
+  // sequences count: they are accepted work the batch cannot hold.
+  int pending_count() const {
+    return static_cast<int>(pending_.size()) + swapped_count();
+  }
   int running_count() const { return static_cast<int>(running_.size()); }
   // LB-visible total load (outstanding = pending + running).
   int outstanding_count() const { return pending_count() + running_count(); }
+  // Sequences preempted to host memory (incl. in-flight restores).
+  int swapped_count() const {
+    return static_cast<int>(swapped_.size() + restoring_.size());
+  }
 
   int64_t memory_used_tokens() const;
   double memory_utilization() const;
@@ -120,6 +174,9 @@ class Replica {
   // count so balancers can bound their optimistic pushes between probes.
   int EstimateFreeCapacity() const;
 
+  // One-call probe payload: queue depths plus paged-memory headroom.
+  LoadSnapshot Snapshot() const;
+
   // KV held by *running* requests (pinned cache paths + private tokens).
   // Excludes cached-but-idle content, which an LRU cache keeps resident
   // anyway; this is the "KV cache memory utilization" a serving dashboard
@@ -127,11 +184,19 @@ class Replica {
   int64_t active_memory_tokens() const;
   double active_memory_utilization() const;
 
+  // Output reserve still committed to admitted sequences. Returns to zero
+  // whenever the batch drains — completion, abort, and preemption all hand
+  // their reserve back (regression-tested; ISSUE 4).
+  int64_t reserved_future_tokens() const {
+    return kv_.committed_reserve_tokens();
+  }
+
   ReplicaId id() const { return id_; }
   RegionId region() const { return region_; }
   const ReplicaConfig& config() const { return config_; }
   const PrefixCache& cache() const { return cache_; }
   const Stats& stats() const { return stats_; }
+  const KvController& kv() const { return kv_; }
 
   // Fraction of wall time the engine executed steps since construction.
   double BusyFraction() const;
@@ -151,8 +216,8 @@ class Replica {
     Handlers handlers;
     int64_t cached_len = 0;         // Admission-time hit (reporting).
     PinId pin = kInvalidPin;
+    KvController::SeqId kv = KvController::kInvalidSeq;
     int64_t prefill_remaining = 0;  // Prompt tokens still to compute.
-    int64_t private_tokens = 0;     // KV held outside the shared cache.
     int64_t generated = 0;          // Output tokens produced so far.
     bool prefill_done = false;
     bool first_token_sent = false;
@@ -162,16 +227,31 @@ class Replica {
     int64_t output_len() const { return req.output_tokens(); }
   };
 
-  // Memory resident on the GPU: shared cache + private per-seq KV.
-  int64_t Resident() const;
+  // A sequence preempted to host memory (kSwap policy). Keeps its prefix-
+  // cache pin: the shared blocks stay device-resident (still referenced by
+  // the radix tree), only private KV crossed PCIe.
+  struct SwappedSeq {
+    Seq seq;
+    int64_t swap_tokens = 0;  // Private KV held on the host.
+    SimTime ready_at = 0;     // Swap-out transfer completion.
+  };
 
-  // Memory already promised to admitted requests but not yet materialized:
-  // remaining prefill tokens plus unconsumed output reserve. Without this,
-  // admission would overcommit (freshly admitted seqs hold no KV yet).
-  int64_t CommittedFuture() const;
+  // A swap-in in flight: blocks are charged, arrival is scheduled.
+  struct RestoringSeq {
+    Seq seq;
+    int64_t ticket = 0;
+    EventId arrival = kInvalidEventId;
+  };
 
-  // Moves pending requests into the batch while memory and slots allow.
+  // Output reserve still unconsumed by `seq` (what re-admission and
+  // swap-in must re-commit).
+  int64_t ReserveRemaining(const Seq& seq) const;
+
+  // Moves pending requests into the batch while memory and slots allow;
+  // swapped-out sequences re-enter first (resume priority).
   void Admit();
+  void MaybeStartSwapIns();
+  void FinishSwapIn(int64_t ticket);
 
   // Starts an engine step if work exists and none is in flight.
   void MaybeStep();
@@ -184,9 +264,12 @@ class Replica {
 
   void CompleteSeq(Seq& seq);
 
-  // Frees memory under pressure: cache eviction first, then preemption of
-  // the youngest running request.
+  // Frees memory under pressure: cache eviction first, then policy-driven
+  // preemption of the youngest running request (recompute or swap-out).
   void ReclaimMemory();
+
+  // Reconciles the KV controller's cache charge after cache mutations.
+  void SyncKvCache();
 
   void SampleMemory();
 
@@ -195,10 +278,18 @@ class Replica {
   RegionId region_;
   ReplicaConfig config_;
   PrefixCache cache_;
+  KvController kv_;
 
   std::deque<Seq> pending_;
   std::vector<Seq> running_;  // Admission order (oldest first).
+  std::deque<SwappedSeq> swapped_;  // Swap-out order (oldest first).
+  std::vector<RestoringSeq> restoring_;
+  int64_t next_restore_ticket_ = 0;
   bool step_in_flight_ = false;
+  // Deduplicates watermark-rejection counting: one count per blocked
+  // request's episode (keyed by id — the head can rotate under preemption).
+  RequestId watermark_reject_id_ = 0;
+  bool watermark_reject_id_valid_ = false;
 
   Stats stats_;
   std::vector<std::pair<SimTime, double>> memory_series_;

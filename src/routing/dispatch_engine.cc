@@ -132,6 +132,13 @@ bool DispatchEngine::IsAvailable(const ReplicaState& state) const {
   if (!state.healthy) {
     return false;
   }
+  // Free-block-aware gate (ISSUE 4): route around replicas whose probed KV
+  // headroom is below the floor, whatever the push mode decides. Inactive
+  // at the default 0 and before the first probe.
+  if (config_.min_free_block_fraction > 0.0 &&
+      state.ProbedFreeBlockFraction() < config_.min_free_block_fraction) {
+    return false;
+  }
   switch (config_.push_mode) {
     case PushMode::kBlind:
       return true;
@@ -147,7 +154,7 @@ bool DispatchEngine::IsAvailable(const ReplicaState& state) const {
       // its continuous batch cannot admit more work, i.e. it has pending
       // requests. Optimistic pushes between probes are bounded by push_slack
       // (DESIGN.md §5.3).
-      return state.probed_pending == 0 &&
+      return state.probed.pending == 0 &&
              state.pushes_since_probe < config_.push_slack;
   }
   return false;
@@ -333,17 +340,17 @@ void DispatchEngine::ProbeAll() {
     Replica* replica = state.replica;
     RegionId replica_region = replica->region();
     ReplicaId replica_id = replica->id();
-    // Probe round trip: LB -> replica (read pending) -> LB.
+    // Probe round trip: LB -> replica (read the load snapshot) -> LB.
     net_->Send(region_, replica_region, [this, replica, replica_id,
                                          replica_region] {
-      int pending = replica->pending_count();
+      Replica::LoadSnapshot snapshot = replica->Snapshot();
       net_->Send(replica_region, region_,
-                 [this, replica_id, pending] {
+                 [this, replica_id, snapshot] {
                    ReplicaState* rs = FindReplica(replica_id);
                    if (rs == nullptr) {
                      return;
                    }
-                   rs->probed_pending = pending;
+                   rs->probed = snapshot;
                    rs->pushes_since_probe = 0;
                    rs->probed_once = true;
                    if (host_ != nullptr) {

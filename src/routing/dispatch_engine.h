@@ -71,16 +71,35 @@ struct DispatchConfig {
   // burst overshoot caused by probe staleness (DESIGN.md §5.3) while still
   // letting an empty continuous batch fill within one probe window.
   int push_slack = 32;
+
+  // Free-block-aware routing gate (ISSUE 4): a probed replica whose last
+  // snapshot shows fewer than this fraction of its KV blocks free is
+  // treated as unavailable, on top of the push-mode test. 0 disables (the
+  // seed behavior); kBlind never probes, so the gate cannot affect it.
+  double min_free_block_fraction = 0.0;
 };
 
 // Engine-tracked state for one managed replica, refreshed by the probe loop.
 struct ReplicaState {
   Replica* replica = nullptr;
   int outstanding = 0;        // LB-tracked in-flight (pushed, not completed).
-  int probed_pending = 0;     // Pending count from the last probe.
+  // Full payload of the last probe: the pending count plus the paged-KV
+  // headroom signals (free/total blocks, fragmentation, preemption
+  // counters — see Replica::LoadSnapshot).
+  Replica::LoadSnapshot probed;
   int pushes_since_probe = 0;
   bool probed_once = false;
   bool healthy = true;
+
+  // Free-block fraction from the last probe; 1 when never probed or the
+  // replica reports no block budget.
+  double ProbedFreeBlockFraction() const {
+    if (!probed_once || probed.total_blocks <= 0) {
+      return 1.0;
+    }
+    return static_cast<double>(probed.free_blocks) /
+           static_cast<double>(probed.total_blocks);
+  }
 };
 
 // One FCFS-queued request. `lb_arrival` is stamped by Enqueue.

@@ -266,7 +266,8 @@ struct EngineBench {
   std::unique_ptr<DispatchEngine> engine;
 
   explicit EngineBench(int num_replicas,
-                       const DispatchConfig& config = DispatchConfig{}) {
+                       const DispatchConfig& config = DispatchConfig{},
+                       const ReplicaConfig& rconfig = ReplicaConfig{}) {
     Topology topology;
     topology.AddRegion("local", Milliseconds(1));
     net = std::make_unique<Network>(&sim, topology);
@@ -274,7 +275,7 @@ struct EngineBench {
                                               &selector);
     for (int i = 0; i < num_replicas; ++i) {
       replicas.push_back(
-          std::make_unique<Replica>(&sim, i, 0, ReplicaConfig{}));
+          std::make_unique<Replica>(&sim, i, 0, rconfig));
       engine->AttachReplica(replicas.back().get());
     }
   }
@@ -329,6 +330,86 @@ TEST(DispatchEngineTest, FlushQueueWithErrorDrainsAndReports) {
   EXPECT_EQ(bench.engine->FlushQueueWithError(), 3);
   EXPECT_EQ(errors, 3);
   EXPECT_EQ(bench.engine->queue_size(), 0u);
+}
+
+TEST(DispatchEngineTest, ProbesCarryKvLoadSnapshots) {
+  // The probe loop must deliver the replica's paged-memory headroom, not
+  // just the pending count (ISSUE 4).
+  DispatchConfig config;
+  config.push_mode = PushMode::kSelectivePending;
+  ReplicaConfig rconfig;
+  rconfig.kv_capacity_tokens = 4096;
+  rconfig.kv_block_size_tokens = 16;
+  EngineBench bench(1, config, rconfig);
+  bench.engine->Start();
+  bench.sim.RunFor(Milliseconds(300));
+  const ReplicaState* state = bench.engine->FindReplica(0);
+  ASSERT_NE(state, nullptr);
+  ASSERT_TRUE(state->probed_once);
+  EXPECT_EQ(state->probed.total_blocks, 256);
+  EXPECT_EQ(state->probed.free_blocks, 256);  // Idle: everything admissible.
+  EXPECT_EQ(state->probed.pending, 0);
+  EXPECT_DOUBLE_EQ(state->ProbedFreeBlockFraction(), 1.0);
+}
+
+TEST(DispatchEngineTest, FreeBlockGateRoutesAroundMemoryFullReplica) {
+  // Replica 0 holds a few long-decode sequences: its batch is not full
+  // (pending == 0, so plain SP-P would push to it) but its KV headroom is
+  // gone. With the free-block gate the engine must route around it.
+  ReplicaConfig rconfig;
+  rconfig.kv_capacity_tokens = 2048;
+  rconfig.kv_block_size_tokens = 16;
+  rconfig.output_reserve_tokens = 128;
+  auto fill_replica_zero = [](EngineBench& bench) {
+    for (int i = 0; i < 3; ++i) {
+      bench.replicas[0]->Enqueue(
+          MakeRequest(static_cast<RequestId>(900 + i), 500, 600, "k",
+                      static_cast<Token>(i) * 50000),
+          {});
+    }
+    bench.sim.RunFor(Seconds(1));  // Decode in progress, memory committed.
+    ASSERT_EQ(bench.replicas[0]->pending_count(), 0);
+    ASSERT_LT(bench.replicas[0]->Snapshot().free_blocks,
+              bench.replicas[0]->Snapshot().total_blocks / 2);
+  };
+
+  DispatchConfig gated;
+  gated.push_mode = PushMode::kSelectivePending;
+  gated.min_free_block_fraction = 0.5;
+  EngineBench bench(2, gated, rconfig);
+  fill_replica_zero(bench);
+  bench.engine->Start();
+  bench.sim.RunFor(Milliseconds(300));  // Probes land.
+  const ReplicaState* state = bench.engine->FindReplica(0);
+  ASSERT_TRUE(state->probed_once);
+  EXPECT_LT(state->ProbedFreeBlockFraction(), 0.5);
+  EXPECT_FALSE(bench.engine->IsAvailable(0));
+  EXPECT_TRUE(bench.engine->IsAvailable(1));
+
+  int completed = 0;
+  const int64_t before = bench.replicas[1]->stats().enqueued;
+  for (int i = 0; i < 4; ++i) {
+    bench.Submit(MakeRequest(static_cast<RequestId>(i), 32, 4, "k",
+                             static_cast<Token>(i) * 1000),
+                 CountCompletions(&completed));
+  }
+  bench.sim.RunFor(Seconds(5));
+  EXPECT_EQ(bench.replicas[1]->stats().enqueued, before + 4)
+      << "gated engine must route around the memory-full replica";
+
+  // Control: without the gate, SP-P sees pending == 0 and picks replica 0
+  // (attach order) — the behavior the gate exists to correct.
+  DispatchConfig ungated;
+  ungated.push_mode = PushMode::kSelectivePending;
+  EngineBench control(2, ungated, rconfig);
+  fill_replica_zero(control);
+  control.engine->Start();
+  control.sim.RunFor(Milliseconds(300));
+  EXPECT_TRUE(control.engine->IsAvailable(0));
+  int control_completed = 0;
+  control.Submit(MakeRequest(1, 32, 4), CountCompletions(&control_completed));
+  control.sim.RunFor(Seconds(5));
+  EXPECT_EQ(control.replicas[0]->stats().enqueued, 3 + 1);
 }
 
 TEST(DispatchEngineTest, QueueWaitStatsTrackHeadOfLineBlocking) {

@@ -1,0 +1,272 @@
+// Unit tests for the paged KV memory subsystem (src/memory/, ISSUE 4):
+// BlockAllocator refcounting and free-list recycling, BlockTable growth /
+// copy-on-write forks / truncation, and KvController admission, commitment,
+// watermark, and swap-ledger arithmetic.
+
+#include <gtest/gtest.h>
+
+#include "src/memory/block_allocator.h"
+#include "src/memory/block_table.h"
+#include "src/memory/kv_controller.h"
+
+namespace skywalker {
+namespace {
+
+TEST(BlockAllocatorTest, AllocateReleaseRecyclesIds) {
+  BlockAllocator alloc(8);
+  BlockId a = alloc.Allocate();
+  BlockId b = alloc.Allocate();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(alloc.used_blocks(), 2);
+  EXPECT_EQ(alloc.free_blocks(), 6);
+  EXPECT_TRUE(alloc.Release(b));
+  // LIFO free list: the freed id comes straight back.
+  EXPECT_EQ(alloc.Allocate(), b);
+  EXPECT_TRUE(alloc.Release(a));
+  EXPECT_TRUE(alloc.Release(b));
+  EXPECT_EQ(alloc.used_blocks(), 0);
+  EXPECT_TRUE(alloc.CheckInvariants());
+}
+
+TEST(BlockAllocatorTest, RefcountSharingDelaysFree) {
+  BlockAllocator alloc(4);
+  BlockId a = alloc.Allocate();
+  alloc.AddRef(a);
+  EXPECT_EQ(alloc.ref_count(a), 2);
+  EXPECT_FALSE(alloc.Release(a));  // Still shared.
+  EXPECT_EQ(alloc.used_blocks(), 1);
+  EXPECT_TRUE(alloc.Release(a));
+  EXPECT_EQ(alloc.used_blocks(), 0);
+}
+
+TEST(BlockAllocatorTest, OvercommitGoesNegativeButCounts) {
+  // Blocks are bookkeeping: allocation past capacity must succeed (the
+  // replica's force-admit path relies on it) and free_blocks goes negative.
+  BlockAllocator alloc(2);
+  for (int i = 0; i < 5; ++i) {
+    alloc.Allocate();
+  }
+  EXPECT_EQ(alloc.used_blocks(), 5);
+  EXPECT_EQ(alloc.free_blocks(), -3);
+  EXPECT_EQ(alloc.stats().peak_used_blocks, 5);
+  EXPECT_TRUE(alloc.CheckInvariants());
+}
+
+TEST(BlockTableTest, AppendPacksPartialTail) {
+  BlockAllocator alloc(64);
+  BlockTable table;
+  EXPECT_EQ(table.Append(alloc, 16, 10), 1);  // One block, 6 slots spare.
+  EXPECT_EQ(table.fragmentation_tokens(16), 6);
+  EXPECT_EQ(table.Append(alloc, 16, 6), 0);  // Fills the tail, no alloc.
+  EXPECT_EQ(table.fragmentation_tokens(16), 0);
+  EXPECT_EQ(table.Append(alloc, 16, 33), 3);  // 2 full + 1 partial.
+  EXPECT_EQ(table.num_tokens(), 49);
+  EXPECT_EQ(table.num_blocks(), 4);
+  table.Clear(alloc);
+  EXPECT_EQ(alloc.used_blocks(), 0);
+}
+
+TEST(BlockTableTest, BlockSizeOneIsTokenGranular) {
+  BlockAllocator alloc(1024);
+  BlockTable table;
+  table.Append(alloc, 1, 100);
+  EXPECT_EQ(table.num_blocks(), 100);
+  EXPECT_EQ(table.fragmentation_tokens(1), 0);
+  table.Truncate(alloc, 1, 40);
+  EXPECT_EQ(table.num_blocks(), 60);
+  EXPECT_EQ(alloc.used_blocks(), 60);
+  table.Clear(alloc);
+}
+
+TEST(BlockTableTest, ForkSharesBlocksAndCowsOnDivergence) {
+  BlockAllocator alloc(64);
+  BlockTable parent;
+  parent.Append(alloc, 16, 40);  // 3 blocks, tail holds 8 tokens.
+  BlockTable child;
+  child.ForkFrom(alloc, parent, 16, 40);
+  EXPECT_EQ(alloc.used_blocks(), 3);  // Fully shared: no new blocks.
+  EXPECT_EQ(alloc.ref_count(parent.blocks()[2]), 2);
+
+  // Divergence: the shared partial tail must be CoW-duplicated; full
+  // shared blocks stay shared.
+  int64_t before_cow = alloc.stats().cow_copies;
+  child.Append(alloc, 16, 4);
+  EXPECT_EQ(alloc.stats().cow_copies, before_cow + 1);
+  EXPECT_EQ(alloc.used_blocks(), 4);
+  EXPECT_NE(child.blocks()[2], parent.blocks()[2]);
+  EXPECT_EQ(child.blocks()[0], parent.blocks()[0]);
+  EXPECT_EQ(alloc.ref_count(parent.blocks()[2]), 1);
+
+  // Parent appending into its (now exclusive) tail needs no CoW.
+  before_cow = alloc.stats().cow_copies;
+  parent.Append(alloc, 16, 4);
+  EXPECT_EQ(alloc.stats().cow_copies, before_cow);
+
+  child.Clear(alloc);
+  EXPECT_EQ(alloc.used_blocks(), 3);  // Parent's blocks survive.
+  parent.Clear(alloc);
+  EXPECT_EQ(alloc.used_blocks(), 0);
+  EXPECT_TRUE(alloc.CheckInvariants());
+}
+
+TEST(BlockTableTest, TruncateReleasesEmptiedBlocksOnly) {
+  BlockAllocator alloc(64);
+  BlockTable table;
+  table.Append(alloc, 16, 48);  // 3 full blocks.
+  EXPECT_EQ(table.Truncate(alloc, 16, 8), 0);  // Tail still half full.
+  EXPECT_EQ(table.num_blocks(), 3);
+  EXPECT_EQ(table.Truncate(alloc, 16, 8), 1);  // Tail emptied.
+  EXPECT_EQ(table.num_blocks(), 2);
+  table.Clear(alloc);
+}
+
+// --- KvController ------------------------------------------------------
+
+TEST(KvControllerTest, CoarseModeMatchesSeedArithmetic) {
+  // block_size 1, no watermark: CanAdmit must be exactly
+  // need <= capacity - resident - committed.
+  KvConfig config;
+  config.capacity_tokens = 1000;
+  KvController kv(config);
+  kv.SyncCacheTokens(300);
+  KvController::SeqId seq = kv.AdmitSeq(200, 100);
+  EXPECT_EQ(kv.resident_tokens(), 300);
+  EXPECT_EQ(kv.committed_tokens(), 300);
+  // free = 1000 - 300 - 300 = 400.
+  EXPECT_TRUE(kv.CanAdmit(300, 100));
+  EXPECT_FALSE(kv.CanAdmit(301, 100));
+  EXPECT_EQ(kv.AdmissionDeficitTokens(301, 100), 1);
+
+  kv.OnPrefillChunk(seq, 200);  // Committed -> resident, free unchanged.
+  EXPECT_EQ(kv.resident_tokens(), 500);
+  EXPECT_EQ(kv.committed_tokens(), 100);
+  EXPECT_TRUE(kv.CanAdmit(300, 100));
+  EXPECT_FALSE(kv.CanAdmit(301, 100));
+
+  kv.OnDecodeToken(seq);  // Reserve shrinks as output materializes.
+  EXPECT_EQ(kv.resident_tokens(), 501);
+  EXPECT_EQ(kv.committed_reserve_tokens(), 99);
+  EXPECT_EQ(kv.fragmentation_tokens(), 0);
+
+  EXPECT_EQ(kv.ReleaseSeq(seq), 201);
+  EXPECT_EQ(kv.committed_tokens(), 0);
+  EXPECT_EQ(kv.resident_tokens(), 300);
+  EXPECT_TRUE(kv.CheckConsistency());
+}
+
+TEST(KvControllerTest, PagedCeilsPerSequence) {
+  KvConfig config;
+  config.capacity_tokens = 160;  // 10 blocks of 16.
+  config.block_size_tokens = 16;
+  KvController kv(config);
+  EXPECT_EQ(kv.total_blocks(), 10);
+  // 17 prefill -> 2 blocks, 17 reserve -> 2 blocks: 4 of 10.
+  KvController::SeqId seq = kv.AdmitSeq(17, 17);
+  EXPECT_EQ(kv.committed_blocks(), 4);
+  // Another identical admission fits (8 of 10); a third does not.
+  EXPECT_TRUE(kv.CanAdmit(17, 17));
+  KvController::SeqId seq2 = kv.AdmitSeq(17, 17);
+  EXPECT_FALSE(kv.CanAdmit(17, 17));
+  EXPECT_EQ(kv.AdmissionDeficitTokens(17, 17), 2 * 16);
+
+  // Prefill materializes into real blocks; fragmentation appears.
+  kv.OnPrefillChunk(seq, 17);
+  EXPECT_EQ(kv.used_blocks(), 2);
+  EXPECT_EQ(kv.fragmentation_tokens(), 2 * 16 - 17);
+  kv.ReleaseSeq(seq);
+  kv.ReleaseSeq(seq2);
+  EXPECT_TRUE(kv.CheckConsistency());
+}
+
+TEST(KvControllerTest, WatermarkHoldsBlocksBack) {
+  KvConfig config;
+  config.capacity_tokens = 160;
+  config.block_size_tokens = 16;
+  config.watermark_blocks = 4;
+  KvController kv(config);
+  // 6 blocks of need fits only if 6 + 4 <= 10.
+  EXPECT_TRUE(kv.CanAdmit(48, 48));
+  EXPECT_FALSE(kv.CanAdmit(48, 64));
+  EXPECT_TRUE(kv.CanAdmitIgnoringWatermark(48, 64));
+}
+
+TEST(KvControllerTest, SwapLedgerModelsPcieTime) {
+  KvConfig config;
+  config.capacity_tokens = 1000;
+  config.swap_us_per_token = 5.0;
+  KvController kv(config);
+  KvController::SeqId seq = kv.AdmitSeq(100, 50);
+  kv.OnPrefillChunk(seq, 100);
+  ASSERT_EQ(kv.SeqTokens(seq), 100);
+
+  SimDuration out = kv.SwapOut(seq);
+  EXPECT_EQ(out, 500);  // 100 tokens * 5 us.
+  EXPECT_EQ(kv.resident_tokens(), 0);
+  EXPECT_EQ(kv.committed_tokens(), 0);  // Reserve returned on swap-out.
+  EXPECT_EQ(kv.counters().preempt_swap, 1);
+  EXPECT_EQ(kv.counters().swapped_out_tokens, 100);
+
+  SimDuration in = 0;
+  KvController::SeqId restored = kv.BeginSwapIn(100, 0, 50, &in);
+  EXPECT_EQ(in, 500);
+  EXPECT_EQ(kv.SeqTokens(restored), 100);
+  EXPECT_EQ(kv.committed_reserve_tokens(), 50);
+  EXPECT_EQ(kv.counters().swap_ins, 1);
+  EXPECT_DOUBLE_EQ(kv.counters().swap_transfer_us, 1000.0);
+  kv.ReleaseSeq(restored);
+  EXPECT_TRUE(kv.CheckConsistency());
+}
+
+TEST(KvControllerTest, CacheChargeTracksSyncExactly) {
+  KvConfig config;
+  config.capacity_tokens = 320;
+  config.block_size_tokens = 16;
+  KvController kv(config);
+  kv.SyncCacheTokens(100);
+  EXPECT_EQ(kv.used_blocks(), 7);  // ceil(100/16).
+  kv.SyncCacheTokens(96);
+  EXPECT_EQ(kv.used_blocks(), 6);
+  kv.SyncCacheTokens(0);
+  EXPECT_EQ(kv.used_blocks(), 0);
+  EXPECT_TRUE(kv.CheckConsistency());
+}
+
+TEST(KvControllerTest, ReclaimNeededAfterOvercommit) {
+  KvConfig config;
+  config.capacity_tokens = 64;
+  config.block_size_tokens = 16;
+  KvController kv(config);
+  KvController::SeqId seq = kv.AdmitSeq(100, 0);  // Force-admit analogue.
+  kv.OnPrefillChunk(seq, 100);
+  EXPECT_EQ(kv.used_blocks(), 7);
+  EXPECT_EQ(kv.ReclaimNeededTokens(), 3 * 16);
+  kv.ReleaseSeq(seq);
+  EXPECT_EQ(kv.ReclaimNeededTokens(), 0);
+}
+
+TEST(KvControllerTest, SlotReuseKeepsLedgerConsistent) {
+  KvConfig config;
+  config.capacity_tokens = 10000;
+  config.block_size_tokens = 16;
+  KvController kv(config);
+  for (int round = 0; round < 50; ++round) {
+    KvController::SeqId a = kv.AdmitSeq(33, 20);
+    KvController::SeqId b = kv.AdmitSeq(7, 20);
+    kv.OnPrefillChunk(a, 33);
+    kv.OnPrefillChunk(b, 7);
+    for (int i = 0; i < 20; ++i) {
+      kv.OnDecodeToken(a);
+    }
+    kv.RebaseTokens(a, 5);
+    kv.ReleaseSeq(a);
+    kv.ReleaseSeq(b);
+  }
+  EXPECT_EQ(kv.live_seqs(), 0);
+  EXPECT_EQ(kv.resident_tokens(), 0);
+  EXPECT_EQ(kv.committed_tokens(), 0);
+  EXPECT_EQ(kv.used_blocks(), 0);
+  EXPECT_TRUE(kv.CheckConsistency());
+}
+
+}  // namespace
+}  // namespace skywalker

@@ -282,5 +282,216 @@ TEST(ReplicaTest, BusyFractionPositiveUnderLoad) {
   EXPECT_LE(replica.BusyFraction(), 1.01);
 }
 
+// --- Reserved-memory lifecycle (ISSUE 4 regression) ----------------------
+
+TEST(ReplicaReserveTest, ReserveReturnedWhenSequenceFinishesEarly) {
+  // A request generating far fewer tokens than output_reserve_tokens must
+  // hand its unconsumed reserve back exactly once at completion: the
+  // committed ledger returns to zero, never double-counts, and admission
+  // headroom fully recovers.
+  Simulator sim;
+  ReplicaConfig config;
+  config.output_reserve_tokens = 256;
+  Replica replica(&sim, 0, 0, config);
+  EXPECT_EQ(replica.reserved_future_tokens(), 0);
+
+  Completion c;
+  replica.Enqueue(MakeRequest(1, 128, 4), Record(&sim, &c));
+  sim.RunFor(Milliseconds(30));  // Mid-flight: reserve is committed.
+  EXPECT_GT(replica.reserved_future_tokens(), 0);
+  EXPECT_LE(replica.reserved_future_tokens(), 256);
+  sim.Run();
+  ASSERT_GT(c.completed, 0);
+  EXPECT_EQ(replica.reserved_future_tokens(), 0)
+      << "unconsumed output reserve must be returned at completion";
+  EXPECT_EQ(replica.kv().committed_tokens(), 0);
+  // Resident is now cache-only: no sequence KV left behind.
+  EXPECT_EQ(replica.kv().seq_resident_tokens(), 0);
+  EXPECT_TRUE(replica.kv().CheckConsistency());
+}
+
+TEST(ReplicaReserveTest, ReserveReturnedOnCrashAbort) {
+  Simulator sim;
+  ReplicaConfig config;
+  config.output_reserve_tokens = 256;
+  Replica replica(&sim, 0, 0, config);
+  for (int i = 0; i < 8; ++i) {
+    replica.Enqueue(MakeRequest(static_cast<RequestId>(i), 300, 200,
+                                static_cast<Token>(i) * 10000),
+                    {});
+  }
+  sim.RunFor(Milliseconds(80));
+  EXPECT_GT(replica.reserved_future_tokens(), 0);
+  replica.Crash();
+  EXPECT_EQ(replica.reserved_future_tokens(), 0)
+      << "aborted sequences must return their reserve";
+  EXPECT_EQ(replica.kv().committed_tokens(), 0);
+  EXPECT_EQ(replica.memory_used_tokens(), 0);
+  EXPECT_TRUE(replica.kv().CheckConsistency());
+}
+
+TEST(ReplicaReserveTest, PreemptionReturnsReserveExactlyOnce) {
+  // Recompute preemption drops the victim back to pending; its reserve must
+  // leave the ledger with it and be re-charged on re-admission — never held
+  // twice. Conservation check: after everything completes the ledger is
+  // empty even though preemptions occurred.
+  Simulator sim;
+  ReplicaConfig config;
+  config.kv_capacity_tokens = 4096;
+  config.output_reserve_tokens = 128;
+  Replica replica(&sim, 0, 0, config);
+  std::vector<Completion> done(32);
+  for (int i = 0; i < 32; ++i) {
+    replica.Enqueue(MakeRequest(static_cast<RequestId>(i), 300, 400,
+                                static_cast<Token>(i) * 10000),
+                    Record(&sim, &done[static_cast<size_t>(i)]));
+  }
+  sim.Run();
+  EXPECT_EQ(replica.stats().completed, 32);
+  EXPECT_GT(replica.stats().preemptions, 0);
+  EXPECT_EQ(replica.reserved_future_tokens(), 0);
+  EXPECT_EQ(replica.kv().committed_tokens(), 0);
+  EXPECT_EQ(replica.kv().live_seqs(), 0);
+  EXPECT_TRUE(replica.kv().CheckConsistency());
+}
+
+// --- Paged mode (block_size > 1) -----------------------------------------
+
+TEST(ReplicaPagedTest, CoarseDefaultIsTokenGranular) {
+  Simulator sim;
+  Replica replica(&sim, 0, 0, ReplicaConfig{});
+  EXPECT_EQ(replica.kv().total_blocks(),
+            replica.config().kv_capacity_tokens);
+  EXPECT_EQ(replica.kv().config().block_size_tokens, 1);
+}
+
+TEST(ReplicaPagedTest, PagedModeCompletesWorkWithPreemptions) {
+  Simulator sim;
+  ReplicaConfig config;
+  config.kv_capacity_tokens = 4096;
+  config.kv_block_size_tokens = 16;
+  config.output_reserve_tokens = 64;
+  Replica replica(&sim, 0, 0, config);
+  EXPECT_EQ(replica.kv().total_blocks(), 256);
+  std::vector<Completion> done(32);
+  for (int i = 0; i < 32; ++i) {
+    replica.Enqueue(MakeRequest(static_cast<RequestId>(i), 300, 400,
+                                static_cast<Token>(i) * 10000),
+                    Record(&sim, &done[static_cast<size_t>(i)]));
+  }
+  sim.Run();
+  EXPECT_EQ(replica.stats().completed, 32);
+  EXPECT_GT(replica.stats().preemptions, 0);
+  for (const auto& c : done) {
+    EXPECT_GT(c.completed, 0);
+  }
+  // Paged bookkeeping saw real fragmentation at some point.
+  EXPECT_GT(replica.kv().counters().peak_fragmentation_tokens, 0);
+  EXPECT_TRUE(replica.kv().CheckConsistency());
+}
+
+TEST(ReplicaPagedTest, WatermarkThrottlesAdmissionButCompletes) {
+  Simulator sim;
+  ReplicaConfig config;
+  config.kv_capacity_tokens = 4096;
+  config.kv_block_size_tokens = 16;
+  config.kv_watermark_blocks = 32;  // Hold back 512 tokens of headroom.
+  config.output_reserve_tokens = 64;
+  Replica replica(&sim, 0, 0, config);
+  std::vector<Completion> done(24);
+  for (int i = 0; i < 24; ++i) {
+    replica.Enqueue(MakeRequest(static_cast<RequestId>(i), 256, 128,
+                                static_cast<Token>(i) * 10000),
+                    Record(&sim, &done[static_cast<size_t>(i)]));
+  }
+  sim.Run();
+  EXPECT_EQ(replica.stats().completed, 24);
+  EXPECT_GT(replica.kv().counters().watermark_rejections, 0);
+}
+
+TEST(ReplicaPagedTest, SwapPolicyRoundTripsSequences) {
+  Simulator sim;
+  ReplicaConfig config;
+  config.kv_capacity_tokens = 4096;
+  config.kv_block_size_tokens = 16;
+  config.kv_preempt_policy = PreemptPolicy::kSwap;
+  config.output_reserve_tokens = 64;
+  Replica replica(&sim, 0, 0, config);
+  std::vector<Completion> done(32);
+  for (int i = 0; i < 32; ++i) {
+    replica.Enqueue(MakeRequest(static_cast<RequestId>(i), 300, 400,
+                                static_cast<Token>(i) * 10000),
+                    Record(&sim, &done[static_cast<size_t>(i)]));
+  }
+  sim.Run();
+  EXPECT_EQ(replica.stats().completed, 32);
+  for (const auto& c : done) {
+    EXPECT_GT(c.completed, 0);
+  }
+  const KvCounters& kv = replica.kv().counters();
+  EXPECT_GT(kv.preempt_swap, 0);
+  EXPECT_EQ(kv.swap_ins, kv.preempt_swap)
+      << "every swapped-out sequence must be restored";
+  EXPECT_EQ(kv.swapped_in_tokens, kv.swapped_out_tokens);
+  EXPECT_GT(kv.swap_transfer_us, 0);
+  EXPECT_EQ(replica.swapped_count(), 0);
+  EXPECT_EQ(replica.kv().live_seqs(), 0);
+  EXPECT_TRUE(replica.kv().CheckConsistency());
+}
+
+TEST(ReplicaPagedTest, SwapPolicyCrashMidFlight) {
+  // Crash with sequences swapped out / restoring must not fire callbacks or
+  // leak pins, blocks, or reserve.
+  Simulator sim;
+  ReplicaConfig config;
+  config.kv_capacity_tokens = 2048;
+  config.kv_block_size_tokens = 16;
+  config.kv_preempt_policy = PreemptPolicy::kSwap;
+  config.output_reserve_tokens = 64;
+  Replica replica(&sim, 0, 0, config);
+  std::vector<Completion> done(24);
+  for (int i = 0; i < 24; ++i) {
+    replica.Enqueue(MakeRequest(static_cast<RequestId>(i), 200, 300,
+                                static_cast<Token>(i) * 10000),
+                    Record(&sim, &done[static_cast<size_t>(i)]));
+  }
+  sim.RunFor(Seconds(3));
+  replica.Crash();
+  sim.Run();
+  EXPECT_EQ(replica.memory_used_tokens(), 0);
+  EXPECT_EQ(replica.swapped_count(), 0);
+  EXPECT_EQ(replica.reserved_future_tokens(), 0);
+  EXPECT_EQ(replica.cache().active_pins(), 0u);
+  EXPECT_TRUE(replica.kv().CheckConsistency());
+}
+
+TEST(ReplicaPagedTest, SnapshotReportsHeadroomSignals) {
+  Simulator sim;
+  ReplicaConfig config;
+  config.kv_capacity_tokens = 4096;
+  config.kv_block_size_tokens = 16;
+  Replica replica(&sim, 0, 0, config);
+  Replica::LoadSnapshot idle = replica.Snapshot();
+  EXPECT_EQ(idle.total_blocks, 256);
+  EXPECT_EQ(idle.free_blocks, 256);
+  EXPECT_EQ(idle.pending, 0);
+
+  std::vector<Completion> done(16);
+  for (int i = 0; i < 16; ++i) {
+    replica.Enqueue(MakeRequest(static_cast<RequestId>(i), 300, 200,
+                                static_cast<Token>(i) * 10000),
+                    Record(&sim, &done[static_cast<size_t>(i)]));
+  }
+  sim.RunFor(Seconds(1));
+  Replica::LoadSnapshot busy = replica.Snapshot();
+  EXPECT_LT(busy.free_blocks, idle.free_blocks);
+  EXPECT_GT(busy.running, 0);
+  sim.Run();
+  Replica::LoadSnapshot drained = replica.Snapshot();
+  // Evictable cache counts as free again once sequences drain.
+  EXPECT_EQ(drained.free_blocks, 256);
+  EXPECT_EQ(drained.preemptions, replica.stats().preemptions);
+}
+
 }  // namespace
 }  // namespace skywalker
