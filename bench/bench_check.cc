@@ -1,0 +1,176 @@
+// CI gate over skybench output (ISSUE 5): byte-diffs coarse-mode golden
+// BENCH_*.json files against a fresh run and enforces fig07 derived-ratio
+// floors, so the coarse determinism contract and the SP-P/BP throughput gap
+// are guarded in CI rather than only by local discipline.
+//
+// Usage:
+//   bench_check --goldens=bench/goldens/smoke --results=bench-results
+//               [--fig07=bench-results/BENCH_fig07_memory_pressure.json
+//                --floors=bench/goldens/fig07_floors.json]
+//
+// Golden comparison is byte equality: the emitter serializes
+// deterministically (src/common/json.h), so any difference is a real
+// metric/behavior change — update the goldens deliberately, never in the
+// same breath as the change that moved them. Floors are a JSON object of
+// derived-metric key -> minimum value; keys starting with '_' are notes.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/json.h"
+
+namespace {
+
+std::optional<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return std::nullopt;
+  }
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string FlagValue(int argc, char** argv, const char* name) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return "";
+}
+
+int CheckGoldens(const std::string& goldens, const std::string& results) {
+  namespace fs = std::filesystem;
+  int failures = 0;
+  int checked = 0;
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(goldens)) {
+    if (entry.path().extension() == ".json" &&
+        entry.path().filename().string().rfind("BENCH_", 0) == 0) {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const fs::path& golden : files) {
+    ++checked;
+    const std::string name = golden.filename().string();
+    auto want = ReadFile(golden.string());
+    auto got = ReadFile((fs::path(results) / name).string());
+    if (!want.has_value()) {
+      std::fprintf(stderr, "FAIL %s: cannot read committed golden\n",
+                   name.c_str());
+      ++failures;
+      continue;
+    }
+    if (!got.has_value()) {
+      std::fprintf(stderr, "FAIL %s: missing from results dir\n",
+                   name.c_str());
+      ++failures;
+      continue;
+    }
+    if (*want != *got) {
+      std::fprintf(stderr,
+                   "FAIL %s: differs from committed golden (%zu vs %zu "
+                   "bytes) — coarse-mode output must stay byte-identical\n",
+                   name.c_str(), want->size(), got->size());
+      ++failures;
+      continue;
+    }
+    std::printf("ok   %s\n", name.c_str());
+  }
+  if (checked == 0) {
+    std::fprintf(stderr, "FAIL no goldens found under %s\n", goldens.c_str());
+    return 1;
+  }
+  return failures;
+}
+
+int CheckFloors(const std::string& fig07_path, const std::string& floors_path) {
+  auto fig07_text = ReadFile(fig07_path);
+  auto floors_text = ReadFile(floors_path);
+  if (!fig07_text || !floors_text) {
+    std::fprintf(stderr, "FAIL cannot read %s or %s\n", fig07_path.c_str(),
+                 floors_path.c_str());
+    return 1;
+  }
+  auto fig07 = skywalker::Json::Parse(*fig07_text);
+  auto floors = skywalker::Json::Parse(*floors_text);
+  if (!fig07 || !floors || !floors->is_object()) {
+    std::fprintf(stderr, "FAIL unparseable fig07/floors JSON\n");
+    return 1;
+  }
+  const skywalker::Json* summary = fig07->Find("summary");
+  const skywalker::Json* derived =
+      summary != nullptr ? summary->Find("derived") : nullptr;
+  if (derived == nullptr || !derived->is_object()) {
+    std::fprintf(stderr, "FAIL fig07 file has no summary.derived object\n");
+    return 1;
+  }
+  int failures = 0;
+  for (const auto& [key, floor] : floors->items()) {
+    if (!key.empty() && key[0] == '_') {
+      continue;  // Annotation, not a floor.
+    }
+    const skywalker::Json* value = derived->Find(key);
+    if (value == nullptr || !value->is_number()) {
+      std::fprintf(stderr, "FAIL fig07 derived metric '%s' missing\n",
+                   key.c_str());
+      ++failures;
+      continue;
+    }
+    if (value->AsDouble() < floor.AsDouble()) {
+      std::fprintf(stderr, "FAIL %s = %.4f below floor %.4f\n", key.c_str(),
+                   value->AsDouble(), floor.AsDouble());
+      ++failures;
+    } else {
+      std::printf("ok   %s = %.4f (floor %.4f)\n", key.c_str(),
+                  value->AsDouble(), floor.AsDouble());
+    }
+  }
+  return failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string goldens = FlagValue(argc, argv, "goldens");
+  const std::string results = FlagValue(argc, argv, "results");
+  const std::string fig07 = FlagValue(argc, argv, "fig07");
+  const std::string floors = FlagValue(argc, argv, "floors");
+  if (goldens.empty() && fig07.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_check --goldens=DIR --results=DIR "
+                 "[--fig07=FILE --floors=FILE]\n");
+    return 2;
+  }
+  int failures = 0;
+  if (!goldens.empty()) {
+    if (results.empty()) {
+      std::fprintf(stderr, "--goldens requires --results\n");
+      return 2;
+    }
+    failures += CheckGoldens(goldens, results);
+  }
+  if (!fig07.empty()) {
+    if (floors.empty()) {
+      std::fprintf(stderr, "--fig07 requires --floors\n");
+      return 2;
+    }
+    failures += CheckFloors(fig07, floors);
+  }
+  if (failures != 0) {
+    std::fprintf(stderr, "%d check(s) failed\n", failures);
+    return 1;
+  }
+  std::printf("all checks passed\n");
+  return 0;
+}

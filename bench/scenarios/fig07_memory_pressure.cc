@@ -41,6 +41,11 @@ struct MemoryCase {
   PushMode mode;
   int32_t block_size;
   PreemptPolicy policy;
+  // ISSUE 5 ablations: preemption-aware selective pushing (per-preemption
+  // load penalty in the least-loaded scans) and per-step decode admission
+  // (commit the output reserve one block at a time).
+  double preemption_penalty = 0.0;
+  bool per_step_admission = false;
 };
 
 MetricRow RunCase(const MemoryCase& mc, const ScenarioOptions& options) {
@@ -59,6 +64,7 @@ MetricRow RunCase(const MemoryCase& mc, const ScenarioOptions& options) {
   // Keep one typical request's worth of blocks free as decode headroom.
   rconfig.kv_watermark_blocks =
       (512 + rconfig.output_reserve_tokens) / mc.block_size;
+  rconfig.per_step_decode_admission = mc.per_step_admission;
   std::vector<std::unique_ptr<Replica>> replicas;
   for (int i = 0; i < kReplicas; ++i) {
     replicas.push_back(std::make_unique<Replica>(&sim, i, 0, rconfig));
@@ -74,6 +80,7 @@ MetricRow RunCase(const MemoryCase& mc, const ScenarioOptions& options) {
     // never probes, so the gate only binds for the selective cells).
     config.min_free_block_fraction = 0.01;
   }
+  config.preemption_penalty = mc.preemption_penalty;
   SglRouterLb lb(&sim, &net, 0, 0, config);
   for (auto& replica : replicas) {
     lb.AttachReplica(replica.get());
@@ -112,6 +119,12 @@ MetricRow RunCase(const MemoryCase& mc, const ScenarioOptions& options) {
   row.Dim("block_size", std::to_string(mc.block_size));
   row.Dim("preempt",
           mc.policy == PreemptPolicy::kSwap ? "swap" : "recompute");
+  if (mc.preemption_penalty > 0) {
+    row.Dim("preemption_penalty", std::to_string(mc.preemption_penalty));
+  }
+  if (mc.per_step_admission) {
+    row.Dim("per_step_admission", "on");
+  }
   Distribution ttft = metrics.TtftSeconds();
   Distribution e2e = metrics.E2eSeconds();
   row.Set(metric_keys::kThroughputTokS, metrics.ThroughputTokensPerSec());
@@ -124,11 +137,19 @@ MetricRow RunCase(const MemoryCase& mc, const ScenarioOptions& options) {
   row.Set(metric_keys::kE2eP99, e2e.empty() ? 0.0 : e2e.Percentile(99));
   int64_t hits = 0;
   int64_t lookups = 0;
+  int64_t cache_blocks = 0;
+  int64_t evictable_blocks = 0;
+  int64_t seq_blocks = 0;
   KvCounters kv;
   for (auto& replica : replicas) {
     hits += replica->cache().hit_tokens();
     lookups += replica->cache().lookup_tokens();
     kv += replica->kv().counters();
+    // Exact end-of-run occupancy from the unified ledger (ISSUE 5).
+    Replica::LoadSnapshot snap = replica->Snapshot();
+    cache_blocks += snap.cache_blocks;
+    evictable_blocks += snap.evictable_blocks;
+    seq_blocks += replica->kv().seq_block_refs();
   }
   row.Set(metric_keys::kCacheHitRate,
           lookups == 0
@@ -137,6 +158,10 @@ MetricRow RunCase(const MemoryCase& mc, const ScenarioOptions& options) {
   row.Set(metric_keys::kCompleted,
           static_cast<double>(metrics.CountInWindow()));
   SetKvMetrics(row, kv, kReplicas * rconfig.kv_capacity_tokens);
+  row.Set(metric_keys::kKvCacheBlocks, static_cast<double>(cache_blocks));
+  row.Set(metric_keys::kKvEvictableBlocks,
+          static_cast<double>(evictable_blocks));
+  row.Set(metric_keys::kKvSeqBlocks, static_cast<double>(seq_blocks));
   return row;
 }
 
@@ -169,6 +194,9 @@ Scenario MakeFig07MemoryPressureScenario() {
       metric_keys::kSwapTransferSec,
       metric_keys::kKvFragmentationPct,
       metric_keys::kKvWatermarkRejections,
+      metric_keys::kKvCacheBlocks,
+      metric_keys::kKvEvictableBlocks,
+      metric_keys::kKvSeqBlocks,
   };
   scenario.plan = [](const ScenarioOptions& options) {
     ScenarioPlan plan;
@@ -182,6 +210,12 @@ Scenario MakeFig07MemoryPressureScenario() {
         {"bp/b32/swap", PushMode::kBlind, 32, PreemptPolicy::kSwap},
         {"spp/b32/swap", PushMode::kSelectivePending, 32,
          PreemptPolicy::kSwap},
+        // ISSUE 5 ablations, appended so the base rows keep their indices.
+        {"spp/b16/swap/penalty", PushMode::kSelectivePending, 16,
+         PreemptPolicy::kSwap, /*preemption_penalty=*/2.0},
+        {"spp/b16/swap/perstep", PushMode::kSelectivePending, 16,
+         PreemptPolicy::kSwap, /*preemption_penalty=*/0.0,
+         /*per_step_admission=*/true},
     };
     for (const MemoryCase& mc : cases) {
       plan.cells.push_back(ScenarioCell{mc.label, [mc, options] {
@@ -210,6 +244,11 @@ Scenario MakeFig07MemoryPressureScenario() {
           "spp_b16_swap_ttft_p90_over_recompute_x",
           safe_div(*report.rows[3].Find(metric_keys::kTtftP90),
                    *report.rows[2].Find(metric_keys::kTtftP90)));
+      // ISSUE 5 ablations vs the plain SP-P/b16/swap cell (row 3).
+      report.derived.emplace_back("preemption_penalty_vs_spp_b16_swap_x",
+                                  safe_div(tput(6), tput(3)));
+      report.derived.emplace_back("per_step_admission_vs_spp_b16_swap_x",
+                                  safe_div(tput(7), tput(3)));
       report.notes.push_back(
           "Paged-memory re-run of fig09 (paper Fig. 9: SP-P/BP throughput "
           "1.27x): preemption and swap counters must be nonzero under this "

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bench/scenarios/scenarios.h"
+#include "src/cache/prefix_cache.h"
 #include "src/memory/block_allocator.h"
 #include "src/memory/block_table.h"
 #include "src/memory/kv_controller.h"
@@ -126,6 +127,52 @@ Scenario MakeMicroMemoryScenario() {
                 label, ElapsedNs(start),
                 iterations * static_cast<int64_t>(children.size()),
                 checksum)};
+          }});
+    }
+
+    // Block-native cache churn (ISSUE 5): repeated shared-prefix publish /
+    // evict cycles against an external allocator with deliberately
+    // unaligned lengths, so edge splits share straddled pages, sibling
+    // branches pay fresh boundary pages (fragmentation), and LRU eviction
+    // returns real pages to the shared pool. The checksum pins the exact
+    // occupancy the unified ledger reports.
+    {
+      const std::string label = "cache_block_churn";
+      const int64_t iterations = options.smoke ? 1'000 : 50'000;
+      plan.cells.push_back(ScenarioCell{
+          label, [label, iterations] {
+            constexpr int32_t kBs = 16;
+            BlockAllocator alloc(1 << 18);
+            PrefixCache cache(12'000, &alloc, kBs);  // Small: evicts often.
+            TokenSeq shared;
+            for (Token t = 0; t < 773; ++t) {  // 773 % 16 != 0: straddles.
+              shared.push_back(t);
+            }
+            SimTime now = 0;
+            const auto start = std::chrono::steady_clock::now();
+            for (int64_t i = 0; i < iterations; ++i) {
+              TokenSeq seq = shared;
+              const int64_t suffix = 37 + (i % 211);  // Unaligned tails.
+              const Token base =
+                  1'000'000 + static_cast<Token>(i % 97) * 10'000;
+              for (int64_t j = 0; j < suffix; ++j) {
+                seq.push_back(base + static_cast<Token>(j));
+              }
+              auto ref = cache.MatchAndRef(seq, ++now);
+              cache.Insert(seq, ++now);
+              cache.Unref(ref.pin);
+              if ((i & 15) == 0) {
+                cache.Evict(2048 + (i % 1024));  // Block-native eviction.
+              }
+            }
+            PrefixCache::BlockOccupancy occ = cache.CountBlocks();
+            double checksum =
+                static_cast<double>(alloc.used_blocks()) +
+                static_cast<double>(occ.held_blocks) * 1e-3 +
+                static_cast<double>(occ.evictable_blocks) * 1e-6 +
+                static_cast<double>(cache.size_tokens()) * 1e-12;
+            return std::vector<MetricRow>{
+                MicroRow(label, ElapsedNs(start), iterations, checksum)};
           }});
     }
 

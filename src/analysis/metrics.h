@@ -117,6 +117,15 @@ inline constexpr const char* kSwapTransferSec = "swap_transfer_s";
 inline constexpr const char* kKvFragmentationPct = "kv_fragmentation_pct";
 inline constexpr const char* kKvWatermarkRejections =
     "kv_watermark_rejections";
+
+// Exact-occupancy keys (ISSUE 5): end-of-run snapshots of the unified block
+// ledger, fleet-summed. `kv_cache_blocks` is the exact number of pages the
+// radix caches hold (per-node spans, shared pages once), `kv_evictable_
+// blocks` the subset a full eviction would free, and `kv_seq_blocks` the
+// pages referenced by live sequence tables.
+inline constexpr const char* kKvCacheBlocks = "kv_cache_blocks";
+inline constexpr const char* kKvEvictableBlocks = "kv_evictable_blocks";
+inline constexpr const char* kKvSeqBlocks = "kv_seq_blocks";
 }  // namespace metric_keys
 
 // The standard keys above, in canonical order (schema tests iterate this).

@@ -1,5 +1,6 @@
 #include "src/cache/prefix_cache.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 #include <limits>
@@ -8,14 +9,49 @@
 
 namespace skywalker {
 
-PrefixCache::PrefixCache(int64_t capacity_tokens)
-    : capacity_tokens_(capacity_tokens) {
+namespace {
+// Path-page index of the first page covering positions >= d.
+inline int64_t PageFloor(int64_t d, int32_t block_size) {
+  return d / block_size;
+}
+// Path-page index one past the last page covering positions < d.
+inline int64_t PageCeil(int64_t d, int32_t block_size) {
+  return (d + block_size - 1) / block_size;
+}
+}  // namespace
+
+PrefixCache::PrefixCache(int64_t capacity_tokens, BlockAllocator* alloc,
+                         int32_t block_size_tokens)
+    : capacity_tokens_(capacity_tokens), block_size_(block_size_tokens) {
+  SKYWALKER_CHECK(block_size_ >= 1) << "block size";
+  if (alloc == nullptr) {
+    owned_alloc_ = std::make_unique<BlockAllocator>(
+        std::max<int64_t>(1, capacity_tokens / block_size_));
+    alloc = owned_alloc_.get();
+  }
+  alloc_ = alloc;
   root_ = nodes_.Alloc();
 }
 
-PrefixCache::~PrefixCache() = default;
+PrefixCache::~PrefixCache() {
+  // Return every page reference to the (possibly shared) allocator so a
+  // replica teardown leaves the pool consistent. Slices into the owned
+  // pools die with the pools themselves.
+  std::vector<SlabId> stack{root_};
+  while (!stack.empty()) {
+    SlabId id = stack.back();
+    stack.pop_back();
+    const Node& n = node(id);
+    for (const auto& [token, child] : n.children) {
+      (void)token;
+      stack.push_back(child);
+    }
+    alloc_->ReleaseSpan(n.blocks.data,
+                        static_cast<int64_t>(n.blocks.size()));
+  }
+}
 
-SlabId PrefixCache::SplitAbove(SlabId id, size_t keep) {
+SlabId PrefixCache::SplitAbove(SlabId id, size_t keep, int64_t start) {
   SlabId top = nodes_.Alloc();
   Node& lower = node(id);
   Node& upper = node(top);
@@ -31,6 +67,22 @@ SlabId PrefixCache::SplitAbove(SlabId id, size_t keep) {
   upper.last_access = lower.last_access;
   upper.children.Clear();
   upper.children.Set(lower.edge[keep], id);
+
+  // Split the page span at the same point. Pages are path-aligned, so the
+  // upper half keeps pages up to PageCeil(mid) and the lower half keeps
+  // pages from PageFloor(mid); a page straddling `mid` appears in both
+  // spans and gains one allocator reference — a split costs zero new pages.
+  const int64_t first = PageFloor(start, block_size_);
+  const int64_t mid = start + static_cast<int64_t>(keep);
+  const int64_t upper_len = PageCeil(mid, block_size_) - first;
+  const int64_t lower_from = PageFloor(mid, block_size_) - first;
+  upper.blocks = lower.blocks.Prefix(static_cast<size_t>(upper_len));
+  block_pool_.AddRef(upper.blocks);  // One slice view became two.
+  if (mid % block_size_ != 0) {
+    alloc_->AddRef(lower.blocks[static_cast<size_t>(lower_from)]);
+    ++block_refs_;
+  }
+  lower.blocks = lower.blocks.Suffix(static_cast<size_t>(lower_from));
 
   *node(lower.parent).children.Find(lower.edge.front()) = top;
   lower.edge = lower.edge.Suffix(keep);  // Keeps the original chunk ref.
@@ -66,8 +118,9 @@ int64_t PrefixCache::WalkAndSplit(const TokenSeq& seq, SimTime now,
     }
     if (matched < child_node->edge.size()) {
       // Partial edge match: split so the boundary is node-aligned. The
-      // fully-matched half is the new upper node.
-      child = SplitAbove(child, matched);
+      // fully-matched half is the new upper node. The child's edge starts
+      // at absolute depth `pos`.
+      child = SplitAbove(child, matched, static_cast<int64_t>(pos));
       child_node = &node(child);
     }
     child_node->last_access = now;
@@ -119,7 +172,8 @@ void PrefixCache::Unref(PinId pin) {
   pins_.Release(slot);
 }
 
-int64_t PrefixCache::Insert(const TokenSeq& seq, SimTime now) {
+int64_t PrefixCache::Insert(const TokenSeq& seq, SimTime now,
+                            const BlockTable* donor, int64_t donor_base) {
   SlabId parent = root_;
   int64_t matched = WalkAndSplit(seq, now, &parent);
   int64_t added = 0;
@@ -133,6 +187,40 @@ int64_t PrefixCache::Insert(const TokenSeq& seq, SimTime now) {
     n.ref_count = 0;
     n.last_access = now;
     added = static_cast<int64_t>(n.edge.size());
+
+    // Assemble the leaf's page span over path pages [matched, seq.size()).
+    // Pages the donor (the publishing sequence's path-aligned table) covers
+    // are reference-transferred; the rest — bare inserts and re-publish
+    // after eviction — get fresh pages. An unaligned head page's leading
+    // slots duplicate the parent's tail content: that is the boundary cost
+    // paged mode pays, visible as fragmentation.
+    const int64_t first = PageFloor(matched, block_size_);
+    const int64_t last = PageCeil(static_cast<int64_t>(seq.size()),
+                                  block_size_);
+    span_scratch_.resize(static_cast<size_t>(last - first));
+    if (donor == nullptr) {
+      // Bare insert: a whole span of fresh pages in one allocator pass.
+      alloc_->AllocateSpan(last - first, span_scratch_.data());
+    } else {
+      const int64_t donor_first = PageFloor(donor_base, block_size_);
+      for (int64_t j = first; j < last; ++j) {
+        BlockId id = kInvalidBlockId;
+        const int64_t di = j - donor_first;
+        if (di >= 0 && di < donor->num_blocks()) {
+          id = donor->blocks()[static_cast<size_t>(di)];
+          alloc_->AddRef(id);
+        }
+        if (id == kInvalidBlockId) {
+          // Re-publish after eviction: the donor no longer covers this
+          // position; it gets a fresh page (rare corner, single alloc).
+          id = alloc_->Allocate();
+        }
+        span_scratch_[static_cast<size_t>(j - first)] = id;
+      }
+    }
+    n.blocks = block_pool_.Intern(span_scratch_.data(), span_scratch_.size());
+    block_refs_ += static_cast<int64_t>(span_scratch_.size());
+
     node(parent).children.Set(n.edge.front(), leaf);
     ++num_nodes_;
     size_tokens_ += added;
@@ -145,7 +233,7 @@ int64_t PrefixCache::Insert(const TokenSeq& seq, SimTime now) {
 
 int64_t PrefixCache::Evict(int64_t tokens) {
   int64_t freed = 0;
-  std::vector<SlabId> stack;
+  std::vector<SlabId>& stack = evict_stack_;
   while (freed < tokens) {
     // LRU leaf scan. The slab keeps nodes contiguous, so the scan streams
     // through a few cache lines per chunk; trees here hold a few thousand
@@ -184,6 +272,13 @@ void PrefixCache::RemoveLeaf(SlabId leaf) {
   --num_nodes_;
   node(n.parent).children.Erase(n.edge.front());
   pool_.Release(n.edge);
+  // Release the victim's page references. Pages straddling into the parent
+  // (or still referenced by a running sequence's table) survive in the
+  // allocator until their last holder lets go.
+  alloc_->ReleaseSpan(n.blocks.data, static_cast<int64_t>(n.blocks.size()));
+  block_refs_ -= static_cast<int64_t>(n.blocks.size());
+  block_pool_.Release(n.blocks);
+  n.blocks = BlockSlice{};
   n.edge = TokenSlice{};
   n.parent = kNilSlabId;
   n.last_access = 0;
@@ -213,15 +308,75 @@ int64_t PrefixCache::pinned_tokens() const {
   return total;
 }
 
+PrefixCache::BlockOccupancy PrefixCache::CountBlocks() const {
+  BlockOccupancy occ;
+  if (block_size_ == 1) {
+    // A one-token page can never straddle a node boundary or hold both
+    // cache and sequence content, so no page is ever shared in coarse mode
+    // (transfer transients resolve within the same event) and occupancy
+    // reduces exactly to the token counters — O(nodes) instead of walking
+    // every page reference, which matters because probes call this every
+    // heartbeat.
+    occ.held_blocks = size_tokens_;
+    occ.evictable_blocks = size_tokens_ - pinned_tokens();
+    return occ;
+  }
+  ++tally_gen_;
+  tally_touched_.clear();
+  scan_stack_.clear();
+  scan_stack_.push_back(root_);
+  while (!scan_stack_.empty()) {
+    SlabId id = scan_stack_.back();
+    scan_stack_.pop_back();
+    const Node& n = node(id);
+    for (const auto& [token, child] : n.children) {
+      (void)token;
+      scan_stack_.push_back(child);
+    }
+    if (id == root_) {
+      continue;
+    }
+    const bool pinned = n.ref_count > 0;
+    for (size_t i = 0; i < n.blocks.size(); ++i) {
+      const BlockId b = n.blocks[i];
+      const size_t slot = static_cast<size_t>(b);
+      if (slot >= tally_epoch_.size()) {
+        tally_epoch_.resize(slot + 1, 0);
+        tally_unpinned_.resize(slot + 1, 0);
+      }
+      if (tally_epoch_[slot] != tally_gen_) {
+        tally_epoch_[slot] = tally_gen_;
+        tally_unpinned_[slot] = 0;
+        tally_touched_.push_back(b);
+      }
+      if (!pinned) {
+        ++tally_unpinned_[slot];
+      }
+    }
+  }
+  occ.held_blocks = static_cast<int64_t>(tally_touched_.size());
+  for (BlockId b : tally_touched_) {
+    // A page returns to the free list under full eviction iff every one of
+    // its allocator references comes from an unpinned node.
+    if (tally_unpinned_[static_cast<size_t>(b)] == alloc_->ref_count(b)) {
+      ++occ.evictable_blocks;
+    }
+  }
+  return occ;
+}
+
 bool PrefixCache::CheckInvariants() const {
   int64_t tokens = 0;
   size_t nodes = 0;
+  int64_t block_refs = 0;
   bool ok = true;
-  std::vector<SlabId> stack{root_};
+  // DFS carrying each node's absolute start depth for span-coverage checks.
+  std::vector<std::pair<SlabId, int64_t>> stack{{root_, 0}};
   while (!stack.empty()) {
-    SlabId id = stack.back();
+    auto [id, depth] = stack.back();
     stack.pop_back();
     const Node& n = node(id);
+    const int64_t end = depth + static_cast<int64_t>(n.edge.size());
     if (id != root_) {
       tokens += static_cast<int64_t>(n.edge.size());
       ++nodes;
@@ -233,22 +388,38 @@ bool PrefixCache::CheckInvariants() const {
       if (n.parent != root_ && n.ref_count > node(n.parent).ref_count) {
         ok = false;
       }
+      // The page span covers exactly the edge's path positions, and every
+      // page in it is live in the allocator.
+      const int64_t want =
+          PageCeil(end, block_size_) - PageFloor(depth, block_size_);
+      if (static_cast<int64_t>(n.blocks.size()) != want) {
+        ok = false;
+      }
+      block_refs += static_cast<int64_t>(n.blocks.size());
+      for (size_t i = 0; i < n.blocks.size(); ++i) {
+        if (alloc_->ref_count(n.blocks[i]) <= 0) {
+          ok = false;
+        }
+      }
     }
     for (const auto& [token, child] : n.children) {
       const Node& c = node(child);
       if (c.edge.empty() || c.edge.front() != token || c.parent != id) {
         ok = false;
       }
-      stack.push_back(child);
+      stack.emplace_back(child, end);
     }
   }
-  if (tokens != size_tokens_ || nodes != num_nodes_) {
+  if (tokens != size_tokens_ || nodes != num_nodes_ ||
+      block_refs != block_refs_) {
     ok = false;
   }
   // Arena accounting: every tree node is live in the slab (plus the root),
-  // and every non-root node holds exactly one pool reference.
+  // every non-root node holds exactly one token-pool reference and one
+  // block-pool reference.
   if (nodes_.live() != num_nodes_ + 1 ||
-      pool_.live_refs() != static_cast<int64_t>(num_nodes_)) {
+      pool_.live_refs() != static_cast<int64_t>(num_nodes_) ||
+      block_pool_.live_refs() != static_cast<int64_t>(num_nodes_)) {
     ok = false;
   }
   return ok;

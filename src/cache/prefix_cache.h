@@ -29,6 +29,21 @@
 // *above* the surviving one, preserving the identity of every node a pin
 // can reference.
 //
+// Block-native cache (ISSUE 5): the tree is a *view over the paged KV block
+// pool*. Each node owns a span of BlockAllocator block ids covering its
+// edge's token positions in root-path coordinates (position d lives in path
+// page floor(d / block_size)); publishing a prompt at prefill completion
+// transfers references from the sequence's path-aligned BlockTable into the
+// new node, so cached prefixes and live sequences refcount the same pages.
+// Edge splits share the straddled boundary page between both halves (one
+// extra reference, zero new pages), and LRU eviction releases the victim's
+// page references — a page straddling into a surviving node or a running
+// sequence survives until its last holder drops it. The KvController's
+// cache charge is therefore exactly the pages these nodes hold: there is no
+// parallel token-rounded accounting anywhere. With block_size == 1 every
+// position is page-aligned, no page is ever shared, and all block
+// quantities equal the seed token counters (coarse compatibility mode).
+//
 // Observable behavior (match lengths, eviction order, counters) is
 // bit-identical to the seed std::map implementation; only the layout
 // changed. tests/prefix_structures_property_test.cc fuzzes this equivalence
@@ -38,23 +53,36 @@
 #define SKYWALKER_CACHE_PREFIX_CACHE_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/cache/small_map.h"
 #include "src/cache/token_pool.h"
 #include "src/cache/tokens.h"
+#include "src/common/chunk_pool.h"
 #include "src/common/gen_slot_pool.h"
 #include "src/common/sim_time.h"
 #include "src/common/slab.h"
+#include "src/memory/block_allocator.h"
+#include "src/memory/block_table.h"
 
 namespace skywalker {
 
 using PinId = int64_t;
 inline constexpr PinId kInvalidPin = -1;
 
+using BlockSlice = PoolSlice<BlockId>;
+using BlockPool = ChunkPool<BlockId>;
+
 class PrefixCache {
  public:
-  explicit PrefixCache(int64_t capacity_tokens);
+  // `alloc` is the shared paged-KV pool the cache charges its pages to
+  // (borrowed; must outlive the cache). Passing nullptr gives the cache a
+  // private allocator — the standalone mode unit tests and microbenchmarks
+  // use. `block_size_tokens` == 1 is the coarse compatibility mode.
+  explicit PrefixCache(int64_t capacity_tokens,
+                       BlockAllocator* alloc = nullptr,
+                       int32_t block_size_tokens = 1);
   ~PrefixCache();
 
   PrefixCache(const PrefixCache&) = delete;
@@ -80,10 +108,20 @@ class PrefixCache {
   // unpinned LRU entries as needed to respect capacity; if pinned content
   // prevents full compliance the cache may transiently exceed capacity
   // (the replica's admission control keeps global residency bounded).
-  int64_t Insert(const TokenSeq& seq, SimTime now);
+  //
+  // When `donor` is given (the publishing sequence's path-aligned block
+  // table, whose first token sits at path position `donor_base`), the new
+  // node takes references on the donor's pages covering the inserted span
+  // instead of allocating fresh ones — the publish-is-a-reference-transfer
+  // contract of the unified ledger. Positions the donor does not cover
+  // (re-publish after eviction) get fresh pages.
+  int64_t Insert(const TokenSeq& seq, SimTime now,
+                 const BlockTable* donor = nullptr, int64_t donor_base = 0);
 
   // Evicts unpinned entries (LRU leaf-first) until at least `tokens` are
-  // freed or nothing evictable remains. Returns tokens actually freed.
+  // freed or nothing evictable remains, releasing the victims' page
+  // references as it goes. Returns tokens actually freed (freed *pages* are
+  // visible in the shared allocator).
   int64_t Evict(int64_t tokens);
 
   // Drops all unpinned content.
@@ -96,6 +134,25 @@ class PrefixCache {
   int64_t pinned_tokens() const;
   size_t num_nodes() const { return num_nodes_; }
   size_t active_pins() const { return pins_.live(); }
+  int32_t block_size_tokens() const { return block_size_; }
+
+  // Page references held by tree nodes (a straddled page counts once per
+  // covering node). The exact cache charge in unique pages is
+  // CountBlocks().held_blocks.
+  int64_t block_refs() const { return block_refs_; }
+
+  // Exact page occupancy of the tree, by full traversal: `held_blocks` is
+  // the number of distinct pages some node references; `evictable_blocks`
+  // counts pages that would return to the free list if every unpinned node
+  // were evicted — i.e. pages whose every allocator reference comes from an
+  // unpinned node (pages also held by pinned paths or live sequences are
+  // not evictable). Scratch buffers are reused across calls, so the probe
+  // path stays allocation-free in steady state.
+  struct BlockOccupancy {
+    int64_t held_blocks = 0;
+    int64_t evictable_blocks = 0;
+  };
+  BlockOccupancy CountBlocks() const;
 
   // Cumulative statistics (for cache-hit-rate reporting).
   int64_t lookup_tokens() const { return lookup_tokens_; }
@@ -111,10 +168,11 @@ class PrefixCache {
   bool CheckInvariants() const;
 
  private:
-  // Exactly one cache line: edge slice (16) + child map with two inline
-  // entries (32) + parent (4) + ref_count (4) + last_access (8). Walks touch
-  // one line per node; conversation trees branch at turn boundaries, so >2
-  // children is rare enough that the spill path doesn't show in profiles.
+  // Two cache lines. The first line is everything a walk touches — edge
+  // slice (16) + child map with two inline entries (32) + parent (4) +
+  // ref_count (4) + last_access (8) — so trie walks still load one line per
+  // node. The second line holds the node's KV page span (16), touched only
+  // by insert/split/evict.
   struct alignas(64) Node {
     TokenSlice edge;  // Label on the edge from parent to this node.
     SmallSortedMap<Token, SlabId, 2> children;
@@ -122,8 +180,10 @@ class PrefixCache {
     // Pins in flight are bounded by the replica batch size; 2^31 is ample.
     int32_t ref_count = 0;
     SimTime last_access = 0;
+    // --- second line: the paged-KV span (cold for walks) ---
+    BlockSlice blocks;  // Pages covering the edge, path-aligned.
   };
-  static_assert(sizeof(Node) == 64, "Node must stay one cache line");
+  static_assert(sizeof(Node) == 128, "Node must stay two cache lines");
 
   // Walks `seq`, splitting any edge that straddles the match end so the
   // match boundary is node-aligned. Returns matched length; `*deepest` gets
@@ -131,27 +191,45 @@ class PrefixCache {
   // matched path is exactly the parent chain of `*deepest`.
   int64_t WalkAndSplit(const TokenSeq& seq, SimTime now, SlabId* deepest);
 
-  // Splits the edge of `id` at `keep` tokens by inserting a new node ABOVE
-  // it: the new node takes the first `keep` tokens, `id` keeps the rest
-  // (and its children, refcount, pins). Returns the new upper node.
-  SlabId SplitAbove(SlabId id, size_t keep);
+  // Splits the edge of `id` (whose edge starts at absolute path depth
+  // `start`) at `keep` tokens by inserting a new node ABOVE it: the new
+  // node takes the first `keep` tokens, `id` keeps the rest (and its
+  // children, refcount, pins). A page straddling the split point is shared
+  // by both halves (one extra reference). Returns the new upper node.
+  SlabId SplitAbove(SlabId id, size_t keep, int64_t start);
 
-  // Removes an unpinned leaf.
+  // Removes an unpinned leaf, releasing its page references.
   void RemoveLeaf(SlabId leaf);
 
   Node& node(SlabId id) { return nodes_[id]; }
   const Node& node(SlabId id) const { return nodes_[id]; }
 
   int64_t capacity_tokens_;
+  int32_t block_size_;
+  std::unique_ptr<BlockAllocator> owned_alloc_;  // Standalone mode only.
+  BlockAllocator* alloc_;                        // Shared paged-KV pool.
   Slab<Node, 6> nodes_;  // 64-node chunks: cheap short-lived instances.
   TokenPool pool_;
+  BlockPool block_pool_;
   SlabId root_;
   int64_t size_tokens_ = 0;
   size_t num_nodes_ = 0;  // Excludes root.
+  int64_t block_refs_ = 0;
 
   // Pins are generation-stamped handles so stale/double Unrefs are caught;
   // the slot payload is the deepest node covered by the pin.
   GenSlotPool<SlabId> pins_;
+
+  // Reused scratch: eviction's DFS stack and Insert's span assembly buffer
+  // (steady-state allocation freedom), plus CountBlocks' tally arrays
+  // (mutable: probes are logically const).
+  std::vector<SlabId> evict_stack_;
+  std::vector<BlockId> span_scratch_;
+  mutable std::vector<SlabId> scan_stack_;
+  mutable std::vector<int32_t> tally_unpinned_;
+  mutable std::vector<uint32_t> tally_epoch_;
+  mutable std::vector<BlockId> tally_touched_;
+  mutable uint32_t tally_gen_ = 0;
 
   int64_t lookup_tokens_ = 0;
   int64_t hit_tokens_ = 0;

@@ -1,108 +1,20 @@
 // Pooled immutable token storage for the radix structures (ISSUE 3).
 //
-// The seed trees copied their edge labels into per-node std::vector<Token>
-// buffers: every insert allocated, and every edge split copied both halves.
-// A TokenPool instead appends inserted sequences into large shared chunks
-// exactly once; nodes hold TokenSlice views {data pointer, chunk id, length}
-// into those chunks. Splitting an edge is pointer arithmetic (both halves
-// alias the same chunk), and the only steady-state cost is a per-chunk
-// reference count.
-//
-// Chunks are reference-counted by the number of slices viewing them and are
-// recycled through a free list once sealed and unreferenced, so eviction
-// churn returns memory to the pool rather than the heap. The cost is
-// fragmentation: a chunk survives while ANY slice into it lives, so the
-// worst case is one 64 KiB chunk pinned per live node — far above the
-// seed's edge-sized per-node buffers. That pathology needs most of a
-// chunk's interners to die while a token-sized slice survives every chunk;
-// LRU eviction kills same-era edges together, which keeps real occupancy
-// near the live token count (verify with num_chunks()/free_chunks() before
-// suspecting the trees themselves).
-//
-// Slices never span chunks; a sequence longer than kChunkTokens gets a
-// dedicated exactly-sized chunk that is freed (not recycled) on release.
+// Since ISSUE 5 the chunk/slice machinery is the generic ChunkPool<T>
+// (src/common/chunk_pool.h), shared with the prefix cache's per-node KV
+// block spans; this header keeps the token-typed names every radix
+// structure uses.
 
 #ifndef SKYWALKER_CACHE_TOKEN_POOL_H_
 #define SKYWALKER_CACHE_TOKEN_POOL_H_
 
-#include <cstdint>
-#include <memory>
-#include <vector>
-
 #include "src/cache/tokens.h"
+#include "src/common/chunk_pool.h"
 
 namespace skywalker {
 
-// Non-owning view of pooled tokens. The owner (a radix node) must pair every
-// retained slice with TokenPool::AddRef/Release on the slice's chunk.
-struct TokenSlice {
-  const Token* data = nullptr;
-  uint32_t chunk = UINT32_MAX;  // Pool chunk id for refcounting.
-  uint32_t len = 0;
-
-  bool empty() const { return len == 0; }
-  size_t size() const { return len; }
-  Token front() const { return data[0]; }
-  Token operator[](size_t i) const { return data[i]; }
-
-  // Sub-views alias the same chunk; the caller owns the refcounting.
-  TokenSlice Prefix(size_t n) const {
-    return TokenSlice{data, chunk, static_cast<uint32_t>(n)};
-  }
-  TokenSlice Suffix(size_t from) const {
-    return TokenSlice{data + from, chunk,
-                      static_cast<uint32_t>(len - from)};
-  }
-};
-
-class TokenPool {
- public:
-  // 16K tokens = 64 KiB per chunk: large enough that steady-state inserts
-  // amortize to zero allocations, small enough that a few retained slices
-  // don't strand much memory.
-  static constexpr uint32_t kChunkTokens = 16 * 1024;
-
-  TokenPool() = default;
-  TokenPool(const TokenPool&) = delete;
-  TokenPool& operator=(const TokenPool&) = delete;
-  ~TokenPool();
-
-  // Copies `len` tokens into pooled storage and returns a slice holding one
-  // reference on its chunk.
-  TokenSlice Intern(const Token* tokens, size_t len);
-
-  // One additional retained slice views the chunk (e.g. an edge split).
-  void AddRef(const TokenSlice& slice);
-
-  // A retained slice was dropped. When a sealed chunk's count reaches zero
-  // it is recycled (or deallocated, for oversized chunks).
-  void Release(const TokenSlice& slice);
-
-  // Diagnostics (CheckInvariants / DESIGN.md numbers).
-  size_t num_chunks() const { return chunks_.size(); }
-  size_t free_chunks() const { return free_standard_.size(); }
-  int64_t live_refs() const { return live_refs_; }
-
- private:
-  struct Chunk {
-    // Deliberately uninitialized storage (new Token[n], not vector): a fresh
-    // chunk is written before it is read, and zero-filling 64 KiB would
-    // dominate the cost of short-lived caches (one per simulated replica).
-    std::unique_ptr<Token[]> tokens;
-    uint32_t capacity = 0;
-    uint32_t used = 0;
-    int64_t refs = 0;
-    bool oversized = false;
-  };
-
-  uint32_t AcquireChunk(size_t min_tokens);
-
-  std::vector<Chunk> chunks_;
-  std::vector<uint32_t> free_standard_;  // Recyclable standard-size chunks.
-  std::vector<uint32_t> free_slots_;     // Chunk ids whose storage was freed.
-  uint32_t open_ = UINT32_MAX;           // Chunk accepting appends.
-  int64_t live_refs_ = 0;
-};
+using TokenSlice = PoolSlice<Token>;
+using TokenPool = ChunkPool<Token>;
 
 }  // namespace skywalker
 

@@ -36,9 +36,7 @@ class GenSlotPool {
       free_.pop_back();
       return slot;
     }
-    uint32_t slot = static_cast<uint32_t>(slots_.size());
-    slots_.emplace_back();
-    return slot;
+    return Grow();
   }
 
   // Invalidates every outstanding handle for `slot` and returns it to the
@@ -77,6 +75,20 @@ class GenSlotPool {
     uint32_t gen = 1;
     T value{};
   };
+
+  // Cold growth path, kept out of Acquire so the free-list fast path stays
+  // small enough to inline. The free list never holds more entries than
+  // slots exist; growing its capacity alongside the slot vector
+  // (geometrically, so backlog growth stays amortized-linear) keeps
+  // steady-state Acquire/Release churn strictly allocation-free.
+  __attribute__((noinline)) uint32_t Grow() {
+    uint32_t slot = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+    if (free_.capacity() < slots_.size()) {
+      free_.reserve(slots_.capacity());
+    }
+    return slot;
+  }
 
   std::vector<Slot> slots_;
   std::vector<uint32_t> free_;

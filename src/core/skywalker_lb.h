@@ -114,6 +114,10 @@ struct SkyWalkerConfig {
   // replicas below this free-block fraction are skipped (0 = off).
   double min_free_block_fraction = 0.0;
 
+  // Preemption-aware selective pushing: least-loaded scans add this per
+  // preemption a replica reported between its last two probes (0 = off).
+  double preemption_penalty = 0.0;
+
   // The engine-knob subset: SkyWalker always pushes selectively by pending
   // requests (§3.3).
   DispatchConfig engine() const {
@@ -122,6 +126,7 @@ struct SkyWalkerConfig {
     config.probe_interval = probe_interval;
     config.push_slack = push_slack;
     config.min_free_block_fraction = min_free_block_fraction;
+    config.preemption_penalty = preemption_penalty;
     return config;
   }
 };

@@ -51,6 +51,10 @@ struct LbConfig {
   // fraction is below this floor are skipped (0 = off, the seed behavior).
   double min_free_block_fraction = 0.0;
 
+  // Preemption-aware selective pushing: least-loaded scans add this per
+  // preemption the replica reported between its last two probes (0 = off).
+  double preemption_penalty = 0.0;
+
   // The engine-knob subset, in the shared config vocabulary.
   DispatchConfig engine() const {
     DispatchConfig config;
@@ -59,6 +63,7 @@ struct LbConfig {
     config.max_outstanding_per_replica = max_outstanding_per_replica;
     config.push_slack = push_slack;
     config.min_free_block_fraction = min_free_block_fraction;
+    config.preemption_penalty = preemption_penalty;
     return config;
   }
 };

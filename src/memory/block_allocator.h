@@ -52,6 +52,14 @@ class BlockAllocator {
   // callers gate on free_blocks() for admission decisions.
   BlockId Allocate();
 
+  // Fills out[0..n) with fresh single-reference blocks — id-for-id the same
+  // sequence n Allocate() calls would return, with the bookkeeping updated
+  // once (the radix cache provisions whole node spans through this).
+  void AllocateSpan(int64_t n, BlockId* out);
+
+  // Drops one reference on each of ids[0..n) (span teardown counterpart).
+  void ReleaseSpan(const BlockId* ids, int64_t n);
+
   // Shares an existing block (copy-on-write fork).
   void AddRef(BlockId id);
 
@@ -70,6 +78,12 @@ class BlockAllocator {
   int32_t ref_count(BlockId id) const {
     return refs_[static_cast<size_t>(id)];
   }
+
+  // Sum of all reference counts (each shared block counted once per holder).
+  // O(ids ever allocated) — a test/diagnostics view for the conservation
+  // invariant (cache-held + sequence-held refs == live_refs), not a hot-path
+  // quantity.
+  int64_t live_refs() const;
 
   const BlockAllocatorStats& stats() const { return stats_; }
   void NoteCowCopy() { ++stats_.cow_copies; }

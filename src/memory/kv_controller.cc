@@ -51,13 +51,14 @@ void KvController::SetCommitted(SeqEntry& e, int64_t prefill,
   e.committed_reserve = reserve;
 }
 
-void KvController::NoteFragmentation() {
+void KvController::NoteFragmentationSample(int64_t fragmentation_tokens) {
   counters_.peak_fragmentation_tokens =
-      std::max(counters_.peak_fragmentation_tokens, fragmentation_tokens());
+      std::max(counters_.peak_fragmentation_tokens, fragmentation_tokens);
 }
 
 KvController::SeqId KvController::AdmitSeq(int64_t prefill_tokens,
-                                           int64_t reserve_tokens) {
+                                           int64_t reserve_tokens,
+                                           int32_t skew) {
   SeqId id;
   if (!free_slots_.empty()) {
     id = free_slots_.back();
@@ -68,6 +69,7 @@ KvController::SeqId KvController::AdmitSeq(int64_t prefill_tokens,
   }
   SeqEntry& e = seqs_[static_cast<size_t>(id)];
   e.live = true;
+  e.table.SetSkew(skew);
   SetCommitted(e, prefill_tokens, reserve_tokens);
   ++live_seqs_;
   return id;
@@ -79,7 +81,6 @@ void KvController::OnPrefillChunk(SeqId id, int64_t tokens) {
   SetCommitted(e, e.committed_prefill - tokens, e.committed_reserve);
   e.table.Append(alloc_, config_.block_size_tokens, tokens);
   seq_tokens_total_ += tokens;
-  NoteFragmentation();
 }
 
 void KvController::OnDecodeToken(SeqId id) {
@@ -89,19 +90,27 @@ void KvController::OnDecodeToken(SeqId id) {
   }
   e.table.Append(alloc_, config_.block_size_tokens, 1);
   seq_tokens_total_ += 1;
-  NoteFragmentation();
 }
 
-void KvController::RebaseTokens(SeqId id, int64_t tokens) {
+void KvController::SetReserve(SeqId id, int64_t reserve_tokens) {
   SeqEntry& e = entry(id);
-  int64_t current = e.table.num_tokens();
-  if (tokens < current) {
-    e.table.Truncate(alloc_, config_.block_size_tokens, current - tokens);
-  } else if (tokens > current) {
-    e.table.Append(alloc_, config_.block_size_tokens, tokens - current);
-  }
-  seq_tokens_total_ += tokens - current;
-  NoteFragmentation();
+  SetCommitted(e, e.committed_prefill, reserve_tokens);
+}
+
+void KvController::ReleaseSeqPrefix(SeqId id, int64_t tokens) {
+  SeqEntry& e = entry(id);
+  e.table.ReleasePrefix(alloc_, config_.block_size_tokens, tokens);
+  seq_tokens_total_ -= tokens;
+}
+
+void KvController::SetCowExempt(SeqId id, BlockId block) {
+  entry(id).table.set_cow_exempt(block);
+}
+
+void KvController::RestoreDecodedTokens(SeqId id, int64_t tokens) {
+  SeqEntry& e = entry(id);
+  e.table.Append(alloc_, config_.block_size_tokens, tokens);
+  seq_tokens_total_ += tokens;
 }
 
 int64_t KvController::SeqTokens(SeqId id) const {
@@ -133,8 +142,9 @@ SimDuration KvController::SwapOut(SeqId id) {
 KvController::SeqId KvController::BeginSwapIn(int64_t tokens,
                                               int64_t prefill_remaining,
                                               int64_t reserve_remaining,
+                                              int32_t skew,
                                               SimDuration* transfer) {
-  SeqId id = AdmitSeq(prefill_remaining, reserve_remaining);
+  SeqId id = AdmitSeq(prefill_remaining, reserve_remaining, skew);
   SeqEntry& e = entry(id);
   e.table.Append(alloc_, config_.block_size_tokens, tokens);
   seq_tokens_total_ += tokens;
@@ -142,20 +152,7 @@ KvController::SeqId KvController::BeginSwapIn(int64_t tokens,
   counters_.swapped_in_tokens += tokens;
   *transfer = SwapDuration(tokens);
   counters_.swap_transfer_us += static_cast<double>(*transfer);
-  NoteFragmentation();
   return id;
-}
-
-void KvController::SyncCacheTokens(int64_t cache_size_tokens) {
-  if (cache_size_tokens > cache_tokens_) {
-    cache_table_.Append(alloc_, config_.block_size_tokens,
-                        cache_size_tokens - cache_tokens_);
-  } else if (cache_size_tokens < cache_tokens_) {
-    cache_table_.Truncate(alloc_, config_.block_size_tokens,
-                          cache_tokens_ - cache_size_tokens);
-  }
-  cache_tokens_ = cache_size_tokens;
-  NoteFragmentation();
 }
 
 bool KvController::CanAdmit(int64_t prefill_tokens,
@@ -213,13 +210,22 @@ void KvController::Reserve(int64_t seqs, int64_t blocks) {
   alloc_.Reserve(blocks);
 }
 
+int64_t KvController::seq_block_refs() const {
+  int64_t refs = 0;
+  for (const SeqEntry& e : seqs_) {
+    if (e.live) {
+      refs += e.table.num_blocks();
+    }
+  }
+  return refs;
+}
+
 bool KvController::CheckConsistency() const {
   int64_t seq_tokens = 0;
   int64_t prefill = 0;
   int64_t reserve = 0;
   int64_t committed_blocks = 0;
   int64_t live = 0;
-  int64_t table_blocks = cache_table_.num_blocks();
   for (const SeqEntry& e : seqs_) {
     if (!e.live) {
       continue;
@@ -230,15 +236,24 @@ bool KvController::CheckConsistency() const {
     reserve += e.committed_reserve;
     committed_blocks +=
         CeilBlocks(e.committed_prefill) + CeilBlocks(e.committed_reserve);
-    table_blocks += e.table.num_blocks();
+    // Every table's span must cover its tokens exactly (path-aligned).
+    if (e.table.num_blocks() !=
+        (e.table.skew() + e.table.num_tokens() + config_.block_size_tokens -
+         1) /
+                config_.block_size_tokens &&
+        !(e.table.num_tokens() == 0 && e.table.num_blocks() == 0)) {
+      return false;
+    }
   }
+  // The allocator is shared with the prefix cache, so sequence-held pages
+  // are a subset of used pages; exact conservation (cache refs + sequence
+  // refs == allocator refs) is asserted by the property tests that see both
+  // sides.
   return live == live_seqs_ && seq_tokens == seq_tokens_total_ &&
          prefill == committed_prefill_total_ &&
          reserve == committed_reserve_total_ &&
          committed_blocks == committed_blocks_total_ &&
-         cache_table_.num_tokens() == cache_tokens_ &&
-         table_blocks == alloc_.used_blocks() && alloc_.CheckInvariants() &&
-         fragmentation_tokens() >= 0;
+         seq_block_refs() <= alloc_.live_refs() && alloc_.CheckInvariants();
 }
 
 }  // namespace skywalker

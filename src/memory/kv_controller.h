@@ -1,19 +1,22 @@
-// Paged KV memory controller (ISSUE 4): the ledger and preemption policy
-// the replica engine runs its memory decisions through.
+// Paged KV memory controller (ISSUE 4/5): the sequence-side ledger and
+// preemption policy the replica engine runs its memory decisions through.
 //
-// Three charges share one BlockAllocator pool:
-//   * the shared prefix cache, charged block-rounded in aggregate (an
-//     internal block table tracks cache.size_tokens; per-radix-node block
-//     mapping is future work, DESIGN.md §9),
-//   * per-sequence block tables for private KV (prefill chunks and
-//     generated tokens),
+// The controller owns the BlockAllocator — the one page pool the whole
+// replica shares. Since ISSUE 5 the prefix cache charges that pool
+// *directly* (each radix node owns a span of page ids, src/cache), so the
+// controller's admission arithmetic sees the exact unified occupancy in
+// `used_blocks()` and keeps no parallel cache accounting of its own. What
+// it does track:
+//   * per-sequence path-aligned block tables for private KV (prefill chunks
+//     and generated tokens; `skew` aligns a table's pages with the radix
+//     path so publishing a prompt is a reference transfer into the cache),
 //   * committed future — prefill still to compute plus the unconsumed
 //     output reserve of each admitted sequence, counted per sequence in
 //     ceil-blocks. This is the explicit `reserved_tokens` lifecycle: the
 //     reserve is charged at admission, consumed token-by-token as decode
 //     proceeds, and returned exactly once when the sequence completes, is
 //     preempted, or aborts (tests/replica_test.cc pins return-on-
-//     completion; the differential property test pins the arithmetic).
+//     completion; the property test pins the arithmetic).
 //
 // Admission asks CanAdmit(prefill, reserve): the ceil-block need must fit
 // under total - used - committed - watermark. With block_size_tokens == 1
@@ -90,11 +93,19 @@ class KvController {
   KvController(const KvController&) = delete;
   KvController& operator=(const KvController&) = delete;
 
+  // The shared page pool. The prefix cache borrows this and charges its
+  // per-node spans straight into it — there is exactly one ledger.
+  BlockAllocator& allocator() { return alloc_; }
+  const BlockAllocator& allocator() const { return alloc_; }
+
   // --- sequence ledger -------------------------------------------------
   // Registers an admitted sequence: `prefill_tokens` still to compute and
   // `reserve_tokens` of unconsumed output reserve become committed future.
-  // No blocks are held yet; they materialize as compute proceeds.
-  SeqId AdmitSeq(int64_t prefill_tokens, int64_t reserve_tokens);
+  // `skew` = (cached prefix length) % block_size path-aligns the sequence's
+  // table with the radix tree. No blocks are held yet; they materialize as
+  // compute proceeds.
+  SeqId AdmitSeq(int64_t prefill_tokens, int64_t reserve_tokens,
+                 int32_t skew = 0);
 
   // A prefill chunk materialized: tokens move from committed to resident.
   void OnPrefillChunk(SeqId id, int64_t tokens);
@@ -103,12 +114,30 @@ class KvController {
   // and grows the sequence's table.
   void OnDecodeToken(SeqId id);
 
-  // Re-prices the sequence's private footprint to `tokens` (prefill
-  // completion publishes the prompt to the shared cache, leaving only
-  // generated/uncached tokens private).
-  void RebaseTokens(SeqId id, int64_t tokens);
+  // Re-sets the sequence's committed output reserve (per-step decode
+  // admission tops the reserve up one block at a time instead of holding
+  // the full estimate).
+  void SetReserve(SeqId id, int64_t reserve_tokens);
+
+  // Prefill completion published the prompt to the shared cache: drop the
+  // first `tokens` of the sequence's span. References the cache now also
+  // holds (the transferred pages, including a straddled boundary page)
+  // survive in the allocator; pages only this sequence used are freed.
+  void ReleaseSeqPrefix(SeqId id, int64_t tokens);
+
+  // Marks the page the sequence may extend without copy-on-write (the
+  // boundary page shared with the cache after publish; slot-disjoint).
+  void SetCowExempt(SeqId id, BlockId block);
+
+  // Re-materializes `tokens` already-generated output tokens into the
+  // sequence's table without touching committed future (a recompute-
+  // preemption victim's first output token re-appears this way at publish:
+  // its reserve was consumed in its first life and the seed accounting
+  // never re-charges it).
+  void RestoreDecodedTokens(SeqId id, int64_t tokens);
 
   int64_t SeqTokens(SeqId id) const;
+  const BlockTable& table(SeqId id) const { return entry(id).table; }
 
   // Completion / abort / recompute-preemption: frees the sequence's blocks
   // and returns its committed future (the reserve comes back here, exactly
@@ -123,12 +152,12 @@ class KvController {
 
   // Swap-in admission: re-charges `tokens` of restored KV immediately plus
   // the remaining committed future; `*transfer` gets the restore latency.
+  // Restored KV lands in fresh pages at the sequence's original path
+  // alignment (`skew`); a page formerly shared with the cache cannot be
+  // re-merged.
   SeqId BeginSwapIn(int64_t tokens, int64_t prefill_remaining,
-                    int64_t reserve_remaining, SimDuration* transfer);
-
-  // --- shared-cache charge ---------------------------------------------
-  // Reconciles the cache charge after any PrefixCache mutation.
-  void SyncCacheTokens(int64_t cache_size_tokens);
+                    int64_t reserve_remaining, int32_t skew,
+                    SimDuration* transfer);
 
   // --- admission / reclaim arithmetic ----------------------------------
   int64_t total_blocks() const { return total_blocks_; }
@@ -136,19 +165,15 @@ class KvController {
   int64_t free_blocks() const { return alloc_.free_blocks(); }
   int64_t committed_blocks() const { return committed_blocks_total_; }
 
-  // Token-granular views (coarse mode: identical to the seed counters).
-  int64_t resident_tokens() const { return cache_tokens_ + seq_tokens_total_; }
+  // Token-granular views of the sequence side. The cache side lives in the
+  // radix tree (cache.size_tokens / cache.block_refs); the replica owns the
+  // combined figures.
   int64_t seq_resident_tokens() const { return seq_tokens_total_; }
-  int64_t cache_resident_tokens() const { return cache_tokens_; }
   int64_t committed_tokens() const {
     return committed_prefill_total_ + committed_reserve_total_;
   }
   int64_t committed_reserve_tokens() const {
     return committed_reserve_total_;
-  }
-  // Allocated-but-unfilled slots across all tables (0 when block_size == 1).
-  int64_t fragmentation_tokens() const {
-    return used_blocks() * config_.block_size_tokens - resident_tokens();
   }
 
   // Whether `prefill` + `reserve` fits under the watermark right now.
@@ -159,6 +184,9 @@ class KvController {
                                  int64_t reserve_tokens) const;
   void NoteWatermarkRejection() { ++counters_.watermark_rejections; }
   void NoteRecomputePreemption() { ++counters_.preempt_recompute; }
+  // Peak-tracks the replica-computed exact fragmentation figure
+  // (used_blocks * block_size - cache tokens - sequence tokens).
+  void NoteFragmentationSample(int64_t fragmentation_tokens);
 
   // Cache tokens to evict before the need fits (0 when it already fits).
   int64_t AdmissionDeficitTokens(int64_t prefill_tokens,
@@ -181,6 +209,8 @@ class KvController {
   const KvCounters& counters() const { return counters_; }
   const BlockAllocatorStats& allocator_stats() const { return alloc_.stats(); }
   int64_t live_seqs() const { return live_seqs_; }
+  // Page references held by live sequence tables (conservation checks).
+  int64_t seq_block_refs() const;
 
   // Pre-sizes slots, tables, and the allocator for allocation-free reuse.
   void Reserve(int64_t seqs, int64_t blocks);
@@ -207,13 +237,10 @@ class KvController {
   const SeqEntry& entry(SeqId id) const;
   // Adjusts the committed totals (tokens and ceil-blocks) for one entry.
   void SetCommitted(SeqEntry& e, int64_t prefill, int64_t reserve);
-  void NoteFragmentation();
 
   KvConfig config_;
   int64_t total_blocks_;
   BlockAllocator alloc_;
-  BlockTable cache_table_;  // Anonymous charge mirroring cache.size_tokens.
-  int64_t cache_tokens_ = 0;
   std::vector<SeqEntry> seqs_;
   std::vector<SeqId> free_slots_;
   int64_t live_seqs_ = 0;

@@ -13,8 +13,9 @@ Replica::Replica(Simulator* sim, ReplicaId id, RegionId region,
       id_(id),
       region_(region),
       config_(config),
-      cache_(config.kv_capacity_tokens),
-      kv_(config.kv()) {}
+      kv_(config.kv()),
+      cache_(config.kv_capacity_tokens, &kv_.allocator(),
+             config.kv_block_size_tokens) {}
 
 void Replica::Enqueue(Request req, Handlers handlers) {
   SKYWALKER_CHECK(!req.output.empty()) << "request must generate >= 1 token";
@@ -31,9 +32,22 @@ int64_t Replica::ReserveRemaining(const Seq& seq) const {
   return std::max<int64_t>(0, config_.output_reserve_tokens - seq.generated);
 }
 
-void Replica::SyncKvCache() { kv_.SyncCacheTokens(cache_.size_tokens()); }
+int64_t Replica::ReserveCommitTarget(const Seq& seq) const {
+  const int64_t remaining = ReserveRemaining(seq);
+  if (!config_.per_step_decode_admission) {
+    return remaining;
+  }
+  return std::min<int64_t>(remaining, config_.kv_block_size_tokens);
+}
 
-int64_t Replica::memory_used_tokens() const { return kv_.resident_tokens(); }
+int64_t Replica::memory_used_tokens() const {
+  return cache_.size_tokens() + kv_.seq_resident_tokens();
+}
+
+int64_t Replica::fragmentation_tokens() const {
+  return kv_.used_blocks() * config_.kv_block_size_tokens -
+         memory_used_tokens();
+}
 
 int Replica::EstimateFreeCapacity() const {
   int free_slots = config_.max_running_requests -
@@ -43,7 +57,7 @@ int Replica::EstimateFreeCapacity() const {
   }
   // Memory headroom in units of a typical request: average the footprint of
   // the current batch, falling back to a conservative default when idle.
-  int64_t free_tokens = config_.kv_capacity_tokens - kv_.resident_tokens() -
+  int64_t free_tokens = config_.kv_capacity_tokens - memory_used_tokens() -
                         kv_.committed_tokens();
   if (free_tokens <= 0) {
     return 0;
@@ -67,23 +81,25 @@ Replica::LoadSnapshot Replica::Snapshot() const {
   snap.pending = pending_count();
   snap.running = running_count();
   snap.free_capacity = EstimateFreeCapacity();
-  // Routing headroom: blocks a new admission could actually claim, counting
-  // evictable (unpinned, idle) cache content as free. Raw allocator
-  // free_blocks would read ~0 forever once the LRU cache warms up — the
-  // cache deliberately keeps otherwise-idle blocks resident.
-  int64_t admissible_tokens = config_.kv_capacity_tokens -
-                              active_memory_tokens() - kv_.committed_tokens();
+  // Routing headroom, exact (ISSUE 5): pages free in the pool plus pages a
+  // full eviction of unpinned cache content would return (raw free blocks
+  // read ~0 forever once the LRU cache warms up — the cache deliberately
+  // keeps otherwise-idle pages resident), minus committed future. In coarse
+  // mode this equals the seed estimate capacity - active - committed.
+  PrefixCache::BlockOccupancy occ = cache_.CountBlocks();
+  snap.cache_blocks = occ.held_blocks;
+  snap.evictable_blocks = occ.evictable_blocks;
   snap.free_blocks = std::max<int64_t>(
-      0, admissible_tokens / config_.kv_block_size_tokens);
+      0, kv_.free_blocks() + occ.evictable_blocks - kv_.committed_blocks());
   snap.total_blocks = kv_.total_blocks();
-  snap.fragmentation_tokens = kv_.fragmentation_tokens();
+  snap.fragmentation_tokens = fragmentation_tokens();
   snap.preemptions = stats_.preemptions;
   snap.swapped = swapped_count();
   return snap;
 }
 
 double Replica::memory_utilization() const {
-  return static_cast<double>(kv_.resident_tokens()) /
+  return static_cast<double>(memory_used_tokens()) /
          static_cast<double>(config_.kv_capacity_tokens);
 }
 
@@ -126,10 +142,16 @@ void Replica::Admit() {
       pin = match.pin;
     }
     const int64_t prefill_need = candidate.prompt_len() - cached;
-    const int64_t reserve = config_.output_reserve_tokens;
+    // The admission check prices a full fresh request's reserve (one block
+    // of it under per-step admission); the commit below re-prices for
+    // already-generated tokens (a re-admitted preemption victim).
+    const int64_t reserve =
+        config_.per_step_decode_admission
+            ? std::min<int64_t>(config_.output_reserve_tokens,
+                                config_.kv_block_size_tokens)
+            : config_.output_reserve_tokens;
     if (!kv_.CanAdmit(prefill_need, reserve)) {
       cache_.Evict(kv_.AdmissionDeficitTokens(prefill_need, reserve));
-      SyncKvCache();
     }
     if (!kv_.CanAdmit(prefill_need, reserve) &&
         (!running_.empty() || !restoring_.empty())) {
@@ -159,8 +181,14 @@ void Replica::Admit() {
     }
     seq.cached_len = cached;
     seq.pin = pin;
+    seq.kv_base = cached;
     seq.prefill_remaining = seq.prompt_len() - cached;
-    seq.kv = kv_.AdmitSeq(seq.prefill_remaining, ReserveRemaining(seq));
+    // The table is path-aligned: its pages sit at the positions the radix
+    // tree would charge them, so publishing at prefill completion is a
+    // reference transfer.
+    seq.kv = kv_.AdmitSeq(
+        seq.prefill_remaining, ReserveCommitTarget(seq),
+        static_cast<int32_t>(cached % config_.kv_block_size_tokens));
     seq.prefill_done = false;
     seq.prefill_alloc = 0;
     stats_.cached_tokens_reused += cached;
@@ -179,11 +207,10 @@ void Replica::MaybeStartSwapIns() {
       break;  // The swap-out completion poke re-enters here.
     }
     const int64_t tokens = front.swap_tokens;
-    const int64_t reserve = ReserveRemaining(front.seq);
+    const int64_t reserve = ReserveCommitTarget(front.seq);
     const int64_t prefill = front.seq.prefill_remaining;
     if (!kv_.CanAdmitRestore(tokens, prefill, reserve)) {
       cache_.Evict(kv_.RestoreDeficitTokens(tokens, prefill, reserve));
-      SyncKvCache();
     }
     if (!kv_.CanAdmitRestore(tokens, prefill, reserve) &&
         !(running_.empty() && restoring_.empty())) {
@@ -194,7 +221,10 @@ void Replica::MaybeStartSwapIns() {
     swapped_.pop_front();
     SimDuration transfer = 0;
     restoring.seq.kv = kv_.BeginSwapIn(
-        tokens, restoring.seq.prefill_remaining, reserve, &transfer);
+        tokens, restoring.seq.prefill_remaining, reserve,
+        static_cast<int32_t>(restoring.seq.kv_base %
+                             config_.kv_block_size_tokens),
+        &transfer);
     restoring.ticket = next_restore_ticket_++;
     const int64_t ticket = restoring.ticket;
     restoring.arrival =
@@ -281,6 +311,10 @@ void Replica::FinishStep() {
       ++seq.generated;
       kv_.OnDecodeToken(seq.kv);
       ++stats_.output_tokens_generated;
+      if (config_.per_step_decode_admission) {
+        // Roll the committed reserve forward one block at a time.
+        kv_.SetReserve(seq.kv, ReserveCommitTarget(seq));
+      }
     }
   }
 
@@ -310,22 +344,56 @@ void Replica::OnPrefillComplete(Seq& seq) {
     seq.generated = 1;
     kv_.OnDecodeToken(seq.kv);
     ++stats_.output_tokens_generated;
+    if (config_.per_step_decode_admission) {
+      kv_.SetReserve(seq.kv, ReserveCommitTarget(seq));
+    }
   }
 
   if (config_.enable_prefix_cache) {
-    // Publish prompt KV to the shared cache and re-pin the full prompt so
-    // concurrent identical prompts can reuse it from now on. Only generated
-    // tokens remain private afterwards (cached_len keeps the admission-time
-    // value for reporting; it reflects the compute actually saved).
-    cache_.Insert(seq.req.prompt, sim_->now());
-    SyncKvCache();
+    // Publish prompt KV to the shared cache: the new radix node takes
+    // references on the very pages this sequence filled (the table is
+    // path-aligned), so concurrent identical prompts share them from now
+    // on. Then re-pin the full prompt and drop the sequence's claim on the
+    // published span — only generated tokens remain private, and a page
+    // straddling the prompt boundary stays shared between the cache's tail
+    // node and this sequence (cached_len keeps the admission-time value for
+    // reporting; it reflects the compute actually saved).
+    cache_.Insert(seq.req.prompt, sim_->now(), &kv_.table(seq.kv),
+                  seq.kv_base);
     if (seq.pin != kInvalidPin) {
       cache_.Unref(seq.pin);
     }
     auto match = cache_.MatchAndRef(seq.req.prompt, sim_->now());
     seq.pin = match.pin;
-    kv_.RebaseTokens(seq.kv,
-                     (seq.prompt_len() - match.cached_len) + seq.generated);
+    // The span to keep, positionally: the prompt remainder the cache does
+    // not cover, plus the generated tokens actually present in the table. A
+    // recompute-preemption victim re-admits with `generated == 1` but an
+    // all-prompt table (its first token's KV was dropped with the rest); it
+    // is re-materialized below as a fresh append at its true path position,
+    // never by aliasing the prompt's tail page.
+    const int64_t current = kv_.SeqTokens(seq.kv);
+    const int64_t generated_in_table =
+        current - (seq.prompt_len() - seq.kv_base);
+    const int64_t keep =
+        (seq.prompt_len() - match.cached_len) + generated_in_table;
+    SKYWALKER_CHECK(keep >= 0 && keep <= current) << "publish span";
+    kv_.ReleaseSeqPrefix(seq.kv, current - keep);
+    seq.kv_base += current - keep;
+    if (seq.generated > generated_in_table) {
+      kv_.RestoreDecodedTokens(seq.kv, seq.generated - generated_in_table);
+    }
+    const int32_t block = config_.kv_block_size_tokens;
+    if (block > 1 && seq.prompt_len() % block != 0) {
+      // The page holding the prompt's last token is (typically) shared with
+      // the cache now; decode may extend into its free slots without a
+      // copy — the slots are disjoint from what the cache reads.
+      const int64_t idx =
+          (seq.prompt_len() - 1) / block - seq.kv_base / block;
+      const BlockTable& table = kv_.table(seq.kv);
+      if (idx >= 0 && idx < table.num_blocks()) {
+        kv_.SetCowExempt(seq.kv, table.blocks()[static_cast<size_t>(idx)]);
+      }
+    }
   }
 
   if (!seq.first_token_sent) {
@@ -340,14 +408,16 @@ void Replica::CompleteSeq(Seq& seq) {
   if (config_.enable_prefix_cache) {
     TokenSeq full = seq.req.prompt;
     full.insert(full.end(), seq.req.output.begin(), seq.req.output.end());
-    cache_.Insert(full, sim_->now());
-    SyncKvCache();
+    // The generated suffix publishes the same way the prompt did: by
+    // reference transfer from the sequence's path-aligned table.
+    cache_.Insert(full, sim_->now(), &kv_.table(seq.kv), seq.kv_base);
     if (seq.pin != kInvalidPin) {
       cache_.Unref(seq.pin);
       seq.pin = kInvalidPin;
     }
   }
   // Blocks and the unconsumed output reserve return here — exactly once.
+  // Pages the cache took references on survive; the rest free.
   kv_.ReleaseSeq(seq.kv);
   seq.kv = KvController::kInvalidSeq;
   ++stats_.completed;
@@ -361,8 +431,12 @@ void Replica::ReclaimMemory() {
   if (over <= 0) {
     return;
   }
-  over -= cache_.Evict(over);
-  SyncKvCache();
+  // Cache eviction first. Freed pages show up in the allocator directly;
+  // straddled pages a pinned path or a live sequence still references
+  // survive, so re-read the exact figure instead of trusting the token
+  // count the eviction reports.
+  cache_.Evict(over);
+  over = kv_.ReclaimNeededTokens();
   // Preempt youngest running requests until we fit (never the last one —
   // progress must remain possible). The policy decides the victim's fate.
   while (over > 0 && running_.size() > 1) {
@@ -375,7 +449,6 @@ void Replica::ReclaimMemory() {
       // device-resident (the radix tree still references them).
       SwappedSeq swapped;
       swapped.swap_tokens = kv_.SeqTokens(seq.kv);
-      over -= swapped.swap_tokens;
       SimDuration transfer = kv_.SwapOut(seq.kv);
       seq.kv = KvController::kInvalidSeq;
       seq.prefill_alloc = 0;
@@ -389,7 +462,7 @@ void Replica::ReclaimMemory() {
       // Recompute: restarts from scratch on re-admission; the prefix cache
       // usually makes the recomputation cheap. first_token_sent stays true
       // so the client sees no duplicate first-token callback.
-      over -= kv_.ReleaseSeq(seq.kv);
+      kv_.ReleaseSeq(seq.kv);
       kv_.NoteRecomputePreemption();
       seq.kv = KvController::kInvalidSeq;
       if (seq.pin != kInvalidPin) {
@@ -397,18 +470,21 @@ void Replica::ReclaimMemory() {
         seq.pin = kInvalidPin;
       }
       seq.cached_len = 0;
+      seq.kv_base = 0;
       seq.prefill_remaining = seq.prompt_len();
       seq.generated = seq.first_token_sent ? 1 : 0;
       seq.prefill_done = false;
       seq.prefill_alloc = 0;
       pending_.push_front(std::move(seq));
     }
+    over = kv_.ReclaimNeededTokens();
   }
 }
 
 void Replica::SampleMemory() {
   stats_.peak_memory_utilization =
       std::max(stats_.peak_memory_utilization, memory_utilization());
+  kv_.NoteFragmentationSample(fragmentation_tokens());
   if (config_.memory_sample_every_steps <= 0) {
     return;
   }
@@ -444,7 +520,6 @@ void Replica::Crash() {
   pending_.clear();
   watermark_reject_id_valid_ = false;
   cache_.Clear();
-  SyncKvCache();
 }
 
 }  // namespace skywalker

@@ -24,12 +24,16 @@
 // identical prompts share from that point); generated tokens are published
 // at completion.
 //
-// Memory accounting runs through a KvController (DESIGN.md §9): admission
-// is a free-block watermark check, prefill/decode growth allocates pages,
-// and ReclaimMemory picks preemption victims whose treatment the configured
-// policy decides. The default configuration (kv_block_size_tokens == 1,
-// no watermark, recompute preemption) is the *coarse compatibility mode*,
-// bit-identical to the seed token-counter accounting.
+// Memory accounting runs through one unified block ledger (ISSUE 5,
+// DESIGN.md §9): the KvController owns the page pool, the radix cache's
+// nodes charge their per-node page spans straight into it, and sequences
+// hold path-aligned tables whose pages transfer to the cache by reference
+// when prefill completes. Admission is a free-block watermark check over
+// the exact pooled occupancy, and ReclaimMemory picks preemption victims
+// whose treatment the configured policy decides. The default configuration
+// (kv_block_size_tokens == 1, no watermark, recompute preemption) is the
+// *coarse compatibility mode*, bit-identical to the seed token-counter
+// accounting.
 
 #ifndef SKYWALKER_REPLICA_REPLICA_H_
 #define SKYWALKER_REPLICA_REPLICA_H_
@@ -77,7 +81,7 @@ struct ReplicaConfig {
   // Record a memory-utilization sample every N engine steps (0 disables).
   int memory_sample_every_steps = 4;
 
-  // --- paged KV memory (src/memory/, ISSUE 4) --------------------------
+  // --- paged KV memory (src/memory/, ISSUE 4/5) ------------------------
   // Page size in tokens. 1 = coarse compatibility mode (seed-identical
   // token-granular accounting); real engines use 16 or 32.
   int32_t kv_block_size_tokens = 1;
@@ -88,6 +92,11 @@ struct ReplicaConfig {
   PreemptPolicy kv_preempt_policy = PreemptPolicy::kRecompute;
   // PCIe transfer model for kSwap, us per token each direction.
   double kv_swap_us_per_token = 5.2;
+  // Per-step decode admission (ISSUE 5): commit the output reserve one
+  // block at a time as decode proceeds instead of the full estimate up
+  // front. Packs more sequences per batch; decode growth past the pool is
+  // resolved by preemption. Off by default (coarse goldens unchanged).
+  bool per_step_decode_admission = false;
 
   KvConfig kv() const {
     KvConfig config;
@@ -124,16 +133,24 @@ class Replica {
     int peak_pending = 0;
   };
 
-  // What a heartbeat probe RPC reports (§3.3 + ISSUE 4): queue state plus
-  // the paged-memory headroom signals balancers can route on.
+  // What a heartbeat probe RPC reports (§3.3 + ISSUE 4/5): queue state plus
+  // the paged-memory headroom signals balancers can route on. Since ISSUE 5
+  // the block figures are *exact* — computed from the unified ledger, not
+  // estimated from token counters.
   struct LoadSnapshot {
     int pending = 0;        // Accepted, not in the batch (incl. swapped).
     int running = 0;
     int free_capacity = 0;  // EstimateFreeCapacity().
-    // Blocks a new admission could claim right now; evictable cache content
-    // counts as free (a warm LRU cache keeps raw free blocks at ~0).
+    // Blocks a new admission could claim right now: raw free pages plus
+    // pages that would drain if every unpinned cache node were evicted
+    // (a warm LRU cache keeps raw free blocks at ~0), minus committed
+    // future.
     int64_t free_blocks = 0;
     int64_t total_blocks = 0;
+    // Exact occupancy of the radix cache in pages, and the evictable
+    // subset (pages whose every reference comes from unpinned nodes).
+    int64_t cache_blocks = 0;
+    int64_t evictable_blocks = 0;
     int64_t fragmentation_tokens = 0;
     int64_t preemptions = 0;  // Cumulative.
     int64_t swapped = 0;      // Currently swapped out or restoring.
@@ -165,8 +182,15 @@ class Replica {
     return static_cast<int>(swapped_.size() + restoring_.size());
   }
 
+  // Resident KV in tokens: cache content plus sequence-private tokens
+  // (token positions are disjoint even where they share a boundary page).
   int64_t memory_used_tokens() const;
   double memory_utilization() const;
+
+  // Allocated-but-unoccupied page slots across the whole pool — the exact
+  // figure: pages shared between the cache and a sequence count once, with
+  // both sides' tokens occupying them.
+  int64_t fragmentation_tokens() const;
 
   // Engine-reported admission headroom: how many more requests of typical
   // size the continuous batch could admit right now, bounded by both batch
@@ -217,6 +241,7 @@ class Replica {
     int64_t cached_len = 0;         // Admission-time hit (reporting).
     PinId pin = kInvalidPin;
     KvController::SeqId kv = KvController::kInvalidSeq;
+    int64_t kv_base = 0;            // Path position of the table's token 0.
     int64_t prefill_remaining = 0;  // Prompt tokens still to compute.
     int64_t generated = 0;          // Output tokens produced so far.
     bool prefill_done = false;
@@ -246,6 +271,9 @@ class Replica {
   // Output reserve still unconsumed by `seq` (what re-admission and
   // swap-in must re-commit).
   int64_t ReserveRemaining(const Seq& seq) const;
+  // What admission actually commits for the output: the full remaining
+  // reserve, or one block at a time under per_step_decode_admission.
+  int64_t ReserveCommitTarget(const Seq& seq) const;
 
   // Moves pending requests into the batch while memory and slots allow;
   // swapped-out sequences re-enter first (resume priority).
@@ -259,7 +287,9 @@ class Replica {
   // Applies the effects of the step that just finished.
   void FinishStep();
 
-  // Handles a seq whose prefill completed in this step.
+  // Handles a seq whose prefill completed in this step: publishes the
+  // prompt's pages to the shared cache by reference transfer and drops the
+  // sequence's claim on the published span.
   void OnPrefillComplete(Seq& seq);
 
   void CompleteSeq(Seq& seq);
@@ -268,17 +298,14 @@ class Replica {
   // preemption of the youngest running request (recompute or swap-out).
   void ReclaimMemory();
 
-  // Reconciles the KV controller's cache charge after cache mutations.
-  void SyncKvCache();
-
   void SampleMemory();
 
   Simulator* sim_;
   ReplicaId id_;
   RegionId region_;
   ReplicaConfig config_;
-  PrefixCache cache_;
-  KvController kv_;
+  KvController kv_;     // Owns the page pool; declared before the cache,
+  PrefixCache cache_;   // which charges its node spans into kv_'s allocator.
 
   std::deque<Seq> pending_;
   std::vector<Seq> running_;  // Admission order (oldest first).

@@ -28,13 +28,25 @@ bool CandidateView::IsAvailable(ReplicaId id) const {
   return engine_->IsAvailable(id);
 }
 
+double CandidateView::EffectiveLoad(const ReplicaState& state) const {
+  // With penalty == 0 this is the exact outstanding count (int -> double is
+  // lossless here), so the strict-less scan keeps the seed tie-breaks.
+  return static_cast<double>(state.outstanding) +
+         engine_->config().preemption_penalty *
+             static_cast<double>(state.recent_preemptions);
+}
+
 ReplicaId CandidateView::LeastLoadedAvailable() const {
   ReplicaId best = kInvalidReplica;
-  int best_load = std::numeric_limits<int>::max();
+  double best_load = std::numeric_limits<double>::infinity();
   for (const ReplicaState& state : engine_->replicas()) {
-    if (IsAvailable(state) && state.outstanding < best_load) {
+    if (!IsAvailable(state)) {
+      continue;
+    }
+    const double load = EffectiveLoad(state);
+    if (load < best_load) {
       best = state.replica->id();
-      best_load = state.outstanding;
+      best_load = load;
     }
   }
   return best;
@@ -43,15 +55,16 @@ ReplicaId CandidateView::LeastLoadedAvailable() const {
 ReplicaId CandidateView::LeastLoadedAmong(
     const std::vector<int32_t>& candidates) const {
   ReplicaId best = kInvalidReplica;
-  int best_load = std::numeric_limits<int>::max();
+  double best_load = std::numeric_limits<double>::infinity();
   for (int32_t candidate : candidates) {
     const ReplicaState* state = Find(candidate);
     if (state == nullptr) {
       continue;
     }
-    if (state->outstanding < best_load) {
+    const double load = EffectiveLoad(*state);
+    if (load < best_load) {
       best = candidate;
-      best_load = state->outstanding;
+      best_load = load;
     }
   }
   return best;
@@ -125,6 +138,7 @@ void DispatchEngine::ResetProbeState() {
   for (ReplicaState& state : replicas_) {
     state.probed_once = false;
     state.pushes_since_probe = 0;
+    state.recent_preemptions = 0;
   }
 }
 
@@ -350,6 +364,13 @@ void DispatchEngine::ProbeAll() {
                    if (rs == nullptr) {
                      return;
                    }
+                   // Preemption delta between consecutive probes — the
+                   // "recent churn" the penalty scores on (0 until the
+                   // second probe; the counter is cumulative).
+                   rs->recent_preemptions =
+                       rs->probed_once
+                           ? snapshot.preemptions - rs->probed.preemptions
+                           : 0;
                    rs->probed = snapshot;
                    rs->pushes_since_probe = 0;
                    rs->probed_once = true;

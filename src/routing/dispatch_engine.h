@@ -77,6 +77,14 @@ struct DispatchConfig {
   // treated as unavailable, on top of the push-mode test. 0 disables (the
   // seed behavior); kBlind never probes, so the gate cannot affect it.
   double min_free_block_fraction = 0.0;
+
+  // Preemption-aware selective pushing (ISSUE 5): least-loaded scans score
+  // a replica as outstanding + penalty * (preemptions observed between its
+  // last two probes), so replicas thrashing their KV pool lose ties — and,
+  // at higher penalties, whole requests — to calm ones. The counters ride
+  // the existing probe snapshot; 0 disables (seed behavior). kBlind never
+  // probes, so the penalty cannot affect it.
+  double preemption_penalty = 0.0;
 };
 
 // Engine-tracked state for one managed replica, refreshed by the probe loop.
@@ -87,6 +95,10 @@ struct ReplicaState {
   // headroom signals (free/total blocks, fragmentation, preemption
   // counters — see Replica::LoadSnapshot).
   Replica::LoadSnapshot probed;
+  // Preemptions the replica reported between its last two probes — the
+  // "recent churn" signal preemption-aware pushing scores on. 0 until two
+  // probes have landed.
+  int64_t recent_preemptions = 0;
   int pushes_since_probe = 0;
   bool probed_once = false;
   bool healthy = true;
@@ -132,7 +144,13 @@ class CandidateView {
   bool IsAvailable(const ReplicaState& state) const;
   bool IsAvailable(ReplicaId id) const;
 
-  // Least-outstanding *available* replica, or kInvalidReplica.
+  // Load score the least-loaded scans minimize: outstanding, plus the
+  // configured penalty per recently-probed preemption. With the penalty at
+  // its default 0 this is exactly the outstanding count (ties resolved by
+  // scan order, as ever).
+  double EffectiveLoad(const ReplicaState& state) const;
+
+  // Lowest-EffectiveLoad *available* replica, or kInvalidReplica.
   ReplicaId LeastLoadedAvailable() const;
 
   // Least-outstanding among `candidates` (already filtered for availability

@@ -12,9 +12,11 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <limits>
 #include <new>
 #include <vector>
 
+#include "src/cache/prefix_cache.h"
 #include "src/memory/block_allocator.h"
 #include "src/memory/block_table.h"
 #include "src/memory/kv_controller.h"
@@ -68,6 +70,14 @@ SKYWALKER_NOINLINE void operator delete(void* p, std::align_val_t) noexcept {
   ::operator delete(p);
 }
 SKYWALKER_NOINLINE void operator delete[](void* p, std::align_val_t) noexcept {
+  ::operator delete(p);
+}
+SKYWALKER_NOINLINE void operator delete(void* p, size_t,
+                                        std::align_val_t) noexcept {
+  ::operator delete(p);
+}
+SKYWALKER_NOINLINE void operator delete[](void* p, size_t,
+                                          std::align_val_t) noexcept {
   ::operator delete(p);
 }
 
@@ -147,8 +157,7 @@ TEST(KvMemoryAllocTest, ControllerSeqChurnDoesNotAllocateWhenWarm) {
   KvController kv(config);
   kv.Reserve(128, 1 << 16);
 
-  // Warm: drive every slot, table, and the cache charge to the high-water
-  // mark once.
+  // Warm: drive every slot and table to the high-water mark once.
   std::vector<KvController::SeqId> ids;
   for (int i = 0; i < 128; ++i) {
     ids.push_back(kv.AdmitSeq(1024, 128));
@@ -157,27 +166,26 @@ TEST(KvMemoryAllocTest, ControllerSeqChurnDoesNotAllocateWhenWarm) {
       kv.OnDecodeToken(ids.back());
     }
   }
-  kv.SyncCacheTokens(1 << 18);
   for (KvController::SeqId id : ids) {
     kv.ReleaseSeq(id);
   }
   ids.clear();
 
-  // Steady state: the same admit/prefill/decode/rebase/release pattern must
-  // come entirely off the free lists.
+  // Steady state: the same admit/prefill/decode/publish/release pattern
+  // must come entirely off the free lists (ReleaseSeqPrefix is the
+  // publish-time front drop of the unified ledger).
   long long baseline = NewCount();
   for (int round = 0; round < 500; ++round) {
     for (int i = 0; i < 128; ++i) {
-      ids.push_back(kv.AdmitSeq(1024, 128));
+      ids.push_back(kv.AdmitSeq(1024, 128, /*skew=*/round & 7));
     }
     for (KvController::SeqId id : ids) {
       kv.OnPrefillChunk(id, 1024);
       for (int d = 0; d < 16; ++d) {
         kv.OnDecodeToken(id);
       }
-      kv.RebaseTokens(id, 16);
+      kv.ReleaseSeqPrefix(id, 1024);
     }
-    kv.SyncCacheTokens((round & 1) ? (1 << 18) : (1 << 17));
     for (KvController::SeqId id : ids) {
       kv.ReleaseSeq(id);
     }
@@ -186,6 +194,58 @@ TEST(KvMemoryAllocTest, ControllerSeqChurnDoesNotAllocateWhenWarm) {
   EXPECT_EQ(NewCount() - baseline, 0)
       << "controller sequence churn must not allocate at steady state";
   EXPECT_TRUE(kv.CheckConsistency());
+}
+
+TEST(KvMemoryAllocTest, BlockNativeEvictionSteadyStateDoesNotAllocate) {
+  // The ISSUE 5 eviction path: LRU leaf scans, page-span release, and
+  // publish/re-insert churn against a shared allocator must recycle nodes,
+  // token chunks, page-span chunks, and pages without touching the heap
+  // once warm.
+  constexpr int32_t kBs = 16;
+  BlockAllocator alloc(1 << 16);
+  alloc.Reserve(1 << 16);
+  PrefixCache cache(1 << 20, &alloc, kBs);  // Capacity: never auto-evicts.
+
+  // Shared prefix with unaligned length (straddled pages at the branch
+  // point) plus a fixed cycle of divergent suffixes.
+  std::vector<TokenSeq> seqs;
+  for (int k = 0; k < 32; ++k) {
+    TokenSeq seq;
+    for (Token t = 0; t < 517; ++t) {
+      seq.push_back(t);
+    }
+    for (Token t = 0; t < 100 + k; ++t) {
+      seq.push_back(10'000 + k * 1'000 + t);
+    }
+    seqs.push_back(std::move(seq));
+  }
+
+  SimTime now = 0;
+  auto churn = [&] {
+    for (const TokenSeq& seq : seqs) {
+      auto ref = cache.MatchAndRef(seq, ++now);
+      cache.Insert(seq, ++now);
+      cache.Unref(ref.pin);
+    }
+    cache.Evict(std::numeric_limits<int64_t>::max());
+  };
+  // Warm-up: node slab, token/page-span chunk pools, pin slots, child-map
+  // spill capacities, and the pool free lists must all reach their
+  // high-water marks. The page-span pool is the slow one: spans are a few
+  // entries each, so its first 16K-entry chunk only seals (forcing the
+  // second, steady-state chunk into existence) after ~55 cycles.
+  for (int i = 0; i < 80; ++i) {
+    churn();
+  }
+
+  long long baseline = NewCount();
+  for (int round = 0; round < 200; ++round) {
+    churn();
+  }
+  EXPECT_EQ(NewCount() - baseline, 0)
+      << "block-native eviction churn must not allocate at steady state";
+  EXPECT_EQ(alloc.used_blocks(), 0);
+  EXPECT_TRUE(cache.CheckInvariants());
 }
 
 }  // namespace

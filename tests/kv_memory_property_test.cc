@@ -1,22 +1,28 @@
-// Differential property test for the paged KV subsystem (ISSUE 4).
+// Differential + structural property tests for the unified block ledger
+// (ISSUE 4/5).
 //
 // The seed replica accounted memory with bare token counters:
 //   Resident   = cache.size_tokens + Σ running private_tokens
 //   Committed  = Σ running (prefill_remaining + max(0, reserve - generated))
 //   admit iff  need <= capacity - Resident - Committed
 //   reclaim    = max(0, Resident - capacity)
-// `RefModel` below is a verbatim transcription of that arithmetic. The test
-// drives randomized admit / prefill / decode / cache-churn / preempt /
-// complete traces through both the reference and a KvController in coarse
-// mode (block_size 1, no watermark), asserting identical admission
-// decisions and identical resident/committed memory series at every step —
-// the contract that keeps the historical BENCH goldens byte-identical.
+// `RefModel` below is a verbatim transcription of that arithmetic. The
+// coarse test drives randomized admit / prefill / decode / cache-churn /
+// preempt / complete traces through the reference and the *real* unified
+// ledger — a KvController plus a block-native PrefixCache sharing its
+// allocator — in coarse mode (block_size 1, no watermark), asserting
+// identical admission decisions and identical resident/committed series at
+// every step: the contract that keeps the historical BENCH goldens
+// byte-identical now that the cache charge is the sum of node-held pages.
 //
-// The same traces then replay against paged controllers (block 16/32),
-// where exact token equality no longer holds, checking the structural
-// invariants instead: ledger consistency, block conservation, bounded
-// fragmentation, and monotonicity (paged admission is never more permissive
-// than coarse admission at equal watermark).
+// The unified-ledger test then replays the full replica publish protocol
+// (admit with pin + skew, chunked prefill, publish-by-reference-transfer,
+// decode into the shared boundary page, complete, preempt, evict, fork)
+// at real block sizes, asserting after every op the block-conservation
+// invariant of ISSUE 5:
+//     cache-held refs + sequence-held refs == allocator refs,
+//     every used page has a holder, free pages have none,
+// plus tree/ledger self-consistency and non-negative exact fragmentation.
 
 #include <gtest/gtest.h>
 
@@ -24,6 +30,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/cache/prefix_cache.h"
 #include "src/common/rng.h"
 #include "src/memory/kv_controller.h"
 
@@ -91,12 +98,19 @@ TEST_P(CoarseDifferentialTest, AdmissionAndSeriesMatchSeedAccounting) {
   config.capacity_tokens = trace.capacity;
   config.block_size_tokens = 1;  // Coarse compatibility mode.
   KvController kv(config);
+  // The real cache side: node spans charge kv's allocator directly.
+  PrefixCache cache(trace.capacity, &kv.allocator(), 1);
 
   // Paired sequence handles: ref.running[i] <-> kv_ids[i].
   std::vector<KvController::SeqId> kv_ids;
   int64_t next_id = 1;
+  Token next_cache_token = 1'000'000;
+  SimTime now = 0;
   std::vector<int64_t> resident_series;
   std::vector<int64_t> committed_series;
+  auto resident = [&] {
+    return cache.size_tokens() + kv.seq_resident_tokens();
+  };
 
   for (int step = 0; step < trace.ops; ++step) {
     Op op = static_cast<Op>(rng.UniformInt(0, 6));
@@ -179,30 +193,41 @@ TEST_P(CoarseDifferentialTest, AdmissionAndSeriesMatchSeedAccounting) {
         break;
       }
       case Op::kCacheGrow: {
-        int64_t grow = rng.UniformInt(0, 512);
-        ref.cache_tokens += grow;
-        kv.SyncCacheTokens(ref.cache_tokens);
+        // A fresh sequence lands in the cache; node pages charge the shared
+        // allocator on insert (auto-evicting past capacity, like the real
+        // cache under a smaller budget than the pool's).
+        int64_t grow = rng.UniformInt(1, 512);
+        TokenSeq seq;
+        for (int64_t t = 0; t < grow; ++t) {
+          seq.push_back(next_cache_token++);
+        }
+        cache.Insert(seq, ++now);
+        ref.cache_tokens = cache.size_tokens();
         break;
       }
       case Op::kCacheShrink: {
-        int64_t shrink = rng.UniformInt(0, ref.cache_tokens);
-        ref.cache_tokens -= shrink;
-        kv.SyncCacheTokens(ref.cache_tokens);
+        int64_t shrink = rng.UniformInt(0, cache.size_tokens());
+        cache.Evict(shrink);
+        ref.cache_tokens = cache.size_tokens();
         break;
       }
     }
-    ASSERT_EQ(ref.Resident(), kv.resident_tokens()) << "op " << step;
+    ASSERT_EQ(ref.Resident(), resident()) << "op " << step;
     ASSERT_EQ(ref.CommittedFuture(), kv.committed_tokens()) << "op " << step;
     ASSERT_EQ(std::max<int64_t>(0, ref.Resident() - ref.capacity),
               kv.ReclaimNeededTokens())
         << "op " << step;
-    resident_series.push_back(kv.resident_tokens());
+    resident_series.push_back(resident());
     committed_series.push_back(kv.committed_tokens());
   }
 
-  // Coarse mode never fragments and the ledger stays sound.
-  EXPECT_EQ(kv.fragmentation_tokens(), 0);
+  // Coarse mode never fragments and both ledgers stay sound; every
+  // allocator reference is owned by exactly one holder.
+  EXPECT_EQ(kv.used_blocks(), resident());
+  EXPECT_EQ(cache.block_refs() + kv.seq_block_refs(),
+            kv.allocator().live_refs());
   EXPECT_TRUE(kv.CheckConsistency());
+  EXPECT_TRUE(cache.CheckInvariants());
 
   // Replaying the recorded series through a fresh reference must reproduce
   // it (series are a pure function of the trace — determinism guard).
@@ -218,104 +243,189 @@ INSTANTIATE_TEST_SUITE_P(
                       TraceConfig{49152, 128, 4000, 4},  // Default L4.
                       TraceConfig{512, 64, 2000, 5}));   // Pathological.
 
-class PagedInvariantTest
+// --- Unified-ledger conservation under the full publish protocol ---------
+
+struct LiveSeq {
+  KvController::SeqId id = KvController::kInvalidSeq;
+  PinId pin = kInvalidPin;
+  TokenSeq prompt;
+  int64_t base = 0;  // Path position of the table's first token.
+  int64_t prefill_left = 0;
+  int64_t generated = 0;
+  bool published = false;
+};
+
+class UnifiedLedgerPropertyTest
     : public ::testing::TestWithParam<std::tuple<int32_t, uint64_t>> {};
 
-TEST_P(PagedInvariantTest, LedgerInvariantsHoldUnderChurn) {
+TEST_P(UnifiedLedgerPropertyTest, BlockConservationHoldsUnderChurn) {
   auto [block_size, seed] = GetParam();
   Rng rng(seed);
   KvConfig config;
   config.capacity_tokens = 8192;
   config.block_size_tokens = block_size;
-  config.watermark_blocks = 4;
+  config.watermark_blocks = block_size > 1 ? 4 : 0;
   KvController kv(config);
-  // Coarse twin at the same watermark (in tokens) for the monotonicity
-  // check: paged ceil-rounding must never admit what coarse rejects.
-  KvConfig coarse_config;
-  coarse_config.capacity_tokens = 8192;
-  coarse_config.watermark_blocks =
-      static_cast<int64_t>(config.watermark_blocks) * block_size;
-  KvController coarse(coarse_config);
+  PrefixCache cache(config.capacity_tokens, &kv.allocator(), block_size);
+  const int64_t reserve = 96;
 
-  std::vector<KvController::SeqId> paged_ids;
-  std::vector<KvController::SeqId> coarse_ids;
-  std::vector<int64_t> prefill_left;
-  int64_t cache = 0;
+  std::vector<LiveSeq> live;
+  std::vector<TokenSeq> history;  // Prompt pool; extensions share prefixes.
+  Token next_token = 1;
+  Token next_output = 50'000'000;
+  SimTime now = 0;
 
-  for (int step = 0; step < 4000; ++step) {
-    int64_t live = static_cast<int64_t>(paged_ids.size());
-    int op = static_cast<int>(rng.UniformInt(0, 5));
-    if (op == 0) {
-      int64_t prefill = rng.UniformInt(1, 700);
-      // Ceil-rounding only shrinks headroom: paged admit => coarse admit.
-      if (kv.CanAdmit(prefill, 128)) {
-        EXPECT_TRUE(coarse.CanAdmit(prefill, 128))
-            << "paged admission more permissive than coarse at op " << step;
-        paged_ids.push_back(kv.AdmitSeq(prefill, 128));
-        coarse_ids.push_back(coarse.AdmitSeq(prefill, 128));
-        prefill_left.push_back(prefill);
+  auto check = [&](int step) {
+    // ISSUE 5 conservation: every allocator reference is held by exactly
+    // one owner — a cache node span or a sequence table. (Pages shared at
+    // boundaries carry one ref per owner; free pages carry none, which
+    // BlockAllocator::CheckInvariants pins.)
+    ASSERT_EQ(cache.block_refs() + kv.seq_block_refs(),
+              kv.allocator().live_refs())
+        << "conservation broke at op " << step;
+    ASSERT_TRUE(cache.CheckInvariants()) << "op " << step;
+    ASSERT_TRUE(kv.CheckConsistency()) << "op " << step;
+    // Exact fragmentation is non-negative: pages hold at least as many
+    // slots as the tokens occupying them (token positions are disjoint
+    // across the cache and sequence sides of a shared page).
+    ASSERT_GE(kv.used_blocks() * block_size -
+                  (cache.size_tokens() + kv.seq_resident_tokens()),
+              0)
+        << "op " << step;
+  };
+
+  auto publish = [&](LiveSeq& s) {
+    // Mirror Replica::OnPrefillComplete: first output token, then publish
+    // by reference transfer, re-pin, drop the published span.
+    s.generated = 1;
+    kv.OnDecodeToken(s.id);
+    cache.Insert(s.prompt, ++now, &kv.table(s.id), s.base);
+    cache.Unref(s.pin);
+    auto m = cache.MatchAndRef(s.prompt, ++now);
+    s.pin = m.pin;
+    const int64_t prompt_len = static_cast<int64_t>(s.prompt.size());
+    const int64_t target = (prompt_len - m.cached_len) + s.generated;
+    const int64_t current = kv.SeqTokens(s.id);
+    ASSERT_LE(target, current);
+    kv.ReleaseSeqPrefix(s.id, current - target);
+    s.base += current - target;
+    if (block_size > 1 && prompt_len % block_size != 0) {
+      const int64_t idx =
+          (prompt_len - 1) / block_size - s.base / block_size;
+      if (idx >= 0 && idx < kv.table(s.id).num_blocks()) {
+        kv.SetCowExempt(s.id,
+                        kv.table(s.id).blocks()[static_cast<size_t>(idx)]);
       }
-    } else if (op == 1 && live > 0) {
-      size_t i = static_cast<size_t>(rng.UniformInt(0, live - 1));
-      if (prefill_left[i] > 0) {
-        int64_t chunk = rng.UniformInt(1, prefill_left[i]);
-        prefill_left[i] -= chunk;
-        kv.OnPrefillChunk(paged_ids[i], chunk);
-        coarse.OnPrefillChunk(coarse_ids[i], chunk);
-      }
-    } else if (op == 2 && live > 0) {
-      size_t i = static_cast<size_t>(rng.UniformInt(0, live - 1));
-      if (prefill_left[i] == 0) {
-        kv.OnDecodeToken(paged_ids[i]);
-        coarse.OnDecodeToken(coarse_ids[i]);
-      }
-    } else if (op == 3 && live > 0) {
-      size_t i = static_cast<size_t>(rng.UniformInt(0, live - 1));
-      kv.ReleaseSeq(paged_ids[i]);
-      coarse.ReleaseSeq(coarse_ids[i]);
-      paged_ids.erase(paged_ids.begin() + static_cast<std::ptrdiff_t>(i));
-      coarse_ids.erase(coarse_ids.begin() + static_cast<std::ptrdiff_t>(i));
-      prefill_left.erase(prefill_left.begin() +
-                         static_cast<std::ptrdiff_t>(i));
-    } else if (op == 4) {
-      cache = rng.UniformInt(0, 2048);
-      kv.SyncCacheTokens(cache);
-      coarse.SyncCacheTokens(cache);
-    } else if (op == 5 && live > 0) {
-      // Swap round-trip: out then straight back in.
-      int64_t tokens = kv.SeqTokens(paged_ids.back());
-      kv.SwapOut(paged_ids.back());
-      SimDuration transfer = 0;
-      paged_ids.back() =
-          kv.BeginSwapIn(tokens, prefill_left.back(), 128, &transfer);
-      EXPECT_EQ(transfer, kv.SwapDuration(tokens));
     }
+    s.published = true;
+  };
 
-    // Token ledgers agree between granularities at all times.
-    EXPECT_EQ(kv.resident_tokens(), coarse.resident_tokens());
-    // Fragmentation is bounded: at most block_size-1 wasted slots per live
-    // table (sequences + the cache charge).
-    EXPECT_GE(kv.fragmentation_tokens(), 0);
-    EXPECT_LE(kv.fragmentation_tokens(),
-              (static_cast<int64_t>(paged_ids.size()) + 1) * (block_size - 1));
-    // Block conservation: cumulative allocated = freed + in use.
-    EXPECT_EQ(kv.allocator_stats().allocated,
-              kv.allocator_stats().freed + kv.used_blocks());
+  for (int step = 0; step < 3000; ++step) {
+    const int op = static_cast<int>(rng.UniformInt(0, 6));
+    if (op == 0 && live.size() < 24) {  // Admit.
+      LiveSeq s;
+      if (!history.empty() && rng.UniformInt(0, 1) == 0) {
+        // Conversation turn: extend a previous prompt (shared prefix).
+        s.prompt = history[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(history.size()) - 1))];
+      }
+      const int64_t extra = rng.UniformInt(5, 300);
+      for (int64_t t = 0; t < extra; ++t) {
+        s.prompt.push_back(next_token++);
+      }
+      auto m = cache.MatchAndRef(s.prompt, ++now);
+      const int64_t cached = std::min(
+          m.cached_len, static_cast<int64_t>(s.prompt.size()) - 1);
+      s.pin = m.pin;
+      s.base = cached;
+      s.prefill_left = static_cast<int64_t>(s.prompt.size()) - cached;
+      if (!kv.CanAdmit(s.prefill_left, reserve)) {
+        cache.Evict(kv.AdmissionDeficitTokens(s.prefill_left, reserve));
+      }
+      if (!kv.CanAdmit(s.prefill_left, reserve) && !live.empty()) {
+        cache.Unref(s.pin);  // Stay pending (dropped here).
+      } else {
+        s.id = kv.AdmitSeq(s.prefill_left, reserve,
+                           static_cast<int32_t>(cached % block_size));
+        history.push_back(s.prompt);
+        live.push_back(std::move(s));
+      }
+    } else if (op == 1 && !live.empty()) {  // Prefill chunk (+publish).
+      LiveSeq& s = live[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1))];
+      if (s.prefill_left > 0) {
+        const int64_t chunk =
+            rng.UniformInt(1, std::min<int64_t>(s.prefill_left, 256));
+        s.prefill_left -= chunk;
+        kv.OnPrefillChunk(s.id, chunk);
+        if (s.prefill_left == 0) {
+          publish(s);
+        }
+      }
+    } else if (op == 2 && !live.empty()) {  // Decode.
+      LiveSeq& s = live[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1))];
+      if (s.published) {
+        ++s.generated;
+        kv.OnDecodeToken(s.id);
+      }
+    } else if (op == 3 && !live.empty()) {  // Complete.
+      const size_t i = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+      LiveSeq s = std::move(live[i]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+      if (s.published) {
+        TokenSeq full = s.prompt;
+        for (int64_t t = 0; t < s.generated; ++t) {
+          full.push_back(next_output++);
+        }
+        cache.Insert(full, ++now, &kv.table(s.id), s.base);
+      }
+      cache.Unref(s.pin);
+      kv.ReleaseSeq(s.id);
+    } else if (op == 4 && live.size() > 1) {  // Preempt (recompute-style).
+      LiveSeq s = std::move(live.back());
+      live.pop_back();
+      cache.Unref(s.pin);
+      kv.ReleaseSeq(s.id);
+      kv.NoteRecomputePreemption();
+    } else if (op == 5) {  // Eviction pressure.
+      cache.Evict(rng.UniformInt(0, 2048));
+    } else if (op == 6 && !live.empty()) {  // Fork a table, then drop it.
+      const LiveSeq& s = live[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1))];
+      const int64_t tokens = kv.SeqTokens(s.id);
+      if (tokens > 0) {
+        BlockTable fork;
+        fork.ForkFrom(kv.allocator(), kv.table(s.id), block_size,
+                      rng.UniformInt(1, tokens));
+        ASSERT_EQ(cache.block_refs() + kv.seq_block_refs() +
+                      fork.num_blocks(),
+                  kv.allocator().live_refs());
+        fork.Clear(kv.allocator());
+      }
+    }
+    check(step);
   }
-  ASSERT_TRUE(kv.CheckConsistency());
-  ASSERT_TRUE(coarse.CheckConsistency());
-  for (size_t i = 0; i < paged_ids.size(); ++i) {
-    kv.ReleaseSeq(paged_ids[i]);
-    coarse.ReleaseSeq(coarse_ids[i]);
+
+  // Drain: complete everything, drop the cache, and the pool must be empty.
+  for (LiveSeq& s : live) {
+    cache.Unref(s.pin);
+    kv.ReleaseSeq(s.id);
   }
-  kv.SyncCacheTokens(0);
+  live.clear();
+  cache.Clear();
+  EXPECT_EQ(cache.size_tokens(), 0);
   EXPECT_EQ(kv.used_blocks(), 0);
-  EXPECT_EQ(kv.fragmentation_tokens(), 0);
+  EXPECT_EQ(kv.allocator().live_refs(), 0);
+  EXPECT_TRUE(kv.CheckConsistency());
+  EXPECT_TRUE(cache.CheckInvariants());
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    Blocks, PagedInvariantTest,
-    ::testing::Combine(::testing::Values(int32_t{16}, int32_t{32}),
+    Blocks, UnifiedLedgerPropertyTest,
+    ::testing::Combine(::testing::Values(int32_t{1}, int32_t{16},
+                                         int32_t{32}),
                        ::testing::Values(11u, 12u, 13u)));
 
 }  // namespace

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/cache/prefix_cache.h"
 #include "src/memory/block_allocator.h"
 #include "src/memory/block_table.h"
 #include "src/memory/kv_controller.h"
@@ -120,17 +121,93 @@ TEST(BlockTableTest, TruncateReleasesEmptiedBlocksOnly) {
   table.Clear(alloc);
 }
 
+TEST(BlockTableTest, SkewPathAlignsTheFirstBlock) {
+  // A table starting at path position 10 (skew 10) holds only 6 slots in
+  // its first page — its pages sit at the positions the radix tree would
+  // charge them, so publishing is a reference transfer.
+  BlockAllocator alloc(64);
+  BlockTable table;
+  table.SetSkew(10);
+  EXPECT_EQ(table.Append(alloc, 16, 6), 1);  // Fills the first page.
+  EXPECT_EQ(table.fragmentation_tokens(16), 0);
+  EXPECT_EQ(table.Append(alloc, 16, 1), 1);  // Next page.
+  EXPECT_EQ(table.num_blocks(), 2);
+  EXPECT_EQ(table.num_tokens(), 7);
+  table.Clear(alloc);
+  EXPECT_EQ(table.skew(), 0);  // Clear resets alignment.
+  EXPECT_EQ(alloc.used_blocks(), 0);
+}
+
+TEST(BlockTableTest, ReleasePrefixKeepsTheStraddledBoundaryPage) {
+  BlockAllocator alloc(64);
+  BlockTable table;
+  table.Append(alloc, 16, 40);  // Pages [0,16) [16,32) [32,40).
+  // Publish the first 20 tokens: page 0 drops, page 1 straddles the new
+  // start (tokens 20..31 are still ours) and must survive.
+  BlockId straddle = table.blocks()[1];
+  EXPECT_EQ(table.ReleasePrefix(alloc, 16, 20), 1);
+  EXPECT_EQ(table.num_tokens(), 20);
+  EXPECT_EQ(table.skew(), 4);
+  EXPECT_EQ(table.num_blocks(), 2);
+  EXPECT_EQ(table.blocks()[0], straddle);
+  // Dropping everything releases even the straddled page, but the path
+  // alignment advances past the dropped span: a token re-materialized into
+  // the empty table must land at its true path position (40 % 16 == 8).
+  EXPECT_EQ(table.ReleasePrefix(alloc, 16, 20), 2);
+  EXPECT_EQ(alloc.used_blocks(), 0);
+  EXPECT_EQ(table.skew(), 8);
+  // Appending from the emptied-but-skewed state opens a page with only the
+  // remaining 8 slots.
+  EXPECT_EQ(table.Append(alloc, 16, 8), 1);
+  EXPECT_EQ(table.Append(alloc, 16, 1), 1);
+  table.Clear(alloc);
+  EXPECT_EQ(table.skew(), 0);  // Clear is the full reset.
+  EXPECT_EQ(alloc.used_blocks(), 0);
+}
+
+TEST(BlockTableTest, CowExemptPageExtendsWithoutCopy) {
+  // The page a sequence shares with the prefix cache after publish: the
+  // cache holds a reference, but decode extends into slot-disjoint space,
+  // so no copy-on-write fires for that page (and only that page).
+  BlockAllocator alloc(64);
+  BlockTable table;
+  table.Append(alloc, 16, 20);          // Pages 0,1; tail holds 4 tokens.
+  BlockId shared = table.blocks()[1];
+  alloc.AddRef(shared);                 // "The cache" takes its reference.
+  int64_t before = alloc.stats().cow_copies;
+  table.set_cow_exempt(shared);
+  table.Append(alloc, 16, 4);           // Extends the shared tail: no CoW.
+  EXPECT_EQ(alloc.stats().cow_copies, before);
+  EXPECT_EQ(table.blocks()[1], shared);
+  // A non-exempt shared partial tail still CoWs.
+  BlockTable other;
+  other.Append(alloc, 16, 20);
+  BlockId forked = other.blocks()[1];
+  alloc.AddRef(forked);
+  other.Append(alloc, 16, 2);
+  EXPECT_EQ(alloc.stats().cow_copies, before + 1);
+  EXPECT_NE(other.blocks()[1], forked);
+  alloc.Release(forked);
+  alloc.Release(shared);
+  other.Clear(alloc);
+  table.Clear(alloc);
+  EXPECT_EQ(alloc.used_blocks(), 0);
+  EXPECT_TRUE(alloc.CheckInvariants());
+}
+
 // --- KvController ------------------------------------------------------
 
 TEST(KvControllerTest, CoarseModeMatchesSeedArithmetic) {
   // block_size 1, no watermark: CanAdmit must be exactly
-  // need <= capacity - resident - committed.
+  // need <= capacity - resident - committed. The cache side charges the
+  // shared allocator directly (here emulated by an external table).
   KvConfig config;
   config.capacity_tokens = 1000;
   KvController kv(config);
-  kv.SyncCacheTokens(300);
+  BlockTable cache_side;
+  cache_side.Append(kv.allocator(), 1, 300);
   KvController::SeqId seq = kv.AdmitSeq(200, 100);
-  EXPECT_EQ(kv.resident_tokens(), 300);
+  EXPECT_EQ(kv.used_blocks(), 300);
   EXPECT_EQ(kv.committed_tokens(), 300);
   // free = 1000 - 300 - 300 = 400.
   EXPECT_TRUE(kv.CanAdmit(300, 100));
@@ -138,20 +215,21 @@ TEST(KvControllerTest, CoarseModeMatchesSeedArithmetic) {
   EXPECT_EQ(kv.AdmissionDeficitTokens(301, 100), 1);
 
   kv.OnPrefillChunk(seq, 200);  // Committed -> resident, free unchanged.
-  EXPECT_EQ(kv.resident_tokens(), 500);
+  EXPECT_EQ(kv.used_blocks(), 500);
+  EXPECT_EQ(kv.seq_resident_tokens(), 200);
   EXPECT_EQ(kv.committed_tokens(), 100);
   EXPECT_TRUE(kv.CanAdmit(300, 100));
   EXPECT_FALSE(kv.CanAdmit(301, 100));
 
   kv.OnDecodeToken(seq);  // Reserve shrinks as output materializes.
-  EXPECT_EQ(kv.resident_tokens(), 501);
+  EXPECT_EQ(kv.used_blocks(), 501);
   EXPECT_EQ(kv.committed_reserve_tokens(), 99);
-  EXPECT_EQ(kv.fragmentation_tokens(), 0);
 
   EXPECT_EQ(kv.ReleaseSeq(seq), 201);
   EXPECT_EQ(kv.committed_tokens(), 0);
-  EXPECT_EQ(kv.resident_tokens(), 300);
+  EXPECT_EQ(kv.used_blocks(), 300);
   EXPECT_TRUE(kv.CheckConsistency());
+  cache_side.Clear(kv.allocator());
 }
 
 TEST(KvControllerTest, PagedCeilsPerSequence) {
@@ -172,7 +250,7 @@ TEST(KvControllerTest, PagedCeilsPerSequence) {
   // Prefill materializes into real blocks; fragmentation appears.
   kv.OnPrefillChunk(seq, 17);
   EXPECT_EQ(kv.used_blocks(), 2);
-  EXPECT_EQ(kv.fragmentation_tokens(), 2 * 16 - 17);
+  EXPECT_EQ(kv.used_blocks() * 16 - kv.seq_resident_tokens(), 2 * 16 - 17);
   kv.ReleaseSeq(seq);
   kv.ReleaseSeq(seq2);
   EXPECT_TRUE(kv.CheckConsistency());
@@ -201,13 +279,13 @@ TEST(KvControllerTest, SwapLedgerModelsPcieTime) {
 
   SimDuration out = kv.SwapOut(seq);
   EXPECT_EQ(out, 500);  // 100 tokens * 5 us.
-  EXPECT_EQ(kv.resident_tokens(), 0);
+  EXPECT_EQ(kv.seq_resident_tokens(), 0);
   EXPECT_EQ(kv.committed_tokens(), 0);  // Reserve returned on swap-out.
   EXPECT_EQ(kv.counters().preempt_swap, 1);
   EXPECT_EQ(kv.counters().swapped_out_tokens, 100);
 
   SimDuration in = 0;
-  KvController::SeqId restored = kv.BeginSwapIn(100, 0, 50, &in);
+  KvController::SeqId restored = kv.BeginSwapIn(100, 0, 50, /*skew=*/0, &in);
   EXPECT_EQ(in, 500);
   EXPECT_EQ(kv.SeqTokens(restored), 100);
   EXPECT_EQ(kv.committed_reserve_tokens(), 50);
@@ -217,18 +295,29 @@ TEST(KvControllerTest, SwapLedgerModelsPcieTime) {
   EXPECT_TRUE(kv.CheckConsistency());
 }
 
-TEST(KvControllerTest, CacheChargeTracksSyncExactly) {
+TEST(KvControllerTest, CacheChargesTheSharedAllocatorDirectly) {
+  // ISSUE 5: no shadow cache table — the radix cache's node spans ARE the
+  // cache charge, visible to admission through used_blocks().
   KvConfig config;
   config.capacity_tokens = 320;
   config.block_size_tokens = 16;
   KvController kv(config);
-  kv.SyncCacheTokens(100);
-  EXPECT_EQ(kv.used_blocks(), 7);  // ceil(100/16).
-  kv.SyncCacheTokens(96);
-  EXPECT_EQ(kv.used_blocks(), 6);
-  kv.SyncCacheTokens(0);
+  PrefixCache cache(320, &kv.allocator(), 16);
+  TokenSeq seq;
+  for (Token t = 0; t < 100; ++t) {
+    seq.push_back(t);
+  }
+  cache.Insert(seq, 1);
+  EXPECT_EQ(kv.used_blocks(), 7);  // ceil(100/16), exactly one node's span.
+  EXPECT_EQ(cache.block_refs(), 7);
+  EXPECT_EQ(cache.CountBlocks().held_blocks, 7);
+  // Admission sees the cache charge with no reconciliation step.
+  EXPECT_TRUE(kv.CanAdmit(16 * 13, 0));
+  EXPECT_FALSE(kv.CanAdmit(16 * 13 + 1, 0));
+  cache.Evict(100);
   EXPECT_EQ(kv.used_blocks(), 0);
   EXPECT_TRUE(kv.CheckConsistency());
+  EXPECT_TRUE(cache.CheckInvariants());
 }
 
 TEST(KvControllerTest, ReclaimNeededAfterOvercommit) {
@@ -257,12 +346,13 @@ TEST(KvControllerTest, SlotReuseKeepsLedgerConsistent) {
     for (int i = 0; i < 20; ++i) {
       kv.OnDecodeToken(a);
     }
-    kv.RebaseTokens(a, 5);
+    kv.ReleaseSeqPrefix(a, 48);  // Publish: drop to 5 private tokens.
+    EXPECT_EQ(kv.SeqTokens(a), 5);
     kv.ReleaseSeq(a);
     kv.ReleaseSeq(b);
   }
   EXPECT_EQ(kv.live_seqs(), 0);
-  EXPECT_EQ(kv.resident_tokens(), 0);
+  EXPECT_EQ(kv.seq_resident_tokens(), 0);
   EXPECT_EQ(kv.committed_tokens(), 0);
   EXPECT_EQ(kv.used_blocks(), 0);
   EXPECT_TRUE(kv.CheckConsistency());

@@ -247,5 +247,123 @@ TEST_P(PrefixCachePropertyTest, PinUnpinNeverCorruptsTree) {
 INSTANTIATE_TEST_SUITE_P(Seeds, PrefixCachePropertyTest,
                          ::testing::Values(1, 2, 3, 4, 5, 17, 99, 12345));
 
+// --- Block-native cache (ISSUE 5) ----------------------------------------
+
+TokenSeq Iota(int64_t n, Token base = 0) {
+  TokenSeq seq;
+  for (int64_t i = 0; i < n; ++i) {
+    seq.push_back(base + static_cast<Token>(i));
+  }
+  return seq;
+}
+
+TEST(PrefixCacheBlockTest, InsertChargesExactPathAlignedSpans) {
+  BlockAllocator alloc(1024);
+  PrefixCache cache(16384, &alloc, 16);
+  // 40 tokens -> pages 0..2 (ceil(40/16) == 3), owned by one node.
+  cache.Insert(Iota(40), 1);
+  EXPECT_EQ(alloc.used_blocks(), 3);
+  EXPECT_EQ(cache.block_refs(), 3);
+  // A divergent branch at unaligned depth 24: split shares the straddled
+  // page between the two halves (no new page), and the sibling pays a
+  // fresh boundary page for positions [24, 32) plus one for [32, 50).
+  TokenSeq branch = Iota(24);
+  for (Token t = 0; t < 26; ++t) {
+    branch.push_back(9000 + t);
+  }
+  cache.Insert(branch, 2);
+  // Pages: shared path 2 (0..23 -> pages 0,1 shared at the split), original
+  // suffix keeps pages 1,2; branch adds ceil(50/16)=4 minus floor(24/16)=1
+  // -> pages 1..3 where page 1 is a fresh boundary copy: 3 new pages.
+  EXPECT_EQ(alloc.used_blocks(), 6);
+  EXPECT_EQ(cache.size_tokens(), 40 + 26);
+  // Refs: page 1 (straddle) is held by split-upper and split-lower; the
+  // branch holds its own copies.
+  EXPECT_EQ(cache.block_refs(), 7);
+  EXPECT_TRUE(cache.CheckInvariants());
+}
+
+TEST(PrefixCacheBlockTest, EvictionFreesPagesButStraddlesSurvive) {
+  BlockAllocator alloc(1024);
+  PrefixCache cache(16384, &alloc, 16);
+  cache.Insert(Iota(40), 1);          // Pages 0,1,2.
+  cache.MatchPrefix(Iota(24), 2);     // Splits at 24: page 1 straddles.
+  const int64_t used_before = alloc.used_blocks();
+  EXPECT_EQ(used_before, 3);
+  // Evict the lower half (tokens 24..40, pages 1,2): page 2 frees, page 1
+  // survives via the upper node's reference.
+  cache.Evict(16);
+  EXPECT_EQ(cache.size_tokens(), 24);
+  EXPECT_EQ(alloc.used_blocks(), 2);
+  EXPECT_TRUE(cache.CheckInvariants());
+  // Evicting the rest returns every page.
+  cache.Evict(1 << 20);
+  EXPECT_EQ(alloc.used_blocks(), 0);
+}
+
+TEST(PrefixCacheBlockTest, DonorInsertTransfersSequencePages) {
+  // The publish contract: a path-aligned table donates its pages to the new
+  // node by reference; no fresh pages are allocated for covered positions.
+  BlockAllocator alloc(1024);
+  PrefixCache cache(16384, &alloc, 16);
+  BlockTable table;
+  table.Append(alloc, 16, 40);  // A sequence's prompt, base 0.
+  const int64_t used_before = alloc.used_blocks();
+  cache.Insert(Iota(40), 1, &table, /*donor_base=*/0);
+  EXPECT_EQ(alloc.used_blocks(), used_before);  // Pure reference transfer.
+  EXPECT_EQ(alloc.ref_count(table.blocks()[0]), 2);
+  // The sequence publishes and keeps nothing: its refs drop, the cache's
+  // survive.
+  table.Clear(alloc);
+  EXPECT_EQ(alloc.used_blocks(), used_before);
+  cache.Evict(1 << 20);
+  EXPECT_EQ(alloc.used_blocks(), 0);
+  EXPECT_TRUE(cache.CheckInvariants());
+}
+
+TEST(PrefixCacheBlockTest, PagesSharedWithSequencesAreNotEvictable) {
+  BlockAllocator alloc(1024);
+  PrefixCache cache(16384, &alloc, 16);
+  BlockTable table;
+  table.Append(alloc, 16, 40);  // Tail page 2 covers tokens [32, 40).
+  cache.Insert(Iota(40), 1, &table, 0);
+  // The sequence keeps its claim on the boundary page only (as after
+  // ReleasePrefix at a 40-token prompt with generated tokens in page 2).
+  table.ReleasePrefix(alloc, 16, 33);
+  PrefixCache::BlockOccupancy occ = cache.CountBlocks();
+  EXPECT_EQ(occ.held_blocks, 3);
+  // Pages 0,1 would free under full eviction; page 2 is sequence-shared.
+  EXPECT_EQ(occ.evictable_blocks, 2);
+  // Pinning the path makes nothing evictable.
+  auto ref = cache.MatchAndRef(Iota(40), 2);
+  EXPECT_EQ(cache.CountBlocks().evictable_blocks, 0);
+  cache.Unref(ref.pin);
+  // Eviction under the shared page: the cache lets go of all three, but the
+  // allocator keeps page 2 alive for the sequence.
+  cache.Evict(1 << 20);
+  EXPECT_EQ(cache.size_tokens(), 0);
+  EXPECT_EQ(alloc.used_blocks(), 1);
+  table.Clear(alloc);
+  EXPECT_EQ(alloc.used_blocks(), 0);
+  EXPECT_TRUE(cache.CheckInvariants());
+}
+
+TEST(PrefixCacheBlockTest, CoarseModeIsTokenGranular) {
+  // block_size 1: every token is its own page, no page is ever shared, and
+  // the pool mirrors size_tokens exactly — the coarse compatibility mode.
+  BlockAllocator alloc(4096);
+  PrefixCache cache(4096, &alloc, 1);
+  cache.Insert(Iota(100), 1);
+  cache.MatchPrefix(Iota(60), 2);  // Split: still no page sharing at B=1.
+  EXPECT_EQ(alloc.used_blocks(), 100);
+  EXPECT_EQ(cache.block_refs(), 100);
+  PrefixCache::BlockOccupancy occ = cache.CountBlocks();
+  EXPECT_EQ(occ.held_blocks, 100);
+  EXPECT_EQ(occ.evictable_blocks, 100);
+  cache.Evict(40);
+  EXPECT_EQ(alloc.used_blocks(), cache.size_tokens());
+  EXPECT_TRUE(cache.CheckInvariants());
+}
+
 }  // namespace
 }  // namespace skywalker

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "src/replica/replica.h"
 #include "src/sim/simulator.h"
 
@@ -491,6 +494,47 @@ TEST(ReplicaPagedTest, SnapshotReportsHeadroomSignals) {
   // Evictable cache counts as free again once sequences drain.
   EXPECT_EQ(drained.free_blocks, 256);
   EXPECT_EQ(drained.preemptions, replica.stats().preemptions);
+}
+
+TEST(ReplicaTest, PerStepDecodeAdmissionCommitsOneBlockAtATime) {
+  // ISSUE 5: with per_step_decode_admission the output reserve is committed
+  // one block ahead instead of in full, so the committed-future ledger
+  // stays below running * block_size during decode; pressure from the
+  // uncommitted growth resolves through preemption, and everything still
+  // completes.
+  Simulator sim;
+  ReplicaConfig config;
+  config.kv_capacity_tokens = 4096;
+  config.kv_block_size_tokens = 16;
+  config.output_reserve_tokens = 128;
+  config.per_step_decode_admission = true;
+  Replica replica(&sim, 0, 0, config);
+  constexpr int kRequests = 12;
+  std::vector<Completion> done(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    replica.Enqueue(MakeRequest(static_cast<RequestId>(i), 200, 200,
+                                static_cast<Token>(i) * 10'000),
+                    Record(&sim, &done[static_cast<size_t>(i)]));
+  }
+  int64_t peak_reserve = 0;
+  int peak_running = 0;
+  for (int tick = 0; tick < 4000 && replica.stats().completed < kRequests;
+       ++tick) {
+    sim.RunFor(Milliseconds(100));
+    peak_reserve =
+        std::max(peak_reserve, replica.reserved_future_tokens());
+    peak_running = std::max(peak_running, replica.running_count());
+  }
+  EXPECT_EQ(replica.stats().completed, kRequests);
+  // One block per running sequence is the commitment ceiling — far below
+  // the full-reserve regime's 128 per sequence.
+  EXPECT_LE(peak_reserve,
+            static_cast<int64_t>(peak_running) * config.kv_block_size_tokens);
+  EXPECT_EQ(replica.reserved_future_tokens(), 0);
+  EXPECT_EQ(replica.kv().seq_resident_tokens(), 0);  // Ledger drained.
+  for (const Completion& c : done) {
+    EXPECT_GE(c.completed, 0);
+  }
 }
 
 }  // namespace
