@@ -7,6 +7,8 @@
 //   bench_check --goldens=bench/goldens/smoke --results=bench-results
 //               [--fig07=bench-results/BENCH_fig07_memory_pressure.json
 //                --floors=bench/goldens/fig07_floors.json]
+//               [--timing=bench-results/BENCH_TIMING.json
+//                --timing-floors=bench/goldens/fleet_floors.json]
 //
 // Golden comparison is byte equality: the emitter serializes
 // deterministically (src/common/json.h), so any difference is a real
@@ -139,6 +141,114 @@ int CheckFloors(const std::string& fig07_path, const std::string& floors_path) {
   return failures;
 }
 
+// Finds a fig_fleet_scale cell entry by label in BENCH_TIMING.json's
+// "cells" array.
+const skywalker::Json* FindTimingCell(const skywalker::Json& timing,
+                                      const std::string& label) {
+  const skywalker::Json* cells = timing.Find("cells");
+  if (cells == nullptr || !cells->is_array()) {
+    return nullptr;
+  }
+  for (const skywalker::Json& cell : cells->elements()) {
+    const skywalker::Json* name = cell.Find("cell");
+    if (name != nullptr && name->is_string() && name->AsString() == label) {
+      return &cell;
+    }
+  }
+  return nullptr;
+}
+
+// Enforces parallel-speedup floors on the sharded-simulator cells recorded
+// in the skybench --timing sidecar (ISSUE 6). The floors file pairs a
+// multi-shard cell with its single-shard twin and sets a minimum wall-clock
+// ratio; the whole check is skipped (not failed) on hosts with fewer
+// hardware threads than `min_host_threads`, where no parallel speedup is
+// physically available.
+int CheckTiming(const std::string& timing_path,
+                const std::string& floors_path) {
+  auto timing_text = ReadFile(timing_path);
+  auto floors_text = ReadFile(floors_path);
+  if (!timing_text || !floors_text) {
+    std::fprintf(stderr, "FAIL cannot read %s or %s\n", timing_path.c_str(),
+                 floors_path.c_str());
+    return 1;
+  }
+  auto timing = skywalker::Json::Parse(*timing_text);
+  auto floors = skywalker::Json::Parse(*floors_text);
+  if (!timing || !floors || !floors->is_object()) {
+    std::fprintf(stderr, "FAIL unparseable timing/floors JSON\n");
+    return 1;
+  }
+  const skywalker::Json* host = timing->Find("hardware_concurrency");
+  const skywalker::Json* min_host = floors->Find("min_host_threads");
+  const double host_threads = host != nullptr ? host->AsDouble() : 0;
+  if (min_host != nullptr && host_threads < min_host->AsDouble()) {
+    std::printf(
+        "skip timing floors: host has %.0f hardware thread(s), floors "
+        "require >= %.0f (no parallel speedup available)\n",
+        host_threads, min_host->AsDouble());
+    return 0;
+  }
+  const skywalker::Json* smoke = timing->Find("smoke");
+  const bool is_smoke = smoke != nullptr && smoke->AsBool();
+  const skywalker::Json* pairs = floors->Find("pairs");
+  if (pairs == nullptr || !pairs->is_array()) {
+    std::fprintf(stderr, "FAIL floors file has no 'pairs' array\n");
+    return 1;
+  }
+  int failures = 0;
+  for (const skywalker::Json& pair : pairs->elements()) {
+    const skywalker::Json* parallel_name = pair.Find("parallel_cell");
+    const skywalker::Json* single_name = pair.Find("single_cell");
+    const skywalker::Json* floor = pair.Find(is_smoke ? "min_speedup_x_smoke"
+                                                      : "min_speedup_x");
+    if (parallel_name == nullptr || single_name == nullptr ||
+        floor == nullptr) {
+      std::fprintf(stderr, "FAIL malformed floors pair entry\n");
+      ++failures;
+      continue;
+    }
+    const skywalker::Json* parallel =
+        FindTimingCell(*timing, parallel_name->AsString());
+    const skywalker::Json* single =
+        FindTimingCell(*timing, single_name->AsString());
+    if (parallel == nullptr || single == nullptr) {
+      std::fprintf(stderr, "FAIL timing cells '%s'/'%s' missing from %s\n",
+                   parallel_name->AsString().c_str(),
+                   single_name->AsString().c_str(), timing_path.c_str());
+      ++failures;
+      continue;
+    }
+    const double parallel_wall = parallel->Find("wall_seconds")->AsDouble();
+    const double single_wall = single->Find("wall_seconds")->AsDouble();
+    const skywalker::Json* min_wall = pair.Find("min_single_wall_seconds");
+    if (min_wall != nullptr && single_wall < min_wall->AsDouble()) {
+      std::printf(
+          "skip %s vs %s: single-shard wall %.3fs below the %.3fs noise "
+          "threshold\n",
+          parallel_name->AsString().c_str(), single_name->AsString().c_str(),
+          single_wall, min_wall->AsDouble());
+      continue;
+    }
+    const double speedup =
+        parallel_wall <= 0 ? 0.0 : single_wall / parallel_wall;
+    if (speedup < floor->AsDouble()) {
+      std::fprintf(stderr,
+                   "FAIL %s speedup %.2fx vs %s below floor %.2fx "
+                   "(parallel %.3fs, single %.3fs)\n",
+                   parallel_name->AsString().c_str(), speedup,
+                   single_name->AsString().c_str(), floor->AsDouble(),
+                   parallel_wall, single_wall);
+      ++failures;
+    } else {
+      std::printf("ok   %s speedup %.2fx (floor %.2fx)\n",
+                  parallel_name->AsString().c_str(), speedup,
+                  floor->AsDouble());
+    }
+  }
+  return failures;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -146,10 +256,13 @@ int main(int argc, char** argv) {
   const std::string results = FlagValue(argc, argv, "results");
   const std::string fig07 = FlagValue(argc, argv, "fig07");
   const std::string floors = FlagValue(argc, argv, "floors");
-  if (goldens.empty() && fig07.empty()) {
+  const std::string timing = FlagValue(argc, argv, "timing");
+  const std::string timing_floors = FlagValue(argc, argv, "timing-floors");
+  if (goldens.empty() && fig07.empty() && timing.empty()) {
     std::fprintf(stderr,
                  "usage: bench_check --goldens=DIR --results=DIR "
-                 "[--fig07=FILE --floors=FILE]\n");
+                 "[--fig07=FILE --floors=FILE] "
+                 "[--timing=FILE --timing-floors=FILE]\n");
     return 2;
   }
   int failures = 0;
@@ -166,6 +279,13 @@ int main(int argc, char** argv) {
       return 2;
     }
     failures += CheckFloors(fig07, floors);
+  }
+  if (!timing.empty()) {
+    if (timing_floors.empty()) {
+      std::fprintf(stderr, "--timing requires --timing-floors\n");
+      return 2;
+    }
+    failures += CheckTiming(timing, timing_floors);
   }
   if (failures != 0) {
     std::fprintf(stderr, "%d check(s) failed\n", failures);

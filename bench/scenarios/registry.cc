@@ -23,6 +23,7 @@ void RegisterAllScenarios() {
     registry.Register(MakeAblationMigrationControlScenario());
     registry.Register(MakeAblationHeterogeneousScenario());
     registry.Register(MakeAblationShortPromptScenario());
+    registry.Register(MakeFleetScaleScenario());
     registry.Register(MakeMicroDatastructuresScenario());
     registry.Register(MakeMicroMemoryScenario());
     registry.Register(MakeMicroReplicaScenario());

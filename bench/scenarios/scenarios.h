@@ -33,6 +33,7 @@ Scenario MakeAblationExploreThresholdScenario();
 Scenario MakeAblationMigrationControlScenario();
 Scenario MakeAblationHeterogeneousScenario();
 Scenario MakeAblationShortPromptScenario();
+Scenario MakeFleetScaleScenario();
 Scenario MakeMicroDatastructuresScenario();
 Scenario MakeMicroMemoryScenario();
 Scenario MakeMicroReplicaScenario();

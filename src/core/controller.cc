@@ -21,7 +21,11 @@ void Controller::ManageLb(SkyWalkerLb* lb) {
   lbs_.emplace(lb->id(), entry);
 }
 
-void Controller::Start() { probe_task_->StartWithDelay(0); }
+void Controller::Start() {
+  // Keyed-ordering scope for the probe loop (no-op in plain mode).
+  sim_->SetCurrentRegion(config_.home_region);
+  probe_task_->StartWithDelay(0);
+}
 
 void Controller::Stop() { probe_task_->Stop(); }
 

@@ -26,6 +26,9 @@ struct ControllerConfig {
   // Simulated time to restore a failed LB. <= 0 disables auto-recovery
   // (tests then call RecoverLb explicitly).
   SimDuration auto_recovery_delay = Seconds(30);
+  // Region the controller's own events (health-probe loop) are keyed to in
+  // sharded mode; the controller lives on that region's shard.
+  RegionId home_region = 0;
 };
 
 class Controller {

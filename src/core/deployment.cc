@@ -18,12 +18,15 @@ std::unique_ptr<Deployment> Deployment::Build(Simulator* sim, Network* net,
   LbId next_lb = 0;
   for (RegionId region = 0;
        region < static_cast<RegionId>(topology.num_regions()); ++region) {
-    auto lb = std::make_unique<SkyWalkerLb>(sim, net, next_lb++, region,
-                                            spec.lb_config);
+    // Shard affinity: every actor runs on its own region's simulator (the
+    // one simulator in plain mode).
+    Simulator* region_sim = net->SimForRegion(region);
+    auto lb = std::make_unique<SkyWalkerLb>(region_sim, net, next_lb++,
+                                            region, spec.lb_config);
     for (int i = 0; i < spec.replicas_per_region[static_cast<size_t>(region)];
          ++i) {
-      auto replica = std::make_unique<Replica>(sim, next_replica++, region,
-                                               spec.replica_config);
+      auto replica = std::make_unique<Replica>(region_sim, next_replica++,
+                                               region, spec.replica_config);
       lb->AttachReplica(replica.get());
       deployment->replicas_.push_back(std::move(replica));
     }

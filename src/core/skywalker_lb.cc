@@ -66,7 +66,12 @@ std::vector<Replica*> SkyWalkerLb::ManagedReplicas() const {
   return out;
 }
 
-void SkyWalkerLb::Start() { engine_.Start(); }
+void SkyWalkerLb::Start() {
+  // Keyed-ordering scope: events armed here (the probe loop) originate from
+  // this LB's region. No-op in plain mode.
+  sim_->SetCurrentRegion(region_);
+  engine_.Start();
+}
 
 void SkyWalkerLb::Stop() { engine_.Stop(); }
 

@@ -118,11 +118,15 @@ struct SkyWalkerConfig {
   // preemption a replica reported between its last two probes (0 = off).
   double preemption_penalty = 0.0;
 
-  // The engine-knob subset: SkyWalker always pushes selectively by pending
-  // requests (§3.3).
+  // Push mode handed to the dispatch engine. SkyWalker proper pushes
+  // selectively by pending requests (§3.3); the blind-pushing baseline (BP)
+  // is exposed for fleet-scale comparisons.
+  PushMode push_mode = PushMode::kSelectivePending;
+
+  // The engine-knob subset.
   DispatchConfig engine() const {
     DispatchConfig config;
-    config.push_mode = PushMode::kSelectivePending;
+    config.push_mode = push_mode;
     config.probe_interval = probe_interval;
     config.push_slack = push_slack;
     config.min_free_block_fraction = min_free_block_fraction;

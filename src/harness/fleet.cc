@@ -1,0 +1,226 @@
+#include "src/harness/fleet.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <memory>
+#include <tuple>
+#include <utility>
+
+#include "src/common/histogram.h"
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+#include "src/common/strings.h"
+#include "src/core/deployment.h"
+#include "src/harness/scenario.h"
+#include "src/net/network.h"
+#include "src/sim/simulator.h"
+
+namespace skywalker {
+
+namespace {
+
+// Canonical outcome order: independent of which shard recorded what when.
+bool OutcomeBefore(const RequestOutcome& a, const RequestOutcome& b) {
+  return std::tie(a.completion_time, a.submit_time, a.client_region, a.id) <
+         std::tie(b.completion_time, b.submit_time, b.client_region, b.id);
+}
+
+}  // namespace
+
+FleetResult RunFleetExperiment(const FleetSpec& spec) {
+  const Topology& topology = spec.topology;
+  const size_t num_regions = topology.num_regions();
+  SKYWALKER_CHECK(spec.replicas_per_region.size() == num_regions)
+      << "replicas_per_region must match the topology";
+  SKYWALKER_CHECK(spec.clients_per_region > 0) << "fleet needs clients";
+
+  // --- simulation substrate: plain reference or sharded ---
+  std::unique_ptr<Simulator> plain_sim;
+  std::unique_ptr<ShardedSimulator> sharded;
+  std::unique_ptr<Network> net;
+  if (spec.num_shards <= 0) {
+    plain_sim = std::make_unique<Simulator>();
+    net = std::make_unique<Network>(plain_sim.get(), topology,
+                                    /*jitter_fraction=*/0.0, spec.seed);
+  } else {
+    sharded = std::make_unique<ShardedSimulator>(
+        topology, spec.num_shards, spec.num_threads, /*jitter_fraction=*/0.0);
+    net = std::make_unique<Network>(sharded.get(), /*jitter_fraction=*/0.0,
+                                    spec.seed);
+  }
+
+  // --- serving system ---
+  DeploymentSpec dspec;
+  dspec.replicas_per_region = spec.replicas_per_region;
+  dspec.replica_config = spec.replica_config;
+  dspec.lb_config = spec.lb;
+  dspec.controller_config = spec.controller;
+  Simulator* controller_sim = net->SimForRegion(dspec.controller_config.home_region);
+  auto deployment = Deployment::Build(controller_sim, net.get(), dspec);
+
+  // --- per-region metric collectors (each written only by its shard) ---
+  const SimTime measure_end = spec.warmup + spec.measure;
+  std::vector<std::unique_ptr<MetricsCollector>> collectors;
+  collectors.reserve(num_regions);
+  for (size_t r = 0; r < num_regions; ++r) {
+    auto collector = std::make_unique<MetricsCollector>();
+    collector->SetMeasurementWindow(spec.warmup, measure_end);
+    collectors.push_back(std::move(collector));
+  }
+
+  // --- client population: everything derived from (seed, client index) ---
+  ConversationGenerator base_gen(spec.conversation, num_regions, spec.seed);
+  std::vector<std::unique_ptr<ConversationGenerator>> generators;
+  std::vector<std::unique_ptr<ConversationClient>> clients;
+  std::vector<SimDuration> staggers;
+  for (RegionId region = 0; region < static_cast<RegionId>(num_regions);
+       ++region) {
+    Simulator* region_sim = net->SimForRegion(region);
+    for (int i = 0; i < spec.clients_per_region; ++i) {
+      const uint64_t index =
+          static_cast<uint64_t>(region) *
+              static_cast<uint64_t>(spec.clients_per_region) +
+          static_cast<uint64_t>(i);
+      generators.push_back(std::make_unique<ConversationGenerator>(
+          base_gen, index, MixSeed(spec.seed + 1000, index + 1)));
+      ClientConfig client_config = spec.client;
+      client_config.request_id_base =
+          static_cast<RequestId>((index + 1) << 32);
+      clients.push_back(std::make_unique<ConversationClient>(
+          region_sim, net.get(), deployment->resolver(),
+          generators.back().get(), collectors[static_cast<size_t>(region)].get(),
+          region, client_config, MixSeed(spec.seed + 2000, index + 1)));
+      // Stagger start over the first 5 s, independently per client (a shared
+      // stagger RNG would be consumed in client-iteration order, which is
+      // exactly the order sharding abolishes).
+      Rng stagger_rng(MixSeed(spec.seed ^ 0xdead, index + 1));
+      staggers.push_back(
+          static_cast<SimDuration>(stagger_rng.Uniform(0, 5e6)));
+    }
+  }
+
+  deployment->Start();
+  for (size_t i = 0; i < clients.size(); ++i) {
+    clients[i]->Start(staggers[i]);
+  }
+
+  // --- per-region imbalance samplers (each samples only its own shard's
+  // replicas; RunningStat slots are per-replica, so there is no sharing) ---
+  std::vector<RunningStat> outstanding_stats(deployment->replicas().size());
+  std::vector<std::vector<size_t>> region_replicas(num_regions);
+  for (size_t i = 0; i < deployment->replicas().size(); ++i) {
+    region_replicas[static_cast<size_t>(deployment->replicas()[i]->region())]
+        .push_back(i);
+  }
+  std::vector<std::unique_ptr<PeriodicTask>> samplers;
+  for (RegionId region = 0; region < static_cast<RegionId>(num_regions);
+       ++region) {
+    Simulator* region_sim = net->SimForRegion(region);
+    const std::vector<size_t>& mine = region_replicas[static_cast<size_t>(region)];
+    auto sampler = std::make_unique<PeriodicTask>(
+        region_sim, Seconds(1),
+        [&deployment, &outstanding_stats, &mine, region_sim, warmup = spec.warmup] {
+          if (region_sim->now() < warmup) {
+            return;
+          }
+          for (size_t i : mine) {
+            outstanding_stats[i].Add(static_cast<double>(
+                deployment->replicas()[i]->outstanding_count()));
+          }
+        });
+    region_sim->SetCurrentRegion(region);
+    sampler->Start();
+    samplers.push_back(std::move(sampler));
+  }
+
+  // --- run ---
+  const auto wall0 = std::chrono::steady_clock::now();
+  size_t executed = 0;
+  if (sharded != nullptr) {
+    executed = sharded->RunUntil(measure_end);
+  } else {
+    executed = plain_sim->RunUntil(measure_end);
+  }
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
+  for (auto& sampler : samplers) {
+    sampler->Stop();
+  }
+
+  // --- canonical summarization: merge, sort, re-feed one collector so
+  // every order-sensitive accumulation sees the same sequence ---
+  std::vector<RequestOutcome> all;
+  for (const auto& collector : collectors) {
+    all.insert(all.end(), collector->outcomes().begin(),
+               collector->outcomes().end());
+  }
+  std::sort(all.begin(), all.end(), OutcomeBefore);
+  MetricsCollector merged;
+  merged.SetMeasurementWindow(spec.warmup, measure_end);
+  for (const RequestOutcome& outcome : all) {
+    merged.RecordOutcome(outcome);
+  }
+
+  FleetResult result;
+  result.metrics.system = "fleet";
+  result.metrics.completed = merged.CountInWindow();
+  result.metrics.throughput_tok_s = merged.ThroughputTokensPerSec();
+  result.metrics.output_throughput_tok_s =
+      merged.OutputThroughputTokensPerSec();
+  result.metrics.ttft = merged.TtftSeconds();
+  result.metrics.e2e = merged.E2eSeconds();
+  result.metrics.ttft_p50_s = result.metrics.ttft.Percentile(50);
+  result.metrics.ttft_p90_s = result.metrics.ttft.Percentile(90);
+  result.metrics.ttft_mean_s = result.metrics.ttft.mean();
+  result.metrics.e2e_p50_s = result.metrics.e2e.Percentile(50);
+  result.metrics.e2e_p90_s = result.metrics.e2e.Percentile(90);
+  result.metrics.e2e_mean_s = result.metrics.e2e.mean();
+  result.metrics.cache_hit_rate = deployment->AggregateCacheHitRate();
+  result.metrics.forwarded_fraction = merged.ForwardedFraction();
+
+  double min_mean = std::numeric_limits<double>::max();
+  double max_mean = 0;
+  for (const RunningStat& stat : outstanding_stats) {
+    min_mean = std::min(min_mean, stat.mean());
+    max_mean = std::max(max_mean, stat.mean());
+  }
+  result.metrics.outstanding_imbalance =
+      (outstanding_stats.empty() || min_mean <= 0.0) ? 0.0
+                                                     : max_mean / min_mean;
+
+  if (spec.collect_trace) {
+    std::string trace;
+    trace.reserve(all.size() * 64);
+    for (const RequestOutcome& o : all) {
+      trace += StrFormat(
+          "%lld r%d>r%d@%d s%lld f%lld c%lld p%lld k%lld o%lld h%d%s\n",
+          static_cast<long long>(o.id), static_cast<int>(o.client_region),
+          static_cast<int>(o.served_region), static_cast<int>(o.replica),
+          static_cast<long long>(o.submit_time),
+          static_cast<long long>(o.first_token_time),
+          static_cast<long long>(o.completion_time),
+          static_cast<long long>(o.prompt_tokens),
+          static_cast<long long>(o.cached_prompt_tokens),
+          static_cast<long long>(o.output_tokens), o.hops,
+          o.forwarded ? " F" : "");
+    }
+    result.trace = std::move(trace);
+  }
+
+  result.messages_sent = net->messages_sent();
+  result.cross_region_messages = net->cross_region_messages();
+  result.executed_events = executed;
+  result.run_wall_seconds = wall_seconds;
+  if (sharded != nullptr) {
+    result.shard_timing = sharded->Timing();
+    result.windows = sharded->windows();
+    result.lookahead = sharded->lookahead();
+    result.num_shards = sharded->num_shards();
+    result.num_threads = sharded->num_threads();
+  }
+  return result;
+}
+
+}  // namespace skywalker

@@ -1,0 +1,83 @@
+// Fleet-scale experiment harness (ISSUE 6): builds a SkyWalker deployment
+// plus its client population on either a plain Simulator (the reference) or
+// a region-sharded ShardedSimulator, and runs it to a deterministic result.
+//
+// Everything that makes the plain harness (src/harness/experiment.h)
+// convenient is nondeterministic under sharding — the global request-id
+// atomic, the shared conversation generator, the shared stagger RNG, the one
+// MetricsCollector appended to from every region. This harness replaces each
+// with a per-client / per-region equivalent whose output is a pure function
+// of (spec, client index), then canonicalizes the merged outcome stream by
+// sorting before any order-sensitive summary (distributions accumulate in
+// sorted order), so results are bit-identical across shard counts, thread
+// counts, and against the plain reference.
+
+#ifndef SKYWALKER_HARNESS_FLEET_H_
+#define SKYWALKER_HARNESS_FLEET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/controller.h"
+#include "src/core/skywalker_lb.h"
+#include "src/harness/experiment.h"
+#include "src/net/topology.h"
+#include "src/replica/replica.h"
+#include "src/sim/sharded_simulator.h"
+#include "src/workload/client.h"
+#include "src/workload/conversation.h"
+
+namespace skywalker {
+
+struct FleetSpec {
+  Topology topology = Topology::FourRegions();
+  std::vector<int> replicas_per_region;
+  int clients_per_region = 0;
+
+  ReplicaConfig replica_config;
+  SkyWalkerConfig lb;
+  ControllerConfig controller;
+  ConversationWorkloadConfig conversation =
+      ConversationWorkloadConfig::WildChat();
+  ClientConfig client;
+
+  SimDuration warmup = Seconds(10);
+  SimDuration measure = Seconds(60);
+  uint64_t seed = 7;
+
+  // 0: plain single-threaded Simulator (the reference). >= 1: sharded
+  // simulation with that many region shards (clamped to the region count)
+  // and `num_threads` workers (0 = one per shard).
+  int num_shards = 0;
+  int num_threads = 1;
+
+  // Serializes every outcome into FleetResult::trace (one line per request,
+  // canonical order) for bit-identity tests. Off for large benches.
+  bool collect_trace = false;
+};
+
+struct FleetResult {
+  ExperimentResult metrics;
+  // One line per completed request, sorted by (completion_time, submit_time,
+  // client_region, id). Empty unless FleetSpec::collect_trace.
+  std::string trace;
+
+  uint64_t messages_sent = 0;
+  uint64_t cross_region_messages = 0;
+  size_t executed_events = 0;
+
+  // Wall-clock telemetry (nondeterministic; BENCH_TIMING.json only).
+  double run_wall_seconds = 0;
+  std::vector<ShardedSimulator::ShardTiming> shard_timing;  // Sharded only.
+  uint64_t windows = 0;
+  SimDuration lookahead = 0;
+  int num_shards = 0;   // 0 for the plain reference.
+  int num_threads = 0;
+};
+
+FleetResult RunFleetExperiment(const FleetSpec& spec);
+
+}  // namespace skywalker
+
+#endif  // SKYWALKER_HARNESS_FLEET_H_

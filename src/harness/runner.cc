@@ -1,7 +1,10 @@
 #include "src/harness/runner.h"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
+#include <thread>
+#include <tuple>
 #include <utility>
 
 #include "src/common/logging.h"
@@ -9,6 +12,30 @@
 #include "src/harness/parallel.h"
 
 namespace skywalker {
+
+ShardTimingRegistry& ShardTimingRegistry::Instance() {
+  static ShardTimingRegistry* registry = new ShardTimingRegistry();
+  return *registry;
+}
+
+void ShardTimingRegistry::Record(CellShardTiming timing) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.push_back(std::move(timing));
+}
+
+std::vector<CellShardTiming> ShardTimingRegistry::Drain() {
+  std::vector<CellShardTiming> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.swap(records_);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CellShardTiming& a, const CellShardTiming& b) {
+              return std::tie(a.scenario, a.cell, a.shards, a.threads) <
+                     std::tie(b.scenario, b.cell, b.shards, b.threads);
+            });
+  return out;
+}
 
 namespace {
 
@@ -105,10 +132,14 @@ std::vector<ScenarioRunResult> RunScenarios(
     }
     results.push_back(std::move(result));
   }
+  // Always drain: records from this run must not bleed into the next
+  // RunScenarios call in the same process (e.g. back-to-back tests).
+  std::vector<CellShardTiming> shard_cells = ShardTimingRegistry::Instance().Drain();
   if (timing != nullptr) {
     timing->wall_seconds = std::chrono::duration<double>(
                                std::chrono::steady_clock::now() - run_start)
                                .count();
+    timing->shard_cells = std::move(shard_cells);
   }
   return results;
 }
@@ -121,6 +152,8 @@ Json TimingJson(const std::vector<ScenarioRunResult>& results,
   doc.Set("trials", config.trials);
   doc.Set("smoke", config.smoke);
   doc.Set("threads", config.threads);
+  doc.Set("hardware_concurrency",
+          static_cast<int>(std::thread::hardware_concurrency()));
   doc.Set("wall_seconds", timing.wall_seconds);
   Json scenarios = Json::Array();
   for (const ScenarioRunResult& result : results) {
@@ -131,6 +164,33 @@ Json TimingJson(const std::vector<ScenarioRunResult>& results,
     scenarios.Append(std::move(entry));
   }
   doc.Set("scenarios", std::move(scenarios));
+  // Shard-level breakdowns for cells that ran on a ShardedSimulator: busy vs
+  // barrier-wait wall time per shard (the load-balance picture for the
+  // conservative-lookahead windows).
+  if (!timing.shard_cells.empty()) {
+    Json cells = Json::Array();
+    for (const CellShardTiming& cell : timing.shard_cells) {
+      Json cj = Json::Object();
+      cj.Set("scenario", cell.scenario);
+      cj.Set("cell", cell.cell);
+      cj.Set("shards", cell.shards);
+      cj.Set("threads", cell.threads);
+      cj.Set("wall_seconds", cell.wall_seconds);
+      cj.Set("windows", static_cast<double>(cell.windows));
+      Json per_shard = Json::Array();
+      for (const ShardWallTime& shard : cell.per_shard) {
+        Json sj = Json::Object();
+        sj.Set("busy_seconds", shard.busy_seconds);
+        sj.Set("barrier_seconds", shard.barrier_seconds);
+        sj.Set("executed_events", static_cast<double>(shard.executed_events));
+        sj.Set("mailbox_in", static_cast<double>(shard.mailbox_in));
+        per_shard.Append(std::move(sj));
+      }
+      cj.Set("per_shard", std::move(per_shard));
+      cells.Append(std::move(cj));
+    }
+    doc.Set("cells", std::move(cells));
+  }
   return doc;
 }
 

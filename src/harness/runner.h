@@ -6,6 +6,7 @@
 #define SKYWALKER_HARNESS_RUNNER_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -38,12 +39,54 @@ struct ScenarioRunResult {
   size_t cells = 0;
 };
 
+// Per-shard wall-time split for one simulation shard: time spent executing
+// events vs. waiting at window barriers (conservative-lookahead sync).
+struct ShardWallTime {
+  double busy_seconds = 0;
+  double barrier_seconds = 0;
+  uint64_t executed_events = 0;
+  uint64_t mailbox_in = 0;  // Cross-shard messages delivered to the shard.
+};
+
+// Shard-level timing for one scenario cell that ran on a ShardedSimulator.
+// Cells publish these via ShardTimingRegistry from inside their run()
+// closure (cells execute on the shared pool, so a side channel — not the
+// MetricRow return path — keeps nondeterministic wall time out of goldens).
+struct CellShardTiming {
+  std::string scenario;
+  std::string cell;
+  int shards = 0;
+  int threads = 0;
+  double wall_seconds = 0;   // Whole-cell simulation wall time.
+  uint64_t windows = 0;      // Lookahead windows executed.
+  std::vector<ShardWallTime> per_shard;
+};
+
+// Process-wide sink for CellShardTiming records. Thread-safe: cells run
+// concurrently on the pool. RunScenarios drains it at the end of every run,
+// so records never leak across back-to-back runs in one process.
+class ShardTimingRegistry {
+ public:
+  static ShardTimingRegistry& Instance();
+  void Record(CellShardTiming timing);
+  // Returns and clears all records, sorted by (scenario, cell) so the
+  // sidecar layout is independent of pool scheduling.
+  std::vector<CellShardTiming> Drain();
+
+ private:
+  ShardTimingRegistry() = default;
+  std::mutex mu_;
+  std::vector<CellShardTiming> records_;
+};
+
 // Wall-clock accounting for one RunScenarios call (the opt-in
 // `skybench --timing` sidecar). Never part of BENCH_<scenario>.json: those
 // files stay byte-identical across hosts and thread counts, while this is
 // nondeterministic by nature.
 struct RunTiming {
   double wall_seconds = 0;  // End-to-end, including planning and merging.
+  // Per-cell shard breakdowns drained from ShardTimingRegistry.
+  std::vector<CellShardTiming> shard_cells;
 };
 
 // Runs every requested scenario. All cells across scenarios and trials share

@@ -7,13 +7,27 @@
 // invoke on receipt. Deliveries are EventFn (small-buffer callables), so a
 // message whose captures fit inline reaches the event queue without any
 // heap allocation.
+//
+// Sharded mode (ISSUE 6): constructed over a ShardedSimulator, the network
+// becomes the sole cross-region channel. A send executes on the sender
+// region's shard; same-shard deliveries go straight into that shard's keyed
+// queue, cross-shard deliveries into the (src, dst) mailbox drained at the
+// next window barrier. Delivery keys are allocated from the *sender* region's
+// sequence, so the destination's execution order is independent of shard and
+// thread count. Jitter draws come from per-region RNG streams for the same
+// reason. In plain (single-Simulator) mode behavior is byte-identical to the
+// pre-sharding network.
 
 #ifndef SKYWALKER_NET_NETWORK_H_
 #define SKYWALKER_NET_NETWORK_H_
 
+#include <cstdint>
+#include <vector>
+
 #include "src/common/rng.h"
 #include "src/common/sim_time.h"
 #include "src/net/topology.h"
+#include "src/sim/sharded_simulator.h"
 #include "src/sim/simulator.h"
 
 namespace skywalker {
@@ -25,29 +39,62 @@ class Network {
   Network(Simulator* sim, Topology topology, double jitter_fraction = 0.0,
           uint64_t seed = kDefaultRngSeed);
 
+  // Sharded mode: topology comes from the sharded simulator. The simulator
+  // must have been built with a jitter bound >= `jitter_fraction`, or the
+  // lookahead window would admit jittered deliveries into its own window.
+  explicit Network(ShardedSimulator* sharded, double jitter_fraction = 0.0,
+                   uint64_t seed = kDefaultRngSeed);
+
   // Delivers `deliver` at the destination after Latency(from, to) (+jitter).
   void Send(RegionId from, RegionId to, EventFn deliver);
+
+  // Delivers `fn` in region `to` after an explicit `delay`, charged to no
+  // message counter: the response leg of an exchange whose latency the
+  // caller already computed (e.g. streaming token callbacks). In plain mode
+  // this is exactly sim()->ScheduleAfter(delay, fn). In sharded mode
+  // cross-shard delays must be >= Latency(from, to) or the lookahead
+  // contract is violated (CHECKed at the window barrier).
+  void Deliver(RegionId from, RegionId to, SimDuration delay, EventFn fn);
 
   // Expected (jitter-free) one-way latency.
   SimDuration Latency(RegionId from, RegionId to) const {
     return topology_.Latency(from, to);
   }
 
+  // The shard-local simulator owning `region` (plain mode: the one
+  // simulator). Actor construction and "what time is it here?" reads must
+  // use this, never another region's clock.
+  Simulator* SimForRegion(RegionId region) const {
+    return sharded_ ? sharded_->SimForRegion(region) : sim_;
+  }
+
   Simulator* sim() const { return sim_; }
+  ShardedSimulator* sharded() const { return sharded_; }
   const Topology& topology() const { return topology_; }
 
-  // Total messages sent (probing-overhead accounting in benches).
-  uint64_t messages_sent() const { return messages_sent_; }
+  // Total messages sent (probing-overhead accounting in benches). Counters
+  // are sharded by sender shard and summed here; read after RunUntil
+  // returns (mid-run reads from another thread would race).
+  uint64_t messages_sent() const;
   // Messages whose source and destination regions differ.
-  uint64_t cross_region_messages() const { return cross_region_messages_; }
+  uint64_t cross_region_messages() const;
 
  private:
-  Simulator* sim_;
+  // Per-shard message counters: each is written only by the thread running
+  // its shard, on its own cache line, so counting stays synchronization-free
+  // under parallel windows.
+  struct alignas(64) ShardCounters {
+    uint64_t messages_sent = 0;
+    uint64_t cross_region = 0;
+  };
+
+  Simulator* sim_ = nullptr;          // Plain mode only.
+  ShardedSimulator* sharded_ = nullptr;
   Topology topology_;
   double jitter_fraction_;
-  Rng rng_;
-  uint64_t messages_sent_ = 0;
-  uint64_t cross_region_messages_ = 0;
+  Rng rng_;                  // Plain-mode jitter stream (seed-compatible).
+  std::vector<Rng> region_rngs_;  // Sharded-mode per-region jitter streams.
+  std::vector<ShardCounters> counters_;
 };
 
 }  // namespace skywalker

@@ -92,4 +92,19 @@ Topology Topology::FiveRegions() {
   return t;
 }
 
+Topology Topology::FourRegions() {
+  Topology t;
+  RegionId use = t.AddRegion("us-east", Milliseconds(1));
+  RegionId usw = t.AddRegion("us-west", Milliseconds(1));
+  RegionId euw = t.AddRegion("eu-west", Milliseconds(1));
+  RegionId apn = t.AddRegion("ap-northeast", Milliseconds(1));
+  t.SetLatency(use, usw, Milliseconds(33));
+  t.SetLatency(use, euw, Milliseconds(40));
+  t.SetLatency(use, apn, Milliseconds(75));
+  t.SetLatency(usw, euw, Milliseconds(67));
+  t.SetLatency(usw, apn, Milliseconds(55));
+  t.SetLatency(euw, apn, Milliseconds(110));
+  return t;
+}
+
 }  // namespace skywalker

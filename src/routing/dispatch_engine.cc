@@ -303,26 +303,35 @@ void DispatchEngine::DispatchTo(Queued queued, ReplicaId replica_id) {
   auto callbacks =
       std::make_shared<RequestCallbacks>(std::move(queued.callbacks));
 
+  // The handlers below run on the *replica's* shard (the replica invokes
+  // them), so times come from the replica-side clock and client callbacks
+  // travel back through the network; in plain mode both reduce to the seed
+  // behavior (one simulator, Deliver == ScheduleAfter).
+  Simulator* replica_sim = net_->SimForRegion(replica_region);
   Replica::Handlers handlers;
-  handlers.on_first_token = [this, outcome, callbacks, response_latency](
+  handlers.on_first_token = [this, outcome, callbacks, response_latency,
+                             replica_sim, replica_region, client_region](
                                 const Request& /*req*/, int64_t cached) {
     outcome->cached_prompt_tokens = cached;
-    outcome->first_token_time = sim_->now() + response_latency;
+    outcome->first_token_time = replica_sim->now() + response_latency;
     if (callbacks->on_first_token) {
-      sim_->ScheduleAfter(response_latency, [callbacks, outcome] {
-        callbacks->on_first_token(*outcome);
-      });
+      net_->Deliver(replica_region, client_region, response_latency,
+                    [callbacks, outcome] {
+                      callbacks->on_first_token(*outcome);
+                    });
     }
   };
   handlers.on_complete = [this, outcome, callbacks, response_latency,
+                          replica_sim, replica_region, client_region,
                           replica_id](const Request& /*req*/,
                                       int64_t cached) {
     outcome->cached_prompt_tokens = cached;
-    outcome->completion_time = sim_->now() + response_latency;
+    outcome->completion_time = replica_sim->now() + response_latency;
     if (callbacks->on_complete) {
-      sim_->ScheduleAfter(response_latency, [callbacks, outcome] {
-        callbacks->on_complete(*outcome);
-      });
+      net_->Deliver(replica_region, client_region, response_latency,
+                    [callbacks, outcome] {
+                      callbacks->on_complete(*outcome);
+                    });
     }
     // LB-side accounting flows back over the replica->LB hop only.
     net_->Send(outcome->served_region, region_, [this, replica_id] {

@@ -56,14 +56,24 @@ void EventQueue::PopHeapTop() {
 
 EventId EventQueue::Push(SimTime at, EventFn fn) {
   uint32_t slot = slots_.Acquire();
-  slots_[slot] = std::move(fn);
+  slots_[slot] = Payload{std::move(fn), kInvalidEventRegion};
   heap_.push_back(Entry{at, next_seq_++, slot, slots_.gen(slot)});
   SiftUp(heap_.size() - 1);
   return slots_.MakeHandle(slot);
 }
 
+EventId EventQueue::PushKeyed(SimTime at, uint64_t key, EventRegion target,
+                              EventFn fn) {
+  uint32_t slot = slots_.Acquire();
+  slots_[slot] = Payload{std::move(fn), target};
+  heap_.push_back(Entry{at, key, slot, slots_.gen(slot)});
+  SiftUp(heap_.size() - 1);
+  return slots_.MakeHandle(slot);
+}
+
 void EventQueue::ReleaseSlot(uint32_t slot) {
-  slots_[slot] = EventFn();  // Drop the callback; slots may idle on the list.
+  // Drop the callback; slots may idle on the free list.
+  slots_[slot] = Payload{};
   slots_.Release(slot);
 }
 
@@ -73,7 +83,7 @@ bool EventQueue::Cancel(EventId id) {
   }
   // The heap entry stays behind; SkipStale drops it (generation mismatch)
   // when it reaches the top.
-  ReleaseSlot(GenSlotPool<EventFn>::HandleSlot(id));
+  ReleaseSlot(GenSlotPool<Payload>::HandleSlot(id));
   return true;
 }
 
@@ -95,7 +105,7 @@ EventQueue::Event EventQueue::Pop() {
   const Entry top = heap_.front();
   PopHeapTop();
   Event event{top.at, slots_.MakeHandle(top.slot),
-              std::move(slots_[top.slot])};
+              std::move(slots_[top.slot].fn), slots_[top.slot].target};
   ReleaseSlot(top.slot);
   return event;
 }

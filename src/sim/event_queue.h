@@ -29,15 +29,38 @@ namespace skywalker {
 using EventId = uint64_t;
 inline constexpr EventId kInvalidEventId = 0;
 
+// Matches RegionId in src/net/topology.h. Spelled as the underlying type
+// here so sim/ stays independent of net/ (net/ layers on top of sim/).
+using EventRegion = int32_t;
+inline constexpr EventRegion kInvalidEventRegion = -1;
+
 // Scheduled-callback type. Small captures are stored inline (no heap);
 // oversized functors transparently fall back to one allocation.
 using EventFn = InlineFunction;
 
+// Deterministic cross-shard ordering key (ISSUE 6): packs (origin region,
+// per-origin sequence) so that plain uint64 comparison orders equal-time
+// events by origin region first, then by per-origin scheduling order. The
+// key is a pure function of the origin region's own execution history, so
+// the resulting (time, key) total order is independent of how regions are
+// grouped into shards and of thread count.
+inline constexpr int kOrderKeySeqBits = 40;
+inline constexpr uint64_t MakeOrderKey(EventRegion origin, uint64_t seq) {
+  return (static_cast<uint64_t>(origin + 1) << kOrderKeySeqBits) | seq;
+}
+
 class EventQueue {
  public:
   // Enqueues `fn` to run at absolute time `at`. Returns a handle usable with
-  // Cancel().
+  // Cancel(). Tie-break at equal times: scheduling (FIFO) order.
   EventId Push(SimTime at, EventFn fn);
+
+  // Keyed enqueue: the caller supplies the 64-bit tie-break key (see
+  // MakeOrderKey) and the region the event targets, which Pop() surfaces so
+  // a sharded executor can scope the handler to its region. Keys must be
+  // unique; plain and keyed pushes must not be mixed in one queue (the two
+  // key spaces would interleave arbitrarily at equal timestamps).
+  EventId PushKeyed(SimTime at, uint64_t key, EventRegion target, EventFn fn);
 
   // Cancels a pending event. Returns false if the event already ran, was
   // already cancelled, or never existed.
@@ -49,15 +72,22 @@ class EventQueue {
   // Timestamp of the earliest live event. Requires !empty().
   SimTime PeekTime();
 
-  // Pops the earliest live event. Requires !empty().
+  // Pops the earliest live event. Requires !empty(). `target` is the region
+  // given to PushKeyed, or kInvalidEventRegion for plain pushes.
   struct Event {
     SimTime at;
     EventId id;
     EventFn fn;
+    EventRegion target = kInvalidEventRegion;
   };
   Event Pop();
 
  private:
+  // Slot payload: the callback plus the target region for keyed events.
+  struct Payload {
+    EventFn fn;
+    EventRegion target = kInvalidEventRegion;
+  };
   // Trivially copyable heap entry; the heap never touches callbacks, which
   // live in the generation-stamped slot pool (releasing a slot invalidates
   // both the outstanding EventId and any stale heap entry in one store).
@@ -88,7 +118,7 @@ class EventQueue {
   void ReleaseSlot(uint32_t slot);
 
   std::vector<Entry> heap_;
-  GenSlotPool<EventFn> slots_;
+  GenSlotPool<Payload> slots_;
   uint64_t next_seq_ = 1;
 };
 

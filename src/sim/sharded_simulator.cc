@@ -1,0 +1,241 @@
+#include "src/sim/sharded_simulator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace skywalker {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+ShardedSimulator::ShardedSimulator(const Topology& topology, int num_shards,
+                                   int num_threads, double jitter_fraction)
+    : topology_(topology) {
+  SKYWALKER_CHECK(num_shards >= 1);
+  SKYWALKER_CHECK(topology_.num_regions() >= 1);
+  SKYWALKER_CHECK(jitter_fraction >= 0.0 && jitter_fraction < 1.0);
+  num_shards = std::min<int>(num_shards,
+                             static_cast<int>(topology_.num_regions()));
+  num_threads_ = num_threads <= 0 ? num_shards : std::min(num_threads,
+                                                          num_shards);
+
+  shard_of_region_.resize(topology_.num_regions());
+  for (size_t r = 0; r < topology_.num_regions(); ++r) {
+    shard_of_region_[r] = static_cast<int>(r) % num_shards;
+  }
+  for (int s = 0; s < num_shards; ++s) {
+    shards_.push_back(std::make_unique<Simulator>());
+    shards_.back()->EnableKeyedOrdering(topology_.num_regions());
+  }
+  mailboxes_.resize(static_cast<size_t>(num_shards) *
+                    static_cast<size_t>(num_shards));
+  busy_seconds_.assign(static_cast<size_t>(num_shards), 0.0);
+  mailbox_in_.assign(static_cast<size_t>(num_shards), 0);
+
+  // Lookahead = min one-way latency over region pairs living on different
+  // shards, discounted by the jitter bound (jittered latency can be as low
+  // as floor(latency * (1 - j))).
+  SimDuration min_cross = std::numeric_limits<SimDuration>::max();
+  const RegionId n = static_cast<RegionId>(topology_.num_regions());
+  for (RegionId a = 0; a < n; ++a) {
+    for (RegionId b = 0; b < n; ++b) {
+      if (ShardOf(a) != ShardOf(b)) {
+        min_cross = std::min(min_cross, topology_.Latency(a, b));
+      }
+    }
+  }
+  if (num_shards == 1) {
+    lookahead_ = kSimTimeMax;
+  } else {
+    lookahead_ = static_cast<SimDuration>(
+        std::floor(static_cast<double>(min_cross) * (1.0 - jitter_fraction)));
+    SKYWALKER_CHECK(lookahead_ >= 1)
+        << "cross-shard latency too small for a lookahead window";
+  }
+}
+
+ShardedSimulator::~ShardedSimulator() = default;
+
+void ShardedSimulator::PostCrossShard(int from_shard, SimTime at, uint64_t key,
+                                      RegionId target, EventFn fn) {
+  Mailbox(from_shard, ShardOf(target))
+      .push_back(Mail{at, key, target, std::move(fn)});
+}
+
+void ShardedSimulator::DrainMailboxes(SimTime window_end) {
+  const int S = num_shards();
+  for (int dst = 0; dst < S; ++dst) {
+    Simulator* sim = shard(dst);
+    for (int src = 0; src < S; ++src) {
+      std::vector<Mail>& box = Mailbox(src, dst);
+      for (Mail& mail : box) {
+        // The conservative-lookahead contract: anything sent during the
+        // window just executed delivers at or after the next window start.
+        SKYWALKER_CHECK(mail.at >= window_end)
+            << "cross-shard message violates the lookahead bound";
+        sim->ScheduleKeyedAt(mail.at, mail.key, mail.target,
+                             std::move(mail.fn));
+      }
+      mailbox_in_[static_cast<size_t>(dst)] += box.size();
+      box.clear();
+    }
+  }
+}
+
+size_t ShardedSimulator::RunUntil(SimTime deadline) {
+  const size_t before = executed_events();
+  if (num_shards() == 1) {
+    const auto t0 = std::chrono::steady_clock::now();
+    shards_[0]->RunUntil(deadline);
+    busy_seconds_[0] += SecondsSince(t0);
+    parallel_seconds_ += SecondsSince(t0);
+    ++windows_;
+    next_window_start_ = deadline + 1;
+    return executed_events() - before;
+  }
+  if (num_threads_ <= 1) {
+    RunWindowsSerial(deadline);
+  } else {
+    RunWindowsParallel(deadline, num_threads_);
+  }
+  next_window_start_ = deadline + 1;
+  for (auto& sim : shards_) {
+    sim->AdvanceTo(deadline);
+  }
+  return executed_events() - before;
+}
+
+void ShardedSimulator::RunWindowsSerial(SimTime deadline) {
+  SimTime t = next_window_start_;
+  while (t <= deadline) {
+    // SimTime is integral, so events with at <= deadline are exactly those
+    // with at < deadline + 1 — the final (possibly partial) window.
+    const SimTime end = std::min(t + lookahead_, deadline + 1);
+    const auto w0 = std::chrono::steady_clock::now();
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      const auto t0 = std::chrono::steady_clock::now();
+      shards_[s]->RunBefore(end);
+      busy_seconds_[s] += SecondsSince(t0);
+    }
+    parallel_seconds_ += SecondsSince(w0);
+    ++windows_;
+    DrainMailboxes(end);
+    t = end;
+  }
+}
+
+void ShardedSimulator::RunWindowsParallel(SimTime deadline, int workers) {
+  const int S = num_shards();
+  struct Sync {
+    std::mutex mu;
+    std::condition_variable start_cv;
+    std::condition_variable done_cv;
+    uint64_t epoch = 0;
+    int done = 0;
+    SimTime window_end = 0;
+    bool quit = false;
+  } sync;
+
+  // Persistent workers with static shard ownership (worker w runs shards
+  // w, w+W, ...): spawning threads per window would dwarf the window's
+  // event work, and static ownership keeps busy_seconds_ single-writer.
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back([this, w, workers, S, &sync] {
+      uint64_t seen = 0;
+      for (;;) {
+        SimTime end;
+        {
+          std::unique_lock<std::mutex> lock(sync.mu);
+          sync.start_cv.wait(
+              lock, [&sync, seen] { return sync.quit || sync.epoch > seen; });
+          if (sync.quit) {
+            return;
+          }
+          seen = sync.epoch;
+          end = sync.window_end;
+        }
+        for (int s = w; s < S; s += workers) {
+          const auto t0 = std::chrono::steady_clock::now();
+          shards_[static_cast<size_t>(s)]->RunBefore(end);
+          busy_seconds_[static_cast<size_t>(s)] += SecondsSince(t0);
+        }
+        {
+          std::lock_guard<std::mutex> lock(sync.mu);
+          if (++sync.done == workers) {
+            sync.done_cv.notify_one();
+          }
+        }
+      }
+    });
+  }
+
+  SimTime t = next_window_start_;
+  while (t <= deadline) {
+    const SimTime end = std::min(t + lookahead_, deadline + 1);
+    const auto w0 = std::chrono::steady_clock::now();
+    {
+      std::lock_guard<std::mutex> lock(sync.mu);
+      sync.window_end = end;
+      sync.done = 0;
+      ++sync.epoch;
+    }
+    sync.start_cv.notify_all();
+    {
+      std::unique_lock<std::mutex> lock(sync.mu);
+      sync.done_cv.wait(lock,
+                        [&sync, workers] { return sync.done == workers; });
+    }
+    parallel_seconds_ += SecondsSince(w0);
+    ++windows_;
+    // Mailboxes were written under the window and are read here after the
+    // barrier handshake (mutex-ordered), so the drain needs no extra locks.
+    DrainMailboxes(end);
+    t = end;
+  }
+  {
+    std::lock_guard<std::mutex> lock(sync.mu);
+    sync.quit = true;
+  }
+  sync.start_cv.notify_all();
+  for (std::thread& worker : pool) {
+    worker.join();
+  }
+}
+
+size_t ShardedSimulator::executed_events() const {
+  size_t total = 0;
+  for (const auto& sim : shards_) {
+    total += sim->executed_events();
+  }
+  return total;
+}
+
+std::vector<ShardedSimulator::ShardTiming> ShardedSimulator::Timing() const {
+  std::vector<ShardTiming> out(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    out[s].busy_seconds = busy_seconds_[s];
+    out[s].barrier_seconds = std::max(0.0, parallel_seconds_ -
+                                               busy_seconds_[s]);
+    out[s].executed_events = shards_[s]->executed_events();
+    out[s].mailbox_in = mailbox_in_[s];
+  }
+  return out;
+}
+
+}  // namespace skywalker

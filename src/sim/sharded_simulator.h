@@ -1,0 +1,139 @@
+// Region-sharded parallel discrete-event simulation with conservative
+// lookahead (ISSUE 6; classic Chandy–Misra–Bryant windowing).
+//
+// The fleet's regions are partitioned into N shards, each owning one
+// Simulator (queue + clock + RNG domains for its regions). Execution
+// proceeds in windows of length L = the minimum cross-shard one-way network
+// latency: within a window [T, T+L) every shard runs its own events with
+// zero coordination, because any message another shard sent during the same
+// window is delivered at sender_now + latency >= T + L — outside the
+// window. At the window barrier the main thread drains the per-(src,dst)
+// shard mailboxes into the destination queues and the next window starts.
+//
+// Determinism is structural, not scheduling-dependent: every event carries
+// an ordering key (time, origin region, per-origin sequence) — see
+// event_queue.h — so each shard's execution order, and therefore each
+// region's observable behavior, is a pure function of per-region histories.
+// Shard count and thread count change only which queue an event waits in,
+// never the order regions observe. Mailbox drain order (ascending source
+// shard) is fixed for reproducible queue internals, though any drain order
+// yields the same execution: the heap orders by the carried key.
+//
+// Restrictions in sharded mode (single-shard/plain mode is unaffected):
+//  * cross-region interaction must flow through Network::Send /
+//    Network::Deliver (direct cross-region method calls would race);
+//  * fault injection (LB Fail/Recover, controller failover) is not
+//    supported — those paths mutate remote-region state directly.
+
+#ifndef SKYWALKER_SIM_SHARDED_SIMULATOR_H_
+#define SKYWALKER_SIM_SHARDED_SIMULATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/net/topology.h"
+#include "src/sim/simulator.h"
+
+namespace skywalker {
+
+class ShardedSimulator {
+ public:
+  // Fixed shard assignment: region r -> shard r % num_shards (part of the
+  // determinism contract; see DESIGN.md §7.2). `num_threads` caps the
+  // worker pool (0 = one thread per shard; 1 = serial windows, same
+  // results). `jitter_fraction` must be an upper bound on the Network
+  // jitter so the lookahead window stays conservative under jittered
+  // latencies.
+  ShardedSimulator(const Topology& topology, int num_shards,
+                   int num_threads = 0, double jitter_fraction = 0.0);
+  ~ShardedSimulator();
+
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int num_threads() const { return num_threads_; }
+  const Topology& topology() const { return topology_; }
+
+  // The conservative lookahead window: min cross-shard one-way latency,
+  // discounted by the jitter bound. kSimTimeMax with a single shard.
+  SimDuration lookahead() const { return lookahead_; }
+
+  int ShardOf(RegionId region) const {
+    return shard_of_region_[static_cast<size_t>(region)];
+  }
+  Simulator* shard(int s) { return shards_[static_cast<size_t>(s)].get(); }
+  Simulator* SimForRegion(RegionId region) { return shard(ShardOf(region)); }
+
+  // Cross-shard message injection (Network's sharded send path). Only the
+  // thread currently executing `from_shard` may call this; the mail is
+  // drained into the destination shard at the next window barrier.
+  void PostCrossShard(int from_shard, SimTime at, uint64_t key,
+                      RegionId target, EventFn fn);
+
+  // Windowed parallel execution of all shards up to and including
+  // `deadline`; every shard clock ends at >= deadline (Simulator::RunUntil
+  // parity). Returns events executed across shards during this call.
+  size_t RunUntil(SimTime deadline);
+
+  size_t executed_events() const;
+
+  // Per-shard wall-time breakdown of all RunUntil calls so far: busy is
+  // in-window event execution on the shard, barrier is the remainder of the
+  // parallel phase (waiting on straggler shards plus mailbox drains).
+  // Nondeterministic; feeds the BENCH_TIMING.json sidecar only.
+  struct ShardTiming {
+    double busy_seconds = 0;
+    double barrier_seconds = 0;
+    uint64_t executed_events = 0;
+    uint64_t mailbox_in = 0;  // Cross-shard messages delivered to the shard.
+  };
+  std::vector<ShardTiming> Timing() const;
+  uint64_t windows() const { return windows_; }
+
+ private:
+  struct Mail {
+    SimTime at;
+    uint64_t key;
+    RegionId target;
+    EventFn fn;
+  };
+
+  std::vector<Mail>& Mailbox(int from_shard, int to_shard) {
+    return mailboxes_[static_cast<size_t>(from_shard) *
+                          static_cast<size_t>(num_shards()) +
+                      static_cast<size_t>(to_shard)];
+  }
+
+  // Moves all pending mail into destination queues; mail delivery times
+  // must be >= `window_end` (the lookahead guarantee, CHECKed).
+  void DrainMailboxes(SimTime window_end);
+
+  void RunWindowsSerial(SimTime deadline);
+  void RunWindowsParallel(SimTime deadline, int workers);
+
+  Topology topology_;
+  int num_threads_;
+  SimDuration lookahead_ = 0;
+  std::vector<int> shard_of_region_;
+  std::vector<std::unique_ptr<Simulator>> shards_;
+  // Dense (src, dst) mailbox matrix. A box is written only by the thread
+  // executing its source shard inside a window and drained only by the main
+  // thread at the barrier, so no synchronization beyond the barrier itself
+  // is needed.
+  std::vector<std::vector<Mail>> mailboxes_;
+  SimTime next_window_start_ = 0;
+
+  // Timing accounting (telemetry only). busy_seconds_[s] is written solely
+  // by the worker that owns shard s; the rest by the main thread.
+  std::vector<double> busy_seconds_;
+  std::vector<uint64_t> mailbox_in_;
+  double parallel_seconds_ = 0;
+  uint64_t windows_ = 0;
+};
+
+}  // namespace skywalker
+
+#endif  // SKYWALKER_SIM_SHARDED_SIMULATOR_H_

@@ -18,7 +18,7 @@ RequestId NextRequestId() {
 
 void SubmitViaNetwork(Network* net, RegionId client_region, Frontend* frontend,
                       Request req, RequestCallbacks callbacks) {
-  req.submit_time = net->sim()->now();
+  req.submit_time = net->SimForRegion(client_region)->now();
   RegionId to = frontend->region();
   net->Send(client_region, to,
             [frontend, req = std::move(req),
@@ -40,9 +40,13 @@ ConversationClient::ConversationClient(
       config_(config),
       rng_(seed) {
   user_ = generator_->MakeUser(region_);
+  next_request_id_ = config_.request_id_base;
 }
 
 void ConversationClient::Start(SimDuration initial_delay) {
+  // Keyed-ordering scope (no-op in plain mode): the kickoff event belongs
+  // to this client's region.
+  sim_->SetCurrentRegion(region_);
   sim_->ScheduleAfter(initial_delay, [this] { BeginConversation(); });
 }
 
@@ -61,7 +65,7 @@ void ConversationClient::IssueTurn() {
   }
   const auto& turn = current_.turns[next_turn_];
   Request req;
-  req.id = NextRequestId();
+  req.id = config_.request_id_base == 0 ? NextRequestId() : next_request_id_++;
   req.user_id = user_.user_id;
   req.session_id = current_.session_id;
   req.client_region = region_;
@@ -119,9 +123,11 @@ ToTClient::ToTClient(Simulator* sim, Network* net, FrontendResolver* resolver,
       config_(config),
       rng_(seed) {
   user_id_ = static_cast<UserId>(rng_.Next() >> 1);
+  next_request_id_ = config_.request_id_base;
 }
 
 void ToTClient::Start(SimDuration initial_delay) {
+  sim_->SetCurrentRegion(region_);
   sim_->ScheduleAfter(initial_delay, [this] { BeginTree(); });
 }
 
@@ -146,7 +152,8 @@ void ToTClient::IssueLevel() {
   for (int node_idx : level) {
     const auto& node = current_.nodes[static_cast<size_t>(node_idx)];
     Request req;
-    req.id = NextRequestId();
+    req.id =
+        config_.request_id_base == 0 ? NextRequestId() : next_request_id_++;
     req.user_id = user_id_;
     req.session_id = current_.session_id;
     req.client_region = region_;

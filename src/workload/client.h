@@ -43,6 +43,11 @@ struct ClientConfig {
   SimDuration think_time_mean = Seconds(2);        // Between turns.
   SimDuration program_gap_mean = Seconds(3);       // Between programs.
   SimTime stop_issuing_after = kSimTimeMax;        // No new requests after.
+  // Nonzero: the client draws ids from its own private range starting here
+  // instead of the global atomic counter — required for run-to-run
+  // determinism when clients execute on parallel simulator shards. Ranges
+  // of distinct clients must not overlap.
+  RequestId request_id_base = 0;
 };
 
 // Issues conversations sequentially: submit turn, await completion, think,
@@ -77,6 +82,7 @@ class ConversationClient {
 
   ConversationGenerator::UserProfile user_;
   ConversationGenerator::Conversation current_;
+  RequestId next_request_id_ = 0;  // Private-range mode only.
   size_t next_turn_ = 0;
   size_t completed_requests_ = 0;
   size_t completed_conversations_ = 0;
@@ -112,6 +118,7 @@ class ToTClient {
 
   UserId user_id_;
   std::string routing_key_base_;
+  RequestId next_request_id_ = 0;  // Private-range mode only.
   ToTGenerator::Tree current_;
   int current_level_ = 0;
   size_t level_pending_ = 0;

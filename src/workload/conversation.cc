@@ -41,13 +41,32 @@ ConversationGenerator::ConversationGenerator(
       num_global_templates_(config.num_global_templates) {
   size_t total = static_cast<size_t>(config_.num_global_templates) +
                  num_regions_ * static_cast<size_t>(config_.templates_per_region);
-  templates_.reserve(total);
+  auto templates = std::make_shared<std::vector<TokenSeq>>();
+  templates->reserve(total);
   for (size_t i = 0; i < total; ++i) {
     TokenSeq t;
     AppendFresh(&t, rng_.UniformInt(config_.template_len_min,
                                     config_.template_len_max));
-    templates_.push_back(std::move(t));
+    templates->push_back(std::move(t));
   }
+  templates_ = std::move(templates);
+}
+
+ConversationGenerator::ConversationGenerator(const ConversationGenerator& base,
+                                             uint64_t client_index,
+                                             uint64_t client_seed)
+    : config_(base.config_),
+      num_regions_(base.num_regions_),
+      rng_(client_seed),
+      lengths_(base.config_.lengths),
+      templates_(base.templates_),
+      num_global_templates_(base.num_global_templates_) {
+  // Disjoint id namespaces: fresh tokens live in a 2^32-wide per-client band
+  // well above anything the base (template bank) allocated; user and session
+  // ids get a million-wide band each.
+  next_token_ = static_cast<Token>((client_index + 1) << 32);
+  next_user_ = static_cast<UserId>((client_index + 1) * 1'000'000 + 1);
+  next_session_ = static_cast<SessionId>((client_index + 1) * 1'000'000 + 1);
 }
 
 void ConversationGenerator::AppendFresh(TokenSeq* seq, int64_t n) {
@@ -105,7 +124,7 @@ ConversationGenerator::Conversation ConversationGenerator::MakeConversation(
 
   TokenSeq context;
   if (conv.template_id >= 0) {
-    context = templates_[static_cast<size_t>(conv.template_id)];
+    context = (*templates_)[static_cast<size_t>(conv.template_id)];
   }
   conv.turns.reserve(static_cast<size_t>(turns));
   for (int t = 0; t < turns; ++t) {

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -60,6 +61,16 @@ class ConversationGenerator {
  public:
   ConversationGenerator(const ConversationWorkloadConfig& config,
                         size_t num_regions, uint64_t seed);
+
+  // Per-client fork (sharded fleet runs): shares `base`'s immutable template
+  // bank (no copy — the bank can be hundreds of MB across thousands of
+  // clients) but draws from its own RNG stream and from disjoint token /
+  // user / session namespaces, so each client's stream is a pure function of
+  // (base workload, client_index, client_seed) — independent of the order
+  // clients run in. The base generator must not be used for conversations
+  // once forked fleets rely on namespace disjointness.
+  ConversationGenerator(const ConversationGenerator& base,
+                        uint64_t client_index, uint64_t client_seed);
 
   struct Turn {
     TokenSeq prompt;  // Full context: template + all prior turns + new msg.
@@ -110,7 +121,8 @@ class ConversationGenerator {
   LengthModel lengths_;
 
   // Template id space: [0, num_global) are global; then region pools follow.
-  std::vector<TokenSeq> templates_;
+  // Immutable after construction; shared across per-client forks.
+  std::shared_ptr<const std::vector<TokenSeq>> templates_;
   int num_global_templates_;
 
   Token next_token_ = 1;

@@ -21,6 +21,7 @@
 
 #include "src/common/inline_function.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/simulator.h"
 
 // GCC's inliner pierces the replaced operators and then flags the
 // malloc/free pairing inside them as mismatched new/delete — a false
@@ -165,6 +166,43 @@ TEST(EventQueueAllocTest, InlineCallablesStayInline) {
   EXPECT_EQ(NewCount() - baseline, 1);  // Exactly one spill allocation.
   q.Pop().fn();
   EXPECT_EQ(sink, 1);
+}
+
+TEST(EventQueueAllocTest, PeriodicTaskSteadyStateTicksDoNotAllocate) {
+  // PeriodicTask holds its callback as an EventFn (ISSUE 6): the stored
+  // callable is *invoked* each tick, never copied, and the re-arming lambda
+  // ([this]{Tick();}) fits inline — so a running heartbeat allocates
+  // nothing, tick after tick.
+  Simulator sim;
+  long long ticks = 0;
+  long long* ticks_ptr = &ticks;
+  PeriodicTask task(&sim, Milliseconds(10), [ticks_ptr] { ++*ticks_ptr; });
+  task.Start();
+  sim.RunUntil(Milliseconds(100));  // Warm slot + heap capacity.
+  long long baseline = NewCount();
+  sim.RunUntil(Seconds(10));
+  EXPECT_EQ(NewCount() - baseline, 0)
+      << "steady-state periodic ticks must not allocate";
+  task.Stop();
+  EXPECT_GE(ticks, 990);
+
+  // Same contract on a keyed (sharded-mode) simulator: the per-origin key
+  // path adds ordering metadata, not allocations.
+  Simulator keyed;
+  keyed.EnableKeyedOrdering(1);
+  keyed.SetCurrentRegion(0);
+  long long keyed_ticks = 0;
+  long long* keyed_ptr = &keyed_ticks;
+  PeriodicTask keyed_task(&keyed, Milliseconds(10),
+                          [keyed_ptr] { ++*keyed_ptr; });
+  keyed_task.Start();
+  keyed.RunUntil(Milliseconds(100));
+  baseline = NewCount();
+  keyed.RunUntil(Seconds(10));
+  EXPECT_EQ(NewCount() - baseline, 0)
+      << "keyed-mode periodic ticks must not allocate";
+  keyed_task.Stop();
+  EXPECT_GE(keyed_ticks, 990);
 }
 
 TEST(EventQueueAllocTest, HeapSiftingNeverTouchesCallbacks) {

@@ -4,6 +4,7 @@
 
 #include "src/net/network.h"
 #include "src/net/topology.h"
+#include "src/sim/sharded_simulator.h"
 #include "src/sim/simulator.h"
 
 namespace skywalker {
@@ -110,6 +111,46 @@ TEST(NetworkTest, CountsCrossRegionMessages) {
   sim.Run();
   EXPECT_EQ(net.messages_sent(), 3u);
   EXPECT_EQ(net.cross_region_messages(), 2u);
+}
+
+TEST(NetworkTest, ShardedCountersAggregateAcrossShards) {
+  // Under sharding the counters are kept per sender shard (ISSUE 6,
+  // satellite: no shared cacheline between worker threads); the accessors
+  // must still report fleet-wide totals.
+  Topology topo = Topology::FourRegions();
+  ShardedSimulator sim(topo, /*num_shards=*/4, /*num_threads=*/4);
+  Network net(&sim);
+  // One local send plus a cross-region send from every region, issued from
+  // each region's own shard.
+  for (RegionId r = 0; r < 4; ++r) {
+    Simulator* shard_sim = net.SimForRegion(r);
+    shard_sim->SetCurrentRegion(r);
+    shard_sim->ScheduleAt(0, [&net, r] {
+      net.Send(r, r, [] {});
+      net.Send(r, (r + 1) % 4, [] {});
+    });
+  }
+  sim.RunUntil(Seconds(1));
+  EXPECT_EQ(net.messages_sent(), 8u);
+  EXPECT_EQ(net.cross_region_messages(), 4u);
+}
+
+TEST(NetworkTest, ShardedDeliverHonorsMinimumLatency) {
+  // Deliver() routes a reply along an explicit (from, to) edge; cross-shard
+  // edges must respect the topology latency floor that the lookahead window
+  // is derived from.
+  Topology topo = Topology::FourRegions();
+  ShardedSimulator sim(topo, /*num_shards=*/2, /*num_threads=*/1);
+  Network net(&sim);
+  SimTime arrival = -1;
+  Simulator* sim0 = net.SimForRegion(0);
+  sim0->SetCurrentRegion(0);
+  sim0->ScheduleAt(0, [&] {
+    net.Deliver(0, 1, topo.Latency(0, 1) + Milliseconds(5),
+                [&] { arrival = net.SimForRegion(1)->now(); });
+  });
+  sim.RunUntil(Seconds(1));
+  EXPECT_EQ(arrival, topo.Latency(0, 1) + Milliseconds(5));
 }
 
 TEST(NetworkTest, JitterStaysWithinBounds) {

@@ -1,0 +1,249 @@
+// Region-sharded parallel simulation (ISSUE 6): shard assignment and
+// lookahead derivation, keyed event ordering, cross-shard message delivery,
+// and the headline determinism contract — fleet results bit-identical
+// across shard counts, thread counts, and against the plain single-threaded
+// Simulator reference.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/harness/fleet.h"
+#include "src/net/network.h"
+#include "src/net/topology.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/sharded_simulator.h"
+#include "src/sim/simulator.h"
+
+namespace skywalker {
+namespace {
+
+TEST(ShardedSimulatorTest, ShardMapIsRegionModShards) {
+  Topology topo = Topology::FourRegions();
+  ShardedSimulator sim(topo, /*num_shards=*/2, /*num_threads=*/1);
+  EXPECT_EQ(sim.num_shards(), 2);
+  EXPECT_EQ(sim.ShardOf(0), 0);
+  EXPECT_EQ(sim.ShardOf(1), 1);
+  EXPECT_EQ(sim.ShardOf(2), 0);
+  EXPECT_EQ(sim.ShardOf(3), 1);
+  EXPECT_EQ(sim.SimForRegion(2), sim.shard(0));
+}
+
+TEST(ShardedSimulatorTest, ShardCountClampedToRegions) {
+  ShardedSimulator sim(Topology::FourRegions(), /*num_shards=*/16);
+  EXPECT_EQ(sim.num_shards(), 4);
+}
+
+TEST(ShardedSimulatorTest, LookaheadIsMinCrossShardLatency) {
+  Topology topo = Topology::FourRegions();
+  // 4 shards: every inter-region link is cross-shard; min is us-east <->
+  // us-west at 33 ms.
+  ShardedSimulator four(topo, 4);
+  EXPECT_EQ(four.lookahead(), Milliseconds(33));
+  // 2 shards ({0,2} vs {1,3}): the 0<->2 (40 ms) link goes intra-shard but
+  // 0<->1 (33 ms) still crosses.
+  ShardedSimulator two(topo, 2);
+  EXPECT_EQ(two.lookahead(), Milliseconds(33));
+  // Single shard: no cross-shard links, unbounded window.
+  ShardedSimulator one(topo, 1);
+  EXPECT_EQ(one.lookahead(), kSimTimeMax);
+}
+
+TEST(ShardedSimulatorTest, JitterBoundDiscountsLookahead) {
+  ShardedSimulator sim(Topology::FourRegions(), 4, /*num_threads=*/1,
+                       /*jitter_fraction=*/0.1);
+  EXPECT_EQ(sim.lookahead(),
+            static_cast<SimDuration>(Milliseconds(33) * 9 / 10));
+}
+
+TEST(EventQueueTest, KeyedPopOrderIsTimeThenKey) {
+  EventQueue queue;
+  std::vector<int> order;
+  // Same timestamp, keys from different origins, inserted out of order: pop
+  // order must follow (time, key), not insertion.
+  queue.PushKeyed(10, MakeOrderKey(2, 1), 2, [&] { order.push_back(21); });
+  queue.PushKeyed(10, MakeOrderKey(0, 2), 0, [&] { order.push_back(2); });
+  queue.PushKeyed(5, MakeOrderKey(3, 7), 3, [&] { order.push_back(37); });
+  queue.PushKeyed(10, MakeOrderKey(0, 1), 0, [&] { order.push_back(1); });
+  queue.PushKeyed(10, MakeOrderKey(1, 5), 1, [&] { order.push_back(15); });
+  while (!queue.empty()) {
+    EventQueue::Event event = queue.Pop();
+    event.fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{37, 1, 2, 15, 21}));
+}
+
+TEST(SimulatorTest, KeyedSchedulingTracksCurrentRegion) {
+  Simulator sim;
+  sim.EnableKeyedOrdering(2);
+  std::vector<int> order;
+  // Region 1 schedules first but region 0's key sorts first at equal time.
+  sim.SetCurrentRegion(1);
+  sim.ScheduleAt(100, [&] { order.push_back(1); });
+  sim.SetCurrentRegion(0);
+  sim.ScheduleAt(100, [&] { order.push_back(0); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(SimulatorTest, StepRestoresRegionScopeFromEvent) {
+  Simulator sim;
+  sim.EnableKeyedOrdering(3);
+  EventRegion seen = kInvalidEventRegion;
+  sim.SetCurrentRegion(2);
+  sim.ScheduleAt(1, [&] {
+    seen = sim.current_region();
+    // Self-rescheduling inside the handler keys to the handler's region.
+    sim.ScheduleAfter(1, [&] { seen = sim.current_region(); });
+  });
+  sim.SetCurrentRegion(0);  // Clobbered before the event runs.
+  sim.Run();
+  EXPECT_EQ(seen, 2);
+}
+
+// Relays a token around all four regions via the network; the arrival log
+// must not depend on sharding or threading.
+std::vector<std::string> RunRelay(int num_shards, int num_threads) {
+  Topology topo = Topology::FourRegions();
+  ShardedSimulator sim(topo, num_shards, num_threads);
+  Network net(&sim);
+  const int kRegions = 4;
+  // Per-region logs: only region r's shard appends to logs[r].
+  std::vector<std::vector<std::string>> logs(kRegions);
+
+  struct Relay {
+    Network* net;
+    std::vector<std::vector<std::string>>* logs;
+    void Hop(RegionId at, int hops_left) {
+      (*logs)[static_cast<size_t>(at)].push_back(
+          std::to_string(net->SimForRegion(at)->now()) + ":" +
+          std::to_string(hops_left));
+      if (hops_left == 0) {
+        return;
+      }
+      RegionId to = (at + 1) % 4;
+      net->Send(at, to, [this, to, hops_left] { Hop(to, hops_left - 1); });
+    }
+  };
+  Relay relay{&net, &logs};
+
+  // Two counter-rotating relays starting from different regions.
+  Simulator* sim0 = net.SimForRegion(0);
+  sim0->SetCurrentRegion(0);
+  sim0->ScheduleAt(0, [&relay] { relay.Hop(0, 40); });
+  Simulator* sim2 = net.SimForRegion(2);
+  sim2->SetCurrentRegion(2);
+  sim2->ScheduleAt(0, [&relay] { relay.Hop(2, 40); });
+
+  sim.RunUntil(Seconds(10));
+  std::vector<std::string> flat;
+  for (const auto& log : logs) {
+    flat.insert(flat.end(), log.begin(), log.end());
+  }
+  return flat;
+}
+
+TEST(ShardedSimulatorTest, RelayIdenticalAcrossShardsAndThreads) {
+  const std::vector<std::string> reference = RunRelay(1, 1);
+  ASSERT_FALSE(reference.empty());
+  for (auto [shards, threads] : {std::pair<int, int>{2, 1},
+                                 {2, 2},
+                                 {4, 1},
+                                 {4, 4}}) {
+    EXPECT_EQ(RunRelay(shards, threads), reference)
+        << "shards=" << shards << " threads=" << threads;
+  }
+}
+
+TEST(ShardedSimulatorTest, TimingCoversAllShards) {
+  std::vector<std::string> ignored = RunRelay(2, 2);
+  ShardedSimulator sim(Topology::FourRegions(), 2, 2);
+  Network net(&sim);
+  Simulator* sim0 = net.SimForRegion(0);
+  sim0->SetCurrentRegion(0);
+  sim0->ScheduleAt(0, [] {});
+  sim.RunUntil(Seconds(1));
+  auto timing = sim.Timing();
+  ASSERT_EQ(timing.size(), 2u);
+  EXPECT_GE(sim.windows(), 1u);
+  uint64_t executed = 0;
+  for (const auto& shard : timing) {
+    executed += shard.executed_events;
+  }
+  EXPECT_EQ(executed, sim.executed_events());
+}
+
+FleetSpec SmallFleet() {
+  FleetSpec spec;
+  spec.topology = Topology::FourRegions();
+  spec.replicas_per_region = {2, 2, 2, 2};
+  spec.clients_per_region = 3;
+  spec.warmup = Seconds(2);
+  spec.measure = Seconds(6);
+  spec.seed = 11;
+  spec.collect_trace = true;
+  return spec;
+}
+
+// The tentpole determinism contract: the full fleet — LBs, replicas,
+// clients, probes, forwarding — produces bit-identical request traces and
+// summary metrics for every shard/thread combination, including against the
+// plain single-threaded Simulator.
+TEST(FleetDeterminismTest, BitIdenticalAcrossShardsThreadsAndReference) {
+  FleetSpec spec = SmallFleet();
+  spec.num_shards = 0;  // Plain Simulator reference.
+  FleetResult reference = RunFleetExperiment(spec);
+  ASSERT_GT(reference.metrics.completed, 0u);
+  ASSERT_FALSE(reference.trace.empty());
+
+  struct Config {
+    int shards;
+    int threads;
+  };
+  for (Config config : std::vector<Config>{
+           {1, 1}, {2, 1}, {2, 8}, {4, 1}, {4, 8}}) {
+    FleetSpec run_spec = SmallFleet();
+    run_spec.num_shards = config.shards;
+    run_spec.num_threads = config.threads;
+    FleetResult result = RunFleetExperiment(run_spec);
+    SCOPED_TRACE("shards=" + std::to_string(config.shards) +
+                 " threads=" + std::to_string(config.threads));
+    // Trace equality covers every per-request observable bit for bit.
+    EXPECT_EQ(result.trace, reference.trace);
+    EXPECT_EQ(result.metrics.completed, reference.metrics.completed);
+    EXPECT_EQ(result.metrics.throughput_tok_s,
+              reference.metrics.throughput_tok_s);
+    EXPECT_EQ(result.metrics.ttft_p50_s, reference.metrics.ttft_p50_s);
+    EXPECT_EQ(result.metrics.ttft_p90_s, reference.metrics.ttft_p90_s);
+    EXPECT_EQ(result.metrics.e2e_p50_s, reference.metrics.e2e_p50_s);
+    EXPECT_EQ(result.metrics.e2e_p90_s, reference.metrics.e2e_p90_s);
+    EXPECT_EQ(result.metrics.cache_hit_rate,
+              reference.metrics.cache_hit_rate);
+    EXPECT_EQ(result.metrics.forwarded_fraction,
+              reference.metrics.forwarded_fraction);
+    EXPECT_EQ(result.metrics.outstanding_imbalance,
+              reference.metrics.outstanding_imbalance);
+    EXPECT_EQ(result.messages_sent, reference.messages_sent);
+    EXPECT_EQ(result.cross_region_messages,
+              reference.cross_region_messages);
+    EXPECT_EQ(result.executed_events, reference.executed_events);
+  }
+}
+
+// Repeated identical runs must agree exactly (no hidden global state, e.g.
+// the request-id atomic, leaks into fleet results).
+TEST(FleetDeterminismTest, RepeatedRunsIdentical) {
+  FleetSpec spec = SmallFleet();
+  spec.num_shards = 4;
+  spec.num_threads = 4;
+  FleetResult a = RunFleetExperiment(spec);
+  FleetResult b = RunFleetExperiment(spec);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+}
+
+}  // namespace
+}  // namespace skywalker
