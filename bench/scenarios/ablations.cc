@@ -84,7 +84,7 @@ Scenario MakeAblationProbeIntervalScenario() {
           const std::string label = std::to_string(ms) + " ms";
           cells.push_back(ScenarioCell{label, [ms, label, options] {
             SystemSpec spec = AblationBaseSystem();
-            spec.skywalker.probe_interval = Milliseconds(ms);
+            spec.skywalker.engine.probe_interval = Milliseconds(ms);
             MetricRow row = ExperimentMetricRow(
                 label, RunExperiment(Topology::ThreeContinents(), spec,
                                      AblationWorkload(1201, options),
@@ -109,7 +109,7 @@ Scenario MakeAblationPushSlackScenario() {
           const std::string label = std::to_string(slack);
           cells.push_back(ScenarioCell{label, [slack, label, options] {
             SystemSpec spec = AblationBaseSystem();
-            spec.skywalker.push_slack = slack;
+            spec.skywalker.engine.push_slack = slack;
             MetricRow row = ExperimentMetricRow(
                 label, RunExperiment(Topology::ThreeContinents(), spec,
                                      AblationWorkload(1202, options),
@@ -134,7 +134,7 @@ Scenario MakeAblationExploreThresholdScenario() {
           const std::string label = Table::Num(threshold, 2);
           cells.push_back(ScenarioCell{label, [threshold, label, options] {
             SystemSpec spec = AblationBaseSystem();
-            spec.skywalker.explore_threshold = threshold;
+            spec.skywalker.routing.explore_threshold = threshold;
             MetricRow row = ExperimentMetricRow(
                 label, RunExperiment(Topology::ThreeContinents(), spec,
                                      AblationWorkload(1203, options),
@@ -162,10 +162,10 @@ Scenario MakeAblationMigrationControlScenario() {
           spec.replicas_per_region = {3, 3, 3};
           if (!use_defaults) {
             if (affinity_threshold > 0) {
-              spec.skywalker.remote_affinity_threshold = affinity_threshold;
+              spec.skywalker.routing.remote_affinity_threshold = affinity_threshold;
             }
             if (patience >= 0) {
-              spec.skywalker.forward_patience = patience;
+              spec.skywalker.routing.forward_patience = patience;
             }
           }
           WorkloadSpec skew = SkewedChatWorkload(
@@ -233,8 +233,8 @@ Scenario MakeAblationHeterogeneousScenario() {
       replicas.push_back(std::make_unique<Replica>(&sim, 3, 0, slow));
 
       LbConfig config;
-      config.push_mode = mode;
-      config.max_outstanding_per_replica = 16;  // SP-O: one cap for all.
+      config.engine.push_mode = mode;
+      config.engine.max_outstanding_per_replica = 16;  // SP-O: one cap for all.
       SglRouterLb lb(&sim, &net, 0, 0, config);
       for (auto& replica : replicas) {
         lb.AttachReplica(replica.get());
@@ -321,7 +321,7 @@ Scenario MakeAblationShortPromptScenario() {
             spec.conversation.lengths.input_mu = 3.4;  // Shorter messages.
             spec.conversation.turns_mean = 2;
             SystemSpec system = AblationBaseSystem();
-            system.skywalker.short_prompt_threshold = threshold;
+            system.skywalker.routing.short_prompt_threshold = threshold;
             MetricRow row = ExperimentMetricRow(
                 label, RunExperiment(Topology::ThreeContinents(), system,
                                      spec, AblationConfig(options.smoke)),

@@ -97,7 +97,7 @@ Scenario MakeFig04bRrImbalanceScenario() {
           Replica replica_b(&sim, 1, 0, rconfig);
 
           LbConfig lconfig;
-          lconfig.push_mode = PushMode::kBlind;
+          lconfig.engine.push_mode = PushMode::kBlind;
           RoundRobinLb lb(&sim, &net, 0, 0, lconfig);
           lb.AttachReplica(&replica_a);
           lb.AttachReplica(&replica_b);

@@ -70,17 +70,17 @@ MetricRow RunCase(const MemoryCase& mc, const ScenarioOptions& options) {
     replicas.push_back(std::make_unique<Replica>(&sim, i, 0, rconfig));
   }
   LbConfig config;
-  config.push_mode = mc.mode;
-  config.max_outstanding_per_replica = 24;
-  config.push_slack = 32;
+  config.engine.push_mode = mc.mode;
+  config.engine.max_outstanding_per_replica = 24;
+  config.engine.push_slack = 32;
   if (mc.mode == PushMode::kSelectivePending) {
     // Free-block-aware routing: skip replicas whose probed admissible-block
     // fraction fell below half the watermark fraction — i.e. replicas that
     // are genuinely jammed, not merely packed to the watermark (kBlind
     // never probes, so the gate only binds for the selective cells).
-    config.min_free_block_fraction = 0.01;
+    config.engine.min_free_block_fraction = 0.01;
   }
-  config.preemption_penalty = mc.preemption_penalty;
+  config.engine.preemption_penalty = mc.preemption_penalty;
   SglRouterLb lb(&sim, &net, 0, 0, config);
   for (auto& replica : replicas) {
     lb.AttachReplica(replica.get());

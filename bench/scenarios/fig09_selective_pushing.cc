@@ -54,12 +54,12 @@ MetricRow RunPushMode(PushMode mode, const std::string& label,
     replicas.push_back(std::make_unique<Replica>(&sim, i, 0, rconfig));
   }
   LbConfig config;
-  config.push_mode = mode;
-  config.max_outstanding_per_replica = 24;  // SP-O's fixed threshold.
+  config.engine.push_mode = mode;
+  config.engine.max_outstanding_per_replica = 24;  // SP-O's fixed threshold.
   // Burst bound: big enough to fill a freed batch within one probe window,
   // small enough that pushes between probes cannot blow past the replica's
   // memory (the balance SP-P relies on).
-  config.push_slack = 32;
+  config.engine.push_slack = 32;
   SglRouterLb lb(&sim, &net, 0, 0, config);
   for (auto& replica : replicas) {
     lb.AttachReplica(replica.get());

@@ -60,8 +60,8 @@ MetricRow RunFleetCase(const FleetCase& c, const ScenarioOptions& options) {
   // near the admission cap without needing 10k+ client actors.
   spec.replica_config.max_running_requests = 8;
   spec.replica_config.kv_capacity_tokens = 24576;
-  spec.lb.push_mode = c.push_mode;
-  spec.lb.probe_interval = c.probe_interval;
+  spec.lb.engine.push_mode = c.push_mode;
+  spec.lb.engine.probe_interval = c.probe_interval;
   spec.warmup = options.smoke ? Seconds(2) : Seconds(10);
   spec.measure = options.smoke ? Seconds(8) : Seconds(60);
   spec.seed = MixSeed(6001, options.seed_stream);

@@ -24,6 +24,7 @@ void RegisterAllScenarios() {
     registry.Register(MakeAblationHeterogeneousScenario());
     registry.Register(MakeAblationShortPromptScenario());
     registry.Register(MakeFleetScaleScenario());
+    registry.Register(MakeResilienceScenario());
     registry.Register(MakeMicroDatastructuresScenario());
     registry.Register(MakeMicroMemoryScenario());
     registry.Register(MakeMicroReplicaScenario());

@@ -34,6 +34,7 @@ Scenario MakeAblationMigrationControlScenario();
 Scenario MakeAblationHeterogeneousScenario();
 Scenario MakeAblationShortPromptScenario();
 Scenario MakeFleetScaleScenario();
+Scenario MakeResilienceScenario();
 Scenario MakeMicroDatastructuresScenario();
 Scenario MakeMicroMemoryScenario();
 Scenario MakeMicroReplicaScenario();

@@ -161,6 +161,16 @@ const std::vector<std::string>& KvMemoryMetricKeys() {
   return keys;
 }
 
+const std::vector<std::string>& ResilienceMetricKeys() {
+  static const std::vector<std::string> keys = {
+      metric_keys::kGoodputReqS, metric_keys::kLostForever,
+      metric_keys::kMisrouted,   metric_keys::kEjections,
+      metric_keys::kRecoveries,  metric_keys::kClientErrors,
+      metric_keys::kConfigSwaps,
+  };
+  return keys;
+}
+
 MetricRow& SetKvMetrics(MetricRow& row, const KvCounters& counters,
                         int64_t capacity_tokens_total) {
   row.Set(metric_keys::kPreemptions,

@@ -126,6 +126,19 @@ inline constexpr const char* kKvWatermarkRejections =
 inline constexpr const char* kKvCacheBlocks = "kv_cache_blocks";
 inline constexpr const char* kKvEvictableBlocks = "kv_evictable_blocks";
 inline constexpr const char* kKvSeqBlocks = "kv_seq_blocks";
+
+// Resilience keys (ISSUE 7): what the hostile-scenario pack reports per cell.
+// Goodput is completed requests per measured second; lost_forever counts
+// issued requests that neither completed nor errored after the drain;
+// misrouted counts requests sent to a replica that never answered in time
+// (request timeouts plus post-timeout stragglers).
+inline constexpr const char* kGoodputReqS = "goodput_req_s";
+inline constexpr const char* kLostForever = "lost_forever";
+inline constexpr const char* kMisrouted = "misrouted";
+inline constexpr const char* kEjections = "ejections";
+inline constexpr const char* kRecoveries = "recoveries";
+inline constexpr const char* kClientErrors = "client_errors";
+inline constexpr const char* kConfigSwaps = "config_swaps";
 }  // namespace metric_keys
 
 // The standard keys above, in canonical order (schema tests iterate this).
@@ -133,6 +146,9 @@ const std::vector<std::string>& StandardExperimentMetricKeys();
 
 // The paged-KV keys, in canonical order (what SetKvMetrics writes).
 const std::vector<std::string>& KvMemoryMetricKeys();
+
+// The resilience keys, in canonical order (fig_resilience schema).
+const std::vector<std::string>& ResilienceMetricKeys();
 
 // Fills the paged-KV metric keys from fleet-summed counters.
 // `capacity_tokens_total` is the fleet KV budget (fragmentation is reported

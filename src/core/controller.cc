@@ -41,14 +41,14 @@ void Controller::RemoveReplica(ReplicaId replica_id) {
 
 bool Controller::IsFailedOver(LbId lb_id) const {
   auto it = lbs_.find(lb_id);
-  return it != lbs_.end() && it->second.known_failed;
+  return it != lbs_.end() && it->second.failover_active;
 }
 
 SkyWalkerLb* Controller::NearestHealthyLb(RegionId region, LbId exclude) {
   SkyWalkerLb* best = nullptr;
   SimDuration best_latency = std::numeric_limits<SimDuration>::max();
   for (auto& [lbid, entry] : lbs_) {
-    if (lbid == exclude || !entry.lb->healthy()) {
+    if (lbid == exclude || !entry.lb->Serving()) {
       continue;
     }
     SimDuration l = net_->Latency(region, entry.lb->region());
@@ -62,14 +62,17 @@ SkyWalkerLb* Controller::NearestHealthyLb(RegionId region, LbId exclude) {
 
 void Controller::ProbeHealth() {
   for (auto& [lbid, entry] : lbs_) {
-    if (!entry.lb->healthy() && !entry.known_failed) {
+    // Failover reacts to hard LB failure only; degraded/ejected replica
+    // states below a live LB are the dispatch engine's business.
+    if (entry.lb->Status() == HealthStatus::kFailed &&
+        !entry.failover_active) {
       HandleFailure(entry);
     }
   }
 }
 
 void Controller::HandleFailure(ManagedLb& entry) {
-  entry.known_failed = true;
+  entry.failover_active = true;
   ++stats_.failovers_handled;
   SkyWalkerLb* failed = entry.lb;
   SkyWalkerLb* backup = NearestHealthyLb(failed->region(), failed->id());
@@ -99,7 +102,7 @@ void Controller::HandleFailure(ManagedLb& entry) {
 
 bool Controller::RecoverLb(LbId lb_id) {
   auto it = lbs_.find(lb_id);
-  if (it == lbs_.end() || !it->second.known_failed) {
+  if (it == lbs_.end() || !it->second.failover_active) {
     return false;
   }
   ManagedLb& entry = it->second;
@@ -110,7 +113,7 @@ bool Controller::RecoverLb(LbId lb_id) {
     entry.lb->AttachReplica(replica);
   }
   entry.displaced.clear();
-  entry.known_failed = false;
+  entry.failover_active = false;
   ++stats_.recoveries_completed;
   SKYWALKER_LOG(Info) << "controller recovered LB " << lb_id;
   return true;

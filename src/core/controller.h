@@ -67,7 +67,10 @@ class Controller {
  private:
   struct ManagedLb {
     SkyWalkerLb* lb = nullptr;
-    bool known_failed = false;
+    // Failover has been executed and not yet rolled back. Distinct from the
+    // LB's own HealthStatus: the controller reacts to kFailed with a lag of
+    // up to one probe interval, and recovery rolls this back explicitly.
+    bool failover_active = false;
     // Replicas moved away during failover, and who hosts them now.
     std::vector<std::pair<Replica*, SkyWalkerLb*>> displaced;
   };

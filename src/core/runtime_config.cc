@@ -1,0 +1,76 @@
+#include "src/core/runtime_config.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace skywalker {
+
+ConfigSubscription::~ConfigSubscription() { Cancel(); }
+
+ConfigSubscription& ConfigSubscription::operator=(
+    ConfigSubscription&& other) noexcept {
+  if (this != &other) {
+    Cancel();
+    subscriber_ = std::move(other.subscriber_);
+  }
+  return *this;
+}
+
+void ConfigSubscription::Cancel() {
+  if (subscriber_ != nullptr) {
+    subscriber_->alive = false;
+    subscriber_.reset();
+  }
+}
+
+ConfigStore::ConfigStore(RuntimeConfig initial) {
+  initial.version = 0;
+  current_ = std::make_shared<const RuntimeConfig>(std::move(initial));
+}
+
+ConfigSubscription ConfigStore::Subscribe(
+    Simulator* sim, RegionId region,
+    std::function<void(const RuntimeConfig&)> callback) {
+  // Setup-order contract: all subscriptions precede the first publish, so
+  // the synchronous initial delivery below is unambiguously the initial
+  // snapshot and every subscriber sees every published update.
+  SKYWALKER_CHECK(publishes_ == 0) << "Subscribe after PublishAt";
+  auto subscriber = std::make_shared<ConfigSubscription::Subscriber>();
+  subscriber->sim = sim;
+  subscriber->region = region;
+  subscriber->callback = std::move(callback);
+  subscriber->alive = true;
+  subscribers_.push_back(subscriber);
+  if (subscriber->callback) {
+    subscriber->callback(*current_);
+  }
+  return ConfigSubscription(std::move(subscriber));
+}
+
+void ConfigStore::PublishAt(SimTime at, RuntimeConfig next) {
+  next.version = next_version_++;
+  auto snapshot = std::make_shared<const RuntimeConfig>(std::move(next));
+  current_ = snapshot;
+  ++publishes_;
+  // One delivery event per subscriber, scheduled on the subscriber's own
+  // shard simulator with the subscriber's region as keyed origin (see the
+  // determinism contract in the header). The alive flag is checked at fire
+  // time so a cancelled subscription never hears a pending update.
+  for (const auto& subscriber : subscribers_) {
+    if (!subscriber->alive) {
+      continue;
+    }
+    Simulator* sim = subscriber->sim;
+    const EventRegion previous = sim->current_region();
+    sim->SetCurrentRegion(static_cast<EventRegion>(subscriber->region));
+    sim->ScheduleAt(at, [subscriber, snapshot] {
+      if (subscriber->alive && subscriber->callback) {
+        subscriber->callback(*snapshot);
+      }
+    });
+    sim->SetCurrentRegion(previous);
+  }
+}
+
+}  // namespace skywalker

@@ -19,10 +19,27 @@ SkyWalkerLb::SkyWalkerLb(Simulator* sim, Network* net, LbId id,
       lb_ring_(config.ring_vnodes),
       replica_trie_(config.replica_trie_capacity),
       snapshot_trie_(config.snapshot_trie_capacity),
-      engine_(sim, net, region, config.engine(), /*selector=*/this,
-              /*host=*/this) {}
+      engine_(sim, net, region, config.engine, /*selector=*/this,
+              EngineCallbacks()) {}
 
 SkyWalkerLb::~SkyWalkerLb() = default;
+
+HostCallbacks SkyWalkerLb::EngineCallbacks() {
+  // The cross-region half of the balancer, bound hook by hook. The lambdas
+  // capture `this` only; none runs before construction completes.
+  HostCallbacks callbacks;
+  callbacks.should_dispatch = [this] { return Serving(); };
+  callbacks.on_queue_head = [this](Queued& head) { return OnQueueHead(head); };
+  callbacks.on_unplaced = [this](Queued& head) { return OnUnplaced(head); };
+  callbacks.on_local_dispatch = [this](const Queued& queued,
+                                       ReplicaId replica_id) {
+    OnLocalDispatch(queued, replica_id);
+  };
+  callbacks.on_probe_tick = [this] { OnProbeTick(); };
+  callbacks.on_after_replica_probes = [this] { OnAfterReplicaProbes(); };
+  callbacks.on_replica_probe_result = [this] { OnReplicaProbeResult(); };
+  return callbacks;
+}
 
 void SkyWalkerLb::AttachReplica(Replica* replica) {
   engine_.AttachReplica(replica);
@@ -75,8 +92,24 @@ void SkyWalkerLb::Start() {
 
 void SkyWalkerLb::Stop() { engine_.Stop(); }
 
+void SkyWalkerLb::ApplyRuntimeConfig(const RuntimeConfig& config) {
+  config_.engine = config.dispatch;
+  config_.routing = config.routing;
+  engine_.ApplyConfig(config.dispatch);
+  config_version_ = config.version;
+  if (config.version > 0) {
+    ++config_swaps_;  // The version-0 initial snapshot is not a swap.
+  }
+}
+
+void SkyWalkerLb::SubscribeTo(ConfigStore* store) {
+  config_subscription_ = store->Subscribe(
+      sim_, region_,
+      [this](const RuntimeConfig& config) { ApplyRuntimeConfig(config); });
+}
+
 bool SkyWalkerLb::PeerAvailable(const PeerState& state) const {
-  if (!state.peer->healthy()) {
+  if (!state.peer->Serving()) {
     return false;
   }
   if (!state.probed_once) {
@@ -94,18 +127,18 @@ bool SkyWalkerLb::PeerAvailable(const PeerState& state) const {
   size_t effective_queue =
       state.probed_queue_size + static_cast<size_t>(state.forwards_since_probe);
   return state.probed_avail_replicas > 0 &&
-         effective_queue <= config_.queue_tau;
+         effective_queue <= config_.routing.queue_tau;
 }
 
 bool SkyWalkerLb::IsOverloaded() const {
-  if (!healthy_) {
+  if (!Serving()) {
     return true;
   }
-  return avail_fraction_ewma_ < config_.overload_avail_ewma_threshold;
+  return avail_fraction_ewma_ < config_.routing.overload_avail_ewma_threshold;
 }
 
 int SkyWalkerLb::AvailableReplicaCount() const {
-  if (!healthy_) {
+  if (!Serving()) {
     return 0;
   }
   return engine_.AvailableCount();
@@ -117,7 +150,7 @@ SkyWalkerLb::PeerState* SkyWalkerLb::FindPeer(LbId lbid) {
 }
 
 void SkyWalkerLb::HandleRequest(Request req, RequestCallbacks callbacks) {
-  if (!healthy_) {
+  if (!Serving()) {
     // Connection refused; the client re-resolves DNS and retries.
     ++errors_reported_;
     if (callbacks.on_error) {
@@ -134,7 +167,7 @@ void SkyWalkerLb::HandleRequest(Request req, RequestCallbacks callbacks) {
 
 void SkyWalkerLb::HandleForwarded(Request req, RequestCallbacks callbacks,
                                   RegionId origin_lb_region) {
-  if (!healthy_) {
+  if (!Serving()) {
     ++errors_reported_;
     if (callbacks.on_error) {
       callbacks.on_error();
@@ -156,7 +189,7 @@ ReplicaId SkyWalkerLb::SelectReplica(const Queued& queued,
     return candidates.IsAvailable(id);
   };
 
-  if (config_.policy == RoutingPolicyKind::kConsistentHash) {
+  if (config_.routing.policy == RoutingPolicyKind::kConsistentHash) {
     uint64_t key = HashString(queued.req.routing_key);
     TargetId target = replica_ring_.LookupAvailable(key, avail);
     return target == kInvalidTarget ? kInvalidReplica : target;
@@ -164,8 +197,8 @@ ReplicaId SkyWalkerLb::SelectReplica(const Queued& queued,
 
   // kPrefixTree (Listing 1 lines 18-21). Short prompts have little prefill
   // worth saving; balance load instead (§7 request-characteristic routing).
-  if (config_.short_prompt_threshold > 0 &&
-      queued.req.prompt_tokens() < config_.short_prompt_threshold) {
+  if (config_.routing.short_prompt_threshold > 0 &&
+      queued.req.prompt_tokens() < config_.routing.short_prompt_threshold) {
     // OnLocalDispatch records the placement in the trie as usual.
     return candidates.LeastLoadedAvailable();
   }
@@ -174,7 +207,7 @@ ReplicaId SkyWalkerLb::SelectReplica(const Queued& queued,
                      ? 0.0
                      : static_cast<double>(match.match_len) /
                            static_cast<double>(queued.req.prompt.size());
-  if (!match.candidates.empty() && ratio >= config_.explore_threshold) {
+  if (!match.candidates.empty() && ratio >= config_.routing.explore_threshold) {
     // Longest-prefix placement; tie-break toward the least-loaded candidate
     // recorded at the deepest usable node.
     ReplicaId best = candidates.LeastLoadedAmong(match.candidates);
@@ -204,8 +237,9 @@ LbId SkyWalkerLb::StickyRemotePeer(const Queued& queued) {
   }
   double ratio = static_cast<double>(match.match_len) /
                  static_cast<double>(queued.req.prompt.size());
-  return ratio >= config_.remote_affinity_threshold ? match.candidates.front()
-                                                    : kInvalidLb;
+  return ratio >= config_.routing.remote_affinity_threshold
+             ? match.candidates.front()
+             : kInvalidLb;
 }
 
 LbId SkyWalkerLb::SelectPeer(const Queued& queued) {
@@ -221,7 +255,7 @@ LbId SkyWalkerLb::SelectPeer(const Queued& queued) {
     return true;
   };
 
-  if (config_.policy == RoutingPolicyKind::kConsistentHash) {
+  if (config_.routing.policy == RoutingPolicyKind::kConsistentHash) {
     uint64_t key = HashString(queued.req.routing_key);
     TargetId target = lb_ring_.LookupAvailable(key, avail);
     return target == kInvalidTarget ? kInvalidLb : target;
@@ -249,13 +283,13 @@ LbId SkyWalkerLb::SelectPeer(const Queued& queued) {
   return best;
 }
 
-DispatchEngine::Host::HeadAction SkyWalkerLb::OnQueueHead(Queued& head) {
+HeadAction SkyWalkerLb::OnQueueHead(Queued& head) {
   // Sticky remote affinity: a conversation whose KV context already lives
   // in another region keeps going there while that peer stays available
   // (otherwise every availability flap would re-prefill the full context
   // on both sides).
-  if (!head.forwarded_in && config_.enable_forwarding &&
-      config_.policy == RoutingPolicyKind::kPrefixTree) {
+  if (!head.forwarded_in && config_.routing.enable_forwarding &&
+      config_.routing.policy == RoutingPolicyKind::kPrefixTree) {
     LbId sticky = StickyRemotePeer(head);
     if (sticky != kInvalidLb) {
       Forward(std::move(head), sticky);
@@ -266,13 +300,13 @@ DispatchEngine::Host::HeadAction SkyWalkerLb::OnQueueHead(Queued& head) {
   return HeadAction::kPlaceLocal;
 }
 
-DispatchEngine::Host::HeadAction SkyWalkerLb::OnUnplaced(Queued& head) {
-  if (head.forwarded_in || !config_.enable_forwarding) {
+HeadAction SkyWalkerLb::OnUnplaced(Queued& head) {
+  if (head.forwarded_in || !config_.routing.enable_forwarding) {
     return HeadAction::kStall;  // Terminal here; wait for local capacity.
   }
   // Flap damping: offload only when local unavailability persists (see
-  // SkyWalkerConfig::forward_patience).
-  if (sim_->now() - last_local_avail_ < config_.forward_patience) {
+  // RoutingRuntimeConfig::forward_patience).
+  if (sim_->now() - last_local_avail_ < config_.routing.forward_patience) {
     return HeadAction::kStall;
   }
   LbId peer = SelectPeer(head);
@@ -285,7 +319,7 @@ DispatchEngine::Host::HeadAction SkyWalkerLb::OnUnplaced(Queued& head) {
 
 void SkyWalkerLb::OnLocalDispatch(const Queued& queued, ReplicaId replica_id) {
   last_local_avail_ = sim_->now();
-  if (config_.policy == RoutingPolicyKind::kPrefixTree) {
+  if (config_.routing.policy == RoutingPolicyKind::kPrefixTree) {
     replica_trie_.Insert(queued.req.prompt, replica_id);
   }
 }
@@ -297,7 +331,7 @@ void SkyWalkerLb::Forward(Queued queued, LbId peer_id) {
   ++state->forwards_since_probe;
   ++forwarded_out_;
 
-  if (config_.policy == RoutingPolicyKind::kPrefixTree) {
+  if (config_.routing.policy == RoutingPolicyKind::kPrefixTree) {
     // Regional snapshot update (§4.1): remember what this region offloaded
     // where, so future similar prompts follow their cached prefixes.
     snapshot_trie_.Insert(queued.req.prompt, peer_id);
@@ -356,13 +390,13 @@ void SkyWalkerLb::OnAfterReplicaProbes() {
 }
 
 void SkyWalkerLb::Fail() {
-  healthy_ = false;
+  status_ = HealthStatus::kFailed;
   engine_.Stop();
   errors_reported_ += engine_.FlushQueueWithError();
 }
 
 void SkyWalkerLb::Recover() {
-  healthy_ = true;
+  status_ = HealthStatus::kHealthy;
   // Reset stale probe state; the restarted loop refreshes it.
   engine_.ResetProbeState();
   for (auto& [lbid, state] : peers_) {
@@ -382,6 +416,12 @@ SkyWalkerLb::Stats SkyWalkerLb::stats() const {
   stats.errors_reported = errors_reported_;
   stats.max_queue_len = engine_.stats().max_queue_len;
   stats.queue_wait_sec = engine_.stats().queue_wait_sec;
+  stats.request_timeouts = engine_.stats().request_timeouts;
+  stats.probe_misses = engine_.stats().probe_misses;
+  stats.ejections = engine_.stats().ejections;
+  stats.recoveries = engine_.stats().recoveries;
+  stats.late_completions = engine_.stats().late_completions;
+  stats.config_swaps = config_swaps_;
   return stats;
 }
 

@@ -2,10 +2,11 @@
 //
 // One instance runs per region as the first point of contact for local
 // clients. The replica half of §3.1 — FCFS queue, probe loop, selective
-// pushing by pending requests (§3.3) — is the shared dispatch engine in
-// src/routing/; this class carries only the cross-region half and plugs
-// into the engine as its ReplicaSelector (local placement policy) and Host
-// (forwarding hooks). It implements:
+// pushing by pending requests (§3.3), and the passive health machinery of
+// DESIGN.md §10 — is the shared dispatch engine in src/routing/; this class
+// carries only the cross-region half and plugs into the engine as its
+// ReplicaSelector (local placement policy) and HostCallbacks (forwarding
+// hooks). It implements:
 //
 //  * Two-layer cross-region routing (§3.1): requests are placed on local
 //    replicas whenever any is available; otherwise they are forwarded to an
@@ -28,6 +29,12 @@
 //  * Custom routing constraints (§4.1/§7): an optional predicate restricts
 //    which (from-region, to-region) forwarding pairs are allowed (e.g. GDPR
 //    policies).
+//
+// Health (ISSUE 7): the LB is a HealthSource — the controller's failover
+// detection, DNS resolution, and peer availability all read Status()/
+// Serving() instead of private booleans. Mutable knobs live in the two
+// RuntimeConfig halves (engine + routing) and reswap mid-run via
+// ApplyRuntimeConfig / a ConfigStore subscription.
 
 #ifndef SKYWALKER_CORE_SKYWALKER_LB_H_
 #define SKYWALKER_CORE_SKYWALKER_LB_H_
@@ -41,102 +48,52 @@
 #include "src/cache/routing_trie.h"
 #include "src/common/histogram.h"
 #include "src/common/sim_time.h"
+#include "src/core/runtime_config.h"
 #include "src/net/network.h"
 #include "src/replica/replica.h"
 #include "src/routing/dispatch_engine.h"
+#include "src/routing/health.h"
 #include "src/sim/simulator.h"
 #include "src/workload/request.h"
 
 namespace skywalker {
 
-enum class RoutingPolicyKind {
-  kConsistentHash,  // SkyWalker-CH
-  kPrefixTree,      // SkyWalker
-};
+// SkyWalker proper pushes selectively by pending requests (§3.3); the
+// engine's own default is the blind-pushing baseline (BP).
+inline DispatchConfig SkyWalkerEngineDefaults() {
+  DispatchConfig config;
+  config.push_mode = PushMode::kSelectivePending;
+  return config;
+}
 
 struct SkyWalkerConfig {
-  RoutingPolicyKind policy = RoutingPolicyKind::kPrefixTree;
+  // The two mutable halves of a RuntimeConfig snapshot (ISSUE 7): every
+  // knob here can reswap mid-run through ApplyRuntimeConfig.
+  DispatchConfig engine = SkyWalkerEngineDefaults();
+  RoutingRuntimeConfig routing;
 
-  // Heartbeat probe period for replicas and peer LBs (§4.1: 100 ms).
-  SimDuration probe_interval = Milliseconds(100);
-
-  // Optimistic pushes allowed per replica between probes: bounds burst
-  // overshoot from probe staleness while letting an empty continuous batch
-  // fill within one probe window (DESIGN.md §5.3).
-  int push_slack = 32;
-
-  // τ: small queue buffer for newly arriving requests (Listing 1, line 12).
-  size_t queue_tau = 4;
-
-  // A region advertises itself as overloaded (and refuses inbound offloads)
-  // when the EWMA of its available-replica fraction falls below this.
-  // Point-in-time probe snapshots flap at saturation; the EWMA separates
-  // "briefly busy" from "no real headroom".
-  double overload_avail_ewma_threshold = 0.25;
-
-  // Flap damping: forward only after local replicas have been continuously
-  // unavailable for this long. Saturated replicas flap between full and
-  // momentarily-free at probe granularity; offloading on every flap migrates
-  // conversations back and forth, and each migration re-prefills the whole
-  // context in the other region. Persistent overload (the case offloading
-  // is for) easily exceeds this window.
-  SimDuration forward_patience = Milliseconds(250);
-
-  // kPrefixTree: when the regional snapshot shows at least this fraction of
-  // the prompt is cached at an available peer, the request stays with that
-  // peer even if local replicas are free. Without stickiness an offloaded
-  // conversation migrates home on the next availability flap and re-prefills
-  // its entire context in both regions, turn after turn.
-  double remote_affinity_threshold = 0.5;
-
-  // kPrefixTree: below this prompt hit ratio, prefer under-utilized
-  // replicas over prefix affinity (§5.1 "explores other replicas").
-  double explore_threshold = 0.5;
-
+  // --- structurally static knobs (fixed at construction) ---
   int64_t replica_trie_capacity = 4'000'000;
   int64_t snapshot_trie_capacity = 4'000'000;
   int ring_vnodes = 128;
 
-  // Enables cross-region forwarding. Disabling yields the Region-Local
-  // deployment baseline of Fig. 10.
-  bool enable_forwarding = true;
-
-  // §7 extension ("more advanced policies"): prompts shorter than this skip
-  // prefix matching and go to the least-loaded available replica — short
-  // prompts have little prefill to save, so balancing load is worth more
-  // than cache affinity. 0 disables the heuristic.
-  int64_t short_prompt_threshold = 0;
-
   // Optional constraint on forwarding pairs (GDPR, §7). Null allows all.
+  // A predicate, not a value — stays out of the serializable snapshot.
   std::function<bool(RegionId from, RegionId to)> forward_allowed;
 
-  // Free-block-aware routing gate on the probe loop's KV snapshots: local
-  // replicas below this free-block fraction are skipped (0 = off).
-  double min_free_block_fraction = 0.0;
-
-  // Preemption-aware selective pushing: least-loaded scans add this per
-  // preemption a replica reported between its last two probes (0 = off).
-  double preemption_penalty = 0.0;
-
-  // Push mode handed to the dispatch engine. SkyWalker proper pushes
-  // selectively by pending requests (§3.3); the blind-pushing baseline (BP)
-  // is exposed for fleet-scale comparisons.
-  PushMode push_mode = PushMode::kSelectivePending;
-
-  // The engine-knob subset.
-  DispatchConfig engine() const {
-    DispatchConfig config;
-    config.push_mode = push_mode;
-    config.probe_interval = probe_interval;
-    config.push_slack = push_slack;
-    config.min_free_block_fraction = min_free_block_fraction;
-    config.preemption_penalty = preemption_penalty;
+  // The initial snapshot a deployment seeds its ConfigStore with.
+  RuntimeConfig runtime() const {
+    RuntimeConfig config;
+    config.dispatch = engine;
+    config.routing = routing;
     return config;
   }
 };
 
+class ConfigStore;
+
 class SkyWalkerLb : public Frontend,
-                    private DispatchEngine::Host,
+                    public HealthSource,
                     private ReplicaSelector {
  public:
   struct Stats {
@@ -148,6 +105,13 @@ class SkyWalkerLb : public Frontend,
     int64_t errors_reported = 0;
     int64_t max_queue_len = 0;
     Distribution queue_wait_sec;  // Time spent in the LB queue.
+    // Resilience counters (engine half; zero unless outlier detection on).
+    int64_t request_timeouts = 0;
+    int64_t probe_misses = 0;
+    int64_t ejections = 0;
+    int64_t recoveries = 0;
+    int64_t late_completions = 0;
+    int64_t config_swaps = 0;  // Mid-run RuntimeConfig applications.
   };
 
   SkyWalkerLb(Simulator* sim, Network* net, LbId id, RegionId region,
@@ -167,15 +131,29 @@ class SkyWalkerLb : public Frontend,
   void Start();
   void Stop();
 
+  // --- HealthSource: the one availability authority for this LB ---
+  HealthStatus Status() const override { return status_; }
+
   // --- Frontend ---
   RegionId region() const override { return region_; }
-  bool healthy() const override { return healthy_; }
+  bool healthy() const override { return Serving(); }
   void HandleRequest(Request req, RequestCallbacks callbacks) override;
 
   // Peer entry point: a request another region decided to offload here.
   // `origin_lb_region` is the forwarding LB's region (response path hop).
   void HandleForwarded(Request req, RequestCallbacks callbacks,
                        RegionId origin_lb_region);
+
+  // --- runtime config (ISSUE 7) ---
+  // Adopts a new snapshot: engine knobs swap via DispatchEngine::ApplyConfig
+  // (probe loop re-arms as needed), routing knobs take effect on the next
+  // decision that reads them. Structural state (tries, rings, peers,
+  // queue, outstanding counts) carries over untouched.
+  void ApplyRuntimeConfig(const RuntimeConfig& config);
+  // Watches `store`: applies its current snapshot now (synchronously) and
+  // every published update at its publish time. The subscription lives as
+  // long as this LB (or until the store dies with the deployment).
+  void SubscribeTo(ConfigStore* store);
 
   // --- peer-visible probe state (PROBELB in Listing 1) ---
   int AvailableReplicaCount() const;
@@ -199,11 +177,15 @@ class SkyWalkerLb : public Frontend,
   Stats stats() const;
   size_t num_replicas() const { return engine_.num_replicas(); }
   size_t num_peers() const { return peers_.size(); }
+  int64_t config_version() const { return config_version_; }
 
   // LB-tracked outstanding per local replica (imbalance metrics).
   std::vector<int> OutstandingSnapshot() const {
     return engine_.OutstandingSnapshot();
   }
+
+  // Engine health introspection (tests, scenario assertions).
+  const DispatchEngine& engine() const { return engine_; }
 
  private:
   struct PeerState {
@@ -222,14 +204,14 @@ class SkyWalkerLb : public Frontend,
   void OnReplicaAttached(Replica* replica) override;
   void OnReplicaDetached(ReplicaId replica_id) override;
 
-  // --- DispatchEngine::Host: the cross-region half. ---
-  bool ShouldDispatch() const override { return healthy_; }
-  HeadAction OnQueueHead(Queued& head) override;
-  HeadAction OnUnplaced(Queued& head) override;
-  void OnLocalDispatch(const Queued& queued, ReplicaId replica_id) override;
-  void OnProbeTick() override;
-  void OnAfterReplicaProbes() override;
-  void OnReplicaProbeResult() override;
+  // --- the cross-region half, bound into the engine's HostCallbacks ---
+  HostCallbacks EngineCallbacks();
+  HeadAction OnQueueHead(Queued& head);
+  HeadAction OnUnplaced(Queued& head);
+  void OnLocalDispatch(const Queued& queued, ReplicaId replica_id);
+  void OnProbeTick();
+  void OnAfterReplicaProbes();
+  void OnReplicaProbeResult();
 
   bool PeerAvailable(const PeerState& state) const;
 
@@ -247,7 +229,9 @@ class SkyWalkerLb : public Frontend,
   LbId id_;
   RegionId region_;
   SkyWalkerConfig config_;
-  bool healthy_ = true;
+  HealthStatus status_ = HealthStatus::kHealthy;
+  int64_t config_version_ = 0;
+  int64_t config_swaps_ = 0;
 
   std::map<LbId, PeerState> peers_;
 
@@ -257,6 +241,7 @@ class SkyWalkerLb : public Frontend,
   RoutingTrie snapshot_trie_;
 
   DispatchEngine engine_;
+  ConfigSubscription config_subscription_;
 
   // Cross-region stat counters (engine counts the local-placement half).
   int64_t received_client_ = 0;

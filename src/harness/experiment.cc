@@ -51,13 +51,13 @@ std::unique_ptr<ServingSystem> ServingSystem::Build(Simulator* sim,
     dspec.lb_config = spec.skywalker;
     switch (spec.kind) {
       case SystemKind::kSkyWalkerCh:
-        dspec.lb_config.policy = RoutingPolicyKind::kConsistentHash;
+        dspec.lb_config.routing.policy = RoutingPolicyKind::kConsistentHash;
         break;
       case SystemKind::kSkyWalker:
-        dspec.lb_config.policy = RoutingPolicyKind::kPrefixTree;
+        dspec.lb_config.routing.policy = RoutingPolicyKind::kPrefixTree;
         break;
       case SystemKind::kRegionLocal:
-        dspec.lb_config.enable_forwarding = false;
+        dspec.lb_config.routing.enable_forwarding = false;
         break;
       default:
         break;

@@ -56,8 +56,20 @@ FleetResult RunFleetExperiment(const FleetSpec& spec) {
   dspec.replica_config = spec.replica_config;
   dspec.lb_config = spec.lb;
   dspec.controller_config = spec.controller;
+  // Runtime-config store, created only when something will be published
+  // (subscription delivery alone must not perturb the static fast path).
+  std::unique_ptr<ConfigStore> config_store;
+  if (!spec.config_updates.empty()) {
+    config_store = std::make_unique<ConfigStore>(spec.lb.runtime());
+    dspec.config_store = config_store.get();
+  }
   Simulator* controller_sim = net->SimForRegion(dspec.controller_config.home_region);
   auto deployment = Deployment::Build(controller_sim, net.get(), dspec);
+  // Setup-time publishes (after Build so every LB is subscribed; see the
+  // determinism contract in src/core/runtime_config.h).
+  for (const FleetConfigUpdate& update : spec.config_updates) {
+    config_store->PublishAt(update.at, update.config);
+  }
 
   // --- per-region metric collectors (each written only by its shard) ---
   const SimTime measure_end = spec.warmup + spec.measure;
@@ -100,9 +112,92 @@ FleetResult RunFleetExperiment(const FleetSpec& spec) {
     }
   }
 
+  // --- wave cohorts (flash crowd): same per-index derivation, indices
+  // continuing after the base population so id ranges stay disjoint ---
+  uint64_t next_index = static_cast<uint64_t>(num_regions) *
+                        static_cast<uint64_t>(spec.clients_per_region);
+  for (const FleetClientWave& wave : spec.client_waves) {
+    Simulator* region_sim = net->SimForRegion(wave.region);
+    for (int i = 0; i < wave.count; ++i) {
+      const uint64_t index = next_index++;
+      generators.push_back(std::make_unique<ConversationGenerator>(
+          base_gen, index, MixSeed(spec.seed + 1000, index + 1)));
+      ClientConfig client_config = spec.client;
+      client_config.request_id_base =
+          static_cast<RequestId>((index + 1) << 32);
+      client_config.stop_issuing_after = wave.stop_issuing_after;
+      clients.push_back(std::make_unique<ConversationClient>(
+          region_sim, net.get(), deployment->resolver(),
+          generators.back().get(),
+          collectors[static_cast<size_t>(wave.region)].get(), wave.region,
+          client_config, MixSeed(spec.seed + 2000, index + 1)));
+      Rng stagger_rng(MixSeed(spec.seed ^ 0xdead, index + 1));
+      staggers.push_back(
+          wave.start +
+          static_cast<SimDuration>(stagger_rng.Uniform(0, 5e6)));
+    }
+  }
+
   deployment->Start();
   for (size_t i = 0; i < clients.size(); ++i) {
     clients[i]->Start(staggers[i]);
+  }
+
+  // --- scheduled faults, each an event on the faulted region's shard ---
+  for (const FleetFault& fault : spec.faults) {
+    Simulator* region_sim = net->SimForRegion(fault.region);
+    region_sim->SetCurrentRegion(fault.region);
+    switch (fault.kind) {
+      case FleetFault::kLbFail: {
+        SkyWalkerLb* lb = deployment->LbInRegion(fault.region);
+        SKYWALKER_CHECK(lb != nullptr);
+        region_sim->ScheduleAt(fault.at, [lb] { lb->Fail(); });
+        break;
+      }
+      case FleetFault::kLbRecover: {
+        // Controller-led recovery returns displaced replicas home; if the
+        // controller never executed failover, recover the LB directly.
+        // Touches two LBs' replica sets — plain-mode (num_shards == 0)
+        // scenarios only, like controller failover itself.
+        SkyWalkerLb* lb = deployment->LbInRegion(fault.region);
+        SKYWALKER_CHECK(lb != nullptr);
+        Controller* controller = deployment->controller();
+        region_sim->ScheduleAt(fault.at, [controller, lb] {
+          if (!controller->RecoverLb(lb->id())) {
+            lb->Recover();
+          }
+        });
+        break;
+      }
+      case FleetFault::kReplicaFail:
+      case FleetFault::kReplicaRecover:
+      case FleetFault::kReplicaSlowdown: {
+        int region_local = 0;
+        bool matched = false;
+        for (const auto& replica : deployment->replicas()) {
+          if (replica->region() != fault.region) {
+            continue;
+          }
+          if (fault.replica_index >= 0 &&
+              region_local++ != fault.replica_index) {
+            continue;
+          }
+          matched = true;
+          Replica* target = replica.get();
+          if (fault.kind == FleetFault::kReplicaFail) {
+            region_sim->ScheduleAt(fault.at, [target] { target->Fail(); });
+          } else if (fault.kind == FleetFault::kReplicaRecover) {
+            region_sim->ScheduleAt(fault.at, [target] { target->Recover(); });
+          } else {
+            const double factor = fault.factor;
+            region_sim->ScheduleAt(
+                fault.at, [target, factor] { target->SetSlowdown(factor); });
+          }
+        }
+        SKYWALKER_CHECK(matched) << "fault matched no replica";
+        break;
+      }
+    }
   }
 
   // --- per-region imbalance samplers (each samples only its own shard's
@@ -120,8 +215,10 @@ FleetResult RunFleetExperiment(const FleetSpec& spec) {
     const std::vector<size_t>& mine = region_replicas[static_cast<size_t>(region)];
     auto sampler = std::make_unique<PeriodicTask>(
         region_sim, Seconds(1),
-        [&deployment, &outstanding_stats, &mine, region_sim, warmup = spec.warmup] {
-          if (region_sim->now() < warmup) {
+        [&deployment, &outstanding_stats, &mine, region_sim,
+         warmup = spec.warmup, measure_end] {
+          // Drain time is settling, not measurement.
+          if (region_sim->now() < warmup || region_sim->now() > measure_end) {
             return;
           }
           for (size_t i : mine) {
@@ -136,11 +233,12 @@ FleetResult RunFleetExperiment(const FleetSpec& spec) {
 
   // --- run ---
   const auto wall0 = std::chrono::steady_clock::now();
+  const SimTime run_end = measure_end + spec.drain;
   size_t executed = 0;
   if (sharded != nullptr) {
-    executed = sharded->RunUntil(measure_end);
+    executed = sharded->RunUntil(run_end);
   } else {
-    executed = plain_sim->RunUntil(measure_end);
+    executed = plain_sim->RunUntil(run_end);
   }
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
@@ -208,6 +306,26 @@ FleetResult RunFleetExperiment(const FleetSpec& spec) {
     }
     result.trace = std::move(trace);
   }
+
+  // --- resilience accounting ---
+  for (const auto& client : clients) {
+    result.issued += static_cast<int64_t>(client->issued_requests());
+    result.completed_total +=
+        static_cast<int64_t>(client->completed_requests());
+    result.client_errors += static_cast<int64_t>(client->errors());
+  }
+  result.lost_forever =
+      result.issued - result.completed_total - result.client_errors;
+  for (const auto& lb : deployment->lbs()) {
+    SkyWalkerLb::Stats lb_stats = lb->stats();
+    result.request_timeouts += lb_stats.request_timeouts;
+    result.probe_misses += lb_stats.probe_misses;
+    result.ejections += lb_stats.ejections;
+    result.recoveries += lb_stats.recoveries;
+    result.late_completions += lb_stats.late_completions;
+    result.config_swaps += lb_stats.config_swaps;
+  }
+  result.failovers = deployment->controller()->stats().failovers_handled;
 
   result.messages_sent = net->messages_sent();
   result.cross_region_messages = net->cross_region_messages();

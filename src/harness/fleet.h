@@ -30,6 +30,41 @@
 
 namespace skywalker {
 
+// A scheduled fault for the resilience scenarios (ISSUE 7). Faults are
+// injected as events on the owning region's shard, keyed to that region, so
+// sharded runs stay deterministic.
+struct FleetFault {
+  enum Kind {
+    kLbFail,           // Region blackout at the LB (queue errors out).
+    kLbRecover,
+    kReplicaFail,      // Replica stops serving; running requests vanish.
+    kReplicaRecover,
+    kReplicaSlowdown,  // Gray failure: decode stretched by `factor`.
+  };
+  Kind kind = kLbFail;
+  SimTime at = 0;
+  RegionId region = 0;
+  // kReplica*: index within the region's replicas; -1 = every replica
+  // in the region. Ignored for LB faults.
+  int replica_index = -1;
+  double factor = 1.0;  // kReplicaSlowdown only.
+};
+
+// A RuntimeConfig snapshot published mid-run through the deployment's
+// ConfigStore (created on demand when any update is present).
+struct FleetConfigUpdate {
+  SimTime at = 0;
+  RuntimeConfig config;
+};
+
+// An extra client cohort arriving mid-run (flash crowd / diurnal shift).
+struct FleetClientWave {
+  RegionId region = 0;
+  int count = 0;
+  SimDuration start = 0;  // First conversations begin here (staggered 5 s).
+  SimTime stop_issuing_after = kSimTimeMax;
+};
+
 struct FleetSpec {
   Topology topology = Topology::FourRegions();
   std::vector<int> replicas_per_region;
@@ -44,7 +79,16 @@ struct FleetSpec {
 
   SimDuration warmup = Seconds(10);
   SimDuration measure = Seconds(60);
+  // Extra simulated time after the measurement window with no new issues
+  // (set client.stop_issuing_after accordingly) so in-flight and retried
+  // requests settle; required for meaningful lost-forever accounting.
+  SimDuration drain = 0;
   uint64_t seed = 7;
+
+  // Resilience hooks (all empty by default — the seed fast path).
+  std::vector<FleetFault> faults;
+  std::vector<FleetConfigUpdate> config_updates;
+  std::vector<FleetClientWave> client_waves;
 
   // 0: plain single-threaded Simulator (the reference). >= 1: sharded
   // simulation with that many region shards (clamped to the region count)
@@ -66,6 +110,20 @@ struct FleetResult {
   uint64_t messages_sent = 0;
   uint64_t cross_region_messages = 0;
   size_t executed_events = 0;
+
+  // Resilience accounting (ISSUE 7), summed over all clients / LBs / the
+  // controller for the whole run (warmup + measure + drain).
+  int64_t issued = 0;           // Client submissions (retries re-count).
+  int64_t completed_total = 0;  // Client-side completions.
+  int64_t client_errors = 0;    // on_error deliveries (each is retried).
+  int64_t lost_forever = 0;     // issued - completed_total - client_errors.
+  int64_t request_timeouts = 0;
+  int64_t probe_misses = 0;
+  int64_t ejections = 0;
+  int64_t recoveries = 0;
+  int64_t late_completions = 0;
+  int64_t config_swaps = 0;
+  int64_t failovers = 0;  // Controller failovers handled.
 
   // Wall-clock telemetry (nondeterministic; BENCH_TIMING.json only).
   double run_wall_seconds = 0;

@@ -11,7 +11,7 @@ LoadBalancer::LoadBalancer(Simulator* sim, Network* net, LbId id,
       region_(region),
       config_(config),
       selector_(std::move(selector)),
-      engine_(sim, net, region, config.engine(), selector_.get()) {}
+      engine_(sim, net, region, config.engine, selector_.get()) {}
 
 LoadBalancer::~LoadBalancer() = default;
 

@@ -22,18 +22,12 @@
 namespace skywalker {
 
 struct LbConfig {
-  PushMode push_mode = PushMode::kBlind;
+  // Engine knobs (push mode, probe interval, slack, gates, outlier
+  // detection), in the shared DispatchConfig vocabulary. Baselines default
+  // to blind pushing; paper §4.1 probes every 100 ms.
+  DispatchConfig engine;
 
-  // Heartbeat probe period (paper §4.1 uses 100 ms).
-  SimDuration probe_interval = Milliseconds(100);
-
-  // SP-O: fixed cap on outstanding requests per replica.
-  int max_outstanding_per_replica = 24;
-
-  // SP-P: optimistic pushes allowed per replica between two probes. Bounds
-  // burst overshoot caused by probe staleness (DESIGN.md §5.3) while still
-  // letting an empty continuous batch fill within one probe window.
-  int push_slack = 32;
+  // --- SGL cache-aware policy knobs (policy-owned, not engine state) ---
 
   // Capacity of the policy-owned routing trie (SGL policy).
   int64_t routing_trie_capacity = 4'000'000;
@@ -46,26 +40,6 @@ struct LbConfig {
   // exceeds this (≈ its KV budget), all estimates decay, mirroring worker
   // eviction.
   int64_t sgl_tree_decay_tokens = 49152;
-
-  // Free-block-aware routing gate: replicas whose probed free-KV-block
-  // fraction is below this floor are skipped (0 = off, the seed behavior).
-  double min_free_block_fraction = 0.0;
-
-  // Preemption-aware selective pushing: least-loaded scans add this per
-  // preemption the replica reported between its last two probes (0 = off).
-  double preemption_penalty = 0.0;
-
-  // The engine-knob subset, in the shared config vocabulary.
-  DispatchConfig engine() const {
-    DispatchConfig config;
-    config.push_mode = push_mode;
-    config.probe_interval = probe_interval;
-    config.max_outstanding_per_replica = max_outstanding_per_replica;
-    config.push_slack = push_slack;
-    config.min_free_block_fraction = min_free_block_fraction;
-    config.preemption_penalty = preemption_penalty;
-    return config;
-  }
 };
 
 class LoadBalancer : public Frontend {

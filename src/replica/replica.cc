@@ -19,6 +19,13 @@ Replica::Replica(Simulator* sim, ReplicaId id, RegionId region,
 
 void Replica::Enqueue(Request req, Handlers handlers) {
   SKYWALKER_CHECK(!req.output.empty()) << "request must generate >= 1 token";
+  if (!serving_) {
+    // A crashed engine accepts nothing; the request vanishes exactly like
+    // in-flight work did at the crash. The dispatching balancer's request
+    // timeout is what converts this silence into a client-visible error.
+    ++stats_.dropped_requests;
+    return;
+  }
   Seq seq;
   seq.req = std::move(req);
   seq.handlers = std::move(handlers);
@@ -96,6 +103,26 @@ Replica::LoadSnapshot Replica::Snapshot() const {
   snap.preemptions = stats_.preemptions;
   snap.swapped = swapped_count();
   return snap;
+}
+
+ProbePayload Replica::Probe() {
+  LoadSnapshot snap = Snapshot();
+  ProbePayload payload;
+  payload.version = ++probe_version_;
+  payload.pending = snap.pending;
+  payload.running = snap.running;
+  payload.free_capacity = snap.free_capacity;
+  payload.free_blocks = snap.free_blocks;
+  payload.total_blocks = snap.total_blocks;
+  // Preemptions since the previous probe; 0 on the first (no baseline).
+  payload.preemption_delta =
+      probed_before_ ? snap.preemptions - preemptions_at_last_probe_ : 0;
+  preemptions_at_last_probe_ = snap.preemptions;
+  probed_before_ = true;
+  payload.swapped = snap.swapped;
+  payload.ewma_decode_us_per_token = decode_ewma_us_per_token_;
+  payload.latency_samples = latency_samples_;
+  return payload;
 }
 
 double Replica::memory_utilization() const {
@@ -286,15 +313,33 @@ void Replica::MaybeStep() {
       static_cast<double>(decode_count) * config_.decode_us_per_seq +
       static_cast<double>(decode_context_tokens) *
           config_.decode_us_per_context_token;
+  // Gray-failure knob: a straggler executes every step slower. The
+  // multiplication by the default 1.0 is exact for finite doubles, so
+  // unslowed replicas keep bit-identical step times.
+  duration_us *= slowdown_;
   step_in_flight_ = true;
   ++stats_.engine_steps;
   stats_.busy_us += duration_us;
   sim_->ScheduleAfter(static_cast<SimDuration>(duration_us),
-                      [this] { FinishStep(); });
+                      [this, duration_us, decode_count] {
+                        FinishStep(duration_us, decode_count);
+                      });
 }
 
-void Replica::FinishStep() {
+void Replica::FinishStep(double step_us, int decode_count) {
   step_in_flight_ = false;
+
+  // Fold this step's duration into the probe-visible inter-token-latency
+  // EWMA: each decoding sequence waited the whole step for its token. This
+  // includes time spent on co-batched prefill chunks — that is latency the
+  // decode stream really experienced — and it surfaces a straggler's
+  // slowdown within a few steps, not after whole sequences complete.
+  if (decode_count > 0) {
+    decode_ewma_us_per_token_ =
+        latency_samples_ == 0 ? step_us
+                              : 0.25 * step_us + 0.75 * decode_ewma_us_per_token_;
+    ++latency_samples_;
+  }
 
   // Apply prefill progress and decode increments.
   for (Seq& seq : running_) {
@@ -398,6 +443,7 @@ void Replica::OnPrefillComplete(Seq& seq) {
 
   if (!seq.first_token_sent) {
     seq.first_token_sent = true;
+    seq.decode_start = sim_->now();
     if (seq.handlers.on_first_token) {
       seq.handlers.on_first_token(seq.req, seq.cached_len);
     }
@@ -520,6 +566,18 @@ void Replica::Crash() {
   pending_.clear();
   watermark_reject_id_valid_ = false;
   cache_.Clear();
+}
+
+void Replica::Fail() {
+  serving_ = false;
+  Crash();
+}
+
+void Replica::Recover() { serving_ = true; }
+
+void Replica::SetSlowdown(double factor) {
+  SKYWALKER_CHECK(factor > 0.0) << "slowdown must be positive";
+  slowdown_ = factor;
 }
 
 }  // namespace skywalker

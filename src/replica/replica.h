@@ -109,6 +109,30 @@ struct ReplicaConfig {
   }
 };
 
+// The versioned heartbeat-probe payload (ISSUE 7): everything a balancer
+// routes on, in one struct with exactly one construction site
+// (Replica::Probe) and one decode site (the dispatch engine's probe-response
+// handler). `version` is a per-replica monotonic probe counter;
+// `preemption_delta` is the preemption count since the previous probe — the
+// "recent churn" preemption-aware pushing scores on (0 on a replica's first
+// probe). The EWMA decode-latency sample feeds passive latency-outlier
+// detection (src/routing/health.h); full diagnostic detail stays on
+// Replica::LoadSnapshot, which metrics and tests read directly.
+struct ProbePayload {
+  int64_t version = 0;
+  int pending = 0;        // Accepted, not in the batch (incl. swapped).
+  int running = 0;
+  int free_capacity = 0;  // EstimateFreeCapacity().
+  int64_t free_blocks = 0;
+  int64_t total_blocks = 0;
+  int64_t preemption_delta = 0;
+  int64_t swapped = 0;
+  // EWMA over completed requests of (decode wall time) / (tokens decoded) —
+  // the per-token service latency a straggler inflates, whatever its load.
+  double ewma_decode_us_per_token = 0.0;
+  int64_t latency_samples = 0;  // Completions folded into the EWMA.
+};
+
 class Replica {
  public:
   struct Handlers {
@@ -126,6 +150,7 @@ class Replica {
     int64_t cached_tokens_reused = 0;
     int64_t output_tokens_generated = 0;
     int64_t preemptions = 0;  // Recompute + swap victims.
+    int64_t dropped_requests = 0;  // Arrivals while failed (vanish, §10).
     int64_t engine_steps = 0;
     double busy_us = 0;          // Total step time.
     double peak_memory_utilization = 0;
@@ -201,6 +226,13 @@ class Replica {
   // One-call probe payload: queue depths plus paged-memory headroom.
   LoadSnapshot Snapshot() const;
 
+  // The heartbeat-probe RPC body (ISSUE 7): stamps the next probe version,
+  // computes the preemption delta against the previous probe, and attaches
+  // the decode-latency EWMA. Non-const on purpose — probing *is* the state
+  // change that advances the delta baseline, and keeping it here gives the
+  // payload exactly one construction site.
+  ProbePayload Probe();
+
   // KV held by *running* requests (pinned cache paths + private tokens).
   // Excludes cached-but-idle content, which an LRU cache keeps resident
   // anyway; this is the "KV cache memory utilization" a serving dashboard
@@ -234,6 +266,21 @@ class Replica {
   // Running requests vanish without callbacks, like a crashed engine.
   void Crash();
 
+  // --- fault injection (DESIGN.md §10) ---
+  // Hard failure: crashes (running work vanishes) and stops serving — later
+  // arrivals are dropped without callbacks and probes go unanswered, so an
+  // outlier-detecting balancer observes timeouts, not refusals.
+  void Fail();
+  void Recover();
+  bool serving() const { return serving_; }
+
+  // Gray-failure injection: multiplies every engine-step duration (a 6x
+  // straggler decodes 6x slower but stays reachable — the hard case for
+  // least-loaded routing). 1.0 is the identity and leaves timing
+  // bit-identical to a build without the knob.
+  void SetSlowdown(double factor);
+  double slowdown() const { return slowdown_; }
+
  private:
   struct Seq {
     Request req;
@@ -247,6 +294,7 @@ class Replica {
     bool prefill_done = false;
     bool first_token_sent = false;
     int64_t prefill_alloc = 0;      // Tokens assigned in the current step.
+    SimTime decode_start = 0;       // When the first output token fired.
 
     int64_t prompt_len() const { return req.prompt_tokens(); }
     int64_t output_len() const { return req.output_tokens(); }
@@ -284,8 +332,11 @@ class Replica {
   // Starts an engine step if work exists and none is in flight.
   void MaybeStep();
 
-  // Applies the effects of the step that just finished.
-  void FinishStep();
+  // Applies the effects of the step that just finished. `step_us` is the
+  // step's wall duration and `decode_count` how many sequences decoded a
+  // token in it — every such sequence experienced the full step duration as
+  // its inter-token latency, which is the decode-latency sample.
+  void FinishStep(double step_us, int decode_count);
 
   // Handles a seq whose prefill completed in this step: publishes the
   // prompt's pages to the shared cache by reference transfer and drops the
@@ -306,6 +357,19 @@ class Replica {
   ReplicaConfig config_;
   KvController kv_;     // Owns the page pool; declared before the cache,
   PrefixCache cache_;   // which charges its node spans into kv_'s allocator.
+
+  bool serving_ = true;
+  double slowdown_ = 1.0;
+  // Probe bookkeeping (ProbePayload construction, see Probe()).
+  int64_t probe_version_ = 0;
+  int64_t preemptions_at_last_probe_ = 0;
+  bool probed_before_ = false;
+  // Inter-token decode-latency EWMA, folded per decode step (alpha = 0.25):
+  // a straggler's slowdown becomes probe-visible within a few steps instead
+  // of only after whole sequences complete, which is what makes passive
+  // latency-outlier ejection react on a useful timescale.
+  double decode_ewma_us_per_token_ = 0.0;
+  int64_t latency_samples_ = 0;
 
   std::deque<Seq> pending_;
   std::vector<Seq> running_;  // Admission order (oldest first).

@@ -31,9 +31,19 @@ bool CandidateView::IsAvailable(ReplicaId id) const {
 double CandidateView::EffectiveLoad(const ReplicaState& state) const {
   // With penalty == 0 this is the exact outstanding count (int -> double is
   // lossless here), so the strict-less scan keeps the seed tie-breaks.
-  return static_cast<double>(state.outstanding) +
-         engine_->config().preemption_penalty *
-             static_cast<double>(state.recent_preemptions);
+  double load = static_cast<double>(state.outstanding) +
+                engine_->config().preemption_penalty *
+                    static_cast<double>(state.probed.preemption_delta);
+  // Soft failover priority (DESIGN.md §10): degraded and half-open replicas
+  // lose least-loaded scans to healthy ones until the healthy tier is this
+  // many requests deeper. Unreachable while health is disabled (status
+  // stays kHealthy).
+  const HealthStatus status = state.health.status();
+  if (status == HealthStatus::kDegraded ||
+      status == HealthStatus::kRecovering) {
+    load += engine_->config().outlier.degraded_load_penalty;
+  }
+  return load;
 }
 
 ReplicaId CandidateView::LeastLoadedAvailable() const {
@@ -74,13 +84,14 @@ ReplicaId CandidateView::LeastLoadedAmong(
 
 DispatchEngine::DispatchEngine(Simulator* sim, Network* net, RegionId region,
                                const DispatchConfig& config,
-                               ReplicaSelector* selector, Host* host)
+                               ReplicaSelector* selector,
+                               HostCallbacks callbacks)
     : sim_(sim),
       net_(net),
       region_(region),
       config_(config),
       selector_(selector),
-      host_(host) {
+      callbacks_(std::move(callbacks)) {
   SKYWALKER_CHECK(selector_ != nullptr) << "engine needs a replica selector";
   probe_task_ = std::make_unique<PeriodicTask>(sim_, config_.probe_interval,
                                                [this] { ProbeAll(); });
@@ -95,7 +106,7 @@ void DispatchEngine::AttachReplica(Replica* replica) {
   ReplicaState state;
   state.replica = replica;
   index_.emplace(replica->id(), replicas_.size());
-  replicas_.push_back(state);
+  replicas_.push_back(std::move(state));
   selector_->OnReplicaAttached(replica);
   TryDispatch();
 }
@@ -127,23 +138,52 @@ const ReplicaState* DispatchEngine::FindReplica(ReplicaId id) const {
 }
 
 void DispatchEngine::Start() {
-  if (config_.push_mode != PushMode::kBlind) {
+  started_ = true;
+  if (ProbeLoopNeeded()) {
     probe_task_->StartWithDelay(0);
   }
 }
 
-void DispatchEngine::Stop() { probe_task_->Stop(); }
+void DispatchEngine::Stop() {
+  started_ = false;
+  probe_task_->Stop();
+}
 
 void DispatchEngine::ResetProbeState() {
   for (ReplicaState& state : replicas_) {
     state.probed_once = false;
     state.pushes_since_probe = 0;
-    state.recent_preemptions = 0;
+    state.probed.preemption_delta = 0;
+    state.health.Reset();
+    state.latency_samples_at_ejection = 0;
   }
 }
 
+void DispatchEngine::ApplyConfig(const DispatchConfig& next) {
+  config_ = next;
+  // The probe task picks the new interval up at its next reschedule; the
+  // loop itself starts or stops with the need for one (a kBlind engine
+  // gaining outlier detection must begin probing for liveness).
+  probe_task_->set_interval(config_.probe_interval);
+  if (started_) {
+    if (ProbeLoopNeeded() && !probe_task_->running()) {
+      probe_task_->StartWithDelay(0);
+    } else if (!ProbeLoopNeeded() && probe_task_->running()) {
+      probe_task_->Stop();
+    }
+  }
+  // Availability may have widened (e.g. push slack raised, gate lowered).
+  TryDispatch();
+}
+
 bool DispatchEngine::IsAvailable(const ReplicaState& state) const {
-  if (!state.healthy) {
+  const HealthStatus status = state.health.status();
+  if (!CanServe(status)) {
+    return false;
+  }
+  // Half-open (DESIGN.md §10): a recovering replica takes one request at a
+  // time until a success confirms it.
+  if (status == HealthStatus::kRecovering && state.outstanding > 0) {
     return false;
   }
   // Free-block-aware gate (ISSUE 4): route around replicas whose probed KV
@@ -208,6 +248,16 @@ std::vector<ReplicaId> DispatchEngine::AvailableReplicas() const {
   return out;
 }
 
+int DispatchEngine::EjectedCount() const {
+  int count = 0;
+  for (const ReplicaState& state : replicas_) {
+    if (state.health.status() == HealthStatus::kEjected) {
+      ++count;
+    }
+  }
+  return count;
+}
+
 std::vector<int> DispatchEngine::OutstandingSnapshot() const {
   std::vector<int> out;
   out.reserve(replicas_.size());
@@ -231,15 +281,16 @@ void DispatchEngine::RecordDequeue(SimTime lb_arrival) {
 }
 
 void DispatchEngine::TryDispatch() {
-  while ((host_ == nullptr || host_->ShouldDispatch()) && !queue_.empty()) {
+  while ((!callbacks_.should_dispatch || callbacks_.should_dispatch()) &&
+         !queue_.empty()) {
     Queued& head = queue_.front();
     const SimTime lb_arrival = head.lb_arrival;
-    if (host_ != nullptr) {
-      Host::HeadAction action = host_->OnQueueHead(head);
-      if (action == Host::HeadAction::kStall) {
+    if (callbacks_.on_queue_head) {
+      HeadAction action = callbacks_.on_queue_head(head);
+      if (action == HeadAction::kStall) {
         return;
       }
-      if (action == Host::HeadAction::kTaken) {
+      if (action == HeadAction::kTaken) {
         RecordDequeue(lb_arrival);
         queue_.pop_front();
         continue;
@@ -252,14 +303,40 @@ void DispatchEngine::TryDispatch() {
       DispatchTo(std::move(queued), target);
       continue;
     }
-    if (host_ != nullptr &&
-        host_->OnUnplaced(head) == Host::HeadAction::kTaken) {
+    if (callbacks_.on_unplaced &&
+        callbacks_.on_unplaced(head) == HeadAction::kTaken) {
       RecordDequeue(lb_arrival);
       queue_.pop_front();
       continue;
     }
     return;  // FCFS head-of-line: wait for capacity.
   }
+}
+
+void DispatchEngine::NoteReplicaSuccess(ReplicaState& state) {
+  if (!config_.outlier.enabled) {
+    return;
+  }
+  if (state.health.RecordSuccess()) {
+    ++stats_.recoveries;
+  }
+}
+
+void DispatchEngine::NoteReplicaFailure(ReplicaState& state) {
+  if (!config_.outlier.enabled) {
+    return;
+  }
+  if (state.health.RecordFailure(config_.outlier) &&
+      EjectionAllowed(EjectedCount(), replicas_.size(),
+                      config_.outlier.max_ejection_fraction)) {
+    EjectReplica(state);
+  }
+}
+
+void DispatchEngine::EjectReplica(ReplicaState& state) {
+  state.health.Eject(config_.outlier, sim_->now());
+  state.latency_samples_at_ejection = state.probed.latency_samples;
+  ++stats_.ejections;
 }
 
 void DispatchEngine::DispatchTo(Queued queued, ReplicaId replica_id) {
@@ -270,8 +347,8 @@ void DispatchEngine::DispatchTo(Queued queued, ReplicaId replica_id) {
   ++state->pushes_since_probe;
   ++stats_.dispatched;
   RecordDequeue(queued.lb_arrival);
-  if (host_ != nullptr) {
-    host_->OnLocalDispatch(queued, replica_id);
+  if (callbacks_.on_local_dispatch) {
+    callbacks_.on_local_dispatch(queued, replica_id);
   }
 
   const RegionId client_region = queued.req.client_region;
@@ -288,61 +365,143 @@ void DispatchEngine::DispatchTo(Queued queued, ReplicaId replica_id) {
     response_latency += net_->Latency(region_, client_region);
   }
 
-  auto outcome = std::make_shared<RequestOutcome>();
-  outcome->id = queued.req.id;
-  outcome->user_id = queued.req.user_id;
-  outcome->client_region = client_region;
-  outcome->served_region = replica_region;
-  outcome->replica = replica_id;
-  outcome->submit_time = queued.req.submit_time;
-  outcome->prompt_tokens = queued.req.prompt_tokens();
-  outcome->output_tokens = queued.req.output_tokens();
-  outcome->hops = hops;
-  outcome->forwarded = queued.forwarded_in;
+  auto ctx = std::make_shared<DispatchCtx>();
+  ctx->callbacks = std::move(queued.callbacks);
+  RequestOutcome& outcome = ctx->outcome;
+  outcome.id = queued.req.id;
+  outcome.user_id = queued.req.user_id;
+  outcome.client_region = client_region;
+  outcome.served_region = replica_region;
+  outcome.replica = replica_id;
+  outcome.submit_time = queued.req.submit_time;
+  outcome.prompt_tokens = queued.req.prompt_tokens();
+  outcome.output_tokens = queued.req.output_tokens();
+  outcome.hops = hops;
+  outcome.forwarded = queued.forwarded_in;
 
-  auto callbacks =
-      std::make_shared<RequestCallbacks>(std::move(queued.callbacks));
-
-  // The handlers below run on the *replica's* shard (the replica invokes
-  // them), so times come from the replica-side clock and client callbacks
-  // travel back through the network; in plain mode both reduce to the seed
-  // behavior (one simulator, Deliver == ScheduleAfter).
+  const bool guarded =
+      config_.outlier.enabled && config_.outlier.request_timeout > 0;
   Simulator* replica_sim = net_->SimForRegion(replica_region);
   Replica::Handlers handlers;
-  handlers.on_first_token = [this, outcome, callbacks, response_latency,
-                             replica_sim, replica_region, client_region](
-                                const Request& /*req*/, int64_t cached) {
-    outcome->cached_prompt_tokens = cached;
-    outcome->first_token_time = replica_sim->now() + response_latency;
-    if (callbacks->on_first_token) {
-      net_->Deliver(replica_region, client_region, response_latency,
-                    [callbacks, outcome] {
-                      callbacks->on_first_token(*outcome);
-                    });
-    }
-  };
-  handlers.on_complete = [this, outcome, callbacks, response_latency,
-                          replica_sim, replica_region, client_region,
-                          replica_id](const Request& /*req*/,
-                                      int64_t cached) {
-    outcome->cached_prompt_tokens = cached;
-    outcome->completion_time = replica_sim->now() + response_latency;
-    if (callbacks->on_complete) {
-      net_->Deliver(replica_region, client_region, response_latency,
-                    [callbacks, outcome] {
-                      callbacks->on_complete(*outcome);
-                    });
-    }
-    // LB-side accounting flows back over the replica->LB hop only.
-    net_->Send(outcome->served_region, region_, [this, replica_id] {
-      ReplicaState* rs = FindReplica(replica_id);
-      if (rs != nullptr && rs->outstanding > 0) {
-        --rs->outstanding;
+  if (!guarded) {
+    // The handlers below run on the *replica's* shard (the replica invokes
+    // them), so times come from the replica-side clock and client callbacks
+    // travel back through the network; in plain mode both reduce to the seed
+    // behavior (one simulator, Deliver == ScheduleAfter).
+    handlers.on_first_token = [this, ctx, response_latency, replica_sim,
+                               replica_region, client_region](
+                                  const Request& /*req*/, int64_t cached) {
+      ctx->outcome.cached_prompt_tokens = cached;
+      ctx->outcome.first_token_time = replica_sim->now() + response_latency;
+      if (ctx->callbacks.on_first_token) {
+        net_->Deliver(replica_region, client_region, response_latency,
+                      [ctx] { ctx->callbacks.on_first_token(ctx->outcome); });
       }
-      ++stats_.completed;
-      TryDispatch();
-    });
-  };
+    };
+    handlers.on_complete = [this, ctx, response_latency, replica_sim,
+                            replica_region, client_region,
+                            replica_id](const Request& /*req*/,
+                                        int64_t cached) {
+      ctx->outcome.cached_prompt_tokens = cached;
+      ctx->outcome.completion_time = replica_sim->now() + response_latency;
+      if (ctx->callbacks.on_complete) {
+        net_->Deliver(replica_region, client_region, response_latency,
+                      [ctx] { ctx->callbacks.on_complete(ctx->outcome); });
+      }
+      // LB-side accounting flows back over the replica->LB hop only.
+      net_->Send(ctx->outcome.served_region, region_, [this, replica_id] {
+        ReplicaState* rs = FindReplica(replica_id);
+        if (rs != nullptr && rs->outstanding > 0) {
+          --rs->outstanding;
+        }
+        ++stats_.completed;
+        TryDispatch();
+      });
+    };
+  } else {
+    // Guarded dispatch (DESIGN.md §10): the response path becomes two hops —
+    // replica -> LB (timeout adjudication on this engine's shard) ->
+    // client — so the outstanding slot, the health machine, and the timeout
+    // flags are only ever touched on the LB shard. A request unanswered
+    // within request_timeout is failed here (on_error sends the client
+    // elsewhere) and its eventual completion, if any, is suppressed.
+    const SimDuration first_hop = net_->Latency(replica_region, region_);
+    const SimDuration remainder = response_latency - first_hop;
+
+    sim_->ScheduleAfter(
+        config_.outlier.request_timeout,
+        [this, ctx, replica_id, client_region] {
+          if (ctx->finished || ctx->timed_out) {
+            return;
+          }
+          ctx->timed_out = true;
+          ++stats_.request_timeouts;
+          ReplicaState* rs = FindReplica(replica_id);
+          if (rs != nullptr) {
+            if (rs->outstanding > 0) {
+              --rs->outstanding;
+            }
+            NoteReplicaFailure(*rs);
+          }
+          if (ctx->callbacks.on_error) {
+            net_->Deliver(region_, client_region,
+                          net_->Latency(region_, client_region),
+                          [ctx] { ctx->callbacks.on_error(); });
+          }
+          TryDispatch();
+        });
+
+    handlers.on_first_token = [this, ctx, response_latency, first_hop,
+                               remainder, replica_sim, replica_region,
+                               client_region](const Request& /*req*/,
+                                              int64_t cached) {
+      ctx->outcome.cached_prompt_tokens = cached;
+      ctx->outcome.first_token_time = replica_sim->now() + response_latency;
+      net_->Deliver(replica_region, region_, first_hop,
+                    [this, ctx, remainder, client_region] {
+                      if (ctx->timed_out) {
+                        return;  // Client already saw the error.
+                      }
+                      if (ctx->callbacks.on_first_token) {
+                        net_->Deliver(region_, client_region, remainder,
+                                      [ctx] {
+                                        ctx->callbacks.on_first_token(
+                                            ctx->outcome);
+                                      });
+                      }
+                    });
+    };
+    handlers.on_complete = [this, ctx, response_latency, first_hop, remainder,
+                            replica_sim, replica_region, client_region,
+                            replica_id](const Request& /*req*/,
+                                        int64_t cached) {
+      ctx->outcome.cached_prompt_tokens = cached;
+      ctx->outcome.completion_time = replica_sim->now() + response_latency;
+      net_->Deliver(
+          replica_region, region_, first_hop,
+          [this, ctx, remainder, replica_id, client_region] {
+            if (ctx->timed_out) {
+              ++stats_.late_completions;
+              return;
+            }
+            ctx->finished = true;
+            ReplicaState* rs = FindReplica(replica_id);
+            if (rs != nullptr) {
+              if (rs->outstanding > 0) {
+                --rs->outstanding;
+              }
+              NoteReplicaSuccess(*rs);
+            }
+            ++stats_.completed;
+            if (ctx->callbacks.on_complete) {
+              net_->Deliver(region_, client_region, remainder, [ctx] {
+                ctx->callbacks.on_complete(ctx->outcome);
+              });
+            }
+            TryDispatch();
+          });
+    };
+  }
 
   net_->Send(region_, replica_region,
              [replica, req = std::move(queued.req),
@@ -351,47 +510,119 @@ void DispatchEngine::DispatchTo(Queued queued, ReplicaId replica_id) {
              });
 }
 
-void DispatchEngine::ProbeAll() {
-  if (host_ != nullptr) {
-    host_->OnProbeTick();
+void DispatchEngine::EvaluateOutliers() {
+  const OutlierConfig& outlier = config_.outlier;
+  // Expired ejections go half-open: eligible for exactly one request, and
+  // for latency re-evaluation once fresh samples arrive.
+  for (ReplicaState& state : replicas_) {
+    if (state.health.EjectionExpired(sim_->now())) {
+      state.health.BeginRecovery();
+    }
   }
+  if (outlier.latency_factor <= 0.0) {
+    return;
+  }
+  // Fleet median of the probed decode-latency EWMAs, over replicas that are
+  // reporting enough samples to mean something.
+  std::vector<double> ewmas;
+  ewmas.reserve(replicas_.size());
   for (const ReplicaState& state : replicas_) {
-    if (!state.healthy) {
+    if (state.probed_once && state.probed.latency_samples >= 3 &&
+        CanServe(state.health.status())) {
+      ewmas.push_back(state.probed.ewma_decode_us_per_token);
+    }
+  }
+  if (static_cast<int>(ewmas.size()) < outlier.min_latency_hosts) {
+    return;
+  }
+  std::nth_element(ewmas.begin(), ewmas.begin() + ewmas.size() / 2,
+                   ewmas.end());
+  const double median = ewmas[ewmas.size() / 2];
+  if (median <= 0.0) {
+    return;
+  }
+  for (ReplicaState& state : replicas_) {
+    if (!state.probed_once || state.probed.latency_samples < 3) {
       continue;
     }
+    const bool is_outlier =
+        state.probed.ewma_decode_us_per_token > outlier.latency_factor * median;
+    const bool fresh_sample =
+        state.probed.latency_samples > state.latency_samples_at_ejection;
+    switch (state.health.EvaluateLatency(outlier, is_outlier, fresh_sample)) {
+      case LatencyVerdict::kWantsEject:
+        if (EjectionAllowed(EjectedCount(), replicas_.size(),
+                            outlier.max_ejection_fraction)) {
+          EjectReplica(state);
+        }
+        break;
+      case LatencyVerdict::kRecovered:
+        ++stats_.recoveries;
+        break;
+      case LatencyVerdict::kDegraded:
+      case LatencyVerdict::kNone:
+        break;
+    }
+  }
+}
+
+void DispatchEngine::ProbeAll() {
+  if (callbacks_.on_probe_tick) {
+    callbacks_.on_probe_tick();
+  }
+  if (config_.outlier.enabled) {
+    EvaluateOutliers();
+  }
+  for (ReplicaState& state : replicas_) {
     ++stats_.probes_sent;
     Replica* replica = state.replica;
     RegionId replica_region = replica->region();
     ReplicaId replica_id = replica->id();
-    // Probe round trip: LB -> replica (read the load snapshot) -> LB.
+    const int64_t epoch = ++state.probe_epoch_sent;
+    // Probe round trip: LB -> replica (read the probe payload) -> LB. A
+    // non-serving (crashed) replica never answers; the probe-timeout event
+    // below converts its silence into a health failure.
     net_->Send(region_, replica_region, [this, replica, replica_id,
-                                         replica_region] {
-      Replica::LoadSnapshot snapshot = replica->Snapshot();
+                                         replica_region, epoch] {
+      if (!replica->serving()) {
+        return;
+      }
+      ProbePayload payload = replica->Probe();
       net_->Send(replica_region, region_,
-                 [this, replica_id, snapshot] {
+                 [this, replica_id, payload, epoch] {
                    ReplicaState* rs = FindReplica(replica_id);
                    if (rs == nullptr) {
                      return;
                    }
-                   // Preemption delta between consecutive probes — the
-                   // "recent churn" the penalty scores on (0 until the
-                   // second probe; the counter is cumulative).
-                   rs->recent_preemptions =
-                       rs->probed_once
-                           ? snapshot.preemptions - rs->probed.preemptions
-                           : 0;
-                   rs->probed = snapshot;
+                   rs->probe_epoch_received =
+                       std::max(rs->probe_epoch_received, epoch);
+                   rs->probed = payload;
                    rs->pushes_since_probe = 0;
                    rs->probed_once = true;
-                   if (host_ != nullptr) {
-                     host_->OnReplicaProbeResult();
+                   if (config_.outlier.enabled) {
+                     rs->health.RecordProbeSuccess();
+                   }
+                   if (callbacks_.on_replica_probe_result) {
+                     callbacks_.on_replica_probe_result();
                    }
                    TryDispatch();
                  });
     });
+    if (config_.outlier.enabled && config_.outlier.probe_timeout > 0) {
+      sim_->ScheduleAfter(config_.outlier.probe_timeout,
+                          [this, replica_id, epoch] {
+                            ReplicaState* rs = FindReplica(replica_id);
+                            if (rs == nullptr ||
+                                rs->probe_epoch_received >= epoch) {
+                              return;
+                            }
+                            ++stats_.probe_misses;
+                            NoteReplicaFailure(*rs);
+                          });
+    }
   }
-  if (host_ != nullptr) {
-    host_->OnAfterReplicaProbes();
+  if (callbacks_.on_after_replica_probes) {
+    callbacks_.on_after_replica_probes();
   }
 }
 

@@ -16,16 +16,23 @@
 //                              proposal), with an optimistic push-slack bound
 //                              between probes (DESIGN.md §5.3).
 //  * The FCFS queue with head-of-line blocking and queue-wait statistics.
-//  * The probe loop: LB -> replica (read pending count + admission headroom)
-//    -> LB round trips every probe_interval.
+//  * The probe loop: LB -> replica (read the ProbePayload) -> LB round trips
+//    every probe_interval.
 //  * Dispatch mechanics: outcome assembly, response-path latency (including
 //    the extra origin-LB hop for forwarded-in requests), and completion
 //    accounting.
+//  * The resilience control plane (DESIGN.md §10): a per-replica passive
+//    health state machine (src/routing/health.h) driven by request timeouts,
+//    probe misses, and latency-outlier detection against the fleet median,
+//    with bounded max-ejection fraction and half-open recovery. Entirely
+//    inert unless DispatchConfig::outlier.enabled.
 //
 // Placement policy plugs in through ReplicaSelector::SelectReplica over a
 // CandidateView; the cross-region half of a balancer (peer probing,
 // forwarding, stickiness, overload advertisement — src/core) plugs in
-// through DispatchEngine::Host hooks.
+// through the HostCallbacks struct — a documented, narrow surface where
+// every hook has a neutral default (a default-constructed HostCallbacks is
+// a purely local balancer).
 //
 // Replica state lives in a flat vector with an id -> index side map, so the
 // per-dispatch hot path (availability scans, outstanding updates) is O(1)
@@ -36,6 +43,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -44,6 +52,7 @@
 #include "src/common/sim_time.h"
 #include "src/net/network.h"
 #include "src/replica/replica.h"
+#include "src/routing/health.h"
 #include "src/sim/simulator.h"
 #include "src/workload/request.h"
 
@@ -57,7 +66,9 @@ enum class PushMode {
 };
 
 // Engine knobs shared by every balancer; policy-specific knobs stay in the
-// owning stack's config (LbConfig / SkyWalkerConfig).
+// owning stack's config (LbConfig / SkyWalkerConfig). This struct is the
+// `dispatch` half of a RuntimeConfig snapshot (src/core/runtime_config.h)
+// and can be swapped mid-run via DispatchEngine::ApplyConfig.
 struct DispatchConfig {
   PushMode push_mode = PushMode::kBlind;
 
@@ -81,27 +92,38 @@ struct DispatchConfig {
   // Preemption-aware selective pushing (ISSUE 5): least-loaded scans score
   // a replica as outstanding + penalty * (preemptions observed between its
   // last two probes), so replicas thrashing their KV pool lose ties — and,
-  // at higher penalties, whole requests — to calm ones. The counters ride
-  // the existing probe snapshot; 0 disables (seed behavior). kBlind never
-  // probes, so the penalty cannot affect it.
+  // at higher penalties, whole requests — to calm ones. The delta rides
+  // the probe payload; 0 disables (seed behavior). kBlind never probes, so
+  // the penalty cannot affect it.
   double preemption_penalty = 0.0;
+
+  // Passive outlier detection + request/probe timeouts (DESIGN.md §10).
+  // Disabled by default: every resilience code path is gated on
+  // outlier.enabled, keeping default-config runs byte-identical to the
+  // pre-resilience engine.
+  OutlierConfig outlier;
 };
 
 // Engine-tracked state for one managed replica, refreshed by the probe loop.
 struct ReplicaState {
   Replica* replica = nullptr;
   int outstanding = 0;        // LB-tracked in-flight (pushed, not completed).
-  // Full payload of the last probe: the pending count plus the paged-KV
-  // headroom signals (free/total blocks, fragmentation, preemption
-  // counters — see Replica::LoadSnapshot).
-  Replica::LoadSnapshot probed;
-  // Preemptions the replica reported between its last two probes — the
-  // "recent churn" signal preemption-aware pushing scores on. 0 until two
-  // probes have landed.
-  int64_t recent_preemptions = 0;
+  // Decoded payload of the last heartbeat probe (one construction site on
+  // the replica — Replica::Probe — and this one decode site).
+  ProbePayload probed;
   int pushes_since_probe = 0;
   bool probed_once = false;
-  bool healthy = true;
+  // Passive health state machine (src/routing/health.h). Stays kHealthy
+  // forever when outlier detection is disabled.
+  ReplicaHealth health;
+  // Probe-miss detection: every probe sent carries epoch = ++probe_epoch_sent
+  // and the response records it; a timeout whose epoch was never received is
+  // a miss. Tracked unconditionally (cheap), acted on only when enabled.
+  int64_t probe_epoch_sent = 0;
+  int64_t probe_epoch_received = 0;
+  // Latency-sample count at the moment of the last ejection: a recovering
+  // replica only exits half-open on evidence newer than this.
+  int64_t latency_samples_at_ejection = 0;
 
   // Free-block fraction from the last probe; 1 when never probed or the
   // replica reports no block budget.
@@ -126,6 +148,47 @@ struct Queued {
   RegionId origin_lb_region = kInvalidRegion;
 };
 
+// What a host's queue-head hooks tell the engine to do with the head.
+enum class HeadAction {
+  kPlaceLocal,  // Proceed to local placement via the selector.
+  kTaken,       // Host consumed the request (moved it out); pop and
+                // continue with the next queue head.
+  kStall,       // Stop dispatching; the head stays queued.
+};
+
+// The cross-region half of a balancer (src/core) plugs into the engine
+// through these hooks. Every member has a neutral default when null, so a
+// default-constructed HostCallbacks is a purely local balancer; adding a
+// hook is a change to this struct and its call site, nothing else.
+struct HostCallbacks {
+  // Gate on every dispatch iteration (e.g. LB health). Null = always true.
+  std::function<bool()> should_dispatch;
+
+  // Pre-placement intercept for the queue head (e.g. sticky remote
+  // affinity). kTaken means the hook moved the request out of `head`.
+  // Null = kPlaceLocal.
+  std::function<HeadAction(Queued& head)> on_queue_head;
+
+  // Local placement failed for `head` (no available replica accepted by
+  // the selector). The hook may consume it (cross-region forwarding) by
+  // moving it out and returning kTaken; kStall keeps it queued.
+  // kPlaceLocal is treated as kStall. Null = kStall.
+  std::function<HeadAction(Queued& head)> on_unplaced;
+
+  // A request was committed to a local replica (record placement in
+  // policy state, refresh last-local-availability, ...). Null = no-op.
+  std::function<void(const Queued& queued, ReplicaId replica_id)>
+      on_local_dispatch;
+
+  // Probe-loop extension points: start of a probe tick (before replica
+  // probes go out), after replica probes were sent (peer probing), and
+  // each time a replica probe response lands (before the engine's
+  // TryDispatch). Null = no-op.
+  std::function<void()> on_probe_tick;
+  std::function<void()> on_after_replica_probes;
+  std::function<void()> on_replica_probe_result;
+};
+
 class DispatchEngine;
 
 // Read-only window over the engine's replicas that a selector sees: indexed
@@ -145,9 +208,11 @@ class CandidateView {
   bool IsAvailable(ReplicaId id) const;
 
   // Load score the least-loaded scans minimize: outstanding, plus the
-  // configured penalty per recently-probed preemption. With the penalty at
-  // its default 0 this is exactly the outstanding count (ties resolved by
-  // scan order, as ever).
+  // configured penalty per recently-probed preemption, plus the degraded
+  // penalty for replicas the health machine has deprioritized (the soft
+  // priority tier of DESIGN.md §10). With the penalties at their default 0
+  // and health disabled this is exactly the outstanding count (ties
+  // resolved by scan order, as ever).
   double EffectiveLoad(const ReplicaState& state) const;
 
   // Lowest-EffectiveLoad *available* replica, or kInvalidReplica.
@@ -188,57 +253,20 @@ class DispatchEngine {
     int64_t probes_sent = 0;
     int64_t max_queue_len = 0;
     Distribution queue_wait_sec;  // Time spent in the FCFS queue.
+    // Resilience counters (all zero unless outlier detection is enabled).
+    int64_t request_timeouts = 0;   // Dispatched, never answered in time.
+    int64_t probe_misses = 0;       // Heartbeats that timed out.
+    int64_t ejections = 0;          // Transitions into kEjected.
+    int64_t recoveries = 0;         // kRecovering -> kHealthy confirmations.
+    int64_t late_completions = 0;   // Replies landing after their timeout.
   };
 
-  // Hooks for the cross-region half of a balancer (src/core). Every hook has
-  // a neutral default, so purely local balancers pass host == nullptr.
-  class Host {
-   public:
-    enum class HeadAction {
-      kPlaceLocal,  // Proceed to local placement via the selector.
-      kTaken,       // Host consumed the request (moved it out); pop and
-                    // continue with the next queue head.
-      kStall,       // Stop dispatching; the head stays queued.
-    };
-
-    virtual ~Host() = default;
-
-    // Gate on every dispatch iteration (e.g. LB health).
-    virtual bool ShouldDispatch() const { return true; }
-
-    // Pre-placement intercept for the queue head (e.g. sticky remote
-    // affinity). kTaken means the host moved the request out of `head`.
-    virtual HeadAction OnQueueHead(Queued& /*head*/) {
-      return HeadAction::kPlaceLocal;
-    }
-
-    // Local placement failed for `head` (no available replica accepted by
-    // the selector). The host may consume it (cross-region forwarding) by
-    // moving it out and returning kTaken; kStall keeps it queued.
-    // kPlaceLocal is treated as kStall.
-    virtual HeadAction OnUnplaced(Queued& /*head*/) {
-      return HeadAction::kStall;
-    }
-
-    // A request was committed to a local replica (record placement in
-    // policy state, refresh last-local-availability, ...).
-    virtual void OnLocalDispatch(const Queued& /*queued*/,
-                                 ReplicaId /*replica_id*/) {}
-
-    // Probe-loop extension points: start of a probe tick (before replica
-    // probes go out), after replica probes were sent (peer probing), and
-    // each time a replica probe response lands (before the engine's
-    // TryDispatch).
-    virtual void OnProbeTick() {}
-    virtual void OnAfterReplicaProbes() {}
-    virtual void OnReplicaProbeResult() {}
-  };
-
-  // `selector` and `host` are borrowed and must outlive the engine
-  // (`host` may be nullptr for purely local balancers).
+  // `selector` is borrowed and must outlive the engine. `callbacks` hooks
+  // may capture the owning balancer; null members take their neutral
+  // defaults.
   DispatchEngine(Simulator* sim, Network* net, RegionId region,
                  const DispatchConfig& config, ReplicaSelector* selector,
-                 Host* host = nullptr);
+                 HostCallbacks callbacks = {});
   ~DispatchEngine();
 
   DispatchEngine(const DispatchEngine&) = delete;
@@ -254,12 +282,20 @@ class DispatchEngine {
   const ReplicaState* FindReplica(ReplicaId id) const;
 
   // --- probe loop ---
-  // Starts the heartbeat probe loop (no-op for kBlind: nothing to probe).
+  // Starts the heartbeat probe loop when the configuration needs one
+  // (selective pushing probes for load; outlier detection probes for
+  // liveness even under kBlind).
   void Start();
   void Stop();
-  // Clears probe freshness so a restarted loop re-establishes availability
-  // (LB recovery).
+  // Clears probe freshness and per-replica health so a restarted loop
+  // re-establishes availability (LB recovery).
   void ResetProbeState();
+
+  // --- runtime config (DESIGN.md §10) ---
+  // Swaps the engine onto a new knob snapshot mid-run: push mode, probe
+  // interval (takes effect at the next tick), slack, gates, and the outlier
+  // machinery can all change without dropping queue or replica state.
+  void ApplyConfig(const DispatchConfig& next);
 
   // --- request path ---
   // Admits a request into the FCFS queue (stamping its arrival time) and
@@ -271,12 +307,15 @@ class DispatchEngine {
   // Errors out every queued request (LB failure); returns how many.
   int64_t FlushQueueWithError();
 
-  // --- availability (§3.3) ---
+  // --- availability (§3.3 + §10) ---
   bool IsAvailable(const ReplicaState& state) const;
   bool IsAvailable(ReplicaId id) const;
   bool AnyAvailable() const;
   int AvailableCount() const;
   std::vector<ReplicaId> AvailableReplicas() const;
+
+  // Replicas currently in kEjected (max-ejection-fraction accounting).
+  int EjectedCount() const;
 
   // Current LB-tracked outstanding per replica (imbalance metrics).
   std::vector<int> OutstandingSnapshot() const;
@@ -289,18 +328,40 @@ class DispatchEngine {
   RegionId region() const { return region_; }
 
  private:
+  // Shared per-dispatch context: outcome + client callbacks, plus the
+  // timeout guard flags (all reads/writes happen on this engine's shard).
+  struct DispatchCtx {
+    RequestOutcome outcome;
+    RequestCallbacks callbacks;
+    bool finished = false;   // Completion accounted (timeout must no-op).
+    bool timed_out = false;  // Timeout fired (completion must no-op).
+  };
+
   // Commits `queued` to `replica_id`: bookkeeping, outcome assembly,
   // response-path latency, network round trips, completion accounting.
   void DispatchTo(Queued queued, ReplicaId replica_id);
   void ProbeAll();
+  // Latency-outlier pass over the fleet, run at each probe tick when
+  // enabled: expire ejections into half-open, compare probed decode-latency
+  // EWMAs against the fleet median, apply verdicts under the ejection clamp.
+  void EvaluateOutliers();
   void RecordDequeue(SimTime lb_arrival);
+
+  bool ProbeLoopNeeded() const {
+    return config_.push_mode != PushMode::kBlind || config_.outlier.enabled;
+  }
+
+  // Health bookkeeping entry points (no-ops when outlier detection is off).
+  void NoteReplicaSuccess(ReplicaState& state);
+  void NoteReplicaFailure(ReplicaState& state);
+  void EjectReplica(ReplicaState& state);
 
   Simulator* sim_;
   Network* net_;
   RegionId region_;
   DispatchConfig config_;
   ReplicaSelector* selector_;
-  Host* host_;
+  HostCallbacks callbacks_;
 
   // Flat registry: hot-path scans iterate `replicas_`; `index_` maps
   // ReplicaId -> position (swap-remove keeps it dense on detach).
@@ -309,6 +370,7 @@ class DispatchEngine {
 
   std::deque<Queued> queue_;
   std::unique_ptr<PeriodicTask> probe_task_;
+  bool started_ = false;
   Stats stats_;
 };
 

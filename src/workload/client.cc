@@ -88,6 +88,7 @@ void ConversationClient::IssueTurn() {
     sim_->ScheduleAfter(Seconds(1), [this] { IssueTurn(); });
     return;
   }
+  ++issued_requests_;
   SubmitViaNetwork(net_, region_, frontend, std::move(req),
                    std::move(callbacks));
 }

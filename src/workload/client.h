@@ -65,6 +65,11 @@ class ConversationClient {
   size_t completed_requests() const { return completed_requests_; }
   size_t completed_conversations() const { return completed_conversations_; }
   size_t errors() const { return errors_; }
+  // Submissions handed to the network (retries count again). Every issued
+  // request eventually completes or errors; after a full drain,
+  // issued - completed - errors is the number of requests swallowed by the
+  // system — the lost-forever count the resilience scenarios assert on.
+  size_t issued_requests() const { return issued_requests_; }
 
  private:
   void BeginConversation();
@@ -84,6 +89,7 @@ class ConversationClient {
   ConversationGenerator::Conversation current_;
   RequestId next_request_id_ = 0;  // Private-range mode only.
   size_t next_turn_ = 0;
+  size_t issued_requests_ = 0;
   size_t completed_requests_ = 0;
   size_t completed_conversations_ = 0;
   size_t errors_ = 0;

@@ -76,18 +76,18 @@ struct Bench {
       // SkyWalker is SP-P by construction; scenarios that exercise other
       // push modes skip it.
       SkyWalkerConfig config;
-      config.push_slack = push_slack;
-      config.probe_interval = probe_interval;
-      config.enable_forwarding = false;
+      config.engine.push_slack = push_slack;
+      config.engine.probe_interval = probe_interval;
+      config.routing.enable_forwarding = false;
       sky = std::make_unique<SkyWalkerLb>(&sim, net.get(), 0, 0, config);
       sky->AttachReplica(replica.get());
       return;
     }
     LbConfig config;
-    config.push_mode = mode;
-    config.push_slack = push_slack;
-    config.probe_interval = probe_interval;
-    config.max_outstanding_per_replica = 4;
+    config.engine.push_mode = mode;
+    config.engine.push_slack = push_slack;
+    config.engine.probe_interval = probe_interval;
+    config.engine.max_outstanding_per_replica = 4;
     switch (kind) {
       case BalancerKind::kRoundRobin:
         baseline =
@@ -425,7 +425,7 @@ TEST(DispatchEngineTest, PreemptionPenaltyDownWeightsThrashingReplicas) {
   ReplicaState* r1 = bench.engine->FindReplica(1);
   r0->probed_once = r1->probed_once = true;
   r0->outstanding = 1;
-  r0->recent_preemptions = 3;  // Effective load 1 + 2*3 = 7.
+  r0->probed.preemption_delta = 3;  // Effective load 1 + 2*3 = 7.
   r1->outstanding = 4;         // Effective load 4.
   CandidateView view(bench.engine.get());
   EXPECT_DOUBLE_EQ(view.EffectiveLoad(*r0), 7.0);
@@ -441,7 +441,7 @@ TEST(DispatchEngineTest, PreemptionPenaltyDownWeightsThrashingReplicas) {
   ReplicaState* c1 = control.engine->FindReplica(1);
   c0->probed_once = c1->probed_once = true;
   c0->outstanding = 1;
-  c0->recent_preemptions = 3;
+  c0->probed.preemption_delta = 3;
   c1->outstanding = 4;
   CandidateView control_view(control.engine.get());
   EXPECT_EQ(control_view.LeastLoadedAvailable(), 0);

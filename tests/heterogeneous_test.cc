@@ -50,7 +50,7 @@ struct MixedFleet {
     replicas.push_back(std::make_unique<Replica>(&sim, 0, 0, FastDevice()));
     replicas.push_back(std::make_unique<Replica>(&sim, 1, 0, SlowDevice()));
     LbConfig config;
-    config.push_mode = mode;
+    config.engine.push_mode = mode;
     lb = std::make_unique<SglRouterLb>(&sim, net.get(), 0, 0, config);
     for (auto& replica : replicas) {
       lb->AttachReplica(replica.get());
@@ -121,7 +121,7 @@ struct ShortPromptBench {
     topology.AddRegion("local", Milliseconds(1));
     net = std::make_unique<Network>(&sim, topology);
     SkyWalkerConfig config;
-    config.short_prompt_threshold = threshold;
+    config.routing.short_prompt_threshold = threshold;
     lb = std::make_unique<SkyWalkerLb>(&sim, net.get(), 0, 0, config);
     for (ReplicaId i = 0; i < 2; ++i) {
       replicas.push_back(

@@ -213,8 +213,8 @@ TEST(PushModeTest, SpoCapsOutstandingPerReplica) {
   rconfig.kv_capacity_tokens = 100000;
   TestBench bench(1, rconfig);
   LbConfig config;
-  config.push_mode = PushMode::kSelectiveOutstanding;
-  config.max_outstanding_per_replica = 4;
+  config.engine.push_mode = PushMode::kSelectiveOutstanding;
+  config.engine.max_outstanding_per_replica = 4;
   LeastLoadLb lb(&bench.sim, bench.net.get(), 0, 0, config);
   lb.AttachReplica(bench.replicas[0].get());
   lb.Start();
@@ -240,9 +240,9 @@ TEST(PushModeTest, SppQueuesWhenReplicaFull) {
   rconfig.output_reserve_tokens = 128;
   TestBench bench(1, rconfig);
   LbConfig config;
-  config.push_mode = PushMode::kSelectivePending;
-  config.push_slack = 2;
-  config.probe_interval = Milliseconds(100);
+  config.engine.push_mode = PushMode::kSelectivePending;
+  config.engine.push_slack = 2;
+  config.engine.probe_interval = Milliseconds(100);
   LeastLoadLb lb(&bench.sim, bench.net.get(), 0, 0, config);
   lb.AttachReplica(bench.replicas[0].get());
   lb.Start();
@@ -267,7 +267,7 @@ TEST(PushModeTest, BlindPushingFloodsReplicaQueue) {
   rconfig.output_reserve_tokens = 128;
   TestBench bench(1, rconfig);
   LbConfig config;
-  config.push_mode = PushMode::kBlind;
+  config.engine.push_mode = PushMode::kBlind;
   LeastLoadLb lb(&bench.sim, bench.net.get(), 0, 0, config);
   lb.AttachReplica(bench.replicas[0].get());
   lb.Start();

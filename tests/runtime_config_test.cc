@@ -1,0 +1,142 @@
+// Tests for the runtime-config snapshot store (src/core/runtime_config.h):
+// synchronous initial delivery, version stamping, scheduled delivery at the
+// published simulated time, cancellation semantics (including updates
+// already scheduled when the subscription dies), and current() tracking.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/runtime_config.h"
+#include "src/sim/simulator.h"
+
+namespace skywalker {
+namespace {
+
+struct Seen {
+  int64_t version;
+  SimTime at;
+};
+
+TEST(ConfigStoreTest, SubscribeDeliversInitialSnapshotSynchronously) {
+  Simulator sim;
+  RuntimeConfig initial;
+  initial.routing.queue_tau = 7;
+  ConfigStore store(initial);
+
+  std::vector<Seen> seen;
+  ConfigSubscription sub = store.Subscribe(
+      &sim, /*region=*/0,
+      [&](const RuntimeConfig& c) { seen.push_back({c.version, sim.now()}); });
+
+  // No event ran yet: the initial snapshot arrived inline, version 0.
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].version, 0);
+  EXPECT_EQ(store.version(), 0);
+  EXPECT_EQ(store.current().routing.queue_tau, 7u);
+}
+
+TEST(ConfigStoreTest, PublishStampsVersionsAndDeliversAtPublishedTime) {
+  Simulator sim;
+  ConfigStore store(RuntimeConfig{});
+  std::vector<Seen> seen;
+  ConfigSubscription sub = store.Subscribe(
+      &sim, 0,
+      [&](const RuntimeConfig& c) { seen.push_back({c.version, sim.now()}); });
+
+  RuntimeConfig a;
+  a.routing.queue_tau = 1;
+  RuntimeConfig b;
+  b.routing.queue_tau = 2;
+  store.PublishAt(Seconds(5), a);
+  store.PublishAt(Seconds(9), b);
+
+  // current() tracks the latest scheduled snapshot immediately.
+  EXPECT_EQ(store.version(), 2);
+  EXPECT_EQ(store.publishes(), 2);
+
+  sim.RunUntil(Seconds(20));
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[1].version, 1);
+  EXPECT_EQ(seen[1].at, Seconds(5));
+  EXPECT_EQ(seen[2].version, 2);
+  EXPECT_EQ(seen[2].at, Seconds(9));
+}
+
+TEST(ConfigStoreTest, EverySubscriberHearsEveryPublish) {
+  Simulator sim;
+  ConfigStore store(RuntimeConfig{});
+  int first = 0;
+  int second = 0;
+  ConfigSubscription sub_a =
+      store.Subscribe(&sim, 0, [&](const RuntimeConfig&) { ++first; });
+  ConfigSubscription sub_b =
+      store.Subscribe(&sim, 1, [&](const RuntimeConfig&) { ++second; });
+  store.PublishAt(Seconds(1), RuntimeConfig{});
+  sim.RunUntil(Seconds(2));
+  EXPECT_EQ(first, 2);   // Initial + published.
+  EXPECT_EQ(second, 2);
+}
+
+TEST(ConfigStoreTest, CancelDropsAlreadyScheduledDeliveries) {
+  Simulator sim;
+  ConfigStore store(RuntimeConfig{});
+  int calls = 0;
+  ConfigSubscription sub =
+      store.Subscribe(&sim, 0, [&](const RuntimeConfig&) { ++calls; });
+  store.PublishAt(Seconds(5), RuntimeConfig{});
+  // The delivery event is in the queue; cancelling now must silence it.
+  sub.Cancel();
+  EXPECT_FALSE(sub.active());
+  sim.RunUntil(Seconds(10));
+  EXPECT_EQ(calls, 1);  // The synchronous initial delivery only.
+}
+
+TEST(ConfigStoreTest, DestructionCancels) {
+  Simulator sim;
+  ConfigStore store(RuntimeConfig{});
+  int calls = 0;
+  {
+    ConfigSubscription sub =
+        store.Subscribe(&sim, 0, [&](const RuntimeConfig&) { ++calls; });
+    store.PublishAt(Seconds(5), RuntimeConfig{});
+  }
+  sim.RunUntil(Seconds(10));
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ConfigStoreTest, MoveKeepsTheSubscriptionAlive) {
+  Simulator sim;
+  ConfigStore store(RuntimeConfig{});
+  int calls = 0;
+  ConfigSubscription outer;
+  {
+    ConfigSubscription inner =
+        store.Subscribe(&sim, 0, [&](const RuntimeConfig&) { ++calls; });
+    outer = std::move(inner);
+  }
+  store.PublishAt(Seconds(1), RuntimeConfig{});
+  sim.RunUntil(Seconds(2));
+  EXPECT_EQ(calls, 2);
+  EXPECT_TRUE(outer.active());
+}
+
+TEST(ConfigStoreTest, PublishedSnapshotsAreImmutableValues) {
+  Simulator sim;
+  ConfigStore store(RuntimeConfig{});
+  size_t seen_tau = 0;
+  ConfigSubscription sub = store.Subscribe(
+      &sim, 0,
+      [&](const RuntimeConfig& c) { seen_tau = c.routing.queue_tau; });
+  RuntimeConfig next;
+  next.routing.queue_tau = 11;
+  store.PublishAt(Seconds(1), next);
+  // Mutating the caller's copy after publishing must not leak through.
+  next.routing.queue_tau = 99;
+  sim.RunUntil(Seconds(2));
+  EXPECT_EQ(seen_tau, 11u);
+  EXPECT_EQ(store.current().routing.queue_tau, 11u);
+}
+
+}  // namespace
+}  // namespace skywalker

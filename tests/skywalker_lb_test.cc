@@ -85,7 +85,7 @@ TEST(SkyWalkerLbTest, ServesLocallyWhenAvailable) {
 
 TEST(SkyWalkerLbTest, ForwardsWhenAllLocalReplicasFull) {
   SkyWalkerConfig config;
-  config.push_slack = 1;
+  config.engine.push_slack = 1;
   ReplicaConfig rconfig;
   rconfig.kv_capacity_tokens = 1024;
   rconfig.output_reserve_tokens = 256;
@@ -121,8 +121,8 @@ TEST(SkyWalkerLbTest, ForwardedRequestsAreTerminal) {
   // Both regions overloaded: forwarded requests must wait at the remote LB
   // rather than bounce back (no forwarding loops).
   SkyWalkerConfig config;
-  config.push_slack = 1;
-  config.queue_tau = 100;  // Keep peers "available" despite queues.
+  config.engine.push_slack = 1;
+  config.routing.queue_tau = 100;  // Keep peers "available" despite queues.
   ReplicaConfig rconfig;
   rconfig.kv_capacity_tokens = 900;
   rconfig.output_reserve_tokens = 256;
@@ -147,7 +147,7 @@ TEST(SkyWalkerLbTest, ForwardedRequestsAreTerminal) {
 
 TEST(SkyWalkerLbTest, ForwardedResponsePathAddsHops) {
   SkyWalkerConfig config;
-  config.push_slack = 1;
+  config.engine.push_slack = 1;
   ReplicaConfig rconfig;
   rconfig.kv_capacity_tokens = 1024;
   rconfig.output_reserve_tokens = 256;
@@ -178,7 +178,7 @@ TEST(SkyWalkerLbTest, ForwardedResponsePathAddsHops) {
 
 TEST(SkyWalkerLbTest, PrefixTrieKeepsConversationsSticky) {
   SkyWalkerConfig config;
-  config.policy = RoutingPolicyKind::kPrefixTree;
+  config.routing.policy = RoutingPolicyKind::kPrefixTree;
   TwoRegionBench bench(config, ReplicaConfig{}, /*replicas_per=*/2);
   bench.sim.RunFor(Milliseconds(300));
 
@@ -221,7 +221,7 @@ TEST(SkyWalkerLbTest, PrefixTrieKeepsConversationsSticky) {
 
 TEST(SkyWalkerLbTest, ConsistentHashVariantStickyByKey) {
   SkyWalkerConfig config;
-  config.policy = RoutingPolicyKind::kConsistentHash;
+  config.routing.policy = RoutingPolicyKind::kConsistentHash;
   TwoRegionBench bench(config, ReplicaConfig{}, /*replicas_per=*/3);
   bench.sim.RunFor(Milliseconds(300));
   int completed = 0;
@@ -246,7 +246,7 @@ TEST(SkyWalkerLbTest, ConsistentHashVariantStickyByKey) {
 
 TEST(SkyWalkerLbTest, GdprConstraintBlocksForwarding) {
   SkyWalkerConfig config;
-  config.push_slack = 1;
+  config.engine.push_slack = 1;
   config.forward_allowed = [](RegionId /*from*/, RegionId /*to*/) {
     return false;  // Forwarding prohibited everywhere.
   };
@@ -276,7 +276,7 @@ TEST(SkyWalkerLbTest, GdprConstraintBlocksForwarding) {
 
 TEST(SkyWalkerLbTest, DirectionalGdprAllowsOneWay) {
   SkyWalkerConfig config;
-  config.push_slack = 1;
+  config.engine.push_slack = 1;
   // Only region 1 -> region 0 allowed (e.g. non-EU may offload to EU).
   config.forward_allowed = [](RegionId from, RegionId to) {
     return from == 1 && to == 0;
@@ -331,7 +331,7 @@ TEST(SkyWalkerLbTest, RecoverRestoresService) {
 
 TEST(SkyWalkerLbTest, PeersObserveFailureViaProbes) {
   SkyWalkerConfig config;
-  config.push_slack = 1;
+  config.engine.push_slack = 1;
   ReplicaConfig rconfig;
   rconfig.kv_capacity_tokens = 1024;
   rconfig.output_reserve_tokens = 256;
@@ -358,7 +358,7 @@ TEST(SkyWalkerLbTest, PeersObserveFailureViaProbes) {
 
 TEST(SkyWalkerLbTest, DetachReplicaStopsRouting) {
   SkyWalkerConfig config;
-  config.enable_forwarding = false;  // Keep all traffic in region A.
+  config.routing.enable_forwarding = false;  // Keep all traffic in region A.
   TwoRegionBench bench(config, ReplicaConfig{}, 2);
   bench.sim.RunFor(Milliseconds(300));
   bench.lb_a->DetachReplica(bench.replica_in_a(0)->id());
@@ -381,8 +381,8 @@ TEST(SkyWalkerLbTest, QueueTauGatesPeerAvailability) {
   // Peer with a long queue must not be considered available even if it has
   // a free replica slot momentarily.
   SkyWalkerConfig config;
-  config.queue_tau = 0;  // Strictest buffer.
-  config.push_slack = 1;
+  config.routing.queue_tau = 0;  // Strictest buffer.
+  config.engine.push_slack = 1;
   ReplicaConfig rconfig;
   rconfig.kv_capacity_tokens = 1024;
   rconfig.output_reserve_tokens = 256;
