@@ -9,9 +9,11 @@
 
 #include <chrono>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/scenarios/scenarios.h"
+#include "src/harness/runner.h"
 #include "src/cache/prefix_cache.h"
 #include "src/memory/block_allocator.h"
 #include "src/memory/block_table.h"
@@ -162,7 +164,9 @@ Scenario MakeMicroMemoryScenario() {
               cache.Insert(seq, ++now);
               cache.Unref(ref.pin);
               if ((i & 15) == 0) {
-                cache.Evict(2048 + (i % 1024));  // Block-native eviction.
+                // Evict takes *blocks* (ISSUE 8): ask for a sizeable slice
+                // of the ~750-block cache without draining it outright.
+                cache.Evict(128 + (i % 64));
               }
             }
             PrefixCache::BlockOccupancy occ = cache.CountBlocks();
@@ -173,6 +177,100 @@ Scenario MakeMicroMemoryScenario() {
                 static_cast<double>(cache.size_tokens()) * 1e-12;
             return std::vector<MetricRow>{
                 MicroRow(label, ElapsedNs(start), iterations, checksum)};
+          }});
+    }
+
+    // Eviction-churn cell (ISSUE 8): a hot/cold skewed radix tree under
+    // sustained pressure. A small set of trunks is re-read constantly (hot)
+    // while a churning population of abandoned branches goes cold; every
+    // few inserts the cache is squeezed. kLruLeaf walks the tree once per
+    // leaf victim; kColdSubtree reclaims whole abandoned branches per scan,
+    // so its pages-per-eviction-round is the headline (gated by
+    // micro_memory_floors.json via summary.derived below). Wall time,
+    // eviction rounds, and pages-per-round also land in the
+    // BENCH_TIMING.json sidecar for the perf trajectory.
+    for (EvictionPolicy policy :
+         {EvictionPolicy::kLruLeaf, EvictionPolicy::kColdSubtree}) {
+      const bool cold = policy == EvictionPolicy::kColdSubtree;
+      const std::string label =
+          std::string("evict_churn/") + (cold ? "coldsubtree" : "lruleaf");
+      const int64_t iterations = options.smoke ? 2'000 : 100'000;
+      plan.cells.push_back(ScenarioCell{
+          label, [label, policy, iterations] {
+            constexpr int32_t kBs = 16;
+            BlockAllocator alloc(1 << 18);
+            PrefixCache cache(64'000, &alloc, kBs, policy);
+            // Eight hot trunks that must stay resident.
+            std::vector<TokenSeq> trunks(8);
+            for (size_t t = 0; t < trunks.size(); ++t) {
+              for (Token j = 0; j < 512; ++j) {
+                trunks[t].push_back(static_cast<Token>(t) * 100'000 + j);
+              }
+            }
+            SimTime now = 0;
+            for (const TokenSeq& trunk : trunks) {
+              cache.Insert(trunk, ++now);
+            }
+            const auto start = std::chrono::steady_clock::now();
+            for (int64_t i = 0; i < iterations; ++i) {
+              // 100 ms per iteration: a branch family goes cold (500 ms
+              // age) five iterations after its last touch, and the 4 s
+              // hit half-life spans ~40 iterations, so the decayed-hits
+              // score has real spread.
+              now += 100'000;
+              cache.MatchPrefix(trunks[static_cast<size_t>(i) % trunks.size()],
+                                now);
+              // One abandoned ToT-style branch family: a shared unaligned
+              // family prefix off a trunk, then four leaf variants. The
+              // whole family is one cold subtree (~40 pages); LRU-leaf can
+              // only peel it one variant (~6 pages) per full-tree scan.
+              TokenSeq fam = trunks[static_cast<size_t>(i * 7) % trunks.size()];
+              const Token base =
+                  10'000'000 + static_cast<Token>(i % 397) * 10'000;
+              for (int64_t j = 0; j < 250; ++j) {
+                fam.push_back(base + static_cast<Token>(j));
+              }
+              for (int64_t v = 0; v < 4; ++v) {
+                TokenSeq seq = fam;
+                const Token vbase = base + 1'000 + static_cast<Token>(v) * 500;
+                for (int64_t j = 0; j < 90 + v * 7; ++j) {
+                  seq.push_back(vbase + static_cast<Token>(j));
+                }
+                cache.Insert(seq, now);
+              }
+              if ((i & 1) == 0) {
+                // Sustained pressure: reclaim a decode burst's worth.
+                cache.Evict(96);
+              }
+            }
+            const double wall_ns = ElapsedNs(start);
+            const PrefixCache::EvictionStats& ev = cache.eviction_stats();
+            const double rounds = static_cast<double>(ev.rounds);
+            const double pages_per_round =
+                rounds <= 0 ? 0.0
+                            : static_cast<double>(ev.freed_blocks) / rounds;
+            const double victims_per_round =
+                rounds <= 0 ? 0.0
+                            : static_cast<double>(ev.victims) / rounds;
+            CellShardTiming timing;
+            timing.scenario = "micro_memory";
+            timing.cell = label;
+            timing.shards = 1;
+            timing.threads = 1;
+            timing.wall_seconds = wall_ns * 1e-9;
+            timing.extra.emplace_back("eviction_rounds", rounds);
+            timing.extra.emplace_back("pages_per_eviction", pages_per_round);
+            timing.extra.emplace_back("victims_per_eviction",
+                                      victims_per_round);
+            ShardTimingRegistry::Instance().Record(std::move(timing));
+            double checksum =
+                static_cast<double>(ev.freed_blocks) +
+                static_cast<double>(ev.victims) * 1e-6 +
+                static_cast<double>(cache.size_tokens()) * 1e-12;
+            MetricRow row = MicroRow(label, wall_ns, iterations, checksum);
+            row.Set("evictions", rounds);
+            row.Set("pages_per_eviction", pages_per_round);
+            return std::vector<MetricRow>{row};
           }});
     }
 
@@ -214,6 +312,34 @@ Scenario MakeMicroMemoryScenario() {
                 label, ElapsedNs(start), iterations * 24, checksum)};
           }});
     }
+    plan.finalize = [](const std::vector<std::vector<MetricRow>>& cell_rows) {
+      ScenarioReport report;
+      for (const auto& rows : cell_rows) {
+        report.rows.insert(report.rows.end(), rows.begin(), rows.end());
+      }
+      // Cell order: alloc_churn b1/b16/b32, cow_fork_storm,
+      // cache_block_churn, evict_churn lruleaf (5) / coldsubtree (6),
+      // overload recompute/swap. The eviction-efficiency ratio is built
+      // from deterministic eviction counters, not wall clock, so it is
+      // stable enough to gate in CI (micro_memory_floors.json).
+      auto metric = [&](size_t i, const char* key) {
+        const double* v = report.rows[i].Find(key);
+        return v == nullptr ? 0.0 : *v;
+      };
+      auto safe_div = [](double a, double b) { return b <= 0 ? 0.0 : a / b; };
+      report.derived.emplace_back(
+          "coldsubtree_vs_lruleaf_pages_per_eviction_x",
+          safe_div(metric(6, "pages_per_eviction"),
+                   metric(5, "pages_per_eviction")));
+      report.derived.emplace_back("evict_churn_lruleaf_rounds",
+                                  metric(5, "evictions"));
+      report.derived.emplace_back("evict_churn_coldsubtree_rounds",
+                                  metric(6, "evictions"));
+      report.notes.push_back(
+          "evict_churn: cold-subtree eviction must reclaim more pages per "
+          "eviction round than LRU-leaf on the hot/cold skewed tree.");
+      return report;
+    };
     return plan;
   };
   return scenario;

@@ -74,6 +74,36 @@ inline constexpr PinId kInvalidPin = -1;
 using BlockSlice = PoolSlice<BlockId>;
 using BlockPool = ChunkPool<BlockId>;
 
+// Victim selection under memory pressure (ISSUE 8).
+//
+//  * kLruLeaf (default): the behavior-frozen seed policy — repeatedly scan
+//    the whole tree for the least-recently-accessed unpinned leaf and evict
+//    it. O(nodes) per victim; byte-identical to every committed golden.
+//  * kColdSubtree: maintain per-node subtree aggregates (pages owned, max
+//    last-access, decayed hit count) incrementally and, on pressure, evict
+//    whole *cold* subtrees — maximal unpinned subtrees whose newest access
+//    is older than kColdSubtreeAgeUs — ranked by pages-reclaimed-per-
+//    expected-future-hit. One ledger release per subtree node, one ancestor
+//    aggregate fix-up per subtree, O(victims) amortized instead of a full
+//    rescan per leaf. Anything the cold pass cannot satisfy falls back to
+//    the LRU-leaf scan, so reclaim always makes the same progress the seed
+//    policy guarantees.
+enum class EvictionPolicy : uint8_t {
+  kLruLeaf,
+  kColdSubtree,
+};
+
+// A subtree is cold when its newest access is at least this much older than
+// the newest access the cache has seen anywhere (sim microseconds). Half a
+// second is several probe intervals and tens of engine steps: long enough
+// that an active conversation tree is never a victim, short enough that
+// abandoned ToT branches turn cold within a few steps.
+inline constexpr SimDuration kColdSubtreeAgeUs = 500'000;
+// Half-life of the per-subtree decayed hit count (sim microseconds). Decay
+// is quantized to whole half-lives (exact power-of-two scaling via ldexp),
+// so scoring is bit-deterministic across platforms and libm versions.
+inline constexpr SimDuration kColdSubtreeHitHalfLifeUs = 4'000'000;
+
 class PrefixCache {
  public:
   // `alloc` is the shared paged-KV pool the cache charges its pages to
@@ -82,7 +112,8 @@ class PrefixCache {
   // use. `block_size_tokens` == 1 is the coarse compatibility mode.
   explicit PrefixCache(int64_t capacity_tokens,
                        BlockAllocator* alloc = nullptr,
-                       int32_t block_size_tokens = 1);
+                       int32_t block_size_tokens = 1,
+                       EvictionPolicy policy = EvictionPolicy::kLruLeaf);
   ~PrefixCache();
 
   PrefixCache(const PrefixCache&) = delete;
@@ -118,11 +149,16 @@ class PrefixCache {
   int64_t Insert(const TokenSeq& seq, SimTime now,
                  const BlockTable* donor = nullptr, int64_t donor_base = 0);
 
-  // Evicts unpinned entries (LRU leaf-first) until at least `tokens` are
-  // freed or nothing evictable remains, releasing the victims' page
-  // references as it goes. Returns tokens actually freed (freed *pages* are
-  // visible in the shared allocator).
-  int64_t Evict(int64_t tokens);
+  // Evicts unpinned entries until at least `blocks` pages have returned to
+  // the allocator's free list or nothing evictable remains. The unit is
+  // *blocks* — what the allocator actually frees — so callers can subtract
+  // the return value from a block deficit directly instead of re-reading
+  // the ledger after every eviction round (ISSUE 8; with block_size == 1 a
+  // block is a token and this is exactly the seed token-based eviction).
+  // Victim selection follows eviction_policy(); page references shared with
+  // pinned paths or live sequences are dropped but free nothing, which the
+  // return value reflects truthfully.
+  int64_t Evict(int64_t blocks);
 
   // Drops all unpinned content.
   void Clear();
@@ -135,6 +171,24 @@ class PrefixCache {
   size_t num_nodes() const { return num_nodes_; }
   size_t active_pins() const { return pins_.live(); }
   int32_t block_size_tokens() const { return block_size_; }
+
+  EvictionPolicy eviction_policy() const { return policy_; }
+  // Switches the victim-selection policy mid-run (hot config reswap).
+  // Entering kColdSubtree rebuilds the subtree aggregates with one full
+  // traversal; they are then maintained incrementally. Leaving it stops
+  // maintenance (the LRU-leaf path never reads them).
+  void SetEvictionPolicy(EvictionPolicy policy);
+
+  // Cumulative eviction statistics: rounds is the number of Evict() calls
+  // that removed at least one node, victims the nodes removed, and
+  // freed_blocks the pages those removals returned to the allocator
+  // (pages-reclaimed-per-eviction = freed_blocks / victims).
+  struct EvictionStats {
+    int64_t rounds = 0;
+    int64_t victims = 0;
+    int64_t freed_blocks = 0;
+  };
+  const EvictionStats& eviction_stats() const { return eviction_stats_; }
 
   // Page references held by tree nodes (a straddled page counts once per
   // covering node). The exact cache charge in unique pages is
@@ -171,8 +225,10 @@ class PrefixCache {
   // Two cache lines. The first line is everything a walk touches — edge
   // slice (16) + child map with two inline entries (32) + parent (4) +
   // ref_count (4) + last_access (8) — so trie walks still load one line per
-  // node. The second line holds the node's KV page span (16), touched only
-  // by insert/split/evict.
+  // node. The second line holds the node's KV page span (16) plus the
+  // kColdSubtree aggregates (24), touched only by insert/split/evict — and
+  // the aggregates only when that policy is active, so the default-policy
+  // walk and eviction paths never read them.
   struct alignas(64) Node {
     TokenSlice edge;  // Label on the edge from parent to this node.
     SmallSortedMap<Token, SlabId, 2> children;
@@ -182,6 +238,20 @@ class PrefixCache {
     SimTime last_access = 0;
     // --- second line: the paged-KV span (cold for walks) ---
     BlockSlice blocks;  // Pages covering the edge, path-aligned.
+    // kColdSubtree aggregates, maintained incrementally while that policy
+    // is active (root included; rebuilt on policy entry):
+    //   sub_blocks      — Σ blocks.size() over this subtree (span refs, so
+    //                     a straddled page counts once per covering node);
+    //   sub_last_access — upper bound on max last_access in the subtree
+    //                     (exact until a descendant eviction; never lower
+    //                     than the true maximum, so a "cold" verdict is
+    //                     always sound);
+    //   sub_hits        — decayed count of accesses into the subtree
+    //                     (decay reference time is sub_hit_stamp).
+    int32_t sub_blocks = 0;
+    float sub_hits = 0.0f;
+    SimTime sub_last_access = 0;
+    SimTime sub_hit_stamp = 0;
   };
   static_assert(sizeof(Node) == 128, "Node must stay two cache lines");
 
@@ -198,14 +268,45 @@ class PrefixCache {
   // by both halves (one extra reference). Returns the new upper node.
   SlabId SplitAbove(SlabId id, size_t keep, int64_t start);
 
-  // Removes an unpinned leaf, releasing its page references.
-  void RemoveLeaf(SlabId leaf);
+  // Removes an unpinned leaf, releasing its page references. Returns the
+  // pages actually freed in the allocator.
+  int64_t RemoveLeaf(SlabId leaf);
+
+  // The seed LRU-leaf eviction loop (kLruLeaf, and the kColdSubtree
+  // fallback pass): full-tree scan per victim, oldest unpinned leaf first.
+  int64_t EvictLruLeaves(int64_t blocks);
+
+  // kColdSubtree machinery (ISSUE 8) -----------------------------------
+  // One cold pass: collect maximal unpinned-and-cold subtree roots, rank
+  // them by pages-per-expected-future-hit (descending; ties oldest subtree
+  // first, then smallest id — all deterministic), and evict greedily until
+  // `blocks` pages have freed or the candidates run out.
+  int64_t EvictColdSubtrees(int64_t blocks);
+  // Removes the whole subtree rooted at `id` (every node unpinned, which
+  // ref_count == 0 at the root guarantees: pins cover root paths, so a
+  // pinned descendant would pin `id` too). Returns pages freed.
+  int64_t RemoveSubtree(SlabId id);
+  // `sub_hits` decayed to `now` in whole half-lives (exact ldexp scaling).
+  static float DecayedHits(const Node& n, SimTime now);
+  // Adds `delta` to sub_blocks on every ancestor of `id`, root included.
+  void PropagateSubBlocks(SlabId id, int64_t delta);
+  // Recomputes every node's aggregates bottom-up (policy entry, O(nodes)).
+  void RebuildAggregates();
+  // Refreshes the access-side aggregates of a path node during a walk.
+  void TouchAggregates(Node& n, SimTime now);
 
   Node& node(SlabId id) { return nodes_[id]; }
   const Node& node(SlabId id) const { return nodes_[id]; }
 
   int64_t capacity_tokens_;
   int32_t block_size_;
+  EvictionPolicy policy_;
+  // True while aggregates are being maintained (== policy is kColdSubtree);
+  // hoisted into a bool so walk-path checks stay a single flag test.
+  bool maintain_aggregates_ = false;
+  // Newest access timestamp ever observed (MatchAndRef/MatchPrefix/Insert).
+  // Eviction has no clock parameter, so coldness is judged against this.
+  SimTime newest_access_ = 0;
   std::unique_ptr<BlockAllocator> owned_alloc_;  // Standalone mode only.
   BlockAllocator* alloc_;                        // Shared paged-KV pool.
   Slab<Node, 6> nodes_;  // 64-node chunks: cheap short-lived instances.
@@ -225,6 +326,14 @@ class PrefixCache {
   // (mutable: probes are logically const).
   std::vector<SlabId> evict_stack_;
   std::vector<BlockId> span_scratch_;
+  // Cold-pass candidate list (score precomputed; reused across passes).
+  struct ColdCandidate {
+    double score = 0.0;
+    SimTime sub_last_access = 0;
+    SlabId id = kNilSlabId;
+  };
+  std::vector<ColdCandidate> cold_candidates_;
+  EvictionStats eviction_stats_;
   mutable std::vector<SlabId> scan_stack_;
   mutable std::vector<int32_t> tally_unpinned_;
   mutable std::vector<uint32_t> tally_epoch_;

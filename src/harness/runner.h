@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/json.h"
@@ -60,6 +61,10 @@ struct CellShardTiming {
   double wall_seconds = 0;   // Whole-cell simulation wall time.
   uint64_t windows = 0;      // Lookahead windows executed.
   std::vector<ShardWallTime> per_shard;
+  // Scenario-specific counters serialized onto the cell object verbatim
+  // (e.g. the eviction-churn micro's "evictions" / "pages_per_eviction",
+  // ISSUE 8). Keys must not collide with the fixed fields above.
+  std::vector<std::pair<std::string, double>> extra;
 };
 
 // Process-wide sink for CellShardTiming records. Thread-safe: cells run

@@ -69,7 +69,7 @@ void BlockAllocator::AllocateSpan(int64_t n, BlockId* out) {
   stats_.peak_used_blocks = std::max(stats_.peak_used_blocks, used_blocks_);
 }
 
-void BlockAllocator::ReleaseSpan(const BlockId* ids, int64_t n) {
+int64_t BlockAllocator::ReleaseSpan(const BlockId* ids, int64_t n) {
   int64_t freed = 0;
   for (int64_t i = 0; i < n; ++i) {
     int32_t& ref = refs_[static_cast<size_t>(ids[i])];
@@ -81,6 +81,7 @@ void BlockAllocator::ReleaseSpan(const BlockId* ids, int64_t n) {
   }
   used_blocks_ -= freed;
   stats_.freed += freed;
+  return freed;
 }
 
 int64_t BlockAllocator::live_refs() const {

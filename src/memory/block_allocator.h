@@ -58,7 +58,10 @@ class BlockAllocator {
   void AllocateSpan(int64_t n, BlockId* out);
 
   // Drops one reference on each of ids[0..n) (span teardown counterpart).
-  void ReleaseSpan(const BlockId* ids, int64_t n);
+  // Returns how many blocks actually became free — the figure eviction
+  // accounting wants, since references shared with surviving holders free
+  // nothing.
+  int64_t ReleaseSpan(const BlockId* ids, int64_t n);
 
   // Shares an existing block (copy-on-write fork).
   void AddRef(BlockId id);

@@ -168,13 +168,13 @@ bool KvController::CanAdmitIgnoringWatermark(int64_t prefill_tokens,
          FreeBlocksForAdmission();
 }
 
-int64_t KvController::AdmissionDeficitTokens(int64_t prefill_tokens,
+int64_t KvController::AdmissionDeficitBlocks(int64_t prefill_tokens,
                                              int64_t reserve_tokens) const {
   int64_t deficit_blocks = CeilBlocks(prefill_tokens) +
                            CeilBlocks(reserve_tokens) +
                            config_.watermark_blocks -
                            FreeBlocksForAdmission();
-  return std::max<int64_t>(0, deficit_blocks * config_.block_size_tokens);
+  return std::max<int64_t>(0, deficit_blocks);
 }
 
 bool KvController::CanAdmitRestore(int64_t tokens, int64_t prefill_remaining,
@@ -184,19 +184,18 @@ bool KvController::CanAdmitRestore(int64_t tokens, int64_t prefill_remaining,
          FreeBlocksForAdmission();
 }
 
-int64_t KvController::RestoreDeficitTokens(int64_t tokens,
+int64_t KvController::RestoreDeficitBlocks(int64_t tokens,
                                            int64_t prefill_remaining,
                                            int64_t reserve_remaining) const {
   int64_t deficit_blocks =
       CeilBlocks(tokens) + CeilBlocks(prefill_remaining) +
       CeilBlocks(reserve_remaining) + config_.watermark_blocks -
       FreeBlocksForAdmission();
-  return std::max<int64_t>(0, deficit_blocks * config_.block_size_tokens);
+  return std::max<int64_t>(0, deficit_blocks);
 }
 
-int64_t KvController::ReclaimNeededTokens() const {
-  return std::max<int64_t>(0, (used_blocks() - total_blocks_) *
-                                  config_.block_size_tokens);
+int64_t KvController::ReclaimNeededBlocks() const {
+  return std::max<int64_t>(0, used_blocks() - total_blocks_);
 }
 
 SimDuration KvController::SwapDuration(int64_t tokens) const {

@@ -188,20 +188,23 @@ class KvController {
   // (used_blocks * block_size - cache tokens - sequence tokens).
   void NoteFragmentationSample(int64_t fragmentation_tokens);
 
-  // Cache tokens to evict before the need fits (0 when it already fits).
-  int64_t AdmissionDeficitTokens(int64_t prefill_tokens,
+  // Cache *blocks* to free before the need fits (0 when it already fits) —
+  // the unit PrefixCache::Evict takes and returns, so the replica subtracts
+  // eviction results from the deficit directly instead of re-reading the
+  // ledger (ISSUE 8). Coarse mode: one block is one token, seed arithmetic.
+  int64_t AdmissionDeficitBlocks(int64_t prefill_tokens,
                                  int64_t reserve_tokens) const;
 
   // Swap-in admission check/deficit, priced exactly as BeginSwapIn charges:
   // restored resident tokens, remaining prefill, and remaining reserve each
-  // ceil to blocks separately.
+  // ceil to blocks separately. The deficit is in blocks (see above).
   bool CanAdmitRestore(int64_t tokens, int64_t prefill_remaining,
                        int64_t reserve_remaining) const;
-  int64_t RestoreDeficitTokens(int64_t tokens, int64_t prefill_remaining,
+  int64_t RestoreDeficitBlocks(int64_t tokens, int64_t prefill_remaining,
                                int64_t reserve_remaining) const;
 
-  // Tokens over hard capacity — the reclaim target after a step.
-  int64_t ReclaimNeededTokens() const;
+  // Blocks over hard capacity — the reclaim target after a step.
+  int64_t ReclaimNeededBlocks() const;
 
   SimDuration SwapDuration(int64_t tokens) const;
 

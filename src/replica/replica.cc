@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 #include "src/common/logging.h"
 
@@ -15,7 +16,7 @@ Replica::Replica(Simulator* sim, ReplicaId id, RegionId region,
       config_(config),
       kv_(config.kv()),
       cache_(config.kv_capacity_tokens, &kv_.allocator(),
-             config.kv_block_size_tokens) {}
+             config.kv_block_size_tokens, config.cache_eviction_policy) {}
 
 void Replica::Enqueue(Request req, Handlers handlers) {
   SKYWALKER_CHECK(!req.output.empty()) << "request must generate >= 1 token";
@@ -109,7 +110,12 @@ ProbePayload Replica::Probe() {
   LoadSnapshot snap = Snapshot();
   ProbePayload payload;
   payload.version = ++probe_version_;
-  payload.pending = snap.pending;
+  // Under probe_admission_blocked_pending, arrivals merely waiting for the
+  // current step boundary are invisible: pending is surfaced only while the
+  // last admission pass actually failed to place work.
+  payload.pending = config_.probe_admission_blocked_pending
+                        ? (admission_blocked_ ? snap.pending : 0)
+                        : snap.pending;
   payload.running = snap.running;
   payload.free_capacity = snap.free_capacity;
   payload.free_blocks = snap.free_blocks;
@@ -153,6 +159,9 @@ void Replica::Admit() {
   // swap-out transfer's completion poke re-enters here, and the swap-in
   // claims the freed blocks first.)
   if (!swapped_.empty()) {
+    // Held behind a swap-in: any queued work is blocked, not merely waiting
+    // for the current step to finish.
+    admission_blocked_ = !pending_.empty();
     return;
   }
   while (!pending_.empty() &&
@@ -178,7 +187,7 @@ void Replica::Admit() {
                                 config_.kv_block_size_tokens)
             : config_.output_reserve_tokens;
     if (!kv_.CanAdmit(prefill_need, reserve)) {
-      cache_.Evict(kv_.AdmissionDeficitTokens(prefill_need, reserve));
+      cache_.Evict(kv_.AdmissionDeficitBlocks(prefill_need, reserve));
     }
     if (!kv_.CanAdmit(prefill_need, reserve) &&
         (!running_.empty() || !restoring_.empty())) {
@@ -218,11 +227,15 @@ void Replica::Admit() {
         static_cast<int32_t>(cached % config_.kv_block_size_tokens));
     seq.prefill_done = false;
     seq.prefill_alloc = 0;
+    seq.decode_alloc = false;
     stats_.cached_tokens_reused += cached;
     running_.push_back(std::move(seq));
     stats_.peak_running =
         std::max(stats_.peak_running, static_cast<int>(running_.size()));
   }
+  // Anything still queued here was memory- or slot-blocked this pass (the
+  // loop only exits early on those two conditions).
+  admission_blocked_ = !pending_.empty();
 }
 
 void Replica::MaybeStartSwapIns() {
@@ -237,7 +250,7 @@ void Replica::MaybeStartSwapIns() {
     const int64_t reserve = ReserveCommitTarget(front.seq);
     const int64_t prefill = front.seq.prefill_remaining;
     if (!kv_.CanAdmitRestore(tokens, prefill, reserve)) {
-      cache_.Evict(kv_.RestoreDeficitTokens(tokens, prefill, reserve));
+      cache_.Evict(kv_.RestoreDeficitBlocks(tokens, prefill, reserve));
     }
     if (!kv_.CanAdmitRestore(tokens, prefill, reserve) &&
         !(running_.empty() && restoring_.empty())) {
@@ -283,29 +296,71 @@ void Replica::MaybeStep() {
   if (running_.empty()) {
     return;
   }
-  // Plan the step: chunked prefill first, plus one decode token per seq in
-  // decode phase (mixed batch, SGLang-style).
+  // Plan the step: chunked prefill plus one decode token per decode-phase
+  // seq (mixed batch, SGLang-style), shaped by the composition policy. At
+  // the default (prefill-first, no shared budget, no decode cap) the plan
+  // is exactly the seed's.
+  const BatchCompositionConfig& comp = config_.composition;
   int64_t prefill_budget = config_.max_prefill_tokens_per_step;
+  // Decodes this step may plan; the composition knobs lower it below.
+  int decode_quota = std::numeric_limits<int>::max();
+  if (comp.max_decode_batch > 0 &&
+      (comp.pressure_free_blocks == 0 ||
+       kv_.free_blocks() < comp.pressure_free_blocks)) {
+    decode_quota = comp.max_decode_batch;
+  }
+  int decode_ready = 0;
+  for (const Seq& seq : running_) {
+    if (seq.prefill_done && seq.generated < seq.output_len()) {
+      ++decode_ready;
+    }
+  }
+  if (comp.step_token_budget > 0 &&
+      comp.policy == BatchCompositionPolicy::kDecodeFirst) {
+    // Decodes claim the shared budget first; prefill gets the remainder.
+    int planned = static_cast<int>(std::min<int64_t>(
+        std::min(decode_ready, decode_quota), comp.step_token_budget));
+    if (decode_ready > 0) {
+      planned = std::max(planned, 1);  // Decode progress is guaranteed.
+    }
+    decode_quota = std::min(decode_quota, planned);
+    prefill_budget = std::max<int64_t>(
+        0, std::min(prefill_budget, comp.step_token_budget - planned));
+  } else if (comp.step_token_budget > 0) {
+    // Prefill-first: prefill claims the shared budget up to its own cap.
+    prefill_budget = std::min(prefill_budget, comp.step_token_budget);
+  }
   int64_t prefill_total = 0;
-  int decode_count = 0;
   for (Seq& seq : running_) {
     seq.prefill_alloc = 0;
+    seq.decode_alloc = false;
     if (!seq.prefill_done && prefill_budget > 0) {
       seq.prefill_alloc = std::min(seq.prefill_remaining, prefill_budget);
       prefill_budget -= seq.prefill_alloc;
       prefill_total += seq.prefill_alloc;
-    } else if (seq.prefill_done && seq.generated < seq.output_len()) {
+    }
+  }
+  if (comp.step_token_budget > 0 &&
+      comp.policy == BatchCompositionPolicy::kPrefillFirst) {
+    // Decode quota is whatever budget prefill left over — but never zero
+    // while anything is decode-ready (no starvation).
+    const int64_t remainder = comp.step_token_budget - prefill_total;
+    decode_quota = static_cast<int>(std::min<int64_t>(
+        decode_quota, std::max<int64_t>(decode_ready > 0 ? 1 : 0,
+                                        remainder)));
+  }
+  int decode_count = 0;
+  int64_t decode_context_tokens = 0;
+  for (Seq& seq : running_) {
+    if (seq.prefill_done && seq.generated < seq.output_len() &&
+        decode_count < decode_quota) {
+      seq.decode_alloc = true;  // Admission order: oldest decodes first.
       ++decode_count;
+      decode_context_tokens += seq.prompt_len() + seq.generated;
     }
   }
   if (prefill_total == 0 && decode_count == 0) {
     return;  // Nothing to do (all seqs stalled behind the prefill budget).
-  }
-  int64_t decode_context_tokens = 0;
-  for (const Seq& seq : running_) {
-    if (seq.prefill_done && seq.generated < seq.output_len()) {
-      decode_context_tokens += seq.prompt_len() + seq.generated;
-    }
   }
   double duration_us =
       config_.step_base_us +
@@ -351,8 +406,10 @@ void Replica::FinishStep(double step_us, int decode_count) {
       if (seq.prefill_remaining == 0) {
         OnPrefillComplete(seq);
       }
-    } else if (seq.prefill_done && seq.first_token_sent &&
-               seq.generated < seq.output_len()) {
+    } else if (seq.decode_alloc) {
+      // Only sequences the plan priced (and EWMA-sampled) decode; a swap-in
+      // that joined the batch mid-step waits for the next plan.
+      seq.decode_alloc = false;
       ++seq.generated;
       kv_.OnDecodeToken(seq.kv);
       ++stats_.output_tokens_generated;
@@ -473,16 +530,15 @@ void Replica::CompleteSeq(Seq& seq) {
 }
 
 void Replica::ReclaimMemory() {
-  int64_t over = kv_.ReclaimNeededTokens();
+  int64_t over = kv_.ReclaimNeededBlocks();
   if (over <= 0) {
     return;
   }
-  // Cache eviction first. Freed pages show up in the allocator directly;
-  // straddled pages a pinned path or a live sequence still references
-  // survive, so re-read the exact figure instead of trusting the token
-  // count the eviction reports.
-  cache_.Evict(over);
-  over = kv_.ReclaimNeededTokens();
+  // Cache eviction first. Evict reports the pages that actually hit the
+  // free list — a straddled page a pinned path or live sequence still
+  // references frees nothing and is not counted — so the deficit carries
+  // forward by subtraction; no re-read of the ledger needed.
+  over -= cache_.Evict(over);
   // Preempt youngest running requests until we fit (never the last one —
   // progress must remain possible). The policy decides the victim's fate.
   while (over > 0 && running_.size() > 1) {
@@ -498,6 +554,7 @@ void Replica::ReclaimMemory() {
       SimDuration transfer = kv_.SwapOut(seq.kv);
       seq.kv = KvController::kInvalidSeq;
       seq.prefill_alloc = 0;
+      seq.decode_alloc = false;
       swapped.ready_at = sim_->now() + transfer;
       swapped.seq = std::move(seq);
       swapped_.push_back(std::move(swapped));
@@ -521,9 +578,10 @@ void Replica::ReclaimMemory() {
       seq.generated = seq.first_token_sent ? 1 : 0;
       seq.prefill_done = false;
       seq.prefill_alloc = 0;
+      seq.decode_alloc = false;
       pending_.push_front(std::move(seq));
     }
-    over = kv_.ReclaimNeededTokens();
+    over = kv_.ReclaimNeededBlocks();
   }
 }
 
@@ -578,6 +636,17 @@ void Replica::Recover() { serving_ = true; }
 void Replica::SetSlowdown(double factor) {
   SKYWALKER_CHECK(factor > 0.0) << "slowdown must be positive";
   slowdown_ = factor;
+}
+
+void Replica::ApplyComposition(const BatchCompositionConfig& composition) {
+  // Steps in flight already carry their plan in prefill_alloc/decode_alloc;
+  // the new shape applies from the next MaybeStep.
+  config_.composition = composition;
+}
+
+void Replica::ApplyCacheEvictionPolicy(EvictionPolicy policy) {
+  config_.cache_eviction_policy = policy;
+  cache_.SetEvictionPolicy(policy);
 }
 
 }  // namespace skywalker

@@ -52,6 +52,40 @@
 
 namespace skywalker {
 
+// Per-step batch composition under saturation (ISSUE 8). The seed engine
+// plans every step the same way: chunked prefill claims its own token
+// budget, then every decode-ready sequence decodes one token. Under memory
+// pressure that mix thrashes — admissions keep prefilling new sequences
+// whose KV growth immediately preempts the decode stream. These knobs shape
+// the step instead:
+//  * kDecodeFirst hands the step's shared token budget to decodes before
+//    prefill gets the remainder, draining in-flight work (and its KV) ahead
+//    of taking on more;
+//  * a shared step_token_budget prices one decode token equal to one
+//    prefill token, bounding step latency under mixed load;
+//  * max_decode_batch caps decodes per step once free blocks fall under
+//    pressure_free_blocks, trading decode parallelism for headroom.
+// Every knob is inert at its default — the plan is then byte-identical to
+// the seed, which the committed goldens pin.
+enum class BatchCompositionPolicy : uint8_t {
+  kPrefillFirst,  // Seed order: prefill claims the step first.
+  kDecodeFirst,   // Decodes claim the shared budget first.
+};
+
+struct BatchCompositionConfig {
+  BatchCompositionPolicy policy = BatchCompositionPolicy::kPrefillFirst;
+  // Shared per-step token budget (a decode counts one token). 0 = off:
+  // prefill uses only max_prefill_tokens_per_step and decode is unbounded.
+  // Whenever any sequence is decode-ready the plan grants at least one
+  // decode, so a huge prefill backlog can never starve decode progress.
+  int64_t step_token_budget = 0;
+  // Decodes-per-step cap. 0 = uncapped.
+  int max_decode_batch = 0;
+  // The cap binds only while kv free blocks are below this; 0 means the
+  // cap (when set) binds unconditionally.
+  int64_t pressure_free_blocks = 0;
+};
+
 struct ReplicaConfig {
   // KV memory in tokens. Default models an L4 (24 GB) serving
   // Llama-3.1-8B: ~6 GB free for KV at 128 KiB/token ≈ 49K tokens.
@@ -97,6 +131,25 @@ struct ReplicaConfig {
   // front. Packs more sequences per batch; decode growth past the pool is
   // resolved by preemption. Off by default (coarse goldens unchanged).
   bool per_step_decode_admission = false;
+
+  // Victim selection for the prefix cache under memory pressure (ISSUE 8).
+  // kLruLeaf is the behavior-frozen seed policy; kColdSubtree evicts whole
+  // cold subtrees ranked by pages-per-expected-future-hit.
+  EvictionPolicy cache_eviction_policy = EvictionPolicy::kLruLeaf;
+
+  // Probe fidelity under saturation (ISSUE 8). The probe's `pending` field
+  // historically counts every accepted request not yet in the batch — which
+  // includes arrivals merely waiting for the current (possibly 500ms+
+  // chunked-prefill) step to finish, so selective pushing reads "full" from
+  // a replica that would admit the whole queue at its next step boundary
+  // and starves it. When set, the probe reports pending only while the last
+  // admission pass actually failed to place work (memory or batch-slot
+  // blocked) — the §3.3 "continuous batch cannot admit more work" signal.
+  // Off by default: probe payloads (and the committed goldens) unchanged.
+  bool probe_admission_blocked_pending = false;
+
+  // Per-step batch composition (ISSUE 8). Defaults are inert (seed plan).
+  BatchCompositionConfig composition;
 
   KvConfig kv() const {
     KvConfig config;
@@ -281,6 +334,14 @@ class Replica {
   void SetSlowdown(double factor);
   double slowdown() const { return slowdown_; }
 
+  // Hot-reswaps the per-step batch composition (dispatch-layer config push,
+  // ISSUE 7 reswap contract): takes effect at the next step plan; steps in
+  // flight finish under the plan they were priced with.
+  void ApplyComposition(const BatchCompositionConfig& composition);
+  // Hot-reswaps the prefix cache's eviction policy. Entering kColdSubtree
+  // rebuilds the subtree aggregates in one traversal.
+  void ApplyCacheEvictionPolicy(EvictionPolicy policy);
+
  private:
   struct Seq {
     Request req;
@@ -294,6 +355,10 @@ class Replica {
     bool prefill_done = false;
     bool first_token_sent = false;
     int64_t prefill_alloc = 0;      // Tokens assigned in the current step.
+    // Planned to decode one token in the current step. FinishStep applies
+    // decode only to planned sequences, so a swap-in joining mid-step never
+    // receives a token the step was not priced (or EWMA-sampled) for.
+    bool decode_alloc = false;
     SimTime decode_start = 0;       // When the first output token fired.
 
     int64_t prompt_len() const { return req.prompt_tokens(); }
@@ -360,6 +425,10 @@ class Replica {
 
   bool serving_ = true;
   double slowdown_ = 1.0;
+  // Latest Admit() outcome: true iff it exited leaving pending work it
+  // could not place (memory- or slot-blocked, or held behind a swap-in).
+  // Read by Probe() under probe_admission_blocked_pending.
+  bool admission_blocked_ = false;
   // Probe bookkeeping (ProbePayload construction, see Probe()).
   int64_t probe_version_ = 0;
   int64_t preemptions_at_last_probe_ = 0;

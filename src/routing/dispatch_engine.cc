@@ -107,6 +107,9 @@ void DispatchEngine::AttachReplica(Replica* replica) {
   state.replica = replica;
   index_.emplace(replica->id(), replicas_.size());
   replicas_.push_back(std::move(state));
+  if (config_.manage_composition) {
+    replica->ApplyComposition(config_.composition);
+  }
   selector_->OnReplicaAttached(replica);
   TryDispatch();
 }
@@ -161,6 +164,13 @@ void DispatchEngine::ResetProbeState() {
 
 void DispatchEngine::ApplyConfig(const DispatchConfig& next) {
   config_ = next;
+  if (config_.manage_composition) {
+    // Push the step-composition snapshot to every managed replica; each
+    // picks it up at its next step plan (in-flight steps are untouched).
+    for (ReplicaState& state : replicas_) {
+      state.replica->ApplyComposition(config_.composition);
+    }
+  }
   // The probe task picks the new interval up at its next reschedule; the
   // loop itself starts or stops with the need for one (a kBlind engine
   // gaining outlier detection must begin probing for liveness).

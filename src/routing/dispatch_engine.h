@@ -102,6 +102,14 @@ struct DispatchConfig {
   // outlier.enabled, keeping default-config runs byte-identical to the
   // pre-resilience engine.
   OutlierConfig outlier;
+
+  // Per-step batch composition pushed to every managed replica (ISSUE 8).
+  // Only applied when manage_composition is true — the balancer layer then
+  // owns the knob and AttachReplica/ApplyConfig propagate `composition` to
+  // the engines, making it reswappable and ablatable from RuntimeConfig.
+  // False leaves each replica's own configuration untouched.
+  bool manage_composition = false;
+  BatchCompositionConfig composition;
 };
 
 // Engine-tracked state for one managed replica, refreshed by the probe loop.

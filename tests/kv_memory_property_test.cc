@@ -127,7 +127,7 @@ TEST_P(CoarseDifferentialTest, AdmissionAndSeriesMatchSeedAccounting) {
         ASSERT_EQ(need - (trace.capacity - ref.Resident() -
                           ref.CommittedFuture()) >
                       0,
-                  kv.AdmissionDeficitTokens(prefill, trace.reserve) > 0);
+                  kv.AdmissionDeficitBlocks(prefill, trace.reserve) > 0);
         // Admit anyway when the batch is empty (force-admit path).
         if (ref_admits || ref.running.empty()) {
           RefSeq seq;
@@ -214,8 +214,10 @@ TEST_P(CoarseDifferentialTest, AdmissionAndSeriesMatchSeedAccounting) {
     }
     ASSERT_EQ(ref.Resident(), resident()) << "op " << step;
     ASSERT_EQ(ref.CommittedFuture(), kv.committed_tokens()) << "op " << step;
+    // Coarse mode: a block is a token, so the block-unit reclaim target is
+    // exactly the seed token arithmetic.
     ASSERT_EQ(std::max<int64_t>(0, ref.Resident() - ref.capacity),
-              kv.ReclaimNeededTokens())
+              kv.ReclaimNeededBlocks())
         << "op " << step;
     resident_series.push_back(resident());
     committed_series.push_back(kv.committed_tokens());
@@ -256,17 +258,23 @@ struct LiveSeq {
 };
 
 class UnifiedLedgerPropertyTest
-    : public ::testing::TestWithParam<std::tuple<int32_t, uint64_t>> {};
+    : public ::testing::TestWithParam<
+          std::tuple<int32_t, uint64_t, EvictionPolicy>> {};
 
 TEST_P(UnifiedLedgerPropertyTest, BlockConservationHoldsUnderChurn) {
-  auto [block_size, seed] = GetParam();
+  auto [block_size, seed, policy] = GetParam();
   Rng rng(seed);
   KvConfig config;
   config.capacity_tokens = 8192;
   config.block_size_tokens = block_size;
   config.watermark_blocks = block_size > 1 ? 4 : 0;
   KvController kv(config);
-  PrefixCache cache(config.capacity_tokens, &kv.allocator(), block_size);
+  // The kColdSubtree replays exercise subtree eviction (plus its LRU-leaf
+  // fallback) under the full publish protocol: conservation and aggregate
+  // soundness (CheckInvariants validates the subtree aggregates whenever
+  // the policy maintains them) must hold after every eviction.
+  PrefixCache cache(config.capacity_tokens, &kv.allocator(), block_size,
+                    policy);
   const int64_t reserve = 96;
 
   std::vector<LiveSeq> live;
@@ -340,7 +348,7 @@ TEST_P(UnifiedLedgerPropertyTest, BlockConservationHoldsUnderChurn) {
       s.base = cached;
       s.prefill_left = static_cast<int64_t>(s.prompt.size()) - cached;
       if (!kv.CanAdmit(s.prefill_left, reserve)) {
-        cache.Evict(kv.AdmissionDeficitTokens(s.prefill_left, reserve));
+        cache.Evict(kv.AdmissionDeficitBlocks(s.prefill_left, reserve));
       }
       if (!kv.CanAdmit(s.prefill_left, reserve) && !live.empty()) {
         cache.Unref(s.pin);  // Stay pending (dropped here).
@@ -389,8 +397,8 @@ TEST_P(UnifiedLedgerPropertyTest, BlockConservationHoldsUnderChurn) {
       cache.Unref(s.pin);
       kv.ReleaseSeq(s.id);
       kv.NoteRecomputePreemption();
-    } else if (op == 5) {  // Eviction pressure.
-      cache.Evict(rng.UniformInt(0, 2048));
+    } else if (op == 5) {  // Eviction pressure (Evict takes blocks now).
+      cache.Evict(rng.UniformInt(0, 2048) / block_size);
     } else if (op == 6 && !live.empty()) {  // Fork a table, then drop it.
       const LiveSeq& s = live[static_cast<size_t>(
           rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1))];
@@ -426,7 +434,9 @@ INSTANTIATE_TEST_SUITE_P(
     Blocks, UnifiedLedgerPropertyTest,
     ::testing::Combine(::testing::Values(int32_t{1}, int32_t{16},
                                          int32_t{32}),
-                       ::testing::Values(11u, 12u, 13u)));
+                       ::testing::Values(11u, 12u, 13u),
+                       ::testing::Values(EvictionPolicy::kLruLeaf,
+                                         EvictionPolicy::kColdSubtree)));
 
 }  // namespace
 }  // namespace skywalker

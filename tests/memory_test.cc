@@ -212,7 +212,7 @@ TEST(KvControllerTest, CoarseModeMatchesSeedArithmetic) {
   // free = 1000 - 300 - 300 = 400.
   EXPECT_TRUE(kv.CanAdmit(300, 100));
   EXPECT_FALSE(kv.CanAdmit(301, 100));
-  EXPECT_EQ(kv.AdmissionDeficitTokens(301, 100), 1);
+  EXPECT_EQ(kv.AdmissionDeficitBlocks(301, 100), 1);
 
   kv.OnPrefillChunk(seq, 200);  // Committed -> resident, free unchanged.
   EXPECT_EQ(kv.used_blocks(), 500);
@@ -245,7 +245,7 @@ TEST(KvControllerTest, PagedCeilsPerSequence) {
   EXPECT_TRUE(kv.CanAdmit(17, 17));
   KvController::SeqId seq2 = kv.AdmitSeq(17, 17);
   EXPECT_FALSE(kv.CanAdmit(17, 17));
-  EXPECT_EQ(kv.AdmissionDeficitTokens(17, 17), 2 * 16);
+  EXPECT_EQ(kv.AdmissionDeficitBlocks(17, 17), 2);  // Deficit in blocks.
 
   // Prefill materializes into real blocks; fragmentation appears.
   kv.OnPrefillChunk(seq, 17);
@@ -328,9 +328,9 @@ TEST(KvControllerTest, ReclaimNeededAfterOvercommit) {
   KvController::SeqId seq = kv.AdmitSeq(100, 0);  // Force-admit analogue.
   kv.OnPrefillChunk(seq, 100);
   EXPECT_EQ(kv.used_blocks(), 7);
-  EXPECT_EQ(kv.ReclaimNeededTokens(), 3 * 16);
+  EXPECT_EQ(kv.ReclaimNeededBlocks(), 3);  // 7 used over a 4-block budget.
   kv.ReleaseSeq(seq);
-  EXPECT_EQ(kv.ReclaimNeededTokens(), 0);
+  EXPECT_EQ(kv.ReclaimNeededBlocks(), 0);
 }
 
 TEST(KvControllerTest, SlotReuseKeepsLedgerConsistent) {
