@@ -34,6 +34,7 @@
 #include "src/analysis/metrics.h"
 #include "src/lb/policies.h"
 #include "src/net/network.h"
+#include "src/obs/trace.h"
 #include "src/sim/simulator.h"
 #include "src/workload/client.h"
 #include "src/workload/tot.h"
@@ -90,6 +91,14 @@ MetricRow RunCase(const MemoryCase& mc, const ScenarioOptions& options) {
   Topology topology;
   topology.AddRegion("local", Milliseconds(1));
   Network net(&sim, topology);
+  // Request-lifecycle tracing (ISSUE 9): installed before any actor runs so
+  // the trace covers the full lifecycle. Tracing never perturbs the sim —
+  // the metric row below is byte-identical with it on or off.
+  std::unique_ptr<Tracer> tracer;
+  if (options.trace) {
+    tracer = std::make_unique<Tracer>(/*num_regions=*/1);
+    sim.SetTracer(tracer.get());
+  }
 
   ReplicaConfig rconfig;
   rconfig.max_running_requests = 32;
@@ -192,6 +201,14 @@ MetricRow RunCase(const MemoryCase& mc, const ScenarioOptions& options) {
   }
   sim.RunUntil(warmup + measure);
 
+  if (tracer != nullptr) {
+    WriteTraceArtifacts(
+        *tracer, options.trace_dir, "fig07_memory_pressure", mc.label,
+        {{"policy", mc.mode == PushMode::kBlind ? "BP" : "SP-P"},
+         {"preempt",
+          mc.policy == PreemptPolicy::kSwap ? "swap" : "recompute"}});
+  }
+
   MetricRow row;
   row.label = mc.label;
   row.Dim("policy", mc.mode == PushMode::kBlind ? "BP" : "SP-P");
@@ -285,6 +302,7 @@ Scenario MakeFig07MemoryPressureScenario() {
       metric_keys::kKvEvictableBlocks,
       metric_keys::kKvSeqBlocks,
   };
+  scenario.traceable = true;
   scenario.plan = [](const ScenarioOptions& options) {
     ScenarioPlan plan;
     const MemoryCase cases[] = {

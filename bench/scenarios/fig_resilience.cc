@@ -21,6 +21,7 @@
 //    threads with full traces; `reswap_determinism_ok` certifies the swap
 //    is bit-identical under parallel execution.
 
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -28,6 +29,7 @@
 #include "bench/scenarios/scenarios.h"
 #include "src/common/hash.h"
 #include "src/harness/fleet.h"
+#include "src/obs/trace.h"
 
 namespace skywalker {
 
@@ -96,6 +98,29 @@ OutlierConfig ResilienceOn(const ScenarioOptions& options) {
   return outlier;
 }
 
+// Lifecycle tracing for one cell (--trace): installs a caller-owned Tracer
+// on the fleet spec and writes the TRACE_* artifacts after the run. Tracing
+// never perturbs the simulation, so traced cells report the same metrics.
+struct CellTrace {
+  std::unique_ptr<Tracer> tracer;
+
+  void Arm(FleetSpec* spec, const ScenarioOptions& options) {
+    if (!options.trace) {
+      return;
+    }
+    tracer = std::make_unique<Tracer>(kRegions);
+    spec->tracer = tracer.get();
+  }
+
+  void Write(const std::string& label, const ScenarioOptions& options,
+             std::vector<std::pair<std::string, std::string>> meta = {}) {
+    if (tracer != nullptr) {
+      WriteTraceArtifacts(*tracer, options.trace_dir, "fig_resilience", label,
+                          std::move(meta));
+    }
+  }
+};
+
 MetricRow ResilienceRow(const std::string& label, const FleetSpec& spec,
                         const FleetResult& result) {
   const double measure_sec = ToSeconds(spec.measure);
@@ -156,7 +181,11 @@ MetricRow RunBlackout(const std::string& label, bool resilience,
   lb_recover.region = 1;
   spec.faults = {lb_fail, replicas_fail, replicas_recover, lb_recover};
 
+  CellTrace trace;
+  trace.Arm(&spec, options);
   FleetResult result = RunFleetExperiment(spec);
+  trace.Write(label, options,
+              {{"resilience", resilience ? "on" : "off"}});
   return ResilienceRow(label, spec, result)
       .Dim("cell", "blackout")
       .Dim("resilience", resilience ? "on" : "off");
@@ -192,7 +221,10 @@ MetricRow RunGray(const std::string& label, bool ejection,
     spec.faults.push_back(slow);
   }
 
+  CellTrace trace;
+  trace.Arm(&spec, options);
   FleetResult result = RunFleetExperiment(spec);
+  trace.Write(label, options, {{"ejection", ejection ? "on" : "off"}});
   return ResilienceRow(label, spec, result)
       .Dim("cell", "gray")
       .Dim("ejection", ejection ? "on" : "off");
@@ -214,7 +246,10 @@ MetricRow RunFlashCrowd(const std::string& label,
   wave.stop_issuing_after = d.warmup + d.measure;
   spec.client_waves.push_back(wave);
 
+  CellTrace trace;
+  trace.Arm(&spec, options);
   FleetResult result = RunFleetExperiment(spec);
+  trace.Write(label, options);
   return ResilienceRow(label, spec, result).Dim("cell", "flash_crowd");
 }
 
@@ -240,7 +275,12 @@ MetricRow RunReswap(const std::string& label, int num_shards, int num_threads,
   update.config = next;
   spec.config_updates.push_back(update);
 
+  CellTrace trace;
+  trace.Arm(&spec, options);
   FleetResult result = RunFleetExperiment(spec);
+  trace.Write(label, options,
+              {{"shards", std::to_string(num_shards)},
+               {"threads", std::to_string(num_threads)}});
   MetricRow row = ResilienceRow(label, spec, result);
   // Trace fingerprint: equal across the pair iff the full per-request
   // outcome stream is byte-identical.
@@ -275,6 +315,7 @@ Scenario MakeResilienceScenario() {
   for (const std::string& key : ResilienceMetricKeys()) {
     scenario.metric_keys.push_back(key);
   }
+  scenario.traceable = true;
   scenario.plan = [](const ScenarioOptions& options) {
     ScenarioPlan plan;
     plan.cells.push_back(ScenarioCell{"blackout_resil", [options] {

@@ -36,6 +36,8 @@ struct CliOptions {
   bool quiet = false;       // Suppress tables; still writes JSON.
   bool write_json = true;
   bool timing = false;      // Write the BENCH_TIMING.json sidecar.
+  bool trace = false;       // Request-lifecycle tracing (ISSUE 9).
+  std::string trace_dir = ".";
   int trials = 1;
   uint64_t seed = 42;
   int threads = DefaultThreadCount();
@@ -59,6 +61,12 @@ void PrintUsage() {
       "  --smoke                tiny durations for schema/CI checks\n"
       "  --timing               also write BENCH_TIMING.json (wall-clock\n"
       "                         sidecar; excluded from golden comparisons)\n"
+      "  --trace                write TRACE_<scenario>_<cell>.{bin,json}\n"
+      "                         request-lifecycle traces (traceable\n"
+      "                         scenarios only, see --list; results are\n"
+      "                         unchanged — tracing observes, never\n"
+      "                         perturbs)\n"
+      "  --trace-dir=DIR        directory for TRACE_* files (default .)\n"
       "  --out=FILE             JSON path (single scenario only)\n"
       "  --out-dir=DIR          directory for BENCH_<scenario>.json "
       "(default .)\n"
@@ -87,6 +95,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->smoke = true;
     } else if (std::strcmp(arg, "--timing") == 0) {
       options->timing = true;
+    } else if (std::strcmp(arg, "--trace") == 0) {
+      options->trace = true;
+    } else if (ParseFlag(arg, "--trace-dir", &value)) {
+      options->trace_dir = value;
     } else if (std::strcmp(arg, "--quiet") == 0) {
       options->quiet = true;
     } else if (std::strcmp(arg, "--no-json") == 0) {
@@ -129,9 +141,15 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
 }
 
 int ListScenarios() {
-  std::printf("%-28s %s\n", "scenario", "title");
+  std::printf("%-28s %5s %6s  %s\n", "scenario", "cells", "trace", "title");
   for (const Scenario* scenario : ScenarioRegistry::Get().All()) {
-    std::printf("%-28s %s\n", scenario->name.c_str(),
+    // Cell count from a smoke plan: planning is cheap and cell structure
+    // does not depend on smoke mode (only cell durations do).
+    ScenarioOptions options;
+    options.smoke = true;
+    const size_t cells = scenario->plan(options).cells.size();
+    std::printf("%-28s %5zu %6s  %s\n", scenario->name.c_str(), cells,
+                scenario->traceable ? "yes" : "-",
                 scenario->title.c_str());
   }
   return 0;
@@ -177,9 +195,21 @@ int SkybenchMain(int argc, char** argv) {
     for (const std::string& name : options.scenario_names) {
       const Scenario* scenario = ScenarioRegistry::Get().Find(name);
       if (scenario == nullptr) {
-        std::fprintf(stderr,
-                     "skybench: unknown scenario '%s' (see --list)\n",
-                     name.c_str());
+        std::vector<std::string> known;
+        for (const Scenario* s : ScenarioRegistry::Get().All()) {
+          known.push_back(s->name);
+        }
+        const std::vector<std::string> close = SuggestClosest(name, known);
+        if (close.empty()) {
+          std::fprintf(stderr,
+                       "skybench: unknown scenario '%s' (see --list)\n",
+                       name.c_str());
+        } else {
+          std::fprintf(stderr,
+                       "skybench: unknown scenario '%s'; did you mean %s? "
+                       "(see --list)\n",
+                       name.c_str(), StrJoin(close, " or ").c_str());
+        }
         return 1;
       }
       scenarios.push_back(scenario);
@@ -197,6 +227,21 @@ int SkybenchMain(int argc, char** argv) {
   config.seed = options.seed;
   config.smoke = options.smoke;
   config.threads = options.threads;
+  config.trace = options.trace;
+  config.trace_dir = options.trace_dir;
+  if (options.trace) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.trace_dir, ec);
+    bool any_traceable = false;
+    for (const Scenario* scenario : scenarios) {
+      any_traceable = any_traceable || scenario->traceable;
+    }
+    if (!any_traceable) {
+      std::fprintf(stderr,
+                   "skybench: --trace has no effect: none of the selected "
+                   "scenarios are traceable (see --list)\n");
+    }
+  }
 
   if (!options.quiet) {
     std::printf("skybench: %zu scenario(s), %d trial(s), %d thread(s)%s\n",

@@ -135,6 +135,110 @@ void Distribution::EnsureSorted() const {
   }
 }
 
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      counts_(bounds_.size() + 1, 0) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    assert(bounds_[i] > bounds_[i - 1] && "bounds must strictly increase");
+  }
+}
+
+Histogram Histogram::Exponential(double first, double factor, int count) {
+  assert(first > 0 && factor > 1 && count > 0);
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  double b = first;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return Histogram(std::move(bounds));
+}
+
+void Histogram::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  // First bucket whose upper bound covers x; past-the-end is the overflow.
+  size_t i = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), x) - bounds_.begin());
+  ++counts_[i];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) {
+    return;  // Empty-merge: a fresh/cleared histogram adds nothing.
+  }
+  if (count_ == 0) {
+    *this = other;  // Adopt bounds and counts wholesale.
+    return;
+  }
+  assert(bounds_ == other.bounds_ && "merging histograms with unequal grids");
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::Clear() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  assert(q >= 0 && q <= 1);
+  // Rank of the requested quantile among `count_` ordered samples.
+  double rank = q * static_cast<double>(count_);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) {
+      continue;
+    }
+    double lo = i == 0 ? min_ : bounds_[i - 1];
+    double hi = i < bounds_.size() ? bounds_[i] : max_;
+    if (static_cast<double>(cumulative + counts_[i]) >= rank) {
+      // Linear interpolation inside the covering bucket, clamped to the
+      // observed range — a single occupied bucket yields values in
+      // [min, max], not the bucket's nominal bounds.
+      double within =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(counts_[i]);
+      double v = lo + (hi - lo) * within;
+      return std::min(std::max(v, min_), max_);
+    }
+    cumulative += counts_[i];
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "count=%llu mean=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f",
+      static_cast<unsigned long long>(count_), mean(), Quantile(0.5),
+      Quantile(0.9), Quantile(0.99), max());
+  return buf;
+}
+
 void BinnedSeries::Add(size_t bin, double value) {
   assert(bin < bins_.size());
   bins_[bin] += value;

@@ -1,6 +1,8 @@
 #include "src/common/strings.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <utility>
 
 namespace skywalker {
 
@@ -46,6 +48,46 @@ std::vector<std::string> StrSplit(std::string_view s, char delim) {
 
 bool StartsWith(std::string_view s, std::string_view prefix) {
   return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+size_t EditDistance(std::string_view a, std::string_view b) {
+  // Single-row dynamic program; inputs here are CLI-scenario-name sized.
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) {
+    row[j] = j;
+  }
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diagonal = row[0];
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const size_t substitute = diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diagonal = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitute});
+    }
+  }
+  return row[b.size()];
+}
+
+std::vector<std::string> SuggestClosest(
+    std::string_view name, const std::vector<std::string>& candidates) {
+  const size_t threshold = std::max<size_t>(2, name.size() / 4);
+  std::vector<std::pair<size_t, std::string>> scored;
+  for (const std::string& candidate : candidates) {
+    const size_t distance = EditDistance(name, candidate);
+    if (distance <= threshold) {
+      scored.emplace_back(distance, candidate);
+    }
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const auto& lhs, const auto& rhs) {
+                     return lhs.first < rhs.first;
+                   });
+  std::vector<std::string> out;
+  out.reserve(scored.size());
+  for (auto& [distance, candidate] : scored) {
+    out.push_back(std::move(candidate));
+  }
+  return out;
 }
 
 }  // namespace skywalker

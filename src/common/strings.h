@@ -21,6 +21,15 @@ std::vector<std::string> StrSplit(std::string_view s, char delim);
 
 bool StartsWith(std::string_view s, std::string_view prefix);
 
+// Levenshtein edit distance (insert/delete/substitute, all cost 1).
+size_t EditDistance(std::string_view a, std::string_view b);
+
+// Candidates within edit distance <= max(2, |name| / 4) of `name`, closest
+// first (ties keep candidate order). Backs "unknown scenario" suggestions in
+// the skybench CLI.
+std::vector<std::string> SuggestClosest(
+    std::string_view name, const std::vector<std::string>& candidates);
+
 }  // namespace skywalker
 
 #endif  // SKYWALKER_COMMON_STRINGS_H_

@@ -5,6 +5,7 @@
 
 #include "src/common/hash.h"
 #include "src/common/logging.h"
+#include "src/obs/trace.h"
 
 namespace skywalker {
 
@@ -338,6 +339,11 @@ void SkyWalkerLb::Forward(Queued queued, LbId peer_id) {
   }
 
   RegionId peer_region = peer->region();
+  if (Tracer* t = sim_->tracer()) {
+    EmitTrace(t, sim_->now(), TraceEventType::kForward, region_,
+              kInvalidReplica, static_cast<int64_t>(queued.req.id),
+              peer_region);
+  }
   net_->Send(region_, peer_region,
              [peer, origin = region_, req = std::move(queued.req),
               callbacks = std::move(queued.callbacks)]() mutable {

@@ -43,11 +43,17 @@ FleetResult RunFleetExperiment(const FleetSpec& spec) {
     plain_sim = std::make_unique<Simulator>();
     net = std::make_unique<Network>(plain_sim.get(), topology,
                                     /*jitter_fraction=*/0.0, spec.seed);
+    if (spec.tracer != nullptr) {
+      plain_sim->SetTracer(spec.tracer);
+    }
   } else {
     sharded = std::make_unique<ShardedSimulator>(
         topology, spec.num_shards, spec.num_threads, /*jitter_fraction=*/0.0);
     net = std::make_unique<Network>(sharded.get(), /*jitter_fraction=*/0.0,
                                     spec.seed);
+    if (spec.tracer != nullptr) {
+      sharded->SetTracer(spec.tracer);
+    }
   }
 
   // --- serving system ---

@@ -99,6 +99,12 @@ struct FleetSpec {
   // Serializes every outcome into FleetResult::trace (one line per request,
   // canonical order) for bit-identity tests. Off for large benches.
   bool collect_trace = false;
+
+  // Optional request-lifecycle tracer (ISSUE 9), installed on every shard
+  // (or the plain simulator) before any actor is built. Caller-owned; must
+  // outlive the run. Tracing never perturbs the simulation, and per-region
+  // record streams are identical across shard/thread counts.
+  Tracer* tracer = nullptr;
 };
 
 struct FleetResult {

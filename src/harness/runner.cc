@@ -84,6 +84,8 @@ std::vector<ScenarioRunResult> RunScenarios(
       ScenarioOptions options;
       options.seed_stream = pt.seed_stream;
       options.smoke = config.smoke;
+      options.trace = config.trace && scenario->traceable;
+      options.trace_dir = config.trace_dir;
       pt.plan = scenario->plan(options);
       pt.cell_rows.resize(pt.plan.cells.size());
       pt.cell_seconds.resize(pt.plan.cells.size(), 0);

@@ -21,6 +21,9 @@ struct RunConfig {
   uint64_t seed = 42;    // Perturbs trials >= 1; trial 0 is canonical.
   bool smoke = false;
   int threads = 1;
+  // Forwarded into ScenarioOptions for traceable scenarios (ISSUE 9).
+  bool trace = false;
+  std::string trace_dir = ".";
 };
 
 struct TrialResult {

@@ -36,6 +36,12 @@ struct ScenarioOptions {
   // under a second — used by CI's bench-smoke job and the schema tests.
   // Smoke numbers are schema-valid but not comparable to full runs.
   bool smoke = false;
+  // Request-lifecycle tracing (ISSUE 9, DESIGN.md §11). When true, a
+  // `traceable` scenario installs a Tracer per cell and writes
+  // TRACE_<scenario>_<cell>.{bin,json} under trace_dir. Tracing observes
+  // without perturbing: metric rows are byte-identical with it on or off.
+  bool trace = false;
+  std::string trace_dir = ".";
 };
 
 // Applies a trial's seed stream to a scenario-canonical seed. Stream 0 is
@@ -85,6 +91,9 @@ struct Scenario {
   // False for wall-clock microbenchmarks, whose ns_per_op metrics legitimately
   // vary run to run; the determinism test skips those.
   bool deterministic = true;
+  // True when plan() honors ScenarioOptions::trace (writes TRACE_* files).
+  // `skybench --list` surfaces this; --trace on other scenarios is a no-op.
+  bool traceable = false;
   std::function<ScenarioPlan(const ScenarioOptions&)> plan;
 };
 

@@ -1,0 +1,389 @@
+#include "src/obs/attribution.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/common/histogram.h"
+#include "src/common/table.h"
+
+namespace skywalker {
+
+namespace {
+
+// Per-request accumulator while walking the time-ordered stream.
+struct Lifecycle {
+  RequestAttribution att;
+  SimTime first_enqueue = -1;
+  SimTime last_dispatch = -1;
+  SimTime replica_arrive = -1;
+  SimTime first_admit = -1;
+  SimTime pending_preempt = -1;  // Open preemption episode, if any.
+  bool saw_first_token = false;
+};
+
+}  // namespace
+
+std::vector<RequestAttribution> AttributeRequests(
+    const std::vector<TraceRecord>& records) {
+  std::map<int64_t, Lifecycle> lifecycles;
+  for (const TraceRecord& r : records) {
+    if (r.request < 0) {
+      continue;
+    }
+    const auto type = static_cast<TraceEventType>(r.type);
+    if (type == TraceEventType::kSubmit) {
+      Lifecycle& lc = lifecycles[r.request];
+      lc.att.request = r.request;
+      lc.att.region = r.region;
+      lc.att.submit = r.time;
+      lc.att.prompt_tokens = r.a;
+      continue;
+    }
+    auto it = lifecycles.find(r.request);
+    if (it == lifecycles.end()) {
+      continue;  // No submit record (trace started mid-request).
+    }
+    Lifecycle& lc = it->second;
+    switch (type) {
+      case TraceEventType::kLbEnqueue:
+        if (lc.first_enqueue < 0) {
+          lc.first_enqueue = r.time;
+        }
+        break;
+      case TraceEventType::kForward:
+        ++lc.att.forwards;
+        break;
+      case TraceEventType::kDispatch:
+        lc.last_dispatch = r.time;
+        break;
+      case TraceEventType::kReplicaArrive:
+        if (lc.replica_arrive < 0) {
+          lc.replica_arrive = r.time;
+          lc.att.replica = r.replica;
+        }
+        break;
+      case TraceEventType::kAdmit:
+      case TraceEventType::kRestore:
+        if (lc.first_admit < 0) {
+          lc.first_admit = r.time;
+          lc.att.replica = r.replica;
+        }
+        // Close an open preemption episode (recompute re-admission or
+        // swap-in restore) — the gap counts toward preempt time only while
+        // the first token is still outstanding.
+        if (lc.pending_preempt >= 0) {
+          if (!lc.saw_first_token) {
+            lc.att.preempt_us += r.time - lc.pending_preempt;
+          }
+          lc.pending_preempt = -1;
+        }
+        break;
+      case TraceEventType::kPreempt:
+        ++lc.att.preemptions;
+        if (lc.pending_preempt < 0) {
+          lc.pending_preempt = r.time;
+        }
+        break;
+      case TraceEventType::kFirstToken:
+        if (!lc.saw_first_token) {
+          lc.saw_first_token = true;
+          lc.att.first_token = r.time;
+          lc.att.cached_tokens = r.a;
+        }
+        break;
+      case TraceEventType::kComplete:
+        lc.att.complete = r.time;
+        break;
+      case TraceEventType::kTimeout:
+        lc.att.timed_out = true;
+        break;
+      default:
+        break;
+    }
+  }
+
+  std::vector<RequestAttribution> out;
+  out.reserve(lifecycles.size());
+  for (auto& [id, lc] : lifecycles) {
+    RequestAttribution& att = lc.att;
+    if (att.submit >= 0 && att.complete >= 0) {
+      att.latency_us = att.complete - att.submit;
+    }
+    if (att.submit >= 0 && att.first_token >= 0) {
+      att.ttft_us = att.first_token - att.submit;
+      // Components; anything un-observed collapses into its neighbor so the
+      // sum stays exact (e.g. a trace without LB events attributes the whole
+      // pre-arrival span to network).
+      const SimTime enqueue =
+          lc.first_enqueue >= 0 ? lc.first_enqueue : att.submit;
+      const SimTime dispatch =
+          lc.last_dispatch >= 0 ? lc.last_dispatch : enqueue;
+      const SimTime arrive =
+          lc.replica_arrive >= 0 ? lc.replica_arrive : dispatch;
+      const SimTime admit = lc.first_admit >= 0 ? lc.first_admit : arrive;
+      att.network_us = (enqueue - att.submit) + (arrive - dispatch);
+      att.lb_queue_us = dispatch - enqueue;
+      att.stall_us = admit - arrive;
+      att.prefill_us = (att.first_token - admit) - att.preempt_us;
+    }
+    out.push_back(std::move(att));
+  }
+  return out;
+}
+
+namespace {
+
+struct ComponentView {
+  const char* name;
+  int64_t RequestAttribution::* field;
+};
+
+constexpr ComponentView kComponents[] = {
+    {"network", &RequestAttribution::network_us},
+    {"lb_queue", &RequestAttribution::lb_queue_us},
+    {"stall", &RequestAttribution::stall_us},
+    {"preempt", &RequestAttribution::preempt_us},
+    {"prefill", &RequestAttribution::prefill_us},
+};
+
+std::string Ms(double us) { return Table::Num(us / 1000.0, 2); }
+
+}  // namespace
+
+std::string AttributionSummaryTable(
+    const std::vector<RequestAttribution>& attributions) {
+  Distribution ttft;
+  for (const RequestAttribution& att : attributions) {
+    if (att.ttft_us >= 0) {
+      ttft.Add(static_cast<double>(att.ttft_us));
+    }
+  }
+  Table table({"component", "mean_ms", "p50_ms", "p90_ms", "p99_ms",
+               "share_of_mean"});
+  for (const ComponentView& comp : kComponents) {
+    Distribution dist;
+    for (const RequestAttribution& att : attributions) {
+      if (att.ttft_us >= 0) {
+        dist.Add(static_cast<double>(att.*(comp.field)));
+      }
+    }
+    const double share =
+        ttft.count() == 0 || ttft.mean() <= 0 ? 0 : dist.mean() / ttft.mean();
+    table.AddRow({comp.name, Ms(dist.mean()), Ms(dist.Percentile(50)),
+                  Ms(dist.Percentile(90)), Ms(dist.Percentile(99)),
+                  Table::Num(share, 3)});
+  }
+  table.AddRow({"ttft", Ms(ttft.mean()), Ms(ttft.Percentile(50)),
+                Ms(ttft.Percentile(90)), Ms(ttft.Percentile(99)),
+                Table::Num(1.0, 3)});
+  std::string out = "TTFT attribution over " +
+                    std::to_string(ttft.count()) + " first tokens\n";
+  out += table.ToAscii();
+  return out;
+}
+
+std::string SlowestRequestsTable(
+    const std::vector<RequestAttribution>& attributions, int k) {
+  std::vector<const RequestAttribution*> slow;
+  for (const RequestAttribution& att : attributions) {
+    if (att.ttft_us >= 0) {
+      slow.push_back(&att);
+    }
+  }
+  std::stable_sort(slow.begin(), slow.end(),
+                   [](const RequestAttribution* a,
+                      const RequestAttribution* b) {
+                     return a->ttft_us > b->ttft_us;
+                   });
+  if (static_cast<int>(slow.size()) > k) {
+    slow.resize(static_cast<size_t>(k));
+  }
+  Table table({"request", "replica", "ttft_ms", "network_ms", "lb_queue_ms",
+               "stall_ms", "preempt_ms", "prefill_ms", "preemptions",
+               "cached"});
+  for (const RequestAttribution* att : slow) {
+    table.AddRow({std::to_string(att->request),
+                  std::to_string(att->replica),
+                  Ms(static_cast<double>(att->ttft_us)),
+                  Ms(static_cast<double>(att->network_us)),
+                  Ms(static_cast<double>(att->lb_queue_us)),
+                  Ms(static_cast<double>(att->stall_us)),
+                  Ms(static_cast<double>(att->preempt_us)),
+                  Ms(static_cast<double>(att->prefill_us)),
+                  std::to_string(att->preemptions),
+                  std::to_string(att->cached_tokens)});
+  }
+  std::string out =
+      "Slowest " + std::to_string(slow.size()) + " requests by TTFT\n";
+  out += table.ToAscii();
+  return out;
+}
+
+namespace {
+
+struct ReplicaRollup {
+  int64_t steps = 0;
+  double busy_us = 0;
+  int64_t preemptions = 0;
+  int64_t swap_outs = 0;
+  int64_t completions = 0;
+  int64_t ejections = 0;
+  int64_t recoveries = 0;
+  Distribution utilization;
+  SimTime last_event = 0;
+};
+
+}  // namespace
+
+std::string ReplicaTimelineTable(const std::vector<TraceRecord>& records) {
+  std::map<std::pair<int16_t, int32_t>, ReplicaRollup> rollups;
+  SimTime horizon = 0;
+  for (const TraceRecord& r : records) {
+    horizon = std::max(horizon, r.time);
+    if (r.replica < 0) {
+      continue;
+    }
+    ReplicaRollup& roll = rollups[{r.region, r.replica}];
+    roll.last_event = std::max(roll.last_event, r.time);
+    switch (static_cast<TraceEventType>(r.type)) {
+      case TraceEventType::kEngineStep:
+        ++roll.steps;
+        roll.busy_us += r.x;
+        break;
+      case TraceEventType::kPreempt:
+        ++roll.preemptions;
+        break;
+      case TraceEventType::kKvSwapOut:
+        ++roll.swap_outs;
+        break;
+      case TraceEventType::kComplete:
+        ++roll.completions;
+        break;
+      case TraceEventType::kMemSample:
+        roll.utilization.Add(r.x);
+        break;
+      case TraceEventType::kEject:
+        ++roll.ejections;
+        break;
+      case TraceEventType::kRecover:
+        ++roll.recoveries;
+        break;
+      default:
+        break;
+    }
+  }
+  Table table({"region", "replica", "steps", "busy_frac", "completions",
+               "preempts", "swap_outs", "mem_p50", "mem_max", "ejects",
+               "recovers"});
+  for (const auto& [key, roll] : rollups) {
+    const double busy_frac =
+        horizon <= 0 ? 0 : roll.busy_us / static_cast<double>(horizon);
+    table.AddRow({std::to_string(key.first), std::to_string(key.second),
+                  std::to_string(roll.steps), Table::Num(busy_frac, 3),
+                  std::to_string(roll.completions),
+                  std::to_string(roll.preemptions),
+                  std::to_string(roll.swap_outs),
+                  Table::Num(roll.utilization.empty()
+                                 ? 0
+                                 : roll.utilization.Percentile(50),
+                             3),
+                  Table::Num(roll.utilization.empty()
+                                 ? 0
+                                 : roll.utilization.max(),
+                             3),
+                  std::to_string(roll.ejections),
+                  std::to_string(roll.recoveries)});
+  }
+  std::string out = "Per-replica rollup (horizon " +
+                    Table::Num(static_cast<double>(horizon) / 1e6, 1) +
+                    " s)\n";
+  out += table.ToAscii();
+  return out;
+}
+
+Json AttributionReportJson(const std::vector<TraceRecord>& records,
+                           const std::vector<RequestAttribution>& attributions,
+                           int top_k) {
+  Json root = Json::Object();
+  root.Set("schema_version", 1);
+  root.Set("records", static_cast<int64_t>(records.size()));
+  root.Set("requests", static_cast<int64_t>(attributions.size()));
+
+  Distribution ttft;
+  int64_t timed_out = 0;
+  int64_t completed = 0;
+  for (const RequestAttribution& att : attributions) {
+    if (att.ttft_us >= 0) {
+      ttft.Add(static_cast<double>(att.ttft_us));
+    }
+    if (att.timed_out) {
+      ++timed_out;
+    }
+    if (att.complete >= 0) {
+      ++completed;
+    }
+  }
+  root.Set("completed", completed);
+  root.Set("timed_out", timed_out);
+
+  Json components = Json::Object();
+  for (const ComponentView& comp : kComponents) {
+    Distribution dist;
+    for (const RequestAttribution& att : attributions) {
+      if (att.ttft_us >= 0) {
+        dist.Add(static_cast<double>(att.*(comp.field)));
+      }
+    }
+    Json c = Json::Object();
+    c.Set("mean_us", dist.mean());
+    c.Set("p50_us", dist.Percentile(50));
+    c.Set("p90_us", dist.Percentile(90));
+    c.Set("p99_us", dist.Percentile(99));
+    c.Set("share_of_mean_ttft",
+          ttft.count() == 0 || ttft.mean() <= 0 ? 0.0
+                                                : dist.mean() / ttft.mean());
+    components.Set(comp.name, std::move(c));
+  }
+  root.Set("ttft_components", std::move(components));
+
+  Json ttft_stats = Json::Object();
+  ttft_stats.Set("count", static_cast<int64_t>(ttft.count()));
+  ttft_stats.Set("mean_us", ttft.mean());
+  ttft_stats.Set("p50_us", ttft.Percentile(50));
+  ttft_stats.Set("p90_us", ttft.Percentile(90));
+  ttft_stats.Set("p99_us", ttft.Percentile(99));
+  root.Set("ttft", std::move(ttft_stats));
+
+  std::vector<const RequestAttribution*> slow;
+  for (const RequestAttribution& att : attributions) {
+    if (att.ttft_us >= 0) {
+      slow.push_back(&att);
+    }
+  }
+  std::stable_sort(slow.begin(), slow.end(),
+                   [](const RequestAttribution* a,
+                      const RequestAttribution* b) {
+                     return a->ttft_us > b->ttft_us;
+                   });
+  if (static_cast<int>(slow.size()) > top_k) {
+    slow.resize(static_cast<size_t>(top_k));
+  }
+  Json slowest = Json::Array();
+  for (const RequestAttribution* att : slow) {
+    Json row = Json::Object();
+    row.Set("request", att->request);
+    row.Set("replica", att->replica);
+    row.Set("ttft_us", att->ttft_us);
+    row.Set("network_us", att->network_us);
+    row.Set("lb_queue_us", att->lb_queue_us);
+    row.Set("stall_us", att->stall_us);
+    row.Set("preempt_us", att->preempt_us);
+    row.Set("prefill_us", att->prefill_us);
+    row.Set("preemptions", att->preemptions);
+    slowest.Append(std::move(row));
+  }
+  root.Set("slowest_requests", std::move(slowest));
+  return root;
+}
+
+}  // namespace skywalker

@@ -1,0 +1,85 @@
+// Request-lifecycle attribution (ISSUE 9): turns a merged trace into
+// per-request TTFT decompositions and the reports `skytrace` prints.
+//
+// TTFT (submit -> first output token) decomposes into five named
+// components that sum exactly to the total:
+//   network  — client->LB submit hop plus the LB->replica dispatch hop;
+//   lb_queue — waiting in balancer FCFS queues (includes any cross-region
+//              forward hop: the request was queue-bound, not compute-bound);
+//   stall    — accepted by the replica but blocked out of the continuous
+//              batch (memory- or slot-blocked pending time);
+//   preempt  — evicted from the batch before the first token and waiting to
+//              be re-admitted (recompute) or restored (swap-in);
+//   prefill  — actually computing prompt KV inside the batch.
+// This is the decomposition the PR-8 finding needs: it names which
+// component the BP arm's ~1.4x TTFT p90 inflation under saturation comes
+// from (queue vs preemption vs network).
+
+#ifndef SKYWALKER_OBS_ATTRIBUTION_H_
+#define SKYWALKER_OBS_ATTRIBUTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/json.h"
+#include "src/common/sim_time.h"
+#include "src/obs/trace.h"
+
+namespace skywalker {
+
+struct RequestAttribution {
+  int64_t request = -1;
+  int16_t region = -1;        // Submitting client's region.
+  int32_t replica = -1;       // Serving replica (first admission).
+  int64_t prompt_tokens = 0;
+  int64_t cached_tokens = 0;  // Prefix-cache hit at first token.
+  SimTime submit = -1;
+  SimTime first_token = -1;   // -1 if never produced.
+  SimTime complete = -1;      // -1 if never completed.
+  bool timed_out = false;
+  int preemptions = 0;        // Total over the request's lifetime.
+  int forwards = 0;           // Cross-region offload hops.
+
+  int64_t ttft_us = -1;       // first_token - submit; -1 when unfinished.
+  int64_t latency_us = -1;    // complete - submit; -1 when unfinished.
+  // TTFT decomposition; the five components sum to ttft_us exactly when
+  // ttft_us >= 0 (see file comment for component meaning).
+  int64_t network_us = 0;
+  int64_t lb_queue_us = 0;
+  int64_t stall_us = 0;
+  int64_t preempt_us = 0;
+  int64_t prefill_us = 0;
+};
+
+// Groups a merged (time-ordered) trace by request id and computes the
+// decomposition. Returns attributions sorted by request id; requests with
+// no kSubmit record are skipped. Deterministic: a pure function of the
+// record stream.
+std::vector<RequestAttribution> AttributeRequests(
+    const std::vector<TraceRecord>& records);
+
+// Aggregate attribution table: one row per component with mean / p50 / p90 /
+// p99 over requests that produced a first token, plus the share of total
+// TTFT each component carries at the p90 tail.
+std::string AttributionSummaryTable(
+    const std::vector<RequestAttribution>& attributions);
+
+// Top-`k` slowest requests by TTFT, one row each with the full component
+// breakdown.
+std::string SlowestRequestsTable(
+    const std::vector<RequestAttribution>& attributions, int k);
+
+// Per-replica timeline: utilization (from the kMemSample series), engine
+// steps, preemptions, swaps, and control-plane eject/recover events.
+std::string ReplicaTimelineTable(const std::vector<TraceRecord>& records);
+
+// Machine-readable report for CI artifacts: aggregate component stats,
+// top-k slowest requests, per-replica totals.
+Json AttributionReportJson(const std::vector<TraceRecord>& records,
+                           const std::vector<RequestAttribution>& attributions,
+                           int top_k);
+
+}  // namespace skywalker
+
+#endif  // SKYWALKER_OBS_ATTRIBUTION_H_

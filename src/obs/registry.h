@@ -1,0 +1,100 @@
+// Metrics registry (ISSUE 9, DESIGN.md §11): typed Counter / Gauge /
+// Histogram / Series instruments keyed by (name, tags). Tags are a
+// pre-formatted "k=v,k=v" string — deterministic by construction, so a
+// snapshot's iteration order (std::map over name + tags) is stable across
+// platforms and runs.
+//
+// The registry is *derived state*: skybench and skytrace populate it from a
+// merged trace after the run via BuildMetricsFromTrace, never from inside
+// the simulation. That keeps the perturbation-freedom guarantee trivial
+// (nothing in the hot path even sees the registry) and makes the registry
+// exactly as deterministic as the trace it was built from.
+
+#ifndef SKYWALKER_OBS_REGISTRY_H_
+#define SKYWALKER_OBS_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/json.h"
+#include "src/common/sim_time.h"
+#include "src/obs/trace.h"
+
+namespace skywalker {
+
+class Counter {
+ public:
+  void Add(int64_t n = 1) { value_ += n; }
+  int64_t value() const { return value_; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+// A (time, value) time series — the periodic-snapshot instrument. Points
+// are appended in time order by construction (trace records are merged in
+// time order).
+class Series {
+ public:
+  void Append(SimTime t, double v) { points_.emplace_back(t, v); }
+  const std::vector<std::pair<SimTime, double>>& points() const {
+    return points_;
+  }
+
+ private:
+  std::vector<std::pair<SimTime, double>> points_;
+};
+
+// Formats the canonical tag string. Values are caller-formatted; keys must
+// be passed in sorted order if cross-site agreement matters (the call sites
+// in this repo always use the same literal order).
+std::string FormatTags(
+    const std::vector<std::pair<std::string, std::string>>& tags);
+
+class MetricsRegistry {
+ public:
+  // Lookup-or-create. `tags` is the canonical "k=v,k=v" string ("" = none).
+  Counter* GetCounter(const std::string& name, const std::string& tags = "");
+  Gauge* GetGauge(const std::string& name, const std::string& tags = "");
+  Histogram* GetHistogram(const std::string& name, const std::string& tags,
+                          const std::vector<double>& upper_bounds);
+  Series* GetSeries(const std::string& name, const std::string& tags = "");
+
+  // Deterministic JSON snapshot: one object per instrument family, keys in
+  // lexicographic (name, tags) order. Histograms export count/mean/p50/p90/
+  // p99/max; series export [[t, v], ...] unless `include_series` is false.
+  Json Snapshot(bool include_series = true) const;
+
+ private:
+  static std::string Key(const std::string& name, const std::string& tags);
+
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, Series> series_;
+};
+
+// Populates `registry` from a merged trace: lifecycle counters and latency
+// histograms tagged by region/replica, plus windowed time series (throughput
+// and preemptions per `window` of simulated time, memory utilization from
+// the kMemSample stream). Deterministic: a pure function of the record
+// stream.
+void BuildMetricsFromTrace(const std::vector<TraceRecord>& records,
+                           SimDuration window, MetricsRegistry* registry);
+
+}  // namespace skywalker
+
+#endif  // SKYWALKER_OBS_REGISTRY_H_

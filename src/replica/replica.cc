@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "src/common/logging.h"
+#include "src/obs/trace.h"
 
 namespace skywalker {
 
@@ -25,6 +26,10 @@ void Replica::Enqueue(Request req, Handlers handlers) {
     // in-flight work did at the crash. The dispatching balancer's request
     // timeout is what converts this silence into a client-visible error.
     ++stats_.dropped_requests;
+    if (Tracer* t = sim_->tracer()) {
+      EmitTrace(t, sim_->now(), TraceEventType::kDrop, region_, id_,
+                static_cast<int64_t>(req.id));
+    }
     return;
   }
   Seq seq;
@@ -33,6 +38,10 @@ void Replica::Enqueue(Request req, Handlers handlers) {
   pending_.push_back(std::move(seq));
   ++stats_.enqueued;
   stats_.peak_pending = std::max(stats_.peak_pending, pending_count());
+  if (Tracer* t = sim_->tracer()) {
+    EmitTrace(t, sim_->now(), TraceEventType::kReplicaArrive, region_, id_,
+              static_cast<int64_t>(pending_.back().req.id), pending_count());
+  }
   MaybeStep();
 }
 
@@ -187,7 +196,7 @@ void Replica::Admit() {
                                 config_.kv_block_size_tokens)
             : config_.output_reserve_tokens;
     if (!kv_.CanAdmit(prefill_need, reserve)) {
-      cache_.Evict(kv_.AdmissionDeficitBlocks(prefill_need, reserve));
+      EvictCache(kv_.AdmissionDeficitBlocks(prefill_need, reserve));
     }
     if (!kv_.CanAdmit(prefill_need, reserve) &&
         (!running_.empty() || !restoring_.empty())) {
@@ -202,6 +211,11 @@ void Replica::Admit() {
         kv_.NoteWatermarkRejection();
         watermark_reject_id_ = candidate.req.id;
         watermark_reject_id_valid_ = true;
+        if (Tracer* t = sim_->tracer()) {
+          EmitTrace(t, sim_->now(), TraceEventType::kWatermarkReject, region_,
+                    id_, static_cast<int64_t>(candidate.req.id),
+                    kv_.free_blocks(), kv_.committed_blocks());
+        }
       }
       if (pin != kInvalidPin) {
         cache_.Unref(pin);
@@ -232,6 +246,12 @@ void Replica::Admit() {
     running_.push_back(std::move(seq));
     stats_.peak_running =
         std::max(stats_.peak_running, static_cast<int>(running_.size()));
+    if (Tracer* t = sim_->tracer()) {
+      const Seq& admitted = running_.back();
+      EmitTrace(t, sim_->now(), TraceEventType::kAdmit, region_, id_,
+                static_cast<int64_t>(admitted.req.id), admitted.cached_len,
+                admitted.prefill_remaining);
+    }
   }
   // Anything still queued here was memory- or slot-blocked this pass (the
   // loop only exits early on those two conditions).
@@ -250,7 +270,7 @@ void Replica::MaybeStartSwapIns() {
     const int64_t reserve = ReserveCommitTarget(front.seq);
     const int64_t prefill = front.seq.prefill_remaining;
     if (!kv_.CanAdmitRestore(tokens, prefill, reserve)) {
-      cache_.Evict(kv_.RestoreDeficitBlocks(tokens, prefill, reserve));
+      EvictCache(kv_.RestoreDeficitBlocks(tokens, prefill, reserve));
     }
     if (!kv_.CanAdmitRestore(tokens, prefill, reserve) &&
         !(running_.empty() && restoring_.empty())) {
@@ -269,6 +289,11 @@ void Replica::MaybeStartSwapIns() {
     const int64_t ticket = restoring.ticket;
     restoring.arrival =
         sim_->ScheduleAfter(transfer, [this, ticket] { FinishSwapIn(ticket); });
+    if (Tracer* t = sim_->tracer()) {
+      EmitTrace(t, sim_->now(), TraceEventType::kKvSwapIn, region_, id_,
+                static_cast<int64_t>(restoring.seq.req.id), tokens, 0,
+                static_cast<double>(transfer));
+    }
     restoring_.push_back(std::move(restoring));
   }
 }
@@ -283,6 +308,10 @@ void Replica::FinishSwapIn(int64_t ticket) {
     running_.push_back(std::move(seq));
     stats_.peak_running =
         std::max(stats_.peak_running, static_cast<int>(running_.size()));
+    if (Tracer* t = sim_->tracer()) {
+      EmitTrace(t, sim_->now(), TraceEventType::kRestore, region_, id_,
+                static_cast<int64_t>(running_.back().req.id));
+    }
     MaybeStep();
     return;
   }
@@ -397,11 +426,18 @@ void Replica::FinishStep(double step_us, int decode_count) {
   }
 
   // Apply prefill progress and decode increments.
+  int64_t prefill_applied = 0;
   for (Seq& seq : running_) {
     if (seq.prefill_alloc > 0) {
       seq.prefill_remaining -= seq.prefill_alloc;
       kv_.OnPrefillChunk(seq.kv, seq.prefill_alloc);
       stats_.prefill_tokens_computed += seq.prefill_alloc;
+      prefill_applied += seq.prefill_alloc;
+      if (Tracer* t = sim_->tracer()) {
+        EmitTrace(t, sim_->now(), TraceEventType::kPrefillChunk, region_, id_,
+                  static_cast<int64_t>(seq.req.id), seq.prefill_alloc,
+                  seq.prefill_remaining);
+      }
       seq.prefill_alloc = 0;
       if (seq.prefill_remaining == 0) {
         OnPrefillComplete(seq);
@@ -432,6 +468,11 @@ void Replica::FinishStep(double step_us, int decode_count) {
   }
   for (Seq& seq : finished) {
     CompleteSeq(seq);
+  }
+
+  if (Tracer* t = sim_->tracer()) {
+    EmitTrace(t, sim_->now(), TraceEventType::kEngineStep, region_, id_, -1,
+              prefill_applied, decode_count, step_us);
   }
 
   ReclaimMemory();
@@ -501,6 +542,10 @@ void Replica::OnPrefillComplete(Seq& seq) {
   if (!seq.first_token_sent) {
     seq.first_token_sent = true;
     seq.decode_start = sim_->now();
+    if (Tracer* t = sim_->tracer()) {
+      EmitTrace(t, sim_->now(), TraceEventType::kFirstToken, region_, id_,
+                static_cast<int64_t>(seq.req.id), seq.cached_len);
+    }
     if (seq.handlers.on_first_token) {
       seq.handlers.on_first_token(seq.req, seq.cached_len);
     }
@@ -524,6 +569,11 @@ void Replica::CompleteSeq(Seq& seq) {
   kv_.ReleaseSeq(seq.kv);
   seq.kv = KvController::kInvalidSeq;
   ++stats_.completed;
+  if (Tracer* t = sim_->tracer()) {
+    EmitTrace(t, sim_->now(), TraceEventType::kComplete, region_, id_,
+              static_cast<int64_t>(seq.req.id),
+              static_cast<int64_t>(seq.req.output_tokens()));
+  }
   if (seq.handlers.on_complete) {
     seq.handlers.on_complete(seq.req, seq.cached_len);
   }
@@ -538,20 +588,31 @@ void Replica::ReclaimMemory() {
   // free list — a straddled page a pinned path or live sequence still
   // references frees nothing and is not counted — so the deficit carries
   // forward by subtraction; no re-read of the ledger needed.
-  over -= cache_.Evict(over);
+  over -= EvictCache(over);
   // Preempt youngest running requests until we fit (never the last one —
   // progress must remain possible). The policy decides the victim's fate.
   while (over > 0 && running_.size() > 1) {
     Seq seq = std::move(running_.back());
     running_.pop_back();
     ++stats_.preemptions;
-    if (config_.kv_preempt_policy == PreemptPolicy::kSwap) {
+    const bool swap = config_.kv_preempt_policy == PreemptPolicy::kSwap;
+    if (Tracer* t = sim_->tracer()) {
+      EmitTrace(t, sim_->now(), TraceEventType::kPreempt, region_, id_,
+                static_cast<int64_t>(seq.req.id), kv_.SeqTokens(seq.kv),
+                swap ? 1 : 0);
+    }
+    if (swap) {
       // Swap-to-host: private KV crosses PCIe and comes back later without
       // recomputation. The prefix-cache pin is kept — shared blocks stay
       // device-resident (the radix tree still references them).
       SwappedSeq swapped;
       swapped.swap_tokens = kv_.SeqTokens(seq.kv);
       SimDuration transfer = kv_.SwapOut(seq.kv);
+      if (Tracer* t = sim_->tracer()) {
+        EmitTrace(t, sim_->now(), TraceEventType::kKvSwapOut, region_, id_,
+                  static_cast<int64_t>(seq.req.id), swapped.swap_tokens, 0,
+                  static_cast<double>(transfer));
+      }
       seq.kv = KvController::kInvalidSeq;
       seq.prefill_alloc = 0;
       seq.decode_alloc = false;
@@ -596,7 +657,30 @@ void Replica::SampleMemory() {
           static_cast<int64_t>(config_.memory_sample_every_steps) ==
       0) {
     memory_series_.emplace_back(sim_->now(), active_memory_utilization());
+    if (Tracer* t = sim_->tracer()) {
+      EmitTrace(t, sim_->now(), TraceEventType::kMemSample, region_, id_, -1,
+                kv_.free_blocks(), running_count(), memory_utilization());
+    }
   }
+}
+
+int64_t Replica::EvictCache(int64_t blocks) {
+  if (blocks <= 0) {
+    return 0;
+  }
+  const PrefixCache::EvictionStats before = cache_.eviction_stats();
+  const int64_t freed = cache_.Evict(blocks);
+  if (Tracer* t = sim_->tracer()) {
+    const PrefixCache::EvictionStats& after = cache_.eviction_stats();
+    if (after.victims > before.victims) {
+      EmitTrace(t, sim_->now(), TraceEventType::kCacheEvict, region_, id_, -1,
+                after.victims - before.victims,
+                after.freed_blocks - before.freed_blocks,
+                static_cast<double>(
+                    static_cast<int>(cache_.eviction_policy())));
+    }
+  }
+  return freed;
 }
 
 void Replica::Crash() {

@@ -416,6 +416,10 @@ class Replica {
 
   void SampleMemory();
 
+  // cache_.Evict with trace attribution: emits one kCacheEvict record per
+  // call that removed at least one node. Returns the blocks freed.
+  int64_t EvictCache(int64_t blocks);
+
   Simulator* sim_;
   ReplicaId id_;
   RegionId region_;

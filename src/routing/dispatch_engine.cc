@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/obs/trace.h"
 
 namespace skywalker {
 
@@ -164,6 +165,10 @@ void DispatchEngine::ResetProbeState() {
 
 void DispatchEngine::ApplyConfig(const DispatchConfig& next) {
   config_ = next;
+  if (Tracer* t = sim_->tracer()) {
+    EmitTrace(t, sim_->now(), TraceEventType::kConfigSwap, region_,
+              kInvalidReplica, -1, static_cast<int64_t>(config_.push_mode));
+  }
   if (config_.manage_composition) {
     // Push the step-composition snapshot to every managed replica; each
     // picks it up at its next step plan (in-flight steps are untouched).
@@ -280,6 +285,12 @@ std::vector<int> DispatchEngine::OutstandingSnapshot() const {
 void DispatchEngine::Enqueue(Queued queued) {
   ++stats_.received;
   queued.lb_arrival = sim_->now();
+  if (Tracer* t = sim_->tracer()) {
+    EmitTrace(t, queued.lb_arrival, TraceEventType::kLbEnqueue, region_,
+              kInvalidReplica, static_cast<int64_t>(queued.req.id),
+              static_cast<int64_t>(queue_.size()) + 1,
+              queued.forwarded_in ? 1 : 0);
+  }
   queue_.push_back(std::move(queued));
   stats_.max_queue_len = std::max<int64_t>(
       stats_.max_queue_len, static_cast<int64_t>(queue_.size()));
@@ -308,6 +319,22 @@ void DispatchEngine::TryDispatch() {
     }
     ReplicaId target = selector_->SelectReplica(head, CandidateView(this));
     if (target != kInvalidReplica) {
+      if (Tracer* t = sim_->tracer()) {
+        // Route decision with the candidate scores the selector saw: one
+        // record per candidate (availability + effective load), then the
+        // decision itself. Emitted only on a committed placement so a
+        // head-of-line-blocked queue does not flood the trace.
+        const CandidateView view(this);
+        const int64_t rid = static_cast<int64_t>(head.req.id);
+        for (const ReplicaState& state : replicas_) {
+          EmitTrace(t, sim_->now(), TraceEventType::kRouteCandidate, region_,
+                    state.replica->id(), rid, IsAvailable(state) ? 1 : 0, 0,
+                    view.EffectiveLoad(state));
+        }
+        EmitTrace(t, sim_->now(), TraceEventType::kRouteDecision, region_,
+                  target, rid, static_cast<int64_t>(queue_.size()), 0,
+                  static_cast<double>(sim_->now() - head.lb_arrival));
+      }
       Queued queued = std::move(head);
       queue_.pop_front();
       DispatchTo(std::move(queued), target);
@@ -329,6 +356,10 @@ void DispatchEngine::NoteReplicaSuccess(ReplicaState& state) {
   }
   if (state.health.RecordSuccess()) {
     ++stats_.recoveries;
+    if (Tracer* t = sim_->tracer()) {
+      EmitTrace(t, sim_->now(), TraceEventType::kRecover, region_,
+                state.replica->id(), -1);
+    }
   }
 }
 
@@ -343,10 +374,14 @@ void DispatchEngine::NoteReplicaFailure(ReplicaState& state) {
   }
 }
 
-void DispatchEngine::EjectReplica(ReplicaState& state) {
+void DispatchEngine::EjectReplica(ReplicaState& state, bool latency_outlier) {
   state.health.Eject(config_.outlier, sim_->now());
   state.latency_samples_at_ejection = state.probed.latency_samples;
   ++stats_.ejections;
+  if (Tracer* t = sim_->tracer()) {
+    EmitTrace(t, sim_->now(), TraceEventType::kEject, region_,
+              state.replica->id(), -1, latency_outlier ? 1 : 0);
+  }
 }
 
 void DispatchEngine::DispatchTo(Queued queued, ReplicaId replica_id) {
@@ -357,6 +392,11 @@ void DispatchEngine::DispatchTo(Queued queued, ReplicaId replica_id) {
   ++state->pushes_since_probe;
   ++stats_.dispatched;
   RecordDequeue(queued.lb_arrival);
+  if (Tracer* t = sim_->tracer()) {
+    EmitTrace(t, sim_->now(), TraceEventType::kDispatch, region_, replica_id,
+              static_cast<int64_t>(queued.req.id), 0, 0,
+              static_cast<double>(sim_->now() - queued.lb_arrival));
+  }
   if (callbacks_.on_local_dispatch) {
     callbacks_.on_local_dispatch(queued, replica_id);
   }
@@ -446,6 +486,10 @@ void DispatchEngine::DispatchTo(Queued queued, ReplicaId replica_id) {
           }
           ctx->timed_out = true;
           ++stats_.request_timeouts;
+          if (Tracer* t = sim_->tracer()) {
+            EmitTrace(t, sim_->now(), TraceEventType::kTimeout, region_,
+                      replica_id, static_cast<int64_t>(ctx->outcome.id));
+          }
           ReplicaState* rs = FindReplica(replica_id);
           if (rs != nullptr) {
             if (rs->outstanding > 0) {
@@ -563,11 +607,15 @@ void DispatchEngine::EvaluateOutliers() {
       case LatencyVerdict::kWantsEject:
         if (EjectionAllowed(EjectedCount(), replicas_.size(),
                             outlier.max_ejection_fraction)) {
-          EjectReplica(state);
+          EjectReplica(state, /*latency_outlier=*/true);
         }
         break;
       case LatencyVerdict::kRecovered:
         ++stats_.recoveries;
+        if (Tracer* t = sim_->tracer()) {
+          EmitTrace(t, sim_->now(), TraceEventType::kRecover, region_,
+                    state.replica->id(), -1, /*a=*/1);
+        }
         break;
       case LatencyVerdict::kDegraded:
       case LatencyVerdict::kNone:
@@ -609,6 +657,12 @@ void DispatchEngine::ProbeAll() {
                    rs->probed = payload;
                    rs->pushes_since_probe = 0;
                    rs->probed_once = true;
+                   if (Tracer* t = sim_->tracer()) {
+                     EmitTrace(t, sim_->now(), TraceEventType::kProbe,
+                               region_, replica_id, -1, payload.version,
+                               payload.pending,
+                               payload.ewma_decode_us_per_token);
+                   }
                    if (config_.outlier.enabled) {
                      rs->health.RecordProbeSuccess();
                    }
@@ -640,6 +694,10 @@ int64_t DispatchEngine::FlushQueueWithError() {
   std::deque<Queued> drained;
   drained.swap(queue_);
   for (Queued& queued : drained) {
+    if (Tracer* t = sim_->tracer()) {
+      EmitTrace(t, sim_->now(), TraceEventType::kLbError, region_,
+                kInvalidReplica, static_cast<int64_t>(queued.req.id));
+    }
     if (queued.callbacks.on_error) {
       queued.callbacks.on_error();
     }

@@ -362,7 +362,8 @@ class DispatchEngine {
   // Health bookkeeping entry points (no-ops when outlier detection is off).
   void NoteReplicaSuccess(ReplicaState& state);
   void NoteReplicaFailure(ReplicaState& state);
-  void EjectReplica(ReplicaState& state);
+  // `latency_outlier` distinguishes the two ejection causes in traces.
+  void EjectReplica(ReplicaState& state, bool latency_outlier = false);
 
   Simulator* sim_;
   Network* net_;

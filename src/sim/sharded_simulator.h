@@ -61,6 +61,15 @@ class ShardedSimulator {
   // discounted by the jitter bound. kSimTimeMax with a single shard.
   SimDuration lookahead() const { return lookahead_; }
 
+  // Installs one shared Tracer on every shard (ISSUE 9). Safe because the
+  // tracer buffers per *region* and each region's events execute on exactly
+  // one shard; see src/obs/trace.h.
+  void SetTracer(Tracer* tracer) {
+    for (auto& shard : shards_) {
+      shard->SetTracer(tracer);
+    }
+  }
+
   int ShardOf(RegionId region) const {
     return shard_of_region_[static_cast<size_t>(region)];
   }

@@ -22,6 +22,8 @@
 
 namespace skywalker {
 
+class Tracer;  // src/obs/trace.h; sim/ stores only the pointer.
+
 class Simulator {
  public:
   Simulator() = default;
@@ -92,10 +94,23 @@ class Simulator {
   // now = max(now, t).
   void AdvanceTo(SimTime t);
 
+  // --- observability (ISSUE 9) ---
+  // Installs a request-lifecycle tracer (borrowed; may be null). Emission
+  // sites do `if (Tracer* t = sim->tracer()) t->Emit(...)`, so with no
+  // tracer installed — the default — tracing costs one pointer load and a
+  // never-taken branch per site. The tracer is a passive record sink: it
+  // never schedules events or mutates actor state, so traced runs stay
+  // bit-identical to untraced runs (DESIGN.md §11). In sharded mode every
+  // shard's Simulator shares one Tracer, whose per-region rings make that
+  // safe (each region's events execute on exactly one shard).
+  void SetTracer(Tracer* tracer) { tracer_ = tracer; }
+  Tracer* tracer() const { return tracer_; }
+
  private:
   EventQueue events_;
   SimTime now_ = 0;
   size_t executed_ = 0;
+  Tracer* tracer_ = nullptr;
 
   bool keyed_ = false;
   EventRegion current_region_ = kInvalidEventRegion;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/obs/trace.h"
 
 namespace skywalker {
 
@@ -18,7 +19,13 @@ RequestId NextRequestId() {
 
 void SubmitViaNetwork(Network* net, RegionId client_region, Frontend* frontend,
                       Request req, RequestCallbacks callbacks) {
-  req.submit_time = net->SimForRegion(client_region)->now();
+  Simulator* sim = net->SimForRegion(client_region);
+  req.submit_time = sim->now();
+  if (Tracer* t = sim->tracer()) {
+    EmitTrace(t, req.submit_time, TraceEventType::kSubmit, client_region,
+              kInvalidReplica, static_cast<int64_t>(req.id),
+              req.prompt_tokens());
+  }
   RegionId to = frontend->region();
   net->Send(client_region, to,
             [frontend, req = std::move(req),
