@@ -193,11 +193,51 @@ int CheckTiming(const std::string& timing_path,
   const skywalker::Json* smoke = timing->Find("smoke");
   const bool is_smoke = smoke != nullptr && smoke->AsBool();
   const skywalker::Json* pairs = floors->Find("pairs");
-  if (pairs == nullptr || !pairs->is_array()) {
-    std::fprintf(stderr, "FAIL floors file has no 'pairs' array\n");
+  const skywalker::Json* cells = floors->Find("cells");
+  if ((pairs == nullptr || !pairs->is_array()) &&
+      (cells == nullptr || !cells->is_array())) {
+    std::fprintf(stderr, "FAIL floors file has no 'pairs' or 'cells' array\n");
     return 1;
   }
   int failures = 0;
+  // Absolute wall-clock ceilings (ISSUE 10): for cells with no single-shard
+  // twin to ratio against, the floors file bounds the cell's wall time
+  // outright. Keyed per mode so the full-size ceiling is meaningful while
+  // smoke stays unbounded unless asked for.
+  if (cells != nullptr && cells->is_array()) {
+    for (const skywalker::Json& entry : cells->elements()) {
+      const skywalker::Json* name = entry.Find("cell");
+      const skywalker::Json* ceiling = entry.Find(
+          is_smoke ? "max_wall_seconds_smoke" : "max_wall_seconds");
+      if (name == nullptr) {
+        std::fprintf(stderr, "FAIL malformed floors cell entry\n");
+        ++failures;
+        continue;
+      }
+      if (ceiling == nullptr) {
+        continue;  // No ceiling for this mode.
+      }
+      const skywalker::Json* timed = FindTimingCell(*timing, name->AsString());
+      if (timed == nullptr) {
+        std::fprintf(stderr, "FAIL timing cell '%s' missing from %s\n",
+                     name->AsString().c_str(), timing_path.c_str());
+        ++failures;
+        continue;
+      }
+      const double wall = timed->Find("wall_seconds")->AsDouble();
+      if (wall > ceiling->AsDouble()) {
+        std::fprintf(stderr, "FAIL %s wall %.3fs above ceiling %.3fs\n",
+                     name->AsString().c_str(), wall, ceiling->AsDouble());
+        ++failures;
+      } else {
+        std::printf("ok   %s wall %.3fs (ceiling %.3fs)\n",
+                    name->AsString().c_str(), wall, ceiling->AsDouble());
+      }
+    }
+  }
+  if (pairs == nullptr || !pairs->is_array()) {
+    return failures;
+  }
   for (const skywalker::Json& pair : pairs->elements()) {
     const skywalker::Json* parallel_name = pair.Find("parallel_cell");
     const skywalker::Json* single_name = pair.Find("single_cell");

@@ -28,6 +28,7 @@ void RegisterAllScenarios() {
     registry.Register(MakeMicroDatastructuresScenario());
     registry.Register(MakeMicroMemoryScenario());
     registry.Register(MakeMicroReplicaScenario());
+    registry.Register(MakeMicroSelectionScenario());
     return true;
   }();
   (void)registered;

@@ -38,6 +38,7 @@ Scenario MakeResilienceScenario();
 Scenario MakeMicroDatastructuresScenario();
 Scenario MakeMicroMemoryScenario();
 Scenario MakeMicroReplicaScenario();
+Scenario MakeMicroSelectionScenario();
 
 // Registers every scenario above into ScenarioRegistry::Get(). Idempotent.
 void RegisterAllScenarios();

@@ -30,6 +30,7 @@ namespace {
 
 struct CliOptions {
   std::vector<std::string> scenario_names;
+  std::vector<std::string> cell_labels;  // --cells: exact labels, empty = all.
   bool all = false;
   bool list = false;
   bool smoke = false;
@@ -58,6 +59,10 @@ void PrintUsage() {
       "42)\n"
       "  --threads=T            worker threads (default: hardware "
       "concurrency)\n"
+      "  --cells=LABEL[,..]     run only the named cells of the selected\n"
+      "                         scenario(s); derived metrics needing absent\n"
+      "                         rows are skipped, so do not golden-diff a\n"
+      "                         filtered run\n"
       "  --smoke                tiny durations for schema/CI checks\n"
       "  --timing               also write BENCH_TIMING.json (wall-clock\n"
       "                         sidecar; excluded from golden comparisons)\n"
@@ -107,6 +112,12 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       for (const std::string& name : StrSplit(value, ',')) {
         if (!name.empty()) {
           options->scenario_names.push_back(name);
+        }
+      }
+    } else if (ParseFlag(arg, "--cells", &value)) {
+      for (const std::string& label : StrSplit(value, ',')) {
+        if (!label.empty()) {
+          options->cell_labels.push_back(label);
         }
       }
     } else if (ParseFlag(arg, "--trials", &value)) {
@@ -229,6 +240,7 @@ int SkybenchMain(int argc, char** argv) {
   config.threads = options.threads;
   config.trace = options.trace;
   config.trace_dir = options.trace_dir;
+  config.cell_filter = options.cell_labels;
   if (options.trace) {
     std::error_code ec;
     std::filesystem::create_directories(options.trace_dir, ec);
@@ -254,6 +266,18 @@ int SkybenchMain(int argc, char** argv) {
       RunScenarios(scenarios, config, &timing);
 
   int exit_code = 0;
+  if (!options.cell_labels.empty()) {
+    size_t total_cells = 0;
+    for (const ScenarioRunResult& result : results) {
+      total_cells += result.cells;
+    }
+    if (total_cells == 0) {
+      std::fprintf(stderr,
+                   "skybench: --cells matched no cell of the selected "
+                   "scenario(s)\n");
+      return 1;
+    }
+  }
   for (const ScenarioRunResult& result : results) {
     if (!options.quiet) {
       // The canonical trial is the human-facing one; extra trials are for

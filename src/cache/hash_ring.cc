@@ -27,7 +27,16 @@ void HashRing::AddTarget(TargetId id, int weight) {
         Mix64(target_hash ^ Mix64((i + 1) * 0xbf58476d1ce4e5b9ULL));
     ring_.push_back(VNode{point, id});
   }
-  std::sort(ring_.begin(), ring_.end());
+  // Sorting is deferred to the next lookup: attaching a fleet of R targets
+  // up front costs one sort, not R sorts of an ever-growing ring.
+  sorted_ = false;
+}
+
+void HashRing::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(ring_.begin(), ring_.end());
+    sorted_ = true;
+  }
 }
 
 void HashRing::RemoveTarget(TargetId id) {
@@ -47,6 +56,7 @@ TargetId HashRing::Lookup(uint64_t key_hash) const {
   if (ring_.empty()) {
     return kInvalidTarget;
   }
+  EnsureSorted();
   auto it = std::lower_bound(
       ring_.begin(), ring_.end(), key_hash,
       [](const VNode& v, uint64_t h) { return v.point < h; });
@@ -61,6 +71,7 @@ TargetId HashRing::LookupAvailable(
   if (ring_.empty()) {
     return kInvalidTarget;
   }
+  EnsureSorted();
   auto start = std::lower_bound(
       ring_.begin(), ring_.end(), key_hash,
       [](const VNode& v, uint64_t h) { return v.point < h; });
@@ -88,6 +99,7 @@ std::vector<TargetId> HashRing::LookupN(uint64_t key_hash, size_t n) const {
   if (ring_.empty() || n == 0) {
     return out;
   }
+  EnsureSorted();
   auto start = std::lower_bound(
       ring_.begin(), ring_.end(), key_hash,
       [](const VNode& v, uint64_t h) { return v.point < h; });

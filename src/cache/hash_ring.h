@@ -59,8 +59,15 @@ class HashRing {
     }
   };
 
+  // Sorts the ring if additions happened since the last lookup. Bulk
+  // construction (attach R targets, then start serving) costs one
+  // O(n log n) sort instead of R sorts of the growing ring (ISSUE 10).
+  void EnsureSorted() const;
+
   int vnodes_per_weight_;
-  std::vector<VNode> ring_;  // Sorted by point.
+  // Sorted by point whenever sorted_; lookups restore the invariant first.
+  mutable std::vector<VNode> ring_;
+  mutable bool sorted_ = true;
   std::set<TargetId> targets_;
 };
 

@@ -165,7 +165,11 @@ PrefixCache::MatchRef PrefixCache::MatchAndRef(const TokenSeq& seq,
   SlabId deepest = root_;
   int64_t len = WalkAndSplit(seq, now, &deepest);
   for (SlabId n = deepest; n != root_; n = node(n).parent) {
-    ++node(n).ref_count;
+    Node& nd = node(n);
+    if (nd.ref_count == 0) {
+      pinned_tokens_ += static_cast<int64_t>(nd.edge.size());
+    }
+    ++nd.ref_count;
   }
 
   uint32_t slot = pins_.Acquire();
@@ -194,6 +198,9 @@ void PrefixCache::Unref(PinId pin) {
     Node& n = node(cur);
     --n.ref_count;
     SKYWALKER_CHECK(n.ref_count >= 0) << "negative refcount";
+    if (n.ref_count == 0) {
+      pinned_tokens_ -= static_cast<int64_t>(n.edge.size());
+    }
     cur = n.parent;
   }
   pins_[slot] = kNilSlabId;
@@ -524,7 +531,7 @@ void PrefixCache::Clear() {
   Evict(std::numeric_limits<int64_t>::max());
 }
 
-int64_t PrefixCache::pinned_tokens() const {
+int64_t PrefixCache::PinnedTokensSlow() const {
   // Sum of edge lengths of nodes with ref_count > 0.
   int64_t total = 0;
   std::vector<SlabId> stack{root_};
@@ -646,6 +653,10 @@ bool PrefixCache::CheckInvariants() const {
   }
   if (tokens != size_tokens_ || nodes != num_nodes_ ||
       block_refs != block_refs_) {
+    ok = false;
+  }
+  // The incremental pinned-token counter must match the tree's truth.
+  if (PinnedTokensSlow() != pinned_tokens_) {
     ok = false;
   }
   // Arena accounting: every tree node is live in the slab (plus the root),

@@ -166,8 +166,10 @@ class PrefixCache {
   int64_t size_tokens() const { return size_tokens_; }
   int64_t capacity_tokens() const { return capacity_tokens_; }
   // Tokens currently pinned by at least one active pin (upper bound of
-  // unevictable content).
-  int64_t pinned_tokens() const;
+  // unevictable content). O(1): maintained at the 0<->1 refcount
+  // transitions; edge splits conserve the total (both halves inherit the
+  // original refcount). Verified against the tree by CheckInvariants().
+  int64_t pinned_tokens() const { return pinned_tokens_; }
   size_t num_nodes() const { return num_nodes_; }
   size_t active_pins() const { return pins_.live(); }
   int32_t block_size_tokens() const { return block_size_; }
@@ -288,6 +290,10 @@ class PrefixCache {
   int64_t RemoveSubtree(SlabId id);
   // `sub_hits` decayed to `now` in whole half-lives (exact ldexp scaling).
   static float DecayedHits(const Node& n, SimTime now);
+
+  // Recomputes the pinned-token sum by full-tree walk (the pre-ISSUE-10
+  // definition); CheckInvariants compares it against pinned_tokens_.
+  int64_t PinnedTokensSlow() const;
   // Adds `delta` to sub_blocks on every ancestor of `id`, root included.
   void PropagateSubBlocks(SlabId id, int64_t delta);
   // Recomputes every node's aggregates bottom-up (policy entry, O(nodes)).
@@ -316,6 +322,9 @@ class PrefixCache {
   int64_t size_tokens_ = 0;
   size_t num_nodes_ = 0;  // Excludes root.
   int64_t block_refs_ = 0;
+  // Running sum of edge lengths of nodes with ref_count > 0; see
+  // pinned_tokens(). Updated only at pin 0->1 / unpin 1->0 transitions.
+  int64_t pinned_tokens_ = 0;
 
   // Pins are generation-stamped handles so stale/double Unrefs are caught;
   // the slot payload is the deepest node covered by the pin.

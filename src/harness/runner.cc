@@ -87,6 +87,21 @@ std::vector<ScenarioRunResult> RunScenarios(
       options.trace = config.trace && scenario->traceable;
       options.trace_dir = config.trace_dir;
       pt.plan = scenario->plan(options);
+      if (!config.cell_filter.empty()) {
+        // Keep only the requested labels (plan order preserved). Finalizers
+        // are written against FindRow-style null guards, so derived metrics
+        // over absent rows drop out instead of faulting.
+        std::vector<ScenarioCell> kept;
+        for (ScenarioCell& cell : pt.plan.cells) {
+          for (const std::string& want : config.cell_filter) {
+            if (cell.label == want) {
+              kept.push_back(std::move(cell));
+              break;
+            }
+          }
+        }
+        pt.plan.cells = std::move(kept);
+      }
       pt.cell_rows.resize(pt.plan.cells.size());
       pt.cell_seconds.resize(pt.plan.cells.size(), 0);
       planned.push_back(std::move(pt));

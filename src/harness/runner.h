@@ -24,6 +24,13 @@ struct RunConfig {
   // Forwarded into ScenarioOptions for traceable scenarios (ISSUE 9).
   bool trace = false;
   std::string trace_dir = ".";
+  // Exact cell labels to run; empty = every planned cell (ISSUE 10). Lets
+  // CI time one full-size cell without paying for the whole scenario.
+  // Determinism note: each cell owns its world, so a filtered run's rows
+  // are identical to the same cells of a full run — but derived metrics
+  // needing absent rows are skipped, so filtered BENCH output must not be
+  // golden-diffed.
+  std::vector<std::string> cell_filter;
 };
 
 struct TrialResult {

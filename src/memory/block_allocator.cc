@@ -11,39 +11,6 @@ BlockAllocator::BlockAllocator(int64_t capacity_blocks)
   SKYWALKER_CHECK(capacity_blocks > 0) << "allocator needs capacity";
 }
 
-BlockId BlockAllocator::Allocate() {
-  BlockId id;
-  if (!free_list_.empty()) {
-    id = free_list_.back();
-    free_list_.pop_back();
-  } else {
-    id = static_cast<BlockId>(refs_.size());
-    refs_.push_back(0);
-  }
-  refs_[static_cast<size_t>(id)] = 1;
-  ++used_blocks_;
-  ++stats_.allocated;
-  stats_.peak_used_blocks = std::max(stats_.peak_used_blocks, used_blocks_);
-  return id;
-}
-
-void BlockAllocator::AddRef(BlockId id) {
-  SKYWALKER_CHECK(refs_[static_cast<size_t>(id)] > 0) << "addref dead block";
-  ++refs_[static_cast<size_t>(id)];
-}
-
-bool BlockAllocator::Release(BlockId id) {
-  int32_t& ref = refs_[static_cast<size_t>(id)];
-  SKYWALKER_CHECK(ref > 0) << "release dead block";
-  if (--ref > 0) {
-    return false;
-  }
-  free_list_.push_back(id);
-  --used_blocks_;
-  ++stats_.freed;
-  return true;
-}
-
 void BlockAllocator::Reserve(int64_t blocks) {
   refs_.reserve(static_cast<size_t>(blocks));
   free_list_.reserve(static_cast<size_t>(blocks));

@@ -25,9 +25,12 @@
 #ifndef SKYWALKER_MEMORY_BLOCK_ALLOCATOR_H_
 #define SKYWALKER_MEMORY_BLOCK_ALLOCATOR_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
+
+#include "src/common/logging.h"
 
 namespace skywalker {
 
@@ -102,6 +105,43 @@ class BlockAllocator {
   int64_t used_blocks_ = 0;
   BlockAllocatorStats stats_;
 };
+
+// Allocate/AddRef/Release are defined inline: with block_size_tokens == 1
+// the decode hot loop hits them once per generated token — tens of millions
+// of calls per benchmark cell — and the out-of-line call overhead was
+// measurable (ISSUE 10).
+inline BlockId BlockAllocator::Allocate() {
+  BlockId id;
+  if (!free_list_.empty()) {
+    id = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    id = static_cast<BlockId>(refs_.size());
+    refs_.push_back(0);
+  }
+  refs_[static_cast<size_t>(id)] = 1;
+  ++used_blocks_;
+  ++stats_.allocated;
+  stats_.peak_used_blocks = std::max(stats_.peak_used_blocks, used_blocks_);
+  return id;
+}
+
+inline void BlockAllocator::AddRef(BlockId id) {
+  SKYWALKER_CHECK(refs_[static_cast<size_t>(id)] > 0) << "addref dead block";
+  ++refs_[static_cast<size_t>(id)];
+}
+
+inline bool BlockAllocator::Release(BlockId id) {
+  int32_t& ref = refs_[static_cast<size_t>(id)];
+  SKYWALKER_CHECK(ref > 0) << "release dead block";
+  if (--ref > 0) {
+    return false;
+  }
+  free_list_.push_back(id);
+  --used_blocks_;
+  ++stats_.freed;
+  return true;
+}
 
 }  // namespace skywalker
 

@@ -36,6 +36,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/logging.h"
 #include "src/memory/block_allocator.h"
 
 namespace skywalker {
@@ -102,6 +103,42 @@ class BlockTable {
   int32_t skew_ = 0;
   BlockId cow_exempt_ = kInvalidBlockId;
 };
+
+// Inline: the decode loop appends one token per generated token per
+// sequence (ISSUE 10 — tens of millions of calls per benchmark cell).
+inline int64_t BlockTable::Append(BlockAllocator& alloc, int32_t block_size,
+                                  int64_t tokens) {
+  SKYWALKER_CHECK(tokens >= 0);
+  if (tokens == 0) {
+    return 0;
+  }
+  int64_t allocated = 0;
+  // Free slots in the current tail block (skew slots belong to the cached
+  // prefix frame, not to this table; an empty skewed table has no tail
+  // block yet, so nothing is available).
+  int64_t avail = blocks_.empty()
+                      ? 0
+                      : num_blocks() * block_size - skew_ - tokens_;
+  if (avail > 0 && alloc.ref_count(blocks_.back()) > 1 &&
+      blocks_.back() != cow_exempt_) {
+    // Copy-on-write: the partial tail is shared with a fork; duplicate it
+    // before writing. (Full shared blocks are immutable and stay shared;
+    // the cache-shared boundary page is exempt — extension there fills
+    // slots the cache never reads.)
+    alloc.Release(blocks_.back());
+    blocks_.back() = alloc.Allocate();
+    alloc.NoteCowCopy();
+    ++allocated;
+  }
+  int64_t remaining = tokens - (avail < tokens ? avail : tokens);
+  while (remaining > 0) {
+    blocks_.push_back(alloc.Allocate());
+    ++allocated;
+    remaining -= block_size < remaining ? block_size : remaining;
+  }
+  tokens_ += tokens;
+  return allocated;
+}
 
 }  // namespace skywalker
 

@@ -28,29 +28,6 @@ KvController::KvController(const KvConfig& config)
   SKYWALKER_CHECK(total_blocks_ > 0) << "capacity below one block";
 }
 
-KvController::SeqEntry& KvController::entry(SeqId id) {
-  SeqEntry& e = seqs_[static_cast<size_t>(id)];
-  SKYWALKER_CHECK(e.live) << "dead sequence slot";
-  return e;
-}
-
-const KvController::SeqEntry& KvController::entry(SeqId id) const {
-  const SeqEntry& e = seqs_[static_cast<size_t>(id)];
-  SKYWALKER_CHECK(e.live) << "dead sequence slot";
-  return e;
-}
-
-void KvController::SetCommitted(SeqEntry& e, int64_t prefill,
-                                int64_t reserve) {
-  committed_prefill_total_ += prefill - e.committed_prefill;
-  committed_reserve_total_ += reserve - e.committed_reserve;
-  committed_blocks_total_ +=
-      (CeilBlocks(prefill) + CeilBlocks(reserve)) -
-      (CeilBlocks(e.committed_prefill) + CeilBlocks(e.committed_reserve));
-  e.committed_prefill = prefill;
-  e.committed_reserve = reserve;
-}
-
 void KvController::NoteFragmentationSample(int64_t fragmentation_tokens) {
   counters_.peak_fragmentation_tokens =
       std::max(counters_.peak_fragmentation_tokens, fragmentation_tokens);
@@ -73,28 +50,6 @@ KvController::SeqId KvController::AdmitSeq(int64_t prefill_tokens,
   SetCommitted(e, prefill_tokens, reserve_tokens);
   ++live_seqs_;
   return id;
-}
-
-void KvController::OnPrefillChunk(SeqId id, int64_t tokens) {
-  SeqEntry& e = entry(id);
-  SKYWALKER_CHECK(tokens <= e.committed_prefill) << "chunk beyond commitment";
-  SetCommitted(e, e.committed_prefill - tokens, e.committed_reserve);
-  e.table.Append(alloc_, config_.block_size_tokens, tokens);
-  seq_tokens_total_ += tokens;
-}
-
-void KvController::OnDecodeToken(SeqId id) {
-  SeqEntry& e = entry(id);
-  if (e.committed_reserve > 0) {
-    SetCommitted(e, e.committed_prefill, e.committed_reserve - 1);
-  }
-  e.table.Append(alloc_, config_.block_size_tokens, 1);
-  seq_tokens_total_ += 1;
-}
-
-void KvController::SetReserve(SeqId id, int64_t reserve_tokens) {
-  SeqEntry& e = entry(id);
-  SetCommitted(e, e.committed_prefill, reserve_tokens);
 }
 
 void KvController::ReleaseSeqPrefix(SeqId id, int64_t tokens) {

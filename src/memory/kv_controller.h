@@ -41,6 +41,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/logging.h"
 #include "src/common/sim_time.h"
 #include "src/memory/block_allocator.h"
 #include "src/memory/block_table.h"
@@ -230,6 +231,12 @@ class KvController {
   };
 
   int64_t CeilBlocks(int64_t tokens) const {
+    // Coarse compatibility mode (block_size_tokens == 1, every fleet-scale
+    // config) makes ceil the identity; skipping the integer divide matters
+    // at tens of millions of SetCommitted calls per cell (ISSUE 10).
+    if (config_.block_size_tokens == 1) {
+      return tokens;
+    }
     return (tokens + config_.block_size_tokens - 1) / config_.block_size_tokens;
   }
   // Free blocks after committed future, before the watermark.
@@ -253,6 +260,55 @@ class KvController {
   int64_t committed_blocks_total_ = 0;
   KvCounters counters_;
 };
+
+// The per-token ledger operations are defined inline (ISSUE 10): with
+// block_size_tokens == 1 the decode hot loop runs entry lookup + committed
+// adjustment + table append once per generated token — tens of millions of
+// calls per benchmark cell — and the cross-TU call overhead was measurable.
+inline KvController::SeqEntry& KvController::entry(SeqId id) {
+  SeqEntry& e = seqs_[static_cast<size_t>(id)];
+  SKYWALKER_CHECK(e.live) << "dead sequence slot";
+  return e;
+}
+
+inline const KvController::SeqEntry& KvController::entry(SeqId id) const {
+  const SeqEntry& e = seqs_[static_cast<size_t>(id)];
+  SKYWALKER_CHECK(e.live) << "dead sequence slot";
+  return e;
+}
+
+inline void KvController::SetCommitted(SeqEntry& e, int64_t prefill,
+                                       int64_t reserve) {
+  committed_prefill_total_ += prefill - e.committed_prefill;
+  committed_reserve_total_ += reserve - e.committed_reserve;
+  committed_blocks_total_ +=
+      (CeilBlocks(prefill) + CeilBlocks(reserve)) -
+      (CeilBlocks(e.committed_prefill) + CeilBlocks(e.committed_reserve));
+  e.committed_prefill = prefill;
+  e.committed_reserve = reserve;
+}
+
+inline void KvController::OnPrefillChunk(SeqId id, int64_t tokens) {
+  SeqEntry& e = entry(id);
+  SKYWALKER_CHECK(tokens <= e.committed_prefill) << "chunk beyond commitment";
+  SetCommitted(e, e.committed_prefill - tokens, e.committed_reserve);
+  e.table.Append(alloc_, config_.block_size_tokens, tokens);
+  seq_tokens_total_ += tokens;
+}
+
+inline void KvController::OnDecodeToken(SeqId id) {
+  SeqEntry& e = entry(id);
+  if (e.committed_reserve > 0) {
+    SetCommitted(e, e.committed_prefill, e.committed_reserve - 1);
+  }
+  e.table.Append(alloc_, config_.block_size_tokens, 1);
+  seq_tokens_total_ += 1;
+}
+
+inline void KvController::SetReserve(SeqId id, int64_t reserve_tokens) {
+  SeqEntry& e = entry(id);
+  SetCommitted(e, e.committed_prefill, reserve_tokens);
+}
 
 }  // namespace skywalker
 

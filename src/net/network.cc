@@ -69,6 +69,35 @@ void Network::Send(RegionId from, RegionId to, EventFn deliver) {
   }
 }
 
+void Network::SendBatch(RegionId from, RegionId to, int count,
+                        EventFn deliver) {
+  SKYWALKER_CHECK(ZeroJitter())
+      << "SendBatch requires a jitter-free network";
+  SKYWALKER_CHECK(count >= 1);
+  if (sharded_ == nullptr) {
+    counters_[0].messages_sent += static_cast<uint64_t>(count);
+    if (from != to) {
+      counters_[0].cross_region += static_cast<uint64_t>(count);
+    }
+    sim_->ScheduleAfter(topology_.Latency(from, to), std::move(deliver));
+    return;
+  }
+  const int from_shard = sharded_->ShardOf(from);
+  ShardCounters& counters = counters_[static_cast<size_t>(from_shard)];
+  counters.messages_sent += static_cast<uint64_t>(count);
+  if (from != to) {
+    counters.cross_region += static_cast<uint64_t>(count);
+  }
+  Simulator* sender = sharded_->shard(from_shard);
+  const SimTime at = sender->now() + topology_.Latency(from, to);
+  const uint64_t key = sender->NextOrderKey(from);
+  if (sharded_->ShardOf(to) == from_shard) {
+    sender->ScheduleKeyedAt(at, key, to, std::move(deliver));
+  } else {
+    sharded_->PostCrossShard(from_shard, at, key, to, std::move(deliver));
+  }
+}
+
 void Network::Deliver(RegionId from, RegionId to, SimDuration delay,
                       EventFn fn) {
   delay = std::max<SimDuration>(delay, 0);

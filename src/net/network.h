@@ -48,6 +48,20 @@ class Network {
   // Delivers `deliver` at the destination after Latency(from, to) (+jitter).
   void Send(RegionId from, RegionId to, EventFn deliver);
 
+  // Coalesced fan-out (ISSUE 10): one event standing in for `count`
+  // logical messages from `from` to `to`. Message counters advance by
+  // `count` — accounting parity with per-message sends — but only one
+  // delivery closure is scheduled. Jitter-free networks only (a batch
+  // would otherwise consume one jitter draw where `count` sends consume
+  // `count`, shifting every later draw); CHECKed. The caller must make
+  // the closure perform the per-message work in the order back-to-back
+  // individual sends would have (see DispatchEngine::ProbeAll).
+  void SendBatch(RegionId from, RegionId to, int count, EventFn deliver);
+
+  // True when deliveries carry no jitter — the precondition for
+  // coalescing sends without perturbing the RNG streams.
+  bool ZeroJitter() const { return jitter_fraction_ <= 0.0; }
+
   // Delivers `fn` in region `to` after an explicit `delay`, charged to no
   // message counter: the response leg of an exchange whose latency the
   // caller already computed (e.g. streaming token callbacks). In plain mode

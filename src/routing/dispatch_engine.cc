@@ -30,37 +30,11 @@ bool CandidateView::IsAvailable(ReplicaId id) const {
 }
 
 double CandidateView::EffectiveLoad(const ReplicaState& state) const {
-  // With penalty == 0 this is the exact outstanding count (int -> double is
-  // lossless here), so the strict-less scan keeps the seed tie-breaks.
-  double load = static_cast<double>(state.outstanding) +
-                engine_->config().preemption_penalty *
-                    static_cast<double>(state.probed.preemption_delta);
-  // Soft failover priority (DESIGN.md §10): degraded and half-open replicas
-  // lose least-loaded scans to healthy ones until the healthy tier is this
-  // many requests deeper. Unreachable while health is disabled (status
-  // stays kHealthy).
-  const HealthStatus status = state.health.status();
-  if (status == HealthStatus::kDegraded ||
-      status == HealthStatus::kRecovering) {
-    load += engine_->config().outlier.degraded_load_penalty;
-  }
-  return load;
+  return engine_->EffectiveLoadOf(state);
 }
 
 ReplicaId CandidateView::LeastLoadedAvailable() const {
-  ReplicaId best = kInvalidReplica;
-  double best_load = std::numeric_limits<double>::infinity();
-  for (const ReplicaState& state : engine_->replicas()) {
-    if (!IsAvailable(state)) {
-      continue;
-    }
-    const double load = EffectiveLoad(state);
-    if (load < best_load) {
-      best = state.replica->id();
-      best_load = load;
-    }
-  }
-  return best;
+  return engine_->LeastLoadedAvailable();
 }
 
 ReplicaId CandidateView::LeastLoadedAmong(
@@ -94,8 +68,10 @@ DispatchEngine::DispatchEngine(Simulator* sim, Network* net, RegionId region,
       selector_(selector),
       callbacks_(std::move(callbacks)) {
   SKYWALKER_CHECK(selector_ != nullptr) << "engine needs a replica selector";
+  verify_selection_ = config_.verify_selection;
   probe_task_ = std::make_unique<PeriodicTask>(sim_, config_.probe_interval,
                                                [this] { ProbeAll(); });
+  RebuildSelectionIndex();
 }
 
 DispatchEngine::~DispatchEngine() = default;
@@ -111,6 +87,7 @@ void DispatchEngine::AttachReplica(Replica* replica) {
   if (config_.manage_composition) {
     replica->ApplyComposition(config_.composition);
   }
+  RebuildSelectionIndex();
   selector_->OnReplicaAttached(replica);
   TryDispatch();
 }
@@ -127,6 +104,7 @@ bool DispatchEngine::DetachReplica(ReplicaId replica_id) {
     index_[replicas_[pos].replica->id()] = pos;
   }
   replicas_.pop_back();
+  RebuildSelectionIndex();  // Swap-remove moved a position; stamps reset.
   selector_->OnReplicaDetached(replica_id);
   return true;
 }
@@ -161,10 +139,12 @@ void DispatchEngine::ResetProbeState() {
     state.health.Reset();
     state.latency_samples_at_ejection = 0;
   }
+  RebuildSelectionIndex();
 }
 
 void DispatchEngine::ApplyConfig(const DispatchConfig& next) {
   config_ = next;
+  verify_selection_ = config_.verify_selection;
   if (Tracer* t = sim_->tracer()) {
     EmitTrace(t, sim_->now(), TraceEventType::kConfigSwap, region_,
               kInvalidReplica, -1, static_cast<int64_t>(config_.push_mode));
@@ -187,8 +167,29 @@ void DispatchEngine::ApplyConfig(const DispatchConfig& next) {
       probe_task_->Stop();
     }
   }
+  // Config participates in every availability/load computation, so the
+  // whole index is stale after a swap.
+  RebuildSelectionIndex();
   // Availability may have widened (e.g. push slack raised, gate lowered).
   TryDispatch();
+}
+
+double DispatchEngine::EffectiveLoadOf(const ReplicaState& state) const {
+  // With penalty == 0 this is the exact outstanding count (int -> double is
+  // lossless here), so the strict-less comparisons keep the seed tie-breaks.
+  double load = static_cast<double>(state.outstanding) +
+                config_.preemption_penalty *
+                    static_cast<double>(state.probed.preemption_delta);
+  // Soft failover priority (DESIGN.md §10): degraded and half-open replicas
+  // lose least-loaded selection to healthy ones until the healthy tier is
+  // this many requests deeper. Unreachable while health is disabled (status
+  // stays kHealthy).
+  const HealthStatus status = state.health.status();
+  if (status == HealthStatus::kDegraded ||
+      status == HealthStatus::kRecovering) {
+    load += config_.outlier.degraded_load_penalty;
+  }
+  return load;
 }
 
 bool DispatchEngine::IsAvailable(const ReplicaState& state) const {
@@ -234,23 +235,105 @@ bool DispatchEngine::IsAvailable(ReplicaId id) const {
   return state != nullptr && IsAvailable(*state);
 }
 
-bool DispatchEngine::AnyAvailable() const {
-  for (const ReplicaState& state : replicas_) {
-    if (IsAvailable(state)) {
-      return true;
+// --- selection index (ISSUE 10) ------------------------------------------
+
+void DispatchEngine::TouchReplica(size_t pos) {
+  ReplicaState& state = replicas_[pos];
+  const bool avail = IsAvailable(state);
+  const bool ejected = state.health.status() == HealthStatus::kEjected;
+  available_count_ += (avail ? 1 : 0) - (avail_bit_[pos] ? 1 : 0);
+  ejected_count_ += (ejected ? 1 : 0) - (ejected_bit_[pos] ? 1 : 0);
+  avail_bit_[pos] = avail ? 1 : 0;
+  ejected_bit_[pos] = ejected ? 1 : 0;
+  ++stamp_[pos];
+  ++index_touches_;
+  if (avail) {
+    heap_.push_back({EffectiveLoadOf(state), static_cast<uint32_t>(pos),
+                     stamp_[pos]});
+    std::push_heap(heap_.begin(), heap_.end(), EntryGreater);
+    if (heap_.size() > 4 * replicas_.size() + 64) {
+      CompactSelectionHeap();
     }
   }
-  return false;
 }
 
-int DispatchEngine::AvailableCount() const {
-  int count = 0;
-  for (const ReplicaState& state : replicas_) {
+void DispatchEngine::RebuildSelectionIndex() {
+  const size_t n = replicas_.size();
+  stamp_.assign(n, 0);
+  avail_bit_.assign(n, 0);
+  ejected_bit_.assign(n, 0);
+  available_count_ = 0;
+  ejected_count_ = 0;
+  heap_.clear();
+  for (size_t pos = 0; pos < n; ++pos) {
+    const ReplicaState& state = replicas_[pos];
+    if (state.health.status() == HealthStatus::kEjected) {
+      ejected_bit_[pos] = 1;
+      ++ejected_count_;
+    }
     if (IsAvailable(state)) {
-      ++count;
+      avail_bit_[pos] = 1;
+      ++available_count_;
+      heap_.push_back({EffectiveLoadOf(state), static_cast<uint32_t>(pos), 0});
     }
   }
-  return count;
+  std::make_heap(heap_.begin(), heap_.end(), EntryGreater);
+  ++index_touches_;
+}
+
+void DispatchEngine::NoteReplicaMutated(ReplicaId id) {
+  auto it = index_.find(id);
+  SKYWALKER_CHECK(it != index_.end()) << "unknown replica " << id;
+  TouchReplica(it->second);
+}
+
+void DispatchEngine::CompactSelectionHeap() const {
+  heap_.clear();
+  for (size_t pos = 0; pos < replicas_.size(); ++pos) {
+    if (avail_bit_[pos]) {
+      heap_.push_back({EffectiveLoadOf(replicas_[pos]),
+                       static_cast<uint32_t>(pos), stamp_[pos]});
+    }
+  }
+  std::make_heap(heap_.begin(), heap_.end(), EntryGreater);
+}
+
+ReplicaId DispatchEngine::LeastLoadedAvailable() const {
+  ++selection_queries_;
+  ReplicaId best = kInvalidReplica;
+  while (!heap_.empty()) {
+    const HeapEntry& top = heap_.front();
+    if (top.pos < replicas_.size() && stamp_[top.pos] == top.stamp &&
+        avail_bit_[top.pos]) {
+      best = replicas_[top.pos].replica->id();
+      break;
+    }
+    std::pop_heap(heap_.begin(), heap_.end(), EntryGreater);
+    heap_.pop_back();
+  }
+  if (verify_selection_) {
+    const ReplicaId oracle = LeastLoadedAvailableLinear();
+    SKYWALKER_CHECK(best == oracle)
+        << "selection index diverged from linear scan: indexed=" << best
+        << " oracle=" << oracle;
+  }
+  return best;
+}
+
+ReplicaId DispatchEngine::LeastLoadedAvailableLinear() const {
+  ReplicaId best = kInvalidReplica;
+  double best_load = std::numeric_limits<double>::infinity();
+  for (const ReplicaState& state : replicas_) {
+    if (!IsAvailable(state)) {
+      continue;
+    }
+    const double load = EffectiveLoadOf(state);
+    if (load < best_load) {
+      best = state.replica->id();
+      best_load = load;
+    }
+  }
+  return best;
 }
 
 std::vector<ReplicaId> DispatchEngine::AvailableReplicas() const {
@@ -261,16 +344,6 @@ std::vector<ReplicaId> DispatchEngine::AvailableReplicas() const {
     }
   }
   return out;
-}
-
-int DispatchEngine::EjectedCount() const {
-  int count = 0;
-  for (const ReplicaState& state : replicas_) {
-    if (state.health.status() == HealthStatus::kEjected) {
-      ++count;
-    }
-  }
-  return count;
 }
 
 std::vector<int> DispatchEngine::OutstandingSnapshot() const {
@@ -377,6 +450,7 @@ void DispatchEngine::NoteReplicaFailure(ReplicaState& state) {
 void DispatchEngine::EjectReplica(ReplicaState& state, bool latency_outlier) {
   state.health.Eject(config_.outlier, sim_->now());
   state.latency_samples_at_ejection = state.probed.latency_samples;
+  TouchReplica(state);
   ++stats_.ejections;
   if (Tracer* t = sim_->tracer()) {
     EmitTrace(t, sim_->now(), TraceEventType::kEject, region_,
@@ -390,6 +464,7 @@ void DispatchEngine::DispatchTo(Queued queued, ReplicaId replica_id) {
   Replica* replica = state->replica;
   ++state->outstanding;
   ++state->pushes_since_probe;
+  TouchReplica(*state);
   ++stats_.dispatched;
   RecordDequeue(queued.lb_arrival);
   if (Tracer* t = sim_->tracer()) {
@@ -463,6 +538,7 @@ void DispatchEngine::DispatchTo(Queued queued, ReplicaId replica_id) {
         ReplicaState* rs = FindReplica(replica_id);
         if (rs != nullptr && rs->outstanding > 0) {
           --rs->outstanding;
+          TouchReplica(*rs);
         }
         ++stats_.completed;
         TryDispatch();
@@ -496,6 +572,7 @@ void DispatchEngine::DispatchTo(Queued queued, ReplicaId replica_id) {
               --rs->outstanding;
             }
             NoteReplicaFailure(*rs);
+            TouchReplica(*rs);
           }
           if (ctx->callbacks.on_error) {
             net_->Deliver(region_, client_region,
@@ -545,6 +622,7 @@ void DispatchEngine::DispatchTo(Queued queued, ReplicaId replica_id) {
                 --rs->outstanding;
               }
               NoteReplicaSuccess(*rs);
+              TouchReplica(*rs);
             }
             ++stats_.completed;
             if (ctx->callbacks.on_complete) {
@@ -571,6 +649,7 @@ void DispatchEngine::EvaluateOutliers() {
   for (ReplicaState& state : replicas_) {
     if (state.health.EjectionExpired(sim_->now())) {
       state.health.BeginRecovery();
+      TouchReplica(state);
     }
   }
   if (outlier.latency_factor <= 0.0) {
@@ -621,7 +700,35 @@ void DispatchEngine::EvaluateOutliers() {
       case LatencyVerdict::kNone:
         break;
     }
+    // EvaluateLatency may have moved the health machine (degraded,
+    // recovered, ejected); refresh this replica's index entry either way.
+    TouchReplica(state);
   }
+}
+
+void DispatchEngine::ApplyProbeResponse(ReplicaId replica_id, int64_t epoch,
+                                        const ProbePayload& payload) {
+  ReplicaState* rs = FindReplica(replica_id);
+  if (rs == nullptr) {
+    return;
+  }
+  rs->probe_epoch_received = std::max(rs->probe_epoch_received, epoch);
+  rs->probed = payload;
+  rs->pushes_since_probe = 0;
+  rs->probed_once = true;
+  if (config_.outlier.enabled) {
+    rs->health.RecordProbeSuccess();
+  }
+  TouchReplica(*rs);
+  if (Tracer* t = sim_->tracer()) {
+    EmitTrace(t, sim_->now(), TraceEventType::kProbe, region_, replica_id, -1,
+              payload.version, payload.pending,
+              payload.ewma_decode_us_per_token);
+  }
+  if (callbacks_.on_replica_probe_result) {
+    callbacks_.on_replica_probe_result();
+  }
+  TryDispatch();
 }
 
 void DispatchEngine::ProbeAll() {
@@ -630,6 +737,86 @@ void DispatchEngine::ProbeAll() {
   }
   if (config_.outlier.enabled) {
     EvaluateOutliers();
+  }
+  // Batched fan-out (ISSUE 10): with jitter-free links and the outlier
+  // machinery off (its per-replica timeout events interleave sender keys),
+  // the per-replica probe round trips coalesce into one event per
+  // destination region in each direction. This is byte-identical to the
+  // per-replica path: within one destination the per-replica work runs in
+  // attach order, exactly the order the individual events would have
+  // executed (they carry consecutive sender keys at one timestamp, which
+  // admit no interleaving event); across destinations ordering is governed
+  // by (time, origin region) both ways; and per-origin response keys are
+  // assigned in the same order, so downstream ordering is unchanged.
+  // Message counters advance per logical message (SendBatch).
+  if (!config_.outlier.enabled && net_->ZeroJitter() && !replicas_.empty()) {
+    struct ProbeTarget {
+      Replica* replica;
+      int64_t epoch;
+    };
+    struct ProbeReply {
+      ReplicaId id;
+      int64_t epoch;
+      ProbePayload payload;
+    };
+    // Group targets by destination region in first-appearance (attach)
+    // order; almost always a single group (engines manage local replicas).
+    std::vector<std::pair<RegionId, std::vector<ProbeTarget>>> groups;
+    for (ReplicaState& state : replicas_) {
+      ++stats_.probes_sent;
+      const int64_t epoch = ++state.probe_epoch_sent;
+      const RegionId dst = state.replica->region();
+      std::vector<ProbeTarget>* bucket = nullptr;
+      for (auto& group : groups) {
+        if (group.first == dst) {
+          bucket = &group.second;
+          break;
+        }
+      }
+      if (bucket == nullptr) {
+        groups.emplace_back(dst, std::vector<ProbeTarget>());
+        bucket = &groups.back().second;
+        bucket->reserve(replicas_.size());
+      }
+      bucket->push_back(ProbeTarget{state.replica, epoch});
+    }
+    for (auto& group : groups) {
+      const RegionId dst = group.first;
+      // The count must be read before the capture moves the vector out
+      // (argument evaluation order is unspecified).
+      const int fanout = static_cast<int>(group.second.size());
+      net_->SendBatch(
+          region_, dst, fanout,
+          [this, dst, targets = std::move(group.second)] {
+            // A non-serving (crashed) replica never answers; with the
+            // outlier machinery off its silence is simply ignored, as in
+            // the per-replica path.
+            std::vector<ProbeReply> replies;
+            replies.reserve(targets.size());
+            for (const ProbeTarget& target : targets) {
+              if (!target.replica->serving()) {
+                continue;
+              }
+              replies.push_back(ProbeReply{target.replica->id(), target.epoch,
+                                           target.replica->Probe()});
+            }
+            if (replies.empty()) {
+              return;
+            }
+            const int respondents = static_cast<int>(replies.size());
+            net_->SendBatch(dst, region_, respondents,
+                            [this, replies = std::move(replies)] {
+                              for (const ProbeReply& reply : replies) {
+                                ApplyProbeResponse(reply.id, reply.epoch,
+                                                   reply.payload);
+                              }
+                            });
+          });
+    }
+    if (callbacks_.on_after_replica_probes) {
+      callbacks_.on_after_replica_probes();
+    }
+    return;
   }
   for (ReplicaState& state : replicas_) {
     ++stats_.probes_sent;
@@ -646,31 +833,9 @@ void DispatchEngine::ProbeAll() {
         return;
       }
       ProbePayload payload = replica->Probe();
-      net_->Send(replica_region, region_,
-                 [this, replica_id, payload, epoch] {
-                   ReplicaState* rs = FindReplica(replica_id);
-                   if (rs == nullptr) {
-                     return;
-                   }
-                   rs->probe_epoch_received =
-                       std::max(rs->probe_epoch_received, epoch);
-                   rs->probed = payload;
-                   rs->pushes_since_probe = 0;
-                   rs->probed_once = true;
-                   if (Tracer* t = sim_->tracer()) {
-                     EmitTrace(t, sim_->now(), TraceEventType::kProbe,
-                               region_, replica_id, -1, payload.version,
-                               payload.pending,
-                               payload.ewma_decode_us_per_token);
-                   }
-                   if (config_.outlier.enabled) {
-                     rs->health.RecordProbeSuccess();
-                   }
-                   if (callbacks_.on_replica_probe_result) {
-                     callbacks_.on_replica_probe_result();
-                   }
-                   TryDispatch();
-                 });
+      net_->Send(replica_region, region_, [this, replica_id, payload, epoch] {
+        ApplyProbeResponse(replica_id, epoch, payload);
+      });
     });
     if (config_.outlier.enabled && config_.outlier.probe_timeout > 0) {
       sim_->ScheduleAfter(config_.outlier.probe_timeout,
@@ -682,6 +847,7 @@ void DispatchEngine::ProbeAll() {
                             }
                             ++stats_.probe_misses;
                             NoteReplicaFailure(*rs);
+                            TouchReplica(*rs);
                           });
     }
   }

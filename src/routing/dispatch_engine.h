@@ -37,6 +37,15 @@
 // Replica state lives in a flat vector with an id -> index side map, so the
 // per-dispatch hot path (availability scans, outstanding updates) is O(1)
 // amortized instead of O(log n) map walks.
+//
+// Selection is indexed (ISSUE 10): the engine maintains a gen-stamped lazy
+// min-heap over (EffectiveLoad, position) plus incremental available/ejected
+// counters, refreshed at every state mutation point (dispatch, completion,
+// probe response, health transition, config swap). LeastLoadedAvailable,
+// AnyAvailable, AvailableCount, and EjectedCount are O(log R) amortized /
+// O(1) instead of O(R) scans, with tie-breaking fixed to the lowest replica
+// position so decisions are provably identical to the retained linear scan
+// (the debug-mode differential oracle, see set_verify_selection).
 
 #ifndef SKYWALKER_ROUTING_DISPATCH_ENGINE_H_
 #define SKYWALKER_ROUTING_DISPATCH_ENGINE_H_
@@ -110,6 +119,12 @@ struct DispatchConfig {
   // False leaves each replica's own configuration untouched.
   bool manage_composition = false;
   BatchCompositionConfig composition;
+
+  // Debug oracle (ISSUE 10): every LeastLoadedAvailable answer is checked
+  // against the retained linear scan (fatal on divergence). Config-level so
+  // whole fleets — including sharded multi-threaded runs — can flip it on in
+  // tests; far too slow for benchmarks.
+  bool verify_selection = false;
 };
 
 // Engine-tracked state for one managed replica, refreshed by the probe loop.
@@ -215,7 +230,7 @@ class CandidateView {
   bool IsAvailable(const ReplicaState& state) const;
   bool IsAvailable(ReplicaId id) const;
 
-  // Load score the least-loaded scans minimize: outstanding, plus the
+  // Load score the least-loaded selection minimizes: outstanding, plus the
   // configured penalty per recently-probed preemption, plus the degraded
   // penalty for replicas the health machine has deprioritized (the soft
   // priority tier of DESIGN.md §10). With the penalties at their default 0
@@ -318,12 +333,41 @@ class DispatchEngine {
   // --- availability (§3.3 + §10) ---
   bool IsAvailable(const ReplicaState& state) const;
   bool IsAvailable(ReplicaId id) const;
-  bool AnyAvailable() const;
-  int AvailableCount() const;
+  // The load score selection minimizes (see CandidateView::EffectiveLoad).
+  double EffectiveLoadOf(const ReplicaState& state) const;
+  // O(1) reads of the incrementally maintained availability counters.
+  bool AnyAvailable() const { return available_count_ > 0; }
+  int AvailableCount() const { return available_count_; }
   std::vector<ReplicaId> AvailableReplicas() const;
 
   // Replicas currently in kEjected (max-ejection-fraction accounting).
-  int EjectedCount() const;
+  int EjectedCount() const { return ejected_count_; }
+
+  // --- indexed selection (ISSUE 10) ---
+  // Lowest-EffectiveLoad available replica via the selection index,
+  // tie-broken by lowest position (attach order) — provably the same
+  // decision as the linear scan. O(log R) amortized.
+  ReplicaId LeastLoadedAvailable() const;
+  // The retained linear scan — the differential oracle the index is
+  // verified against (property test + verify mode below).
+  ReplicaId LeastLoadedAvailableLinear() const;
+  // Rebuilds the index from scratch. Only needed after out-of-band
+  // mutations of ReplicaState through the mutable FindReplica (tests);
+  // every engine-internal mutation path refreshes the index itself.
+  void RefreshSelectionIndex() { RebuildSelectionIndex(); }
+  // Re-indexes a single replica after an out-of-band ReplicaState mutation
+  // — the O(log R) alternative to RefreshSelectionIndex when the caller
+  // knows exactly which replica changed (tests, microbenchmarks).
+  void NoteReplicaMutated(ReplicaId id);
+  // Debug-mode differential oracle: when on, every indexed query is
+  // cross-checked against the linear scan and CHECK-fails on divergence.
+  void set_verify_selection(bool on) { verify_selection_ = on; }
+
+  // Per-engine selection counters for the timing sidecar (never part of
+  // deterministic results): indexed queries answered and index entries
+  // (re)built — the denominators of the O(log R)-vs-O(R) claim.
+  int64_t selection_queries() const { return selection_queries_; }
+  int64_t index_touches() const { return index_touches_; }
 
   // Current LB-tracked outstanding per replica (imbalance metrics).
   std::vector<int> OutstandingSnapshot() const;
@@ -349,6 +393,11 @@ class DispatchEngine {
   // response-path latency, network round trips, completion accounting.
   void DispatchTo(Queued queued, ReplicaId replica_id);
   void ProbeAll();
+  // One probe response landing at the LB: refresh the replica's probed
+  // snapshot + index entry, then dispatch. Shared verbatim by the
+  // per-replica and batched fan-out paths so they cannot diverge.
+  void ApplyProbeResponse(ReplicaId replica_id, int64_t epoch,
+                          const ProbePayload& payload);
   // Latency-outlier pass over the fleet, run at each probe tick when
   // enabled: expire ejections into half-open, compare probed decode-latency
   // EWMAs against the fleet median, apply verdicts under the ejection clamp.
@@ -364,6 +413,34 @@ class DispatchEngine {
   void NoteReplicaFailure(ReplicaState& state);
   // `latency_outlier` distinguishes the two ejection causes in traces.
   void EjectReplica(ReplicaState& state, bool latency_outlier = false);
+
+  // --- selection index internals (ISSUE 10) ---
+  // One lazily invalidated heap candidate: the replica at `pos` had
+  // EffectiveLoad `load` when stamp_[pos] was `stamp`. A stamp mismatch
+  // means the replica mutated since and the entry is dead weight.
+  struct HeapEntry {
+    double load;
+    uint32_t pos;
+    uint32_t stamp;
+  };
+  static bool EntryGreater(const HeapEntry& a, const HeapEntry& b) {
+    if (a.load != b.load) {
+      return a.load > b.load;
+    }
+    return a.pos > b.pos;  // Min-heap tie-break: lowest position wins.
+  }
+
+  // Re-derives availability/ejection bits, counters, and (when available)
+  // a fresh heap entry for the replica at `pos`. Must run after *every*
+  // mutation that can change IsAvailable or EffectiveLoad.
+  void TouchReplica(size_t pos);
+  void TouchReplica(ReplicaState& state) {
+    TouchReplica(static_cast<size_t>(&state - replicas_.data()));
+  }
+  void RebuildSelectionIndex();
+  // Drops dead entries once the heap outgrows the live set; cached loads
+  // are recomputed but bit-identical (pure function of unchanged state).
+  void CompactSelectionHeap() const;
 
   Simulator* sim_;
   Network* net_;
@@ -381,6 +458,19 @@ class DispatchEngine {
   std::unique_ptr<PeriodicTask> probe_task_;
   bool started_ = false;
   Stats stats_;
+
+  // Selection index (ISSUE 10). The heap is mutable because const queries
+  // pop stale tops and may compact; both are pure bookkeeping — the set of
+  // live (load, pos) candidates they expose never changes.
+  mutable std::vector<HeapEntry> heap_;
+  std::vector<uint32_t> stamp_;     // Per-position generation stamps.
+  std::vector<uint8_t> avail_bit_;  // Cached IsAvailable per position.
+  std::vector<uint8_t> ejected_bit_;
+  int available_count_ = 0;
+  int ejected_count_ = 0;
+  bool verify_selection_ = false;
+  mutable int64_t selection_queries_ = 0;
+  int64_t index_touches_ = 0;
 };
 
 }  // namespace skywalker

@@ -87,18 +87,6 @@ bool EventQueue::Cancel(EventId id) {
   return true;
 }
 
-void EventQueue::SkipStale() {
-  while (!heap_.empty() && !IsLive(heap_.front())) {
-    PopHeapTop();
-  }
-}
-
-SimTime EventQueue::PeekTime() {
-  SkipStale();
-  assert(!heap_.empty());
-  return heap_.front().at;
-}
-
 EventQueue::Event EventQueue::Pop() {
   SkipStale();
   assert(!heap_.empty());

@@ -17,6 +17,7 @@
 #ifndef SKYWALKER_SIM_EVENT_QUEUE_H_
 #define SKYWALKER_SIM_EVENT_QUEUE_H_
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -69,8 +70,14 @@ class EventQueue {
   bool empty() const { return slots_.live() == 0; }
   size_t size() const { return slots_.live(); }
 
-  // Timestamp of the earliest live event. Requires !empty().
-  SimTime PeekTime();
+  // Timestamp of the earliest live event. Requires !empty(). Inline: the
+  // sharded round loop peeks once per shard per round and the simulator
+  // once per executed event (ISSUE 10).
+  SimTime PeekTime() {
+    SkipStale();
+    assert(!heap_.empty());
+    return heap_.front().at;
+  }
 
   // Pops the earliest live event. Requires !empty(). `target` is the region
   // given to PushKeyed, or kInvalidEventRegion for plain pushes.
@@ -112,8 +119,13 @@ class EventQueue {
   void SiftDown(size_t i);
   void PopHeapTop();
 
-  // Drops stale (cancelled) entries from the heap top.
-  void SkipStale();
+  // Drops stale (cancelled) entries from the heap top. Inline because the
+  // common case — a live front — is a single generation compare.
+  void SkipStale() {
+    while (!heap_.empty() && !IsLive(heap_.front())) {
+      PopHeapTop();
+    }
+  }
 
   void ReleaseSlot(uint32_t slot);
 

@@ -3,10 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <condition_variable>
 #include <limits>
-#include <mutex>
-#include <thread>
 #include <utility>
 
 #include "src/common/logging.h"
@@ -45,30 +42,65 @@ ShardedSimulator::ShardedSimulator(const Topology& topology, int num_shards,
                     static_cast<size_t>(num_shards));
   busy_seconds_.assign(static_cast<size_t>(num_shards), 0.0);
   mailbox_in_.assign(static_cast<size_t>(num_shards), 0);
+  frontier_.assign(static_cast<size_t>(num_shards), 0);
+  target_.assign(static_cast<size_t>(num_shards), 0);
+  active_.assign(static_cast<size_t>(num_shards), 0);
 
-  // Lookahead = min one-way latency over region pairs living on different
-  // shards, discounted by the jitter bound (jittered latency can be as low
-  // as floor(latency * (1 - j))).
-  SimDuration min_cross = std::numeric_limits<SimDuration>::max();
+  // Per-pair lookahead: for each ordered shard pair (src, dst), the min
+  // src->dst one-way latency over region pairs straddling them, discounted
+  // by the jitter bound (jittered latency can be as low as
+  // floor(latency * (1 - j))). The global lookahead_ is their minimum —
+  // identical to the pre-ISSUE-10 single bound.
+  pair_lookahead_.assign(static_cast<size_t>(num_shards) *
+                             static_cast<size_t>(num_shards),
+                         kSimTimeMax);
   const RegionId n = static_cast<RegionId>(topology_.num_regions());
   for (RegionId a = 0; a < n; ++a) {
     for (RegionId b = 0; b < n; ++b) {
-      if (ShardOf(a) != ShardOf(b)) {
-        min_cross = std::min(min_cross, topology_.Latency(a, b));
+      if (ShardOf(a) == ShardOf(b)) {
+        continue;
       }
+      SimDuration& slot =
+          pair_lookahead_[static_cast<size_t>(ShardOf(a)) *
+                              static_cast<size_t>(num_shards) +
+                          static_cast<size_t>(ShardOf(b))];
+      slot = std::min(slot, topology_.Latency(a, b));
     }
   }
   if (num_shards == 1) {
     lookahead_ = kSimTimeMax;
-  } else {
-    lookahead_ = static_cast<SimDuration>(
-        std::floor(static_cast<double>(min_cross) * (1.0 - jitter_fraction)));
-    SKYWALKER_CHECK(lookahead_ >= 1)
-        << "cross-shard latency too small for a lookahead window";
+    return;
+  }
+  lookahead_ = kSimTimeMax;
+  for (int src = 0; src < num_shards; ++src) {
+    for (int dst = 0; dst < num_shards; ++dst) {
+      if (src == dst) {
+        continue;
+      }
+      SimDuration& slot = pair_lookahead_[static_cast<size_t>(src) *
+                                              static_cast<size_t>(num_shards) +
+                                          static_cast<size_t>(dst)];
+      slot = static_cast<SimDuration>(
+          std::floor(static_cast<double>(slot) * (1.0 - jitter_fraction)));
+      SKYWALKER_CHECK(slot >= 1)
+          << "cross-shard latency too small for a lookahead window";
+      lookahead_ = std::min(lookahead_, slot);
+    }
   }
 }
 
-ShardedSimulator::~ShardedSimulator() = default;
+ShardedSimulator::~ShardedSimulator() {
+  if (!pool_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(pool_mu_);
+      quit_ = true;
+    }
+    start_cv_.notify_all();
+    for (std::thread& worker : pool_) {
+      worker.join();
+    }
+  }
+}
 
 void ShardedSimulator::PostCrossShard(int from_shard, SimTime at, uint64_t key,
                                       RegionId target, EventFn fn) {
@@ -76,21 +108,28 @@ void ShardedSimulator::PostCrossShard(int from_shard, SimTime at, uint64_t key,
       .push_back(Mail{at, key, target, std::move(fn)});
 }
 
-void ShardedSimulator::DrainMailboxes(SimTime window_end) {
+void ShardedSimulator::DrainMailboxes() {
   const int S = num_shards();
   for (int dst = 0; dst < S; ++dst) {
     Simulator* sim = shard(dst);
+    const SimTime window_end = target_[static_cast<size_t>(dst)];
     for (int src = 0; src < S; ++src) {
       std::vector<Mail>& box = Mailbox(src, dst);
+      if (box.empty()) {
+        continue;
+      }
       for (Mail& mail : box) {
-        // The conservative-lookahead contract: anything sent during the
-        // window just executed delivers at or after the next window start.
+        // The per-pair lookahead contract: target_[dst] <= frontier_[src] +
+        // PairLookahead(src, dst) for every src, and anything src sent this
+        // round left at or after frontier_[src] with at least the
+        // discounted pair latency in flight.
         SKYWALKER_CHECK(mail.at >= window_end)
             << "cross-shard message violates the lookahead bound";
         sim->ScheduleKeyedAt(mail.at, mail.key, mail.target,
                              std::move(mail.fn));
       }
       mailbox_in_[static_cast<size_t>(dst)] += box.size();
+      // clear() keeps capacity, so steady-state drains never allocate.
       box.clear();
     }
   }
@@ -104,117 +143,135 @@ size_t ShardedSimulator::RunUntil(SimTime deadline) {
     busy_seconds_[0] += SecondsSince(t0);
     parallel_seconds_ += SecondsSince(t0);
     ++windows_;
-    next_window_start_ = deadline + 1;
+    frontier_[0] = deadline + 1;
     return executed_events() - before;
   }
-  if (num_threads_ <= 1) {
-    RunWindowsSerial(deadline);
-  } else {
-    RunWindowsParallel(deadline, num_threads_);
-  }
-  next_window_start_ = deadline + 1;
+  RunRounds(deadline);
   for (auto& sim : shards_) {
     sim->AdvanceTo(deadline);
   }
   return executed_events() - before;
 }
 
-void ShardedSimulator::RunWindowsSerial(SimTime deadline) {
-  SimTime t = next_window_start_;
-  while (t <= deadline) {
-    // SimTime is integral, so events with at <= deadline are exactly those
-    // with at < deadline + 1 — the final (possibly partial) window.
-    const SimTime end = std::min(t + lookahead_, deadline + 1);
+void ShardedSimulator::RunRounds(SimTime deadline) {
+  const int S = num_shards();
+  // SimTime is integral, so events with at <= deadline are exactly those
+  // with at < deadline + 1 — the final (possibly partial) round.
+  const SimTime stop = deadline + 1;
+  for (;;) {
+    SimTime low = stop;
+    for (int s = 0; s < S; ++s) {
+      low = std::min(low, frontier_[static_cast<size_t>(s)]);
+    }
+    if (low >= stop) {
+      break;  // Every shard has covered [0, deadline].
+    }
+
+    // Each shard advances to the min over its incoming edges. Targets are
+    // monotone (minima over frontiers that only grow) and the least
+    // frontier gains at least min PairLookahead per round, so the loop
+    // terminates.
+    int active = 0;
+    for (int dst = 0; dst < S; ++dst) {
+      SimTime target = stop;
+      for (int src = 0; src < S; ++src) {
+        if (src == dst) {
+          continue;
+        }
+        target = std::min(target, frontier_[static_cast<size_t>(src)] +
+                                      PairLookahead(src, dst));
+      }
+      SKYWALKER_CHECK(target >= frontier_[static_cast<size_t>(dst)]);
+      target_[static_cast<size_t>(dst)] = target;
+      const bool busy =
+          shards_[static_cast<size_t>(dst)]->NextEventTime() < target;
+      active_[static_cast<size_t>(dst)] = busy ? 1 : 0;
+      active += busy ? 1 : 0;
+    }
+
+    if (active == 0) {
+      // Pure frontier bookkeeping: nothing to run, nothing to drain (mail
+      // only appears while a shard executes).
+      frontier_ = target_;
+      continue;
+    }
+
     const auto w0 = std::chrono::steady_clock::now();
-    for (size_t s = 0; s < shards_.size(); ++s) {
-      const auto t0 = std::chrono::steady_clock::now();
-      shards_[s]->RunBefore(end);
-      busy_seconds_[s] += SecondsSince(t0);
+    if (active == 1 || num_threads_ <= 1) {
+      // A lone busy shard (or serial mode) runs inline: no handshake, no
+      // wakeup. The pool — if spawned — is parked on start_cv_, so the
+      // main thread may touch shard state freely.
+      for (int s = 0; s < S; ++s) {
+        if (!active_[static_cast<size_t>(s)]) {
+          continue;
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        shards_[static_cast<size_t>(s)]->RunBefore(
+            target_[static_cast<size_t>(s)]);
+        busy_seconds_[static_cast<size_t>(s)] += SecondsSince(t0);
+      }
+    } else {
+      EnsurePool();
+      // target_ / active_ writes above happen-before the epoch bump under
+      // pool_mu_, which workers acquire before reading them.
+      {
+        std::lock_guard<std::mutex> lock(pool_mu_);
+        done_ = 0;
+        ++epoch_;
+      }
+      start_cv_.notify_all();
+      {
+        std::unique_lock<std::mutex> lock(pool_mu_);
+        const int workers = static_cast<int>(pool_.size());
+        done_cv_.wait(lock, [this, workers] { return done_ == workers; });
+      }
     }
     parallel_seconds_ += SecondsSince(w0);
     ++windows_;
-    DrainMailboxes(end);
-    t = end;
+    // Mailboxes were written under the round and are read here after the
+    // barrier handshake (mutex-ordered), so the drain needs no extra locks.
+    DrainMailboxes();
+    frontier_ = target_;
   }
 }
 
-void ShardedSimulator::RunWindowsParallel(SimTime deadline, int workers) {
+void ShardedSimulator::EnsurePool() {
+  if (!pool_.empty()) {
+    return;
+  }
   const int S = num_shards();
-  struct Sync {
-    std::mutex mu;
-    std::condition_variable start_cv;
-    std::condition_variable done_cv;
-    uint64_t epoch = 0;
-    int done = 0;
-    SimTime window_end = 0;
-    bool quit = false;
-  } sync;
-
-  // Persistent workers with static shard ownership (worker w runs shards
-  // w, w+W, ...): spawning threads per window would dwarf the window's
-  // event work, and static ownership keeps busy_seconds_ single-writer.
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<size_t>(workers));
-  for (int w = 0; w < workers; ++w) {
-    pool.emplace_back([this, w, workers, S, &sync] {
+  const int W = num_threads_;
+  pool_.reserve(static_cast<size_t>(W));
+  for (int w = 0; w < W; ++w) {
+    pool_.emplace_back([this, w, W, S] {
       uint64_t seen = 0;
       for (;;) {
-        SimTime end;
         {
-          std::unique_lock<std::mutex> lock(sync.mu);
-          sync.start_cv.wait(
-              lock, [&sync, seen] { return sync.quit || sync.epoch > seen; });
-          if (sync.quit) {
+          std::unique_lock<std::mutex> lock(pool_mu_);
+          start_cv_.wait(lock,
+                         [this, seen] { return quit_ || epoch_ > seen; });
+          if (quit_) {
             return;
           }
-          seen = sync.epoch;
-          end = sync.window_end;
+          seen = epoch_;
         }
-        for (int s = w; s < S; s += workers) {
+        for (int s = w; s < S; s += W) {
+          if (!active_[static_cast<size_t>(s)]) {
+            continue;
+          }
           const auto t0 = std::chrono::steady_clock::now();
-          shards_[static_cast<size_t>(s)]->RunBefore(end);
+          shards_[static_cast<size_t>(s)]->RunBefore(
+              target_[static_cast<size_t>(s)]);
           busy_seconds_[static_cast<size_t>(s)] += SecondsSince(t0);
         }
         {
-          std::lock_guard<std::mutex> lock(sync.mu);
-          if (++sync.done == workers) {
-            sync.done_cv.notify_one();
+          std::lock_guard<std::mutex> lock(pool_mu_);
+          if (++done_ == W) {
+            done_cv_.notify_one();
           }
         }
       }
     });
-  }
-
-  SimTime t = next_window_start_;
-  while (t <= deadline) {
-    const SimTime end = std::min(t + lookahead_, deadline + 1);
-    const auto w0 = std::chrono::steady_clock::now();
-    {
-      std::lock_guard<std::mutex> lock(sync.mu);
-      sync.window_end = end;
-      sync.done = 0;
-      ++sync.epoch;
-    }
-    sync.start_cv.notify_all();
-    {
-      std::unique_lock<std::mutex> lock(sync.mu);
-      sync.done_cv.wait(lock,
-                        [&sync, workers] { return sync.done == workers; });
-    }
-    parallel_seconds_ += SecondsSince(w0);
-    ++windows_;
-    // Mailboxes were written under the window and are read here after the
-    // barrier handshake (mutex-ordered), so the drain needs no extra locks.
-    DrainMailboxes(end);
-    t = end;
-  }
-  {
-    std::lock_guard<std::mutex> lock(sync.mu);
-    sync.quit = true;
-  }
-  sync.start_cv.notify_all();
-  for (std::thread& worker : pool) {
-    worker.join();
   }
 }
 

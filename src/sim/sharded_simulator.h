@@ -3,12 +3,23 @@
 //
 // The fleet's regions are partitioned into N shards, each owning one
 // Simulator (queue + clock + RNG domains for its regions). Execution
-// proceeds in windows of length L = the minimum cross-shard one-way network
-// latency: within a window [T, T+L) every shard runs its own events with
-// zero coordination, because any message another shard sent during the same
-// window is delivered at sender_now + latency >= T + L — outside the
-// window. At the window barrier the main thread drains the per-(src,dst)
-// shard mailboxes into the destination queues and the next window starts.
+// proceeds in rounds against per-shard frontiers (ISSUE 10): shard pair
+// (src, dst) carries a conservative bound L[src][dst] = the minimum
+// src->dst one-way latency over region pairs, and each round shard s runs
+// its events in [frontier[s], target[s]) where
+//     target[s] = min over src != s of (frontier[src] + L[src][s]),
+// because any message src sent during its own window delivers at
+// sender_now + latency >= frontier[src] + L[src][s] >= target[s]. A close
+// region pair therefore throttles only the shards it actually feeds, not
+// the whole fleet (the pre-ISSUE-10 scheme ran every shard to the single
+// global minimum). Frontiers are monotone (each new target is a min over
+// frontiers that only grew) and live (the least-advanced shard strictly
+// gains at least min L per round). At the round barrier the main thread
+// drains the per-(src,dst) shard mailboxes into the destination queues —
+// CHECKing mail.at >= target[dst] — and the next round starts. Shards with
+// no event before their target skip execution entirely, and rounds with at
+// most one busy shard run inline on the coordinating thread instead of
+// waking the worker pool.
 //
 // Determinism is structural, not scheduling-dependent: every event carries
 // an ordering key (time, origin region, per-origin sequence) — see
@@ -28,8 +39,11 @@
 #ifndef SKYWALKER_SIM_SHARDED_SIMULATOR_H_
 #define SKYWALKER_SIM_SHARDED_SIMULATOR_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "src/common/sim_time.h"
@@ -57,9 +71,20 @@ class ShardedSimulator {
   int num_threads() const { return num_threads_; }
   const Topology& topology() const { return topology_; }
 
-  // The conservative lookahead window: min cross-shard one-way latency,
-  // discounted by the jitter bound. kSimTimeMax with a single shard.
+  // The global conservative lookahead: min cross-shard one-way latency,
+  // discounted by the jitter bound. kSimTimeMax with a single shard. Rounds
+  // actually advance against the tighter per-(src,dst) bounds (ISSUE 10);
+  // this is their minimum, kept for telemetry and as the worst-case rate.
   SimDuration lookahead() const { return lookahead_; }
+
+  // The per-pair conservative bound: min src->dst one-way latency over
+  // region pairs straddling the two shards, jitter-discounted. kSimTimeMax
+  // on the diagonal (a shard never throttles itself).
+  SimDuration PairLookahead(int src_shard, int dst_shard) const {
+    return pair_lookahead_[static_cast<size_t>(src_shard) *
+                               static_cast<size_t>(num_shards()) +
+                           static_cast<size_t>(dst_shard)];
+  }
 
   // Installs one shared Tracer on every shard (ISSUE 9). Safe because the
   // tracer buffers per *region* and each region's events execute on exactly
@@ -100,6 +125,9 @@ class ShardedSimulator {
     uint64_t mailbox_in = 0;  // Cross-shard messages delivered to the shard.
   };
   std::vector<ShardTiming> Timing() const;
+  // Rounds that executed at least one shard window. Rounds where every
+  // shard was already past its target (pure frontier bookkeeping) are not
+  // counted — they do no simulation work.
   uint64_t windows() const { return windows_; }
 
  private:
@@ -116,16 +144,22 @@ class ShardedSimulator {
                       static_cast<size_t>(to_shard)];
   }
 
-  // Moves all pending mail into destination queues; mail delivery times
-  // must be >= `window_end` (the lookahead guarantee, CHECKed).
-  void DrainMailboxes(SimTime window_end);
+  // Moves all pending mail into destination queues; mail delivery into
+  // shard d must land at or after target_[d] (the per-pair lookahead
+  // guarantee, CHECKed).
+  void DrainMailboxes();
 
-  void RunWindowsSerial(SimTime deadline);
-  void RunWindowsParallel(SimTime deadline, int workers);
+  // The per-pair frontier round loop (shared by serial and parallel modes;
+  // see RunUntil).
+  void RunRounds(SimTime deadline);
+  // Lazily spawns the persistent worker pool (first round with >= 2 active
+  // shards and num_threads_ > 1).
+  void EnsurePool();
 
   Topology topology_;
   int num_threads_;
   SimDuration lookahead_ = 0;
+  std::vector<SimDuration> pair_lookahead_;  // Dense S x S; see PairLookahead.
   std::vector<int> shard_of_region_;
   std::vector<std::unique_ptr<Simulator>> shards_;
   // Dense (src, dst) mailbox matrix. A box is written only by the thread
@@ -133,10 +167,29 @@ class ShardedSimulator {
   // thread at the barrier, so no synchronization beyond the barrier itself
   // is needed.
   std::vector<std::vector<Mail>> mailboxes_;
-  SimTime next_window_start_ = 0;
+  // Per-shard window state. frontier_[s]: everything before it has executed
+  // on shard s. target_[s] / active_[s]: the window end and participation
+  // flag for the round in flight, published to workers under pool_mu_.
+  std::vector<SimTime> frontier_;
+  std::vector<SimTime> target_;
+  std::vector<uint8_t> active_;
+
+  // Persistent worker pool (parallel mode). Worker w owns shards w, w+W,
+  // ... — static ownership keeps busy_seconds_ single-writer within a
+  // round; the epoch handshake orders inline-round writes from the main
+  // thread against worker rounds. Spawned on first use, joined in the
+  // destructor.
+  std::vector<std::thread> pool_;
+  std::mutex pool_mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  uint64_t epoch_ = 0;
+  int done_ = 0;
+  bool quit_ = false;
 
   // Timing accounting (telemetry only). busy_seconds_[s] is written solely
-  // by the worker that owns shard s; the rest by the main thread.
+  // by the thread running shard s (single-writer per round, handshake
+  // ordered across rounds); the rest by the main thread.
   std::vector<double> busy_seconds_;
   std::vector<uint64_t> mailbox_in_;
   double parallel_seconds_ = 0;

@@ -61,6 +61,13 @@ class Simulator {
   size_t pending_events() const { return events_.size(); }
   size_t executed_events() const { return executed_; }
 
+  // Timestamp of the earliest pending event, kSimTimeMax when idle. The
+  // sharded round planner uses this to skip shards with nothing to run
+  // inside their window (ISSUE 10).
+  SimTime NextEventTime() {
+    return events_.empty() ? kSimTimeMax : events_.PeekTime();
+  }
+
   // --- keyed (region-deterministic) ordering: sharded-simulator mode ---
 
   // Switches this shard to the (time, origin region, per-origin sequence)

@@ -427,6 +427,10 @@ TEST(DispatchEngineTest, PreemptionPenaltyDownWeightsThrashingReplicas) {
   r0->outstanding = 1;
   r0->probed.preemption_delta = 3;  // Effective load 1 + 2*3 = 7.
   r1->outstanding = 4;         // Effective load 4.
+  // Out-of-band mutation through the mutable FindReplica: the selection
+  // index must be told (engine-internal paths refresh it themselves).
+  bench.engine->RefreshSelectionIndex();
+  bench.engine->set_verify_selection(true);
   CandidateView view(bench.engine.get());
   EXPECT_DOUBLE_EQ(view.EffectiveLoad(*r0), 7.0);
   EXPECT_DOUBLE_EQ(view.EffectiveLoad(*r1), 4.0);
@@ -443,6 +447,8 @@ TEST(DispatchEngineTest, PreemptionPenaltyDownWeightsThrashingReplicas) {
   c0->outstanding = 1;
   c0->probed.preemption_delta = 3;
   c1->outstanding = 4;
+  control.engine->RefreshSelectionIndex();
+  control.engine->set_verify_selection(true);
   CandidateView control_view(control.engine.get());
   EXPECT_EQ(control_view.LeastLoadedAvailable(), 0);
 }
